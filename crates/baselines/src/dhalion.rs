@@ -1,0 +1,227 @@
+//! Dhalion-style self-regulating scaling controller (Floratou et al.
+//! \[19\]).
+//!
+//! Dhalion observes a *running* topology and applies symptom→diagnosis→
+//! resolution rules: backpressure at an operator ⇒ scale it up
+//! proportionally to the overload; sustained low utilization ⇒ scale down.
+//! It converges over several reconfigurations — precisely the oscillation
+//! cost (paper challenge C1) that ZeroTune's what-if predictions avoid.
+//!
+//! The controller is faithful to its design focus: it reasons about
+//! per-operator *throughput symptoms* only. It has no model of latency,
+//! window residence, chaining or network placement, which is why its
+//! configurations trail ZeroTune's on complex plans (Fig. 10b) even
+//! though it performs well on simple chains.
+
+use rand::Rng;
+use zt_dspsim::analytical::{simulate, SimConfig};
+use zt_dspsim::cluster::Cluster;
+use zt_query::{LogicalPlan, ParallelQueryPlan};
+
+/// Controller configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DhalionConfig {
+    /// Maximum reconfiguration rounds before giving up.
+    pub max_iters: usize,
+    /// Utilization above which an operator is diagnosed as backpressured.
+    pub high_watermark: f64,
+    /// Utilization below which an operator is diagnosed as over-provisioned.
+    pub low_watermark: f64,
+    /// Headroom target when resolving backpressure.
+    pub target_utilization: f64,
+    pub max_parallelism: u32,
+}
+
+impl Default for DhalionConfig {
+    fn default() -> Self {
+        DhalionConfig {
+            max_iters: 15,
+            high_watermark: 0.9,
+            low_watermark: 0.3,
+            target_utilization: 0.7,
+            max_parallelism: 128,
+        }
+    }
+}
+
+/// Result of a Dhalion tuning session.
+#[derive(Clone, Debug)]
+pub struct DhalionResult {
+    /// Final parallelism degrees.
+    pub parallelism: Vec<u32>,
+    /// Number of *reconfigurations* performed (each one is a costly
+    /// redeployment on a real system).
+    pub reconfigurations: usize,
+    /// Per-round maximum utilization, for convergence analysis.
+    pub utilization_history: Vec<f64>,
+}
+
+/// Run the scaling controller against the simulator until the symptoms
+/// disappear or the round budget is exhausted.
+pub fn dhalion_tune<R: Rng + ?Sized>(
+    plan: &LogicalPlan,
+    cluster: &Cluster,
+    cfg: &DhalionConfig,
+    sim: &SimConfig,
+    rng: &mut R,
+) -> DhalionResult {
+    let n = plan.num_ops();
+    let cap = cfg.max_parallelism.min(cluster.total_cores()).max(1);
+    let mut p = vec![1u32; n];
+    let mut history = Vec::new();
+    let mut reconfigurations = 0usize;
+
+    for _ in 0..cfg.max_iters {
+        let pqp = ParallelQueryPlan::with_parallelism(plan.clone(), p.clone());
+        let metrics = simulate(&pqp, cluster, sim, rng);
+        let max_util = metrics
+            .per_op
+            .iter()
+            .map(|o| o.utilization)
+            .fold(0.0f64, f64::max);
+        history.push(max_util);
+
+        let mut changed = false;
+        // Symptom: backpressure. Diagnosis: the hottest operator(s).
+        // Resolution: scale proportionally to the overload.
+        for (i, op) in metrics.per_op.iter().enumerate() {
+            if op.utilization >= cfg.high_watermark && p[i] < cap {
+                let factor = (op.utilization / cfg.target_utilization).max(1.25);
+                let new_p = ((p[i] as f64 * factor).ceil() as u32).min(cap);
+                if new_p != p[i] {
+                    p[i] = new_p;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            // Symptom: over-provisioning. Resolution: shrink the coldest
+            // operator one step at a time (Dhalion is conservative when
+            // scaling down).
+            for (i, op) in metrics.per_op.iter().enumerate() {
+                if op.utilization <= cfg.low_watermark && p[i] > 1 {
+                    p[i] -= 1;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        reconfigurations += 1;
+    }
+
+    DhalionResult {
+        parallelism: p,
+        reconfigurations,
+        utilization_history: history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zt_dspsim::cluster::ClusterType;
+    use zt_query::operators::*;
+    use zt_query::{DataType, OperatorKind, QueryGenerator, QueryStructure, TupleSchema};
+
+    fn cluster() -> Cluster {
+        Cluster::homogeneous(ClusterType::M510, 4, 10.0)
+    }
+
+    fn linear(rate: f64) -> LogicalPlan {
+        let mut plan = LogicalPlan::new("t");
+        let s = plan.add(OperatorKind::Source(SourceOp {
+            event_rate: rate,
+            schema: TupleSchema::uniform(DataType::Double, 3),
+        }));
+        let f = plan.add(OperatorKind::Filter(FilterOp {
+            function: FilterFunction::Gt,
+            literal_class: DataType::Double,
+            selectivity: 0.5,
+        }));
+        let a = plan.add(OperatorKind::Aggregate(AggregateOp {
+            window: WindowSpec::tumbling(WindowPolicy::Count, 50.0),
+            function: AggFunction::Avg,
+            agg_class: DataType::Double,
+            key_class: Some(DataType::Int),
+            selectivity: 0.2,
+        }));
+        let k = plan.add(OperatorKind::Sink(SinkOp));
+        plan.connect(s, f);
+        plan.connect(f, a);
+        plan.connect(a, k);
+        plan
+    }
+
+    #[test]
+    fn resolves_backpressure_on_simple_chain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sim = SimConfig::noiseless();
+        let r = dhalion_tune(
+            &linear(3_000_000.0),
+            &cluster(),
+            &DhalionConfig::default(),
+            &sim,
+            &mut rng,
+        );
+        assert!(r.reconfigurations > 0, "no scaling happened");
+        // final deployment must not be backpressured anymore
+        let pqp = ParallelQueryPlan::with_parallelism(linear(3_000_000.0), r.parallelism.clone());
+        let m = simulate(&pqp, &cluster(), &sim, &mut rng);
+        assert!(
+            m.bottleneck_utilization < 1.0,
+            "still backpressured at util {}",
+            m.bottleneck_utilization
+        );
+    }
+
+    #[test]
+    fn low_rate_stays_minimal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sim = SimConfig::noiseless();
+        let r = dhalion_tune(
+            &linear(100.0),
+            &cluster(),
+            &DhalionConfig::default(),
+            &sim,
+            &mut rng,
+        );
+        assert!(r.parallelism.iter().all(|&p| p == 1), "{:?}", r.parallelism);
+    }
+
+    #[test]
+    fn convergence_requires_iterations() {
+        // The controller needs several rounds for a heavy workload —
+        // the oscillation cost the paper's C1 describes.
+        let mut rng = StdRng::seed_from_u64(3);
+        let sim = SimConfig::noiseless();
+        let r = dhalion_tune(
+            &linear(3_000_000.0),
+            &cluster(),
+            &DhalionConfig::default(),
+            &sim,
+            &mut rng,
+        );
+        assert!(r.reconfigurations >= 2, "converged suspiciously fast");
+        assert_eq!(r.utilization_history.len(), r.reconfigurations + 1);
+    }
+
+    #[test]
+    fn parallelism_within_bounds_for_random_queries() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sim = SimConfig::noiseless();
+        let gen = QueryGenerator::seen();
+        for s in [QueryStructure::Linear, QueryStructure::TwoWayJoin] {
+            let plan = gen.generate(s, &mut rng);
+            let r = dhalion_tune(&plan, &cluster(), &DhalionConfig::default(), &sim, &mut rng);
+            assert!(r
+                .parallelism
+                .iter()
+                .all(|&p| p >= 1 && p <= cluster().total_cores()));
+        }
+    }
+}

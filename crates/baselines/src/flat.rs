@@ -1,0 +1,204 @@
+//! Flat-vector featurization of a parallel query plan (baseline \[4\]).
+//!
+//! The baseline of Ganapathi et al. represents a plan as a fixed-length
+//! vector of *aggregate* statistics — counts of operator types, their
+//! average selectivities and (our addition, as in the paper) parallelism
+//! degrees — deliberately discarding the plan structure. Two different
+//! plans with the same aggregates map to the same vector, which is the
+//! representational limit the paper's Fig. 5 exposes.
+//!
+//! The vector is derived from the same [`GraphEncoding`] ZeroTune
+//! consumes, so every model sees identical information content per node;
+//! only the *representation* differs.
+
+use zt_core::graph::{GraphEncoding, NodeKind};
+
+/// Index of the selectivity entry in the operator common block
+/// (see `zt_core::features`).
+const F_PARALLELISM: usize = 0;
+const F_GROUPING: usize = 4;
+const F_WIDTH_IN: usize = 5;
+const F_SELECTIVITY: usize = 10;
+/// Source extra: event rate.
+const F_SOURCE_RATE: usize = 11;
+/// Aggregate/join extra: window length (common block + window offset 4).
+const F_WINDOW_LENGTH: usize = 11 + 4;
+
+/// Dimensionality of the flat vector.
+pub const FLAT_DIM: usize = 21;
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Flatten an encoded plan into the fixed-length baseline vector.
+pub fn flatten(graph: &GraphEncoding) -> [f64; FLAT_DIM] {
+    let mut counts = [0f64; 5]; // source, filter, agg, join, sink
+    let mut parallelism = Vec::new();
+    let mut grouping = Vec::new();
+    let mut widths = Vec::new();
+    let mut sel_filter = Vec::new();
+    let mut sel_agg = Vec::new();
+    let mut sel_join = Vec::new();
+    let mut window_len = Vec::new();
+    let mut raw_rate = 0f64;
+    let mut res_cores = Vec::new();
+    let mut res_ghz = Vec::new();
+    let mut res_mem = Vec::new();
+    let mut res_link = Vec::new();
+
+    for node in &graph.nodes {
+        let f = &node.features;
+        match node.kind {
+            NodeKind::Resource => {
+                res_cores.push(f[0] as f64);
+                res_ghz.push(f[1] as f64);
+                res_mem.push(f[2] as f64);
+                res_link.push(f[3] as f64);
+                continue;
+            }
+            NodeKind::Source => {
+                counts[0] += 1.0;
+                // invert the log normalization to the raw ev/s rate
+                raw_rate += ((f[F_SOURCE_RATE] as f64) * 15.2).exp_m1();
+            }
+            NodeKind::Filter => {
+                counts[1] += 1.0;
+                sel_filter.push(f[F_SELECTIVITY] as f64);
+            }
+            NodeKind::Aggregate => {
+                counts[2] += 1.0;
+                sel_agg.push(f[F_SELECTIVITY] as f64);
+                window_len.push(f[F_WINDOW_LENGTH] as f64);
+            }
+            NodeKind::Join => {
+                counts[3] += 1.0;
+                sel_join.push(f[F_SELECTIVITY] as f64);
+                window_len.push(f[F_WINDOW_LENGTH] as f64);
+            }
+            NodeKind::Sink => counts[4] += 1.0,
+        }
+        parallelism.push(f[F_PARALLELISM] as f64);
+        grouping.push(f[F_GROUPING] as f64);
+        widths.push(f[F_WIDTH_IN] as f64);
+    }
+
+    // Undo the graph encoding's log/range normalizations: the cited flat
+    // baseline [4] consumes raw-scale statistics (operator counts, average
+    // selectivities and parallelism degrees), which is precisely why it
+    // extrapolates poorly outside the training range.
+    let unlog = |v: f64, norm: f64| (v * norm).exp_m1();
+    let raw_p: Vec<f64> = parallelism.iter().map(|&v| unlog(v, 4.86)).collect();
+    let raw_wlen: Vec<f64> = window_len.iter().map(|&v| unlog(v, 9.22)).collect();
+    let max_parallelism = raw_p.iter().copied().fold(0.0, f64::max);
+    [
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
+        counts[4],
+        mean(&raw_p),
+        max_parallelism,
+        mean(&grouping) * 4.0,
+        mean(&widths) * 15.0,
+        mean(&sel_filter),
+        mean(&sel_agg),
+        mean(&sel_join),
+        mean(&raw_wlen),
+        raw_rate,
+        res_cores.len() as f64,
+        mean(&res_cores) * 64.0,
+        mean(&res_ghz) * 3.0,
+        res_mem.iter().map(|&v| unlog(v, 6.0)).sum::<f64>() / res_mem.len().max(1) as f64,
+        mean(&res_link) * 10.0,
+        // totals the heuristic literature uses
+        res_cores.iter().map(|&c| c * 64.0).sum::<f64>(),
+        raw_p.iter().sum::<f64>(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zt_core::features::FeatureMask;
+    use zt_core::graph::encode;
+    use zt_dspsim::cluster::{Cluster, ClusterType};
+    use zt_dspsim::ChainingMode;
+    use zt_query::{ParallelQueryPlan, QueryGenerator, QueryStructure};
+
+    fn graph(structure: QueryStructure, p: u32, seed: u64) -> GraphEncoding {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = QueryGenerator::seen().generate(structure, &mut rng);
+        let n = plan.num_ops();
+        let pqp = ParallelQueryPlan::with_parallelism(plan, vec![p; n]);
+        let cluster = Cluster::homogeneous(ClusterType::M510, 2, 10.0);
+        encode(&pqp, &cluster, ChainingMode::Auto, &FeatureMask::all())
+    }
+
+    #[test]
+    fn vector_has_fixed_length() {
+        for s in [
+            QueryStructure::Linear,
+            QueryStructure::ThreeWayJoin,
+            QueryStructure::NWayJoin(6),
+        ] {
+            let v = flatten(&graph(s, 2, 1));
+            assert_eq!(v.len(), FLAT_DIM);
+            assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn counts_reflect_structure() {
+        let v = flatten(&graph(QueryStructure::ThreeWayJoin, 2, 2));
+        assert_eq!(v[0], 3.0); // 3 sources
+        assert_eq!(v[3], 2.0); // 2 joins
+        assert_eq!(v[4], 1.0); // 1 sink
+    }
+
+    #[test]
+    fn parallelism_changes_vector() {
+        let v1 = flatten(&graph(QueryStructure::Linear, 1, 3));
+        let v64 = flatten(&graph(QueryStructure::Linear, 64, 3));
+        assert!(v64[5] > v1[5]);
+        assert!(v64[6] > v1[6]);
+    }
+
+    #[test]
+    fn structure_is_lost_by_design() {
+        // Two structurally different plans built from the same operator
+        // multiset would collapse to near-identical vectors: verify the
+        // vector contains only aggregates by checking that reordering
+        // parallelism degrees (same multiset) yields the same mean/max.
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = QueryGenerator::seen().generate(QueryStructure::TwoWayJoin, &mut rng);
+        let n = plan.num_ops();
+        let cluster = Cluster::homogeneous(ClusterType::M510, 2, 10.0);
+        let mut p1 = vec![1u32; n];
+        p1[0] = 8;
+        let mut p2 = vec![1u32; n];
+        p2[1] = 8;
+        let g1 = encode(
+            &ParallelQueryPlan::with_parallelism(plan.clone(), p1),
+            &cluster,
+            ChainingMode::Never,
+            &FeatureMask::all(),
+        );
+        let g2 = encode(
+            &ParallelQueryPlan::with_parallelism(plan, p2),
+            &cluster,
+            ChainingMode::Never,
+            &FeatureMask::all(),
+        );
+        let v1 = flatten(&g1);
+        let v2 = flatten(&g2);
+        assert!((v1[5] - v2[5]).abs() < 1e-9, "mean parallelism differs");
+        assert!((v1[6] - v2[6]).abs() < 1e-9, "max parallelism differs");
+    }
+}

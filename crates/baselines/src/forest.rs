@@ -1,0 +1,308 @@
+//! Random-forest regression baseline on the flat vector.
+//!
+//! CART regression trees with variance-reduction splits, bagging
+//! (bootstrap per tree) and per-split feature subsampling. Each leaf
+//! stores a two-dimensional mean `[ln latency, ln throughput]`; the split
+//! criterion minimizes the summed variance of both targets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zt_core::dataset::Dataset;
+use zt_core::graph::GraphEncoding;
+
+use crate::flat::{flatten, FLAT_DIM};
+
+/// Forest hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomForestConfig {
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub min_leaf: usize,
+    /// Features considered per split.
+    pub features_per_split: usize,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            n_trees: 40,
+            max_depth: 12,
+            min_leaf: 3,
+            features_per_split: 5, // ≈ √FLAT_DIM
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        mean: [f64; 2],
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, x: &[f64]) -> [f64; 2] {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { mean } => return *mean,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Bagged regression forest with 2-output leaves.
+pub struct RandomForest {
+    trees: Vec<Tree>,
+}
+
+fn leaf_mean(ys: &[[f64; 2]], idx: &[usize]) -> [f64; 2] {
+    let mut m = [0f64; 2];
+    for &i in idx {
+        m[0] += ys[i][0];
+        m[1] += ys[i][1];
+    }
+    let n = idx.len().max(1) as f64;
+    [m[0] / n, m[1] / n]
+}
+
+fn sse(ys: &[[f64; 2]], idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let m = leaf_mean(ys, idx);
+    idx.iter()
+        .map(|&i| {
+            let d0 = ys[i][0] - m[0];
+            let d1 = ys[i][1] - m[1];
+            d0 * d0 + d1 * d1
+        })
+        .sum()
+}
+
+fn build_tree(
+    xs: &[[f64; FLAT_DIM]],
+    ys: &[[f64; 2]],
+    idx: Vec<usize>,
+    cfg: &RandomForestConfig,
+    rng: &mut StdRng,
+) -> Tree {
+    let mut nodes = Vec::new();
+    build_node(xs, ys, idx, cfg, rng, 0, &mut nodes);
+    Tree { nodes }
+}
+
+fn build_node(
+    xs: &[[f64; FLAT_DIM]],
+    ys: &[[f64; 2]],
+    idx: Vec<usize>,
+    cfg: &RandomForestConfig,
+    rng: &mut StdRng,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let my_index = nodes.len();
+    if depth >= cfg.max_depth || idx.len() < 2 * cfg.min_leaf {
+        nodes.push(Node::Leaf {
+            mean: leaf_mean(ys, &idx),
+        });
+        return my_index;
+    }
+
+    // Best split over a random feature subset.
+    let parent_sse = sse(ys, &idx);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    for _ in 0..cfg.features_per_split {
+        let f = rng.gen_range(0..FLAT_DIM);
+        // candidate thresholds from quantiles of the feature values
+        let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        for q in [0.25, 0.5, 0.75] {
+            let t = vals[((vals.len() - 1) as f64 * q) as usize];
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &i in &idx {
+                if xs[i][f] <= t {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            if left.len() < cfg.min_leaf || right.len() < cfg.min_leaf {
+                continue;
+            }
+            let gain = parent_sse - sse(ys, &left) - sse(ys, &right);
+            if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
+                best = Some((f, t, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        nodes.push(Node::Leaf {
+            mean: leaf_mean(ys, &idx),
+        });
+        return my_index;
+    };
+
+    let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+    for &i in &idx {
+        if xs[i][feature] <= threshold {
+            left_idx.push(i);
+        } else {
+            right_idx.push(i);
+        }
+    }
+    nodes.push(Node::Split {
+        feature,
+        threshold,
+        left: 0,
+        right: 0,
+    });
+    let left = build_node(xs, ys, left_idx, cfg, rng, depth + 1, nodes);
+    let right = build_node(xs, ys, right_idx, cfg, rng, depth + 1, nodes);
+    if let Node::Split {
+        left: l, right: r, ..
+    } = &mut nodes[my_index]
+    {
+        *l = left;
+        *r = right;
+    }
+    my_index
+}
+
+impl RandomForest {
+    /// Fit a forest on the dataset.
+    pub fn fit(data: &Dataset, cfg: &RandomForestConfig, seed: u64) -> Self {
+        assert!(!data.is_empty());
+        let xs: Vec<[f64; FLAT_DIM]> = data.samples.iter().map(|s| flatten(&s.graph)).collect();
+        let ys: Vec<[f64; 2]> = data
+            .samples
+            .iter()
+            .map(|s| [s.latency_ms.max(1e-9).ln(), s.throughput.max(1e-9).ln()])
+            .collect();
+        let n = xs.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trees = (0..cfg.n_trees)
+            .map(|_| {
+                let bootstrap: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                build_tree(&xs, &ys, bootstrap, cfg, &mut rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Predict `(latency_ms, throughput)` as the exponentiated average of
+    /// the trees' log-space predictions.
+    pub fn predict(&self, graph: &GraphEncoding) -> (f64, f64) {
+        let x = flatten(graph);
+        let mut sum = [0f64; 2];
+        for t in &self.trees {
+            let p = t.predict(&x);
+            sum[0] += p[0];
+            sum[1] += p[1];
+        }
+        let n = self.trees.len().max(1) as f64;
+        ((sum[0] / n).exp(), (sum[1] / n).exp())
+    }
+
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zt_core::dataset::{generate_dataset, GenConfig};
+    use zt_core::qerror::QErrorStats;
+
+    #[test]
+    fn forest_fits_training_distribution() {
+        let data = generate_dataset(&GenConfig::seen(), 200, 71);
+        let (train, test, _) = data.split(0.8, 0.2, 0);
+        let forest = RandomForest::fit(&train, &RandomForestConfig::default(), 1);
+        assert_eq!(forest.num_trees(), 40);
+        let q = QErrorStats::from_pairs(
+            test.samples
+                .iter()
+                .map(|s| (forest.predict(&s.graph).0, s.latency_ms))
+                .collect::<Vec<_>>(),
+        );
+        assert!(q.median < 6.0, "forest median q-error {}", q.median);
+    }
+
+    #[test]
+    fn deeper_forest_fits_train_better_than_stump() {
+        let data = generate_dataset(&GenConfig::seen(), 150, 72);
+        let stump_cfg = RandomForestConfig {
+            max_depth: 1,
+            n_trees: 10,
+            ..RandomForestConfig::default()
+        };
+        let deep_cfg = RandomForestConfig {
+            max_depth: 12,
+            n_trees: 10,
+            ..RandomForestConfig::default()
+        };
+        let stump = RandomForest::fit(&data, &stump_cfg, 2);
+        let deep = RandomForest::fit(&data, &deep_cfg, 2);
+        let q_train = |m: &RandomForest| {
+            QErrorStats::from_pairs(
+                data.samples
+                    .iter()
+                    .map(|s| (m.predict(&s.graph).0, s.latency_ms))
+                    .collect::<Vec<_>>(),
+            )
+            .median
+        };
+        assert!(q_train(&deep) < q_train(&stump));
+    }
+
+    #[test]
+    fn predictions_positive_finite_everywhere() {
+        let data = generate_dataset(&GenConfig::seen(), 80, 73);
+        let forest = RandomForest::fit(&data, &RandomForestConfig::default(), 3);
+        let unseen = generate_dataset(&GenConfig::unseen_structures(), 30, 74);
+        for s in data.samples.iter().chain(unseen.samples.iter()) {
+            let (lat, tpt) = forest.predict(&s.graph);
+            assert!(lat > 0.0 && lat.is_finite());
+            assert!(tpt > 0.0 && tpt.is_finite());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = generate_dataset(&GenConfig::seen(), 60, 75);
+        let a = RandomForest::fit(&data, &RandomForestConfig::default(), 7);
+        let b = RandomForest::fit(&data, &RandomForestConfig::default(), 7);
+        let g = &data.samples[0].graph;
+        assert_eq!(a.predict(g), b.predict(g));
+    }
+}

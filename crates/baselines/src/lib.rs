@@ -1,0 +1,131 @@
+//! # zt-baselines
+//!
+//! The comparison points used in the paper's evaluation:
+//!
+//! * **Non-transferable model architectures** (Fig. 1 / Fig. 5): a flat
+//!   vector representation in the spirit of Ganapathi et al. \[4\] — counts
+//!   of operator types, average selectivities and parallelism degrees —
+//!   fed into [`linreg::LinearRegression`], [`flat_mlp::FlatMlp`] and
+//!   [`forest::RandomForest`]. These models cannot see the plan
+//!   *structure*, which is exactly the failure mode the paper attributes
+//!   to them.
+//! * **Non-learned parallelism tuners** (Fig. 10): a greedy
+//!   autopipelining-style heuristic \[20\] in [`greedy`] and a
+//!   Dhalion-style symptom-driven scaling controller \[19\] in [`dhalion`].
+
+pub mod dhalion;
+pub mod flat;
+pub mod flat_mlp;
+pub mod forest;
+pub mod greedy;
+pub mod linreg;
+
+pub use dhalion::{dhalion_tune, DhalionConfig, DhalionResult};
+pub use flat::{flatten, FLAT_DIM};
+pub use flat_mlp::FlatMlp;
+pub use forest::{RandomForest, RandomForestConfig};
+pub use greedy::{greedy_tune, GreedyConfig};
+pub use linreg::LinearRegression;
+
+use zt_core::dataset::Dataset;
+use zt_core::graph::GraphEncoding;
+
+/// A cost model that predicts `(latency_ms, throughput)` for an encoded
+/// plan — implemented by ZeroTune and by every flat-vector baseline so the
+/// experiment harness can evaluate them uniformly.
+pub trait CostEstimator {
+    fn name(&self) -> &'static str;
+    fn predict_costs(&self, graph: &GraphEncoding) -> (f64, f64);
+}
+
+impl CostEstimator for zt_core::model::ZeroTuneModel {
+    fn name(&self) -> &'static str {
+        "ZeroTune"
+    }
+
+    fn predict_costs(&self, graph: &GraphEncoding) -> (f64, f64) {
+        self.predict(graph)
+    }
+}
+
+/// Q-error statistics of any estimator over a sample set, per metric.
+pub fn evaluate_estimator(
+    est: &dyn CostEstimator,
+    samples: &[zt_core::dataset::Sample],
+) -> (zt_core::qerror::QErrorStats, zt_core::qerror::QErrorStats) {
+    let mut lat = Vec::with_capacity(samples.len());
+    let mut tpt = Vec::with_capacity(samples.len());
+    for s in samples {
+        let (l, t) = est.predict_costs(&s.graph);
+        lat.push((l, s.latency_ms));
+        tpt.push((t, s.throughput));
+    }
+    (
+        zt_core::qerror::QErrorStats::from_pairs(lat),
+        zt_core::qerror::QErrorStats::from_pairs(tpt),
+    )
+}
+
+/// The three flat-vector baseline architectures, trainable from one call.
+pub enum BaselineModel {
+    Linear(LinearRegression),
+    FlatMlp(FlatMlp),
+    Forest(RandomForest),
+}
+
+impl BaselineModel {
+    /// Fit all three baselines on a dataset.
+    pub fn fit_all(data: &Dataset, seed: u64) -> Vec<BaselineModel> {
+        vec![
+            BaselineModel::Linear(LinearRegression::fit(data, 1e-3)),
+            BaselineModel::FlatMlp(FlatMlp::fit(data, seed)),
+            BaselineModel::Forest(RandomForest::fit(data, &RandomForestConfig::default(), seed)),
+        ]
+    }
+}
+
+impl CostEstimator for BaselineModel {
+    fn name(&self) -> &'static str {
+        match self {
+            BaselineModel::Linear(_) => "Linear Regression",
+            BaselineModel::FlatMlp(_) => "Flat Vector MLP",
+            BaselineModel::Forest(_) => "Random Forest",
+        }
+    }
+
+    fn predict_costs(&self, graph: &GraphEncoding) -> (f64, f64) {
+        match self {
+            BaselineModel::Linear(m) => m.predict(graph),
+            BaselineModel::FlatMlp(m) => m.predict(graph),
+            BaselineModel::Forest(m) => m.predict(graph),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zt_core::dataset::{generate_dataset, GenConfig};
+
+    #[test]
+    fn all_baselines_fit_and_predict() {
+        let data = generate_dataset(&GenConfig::seen(), 60, 41);
+        let models = BaselineModel::fit_all(&data, 1);
+        assert_eq!(models.len(), 3);
+        for m in &models {
+            let (lat, tpt) = m.predict_costs(&data.samples[0].graph);
+            assert!(lat > 0.0 && lat.is_finite(), "{}: bad latency {lat}", m.name());
+            assert!(tpt > 0.0 && tpt.is_finite(), "{}: bad throughput {tpt}", m.name());
+        }
+    }
+
+    #[test]
+    fn evaluate_estimator_reports_counts() {
+        let data = generate_dataset(&GenConfig::seen(), 40, 42);
+        let model = BaselineModel::Linear(LinearRegression::fit(&data, 1e-3));
+        let (lat, tpt) = evaluate_estimator(&model, &data.samples);
+        assert_eq!(lat.count, 40);
+        assert_eq!(tpt.count, 40);
+        assert!(lat.median >= 1.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Bench target regenerating Fig. 10a–b (parallelism tuning vs greedy and
+//! Dhalion).
+//!
+//! Run: `cargo bench --bench fig10_optimizer`
+
+fn main() {
+    let scale = zt_bench::bench_scale();
+    eprintln!("[bench] Fig. 10 at scale `{}`", scale.name);
+    let start = std::time::Instant::now();
+    let result = zt_experiments::exp5::run(&scale);
+    zt_experiments::exp5::print(&result);
+    println!("fig10_optimizer: {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,12 @@
+//! Bench target regenerating Fig. 11 (transferable-feature ablation).
+//!
+//! Run: `cargo bench --bench fig11_ablation`
+
+fn main() {
+    let scale = zt_bench::bench_scale();
+    eprintln!("[bench] Fig. 11 at scale `{}`", scale.name);
+    let start = std::time::Instant::now();
+    let result = zt_experiments::exp6::run(&scale);
+    zt_experiments::exp6::print(&result);
+    println!("fig11_ablation: {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,11 @@
+//! Bench target regenerating Fig. 3 (parallelism degree and operator
+//! grouping micro-benchmark).
+//!
+//! Run: `cargo bench --bench fig3_parallelism`
+
+fn main() {
+    let start = std::time::Instant::now();
+    let result = zt_experiments::fig3::run(3_000_000.0, 8);
+    zt_experiments::fig3::print(&result);
+    println!("fig3_parallelism: {:.1}s", start.elapsed().as_secs_f64());
+}

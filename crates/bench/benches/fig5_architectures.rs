@@ -1,0 +1,18 @@
+//! Bench target regenerating Fig. 1 / Fig. 5 (ZeroTune vs flat-vector
+//! model architectures) at the bench scale.
+//!
+//! Run: `cargo bench --bench fig5_architectures`
+
+fn main() {
+    let scale = zt_bench::bench_scale();
+    eprintln!("[bench] Fig. 5 at scale `{}`", scale.name);
+    let start = std::time::Instant::now();
+    let result = zt_experiments::exp1::run(&scale);
+    // print only the architecture comparison (Table IV has its own bench)
+    let arch_only = zt_experiments::exp1::Exp1Result {
+        table4: vec![],
+        architectures: result.architectures,
+    };
+    zt_experiments::exp1::print(&arch_only);
+    println!("fig5_architectures: {:.1}s", start.elapsed().as_secs_f64());
+}

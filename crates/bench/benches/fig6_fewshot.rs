@@ -1,0 +1,17 @@
+//! Bench target regenerating Fig. 6 (few-shot learning on complex joins).
+//!
+//! Run: `cargo bench --bench fig6_fewshot`
+
+fn main() {
+    let scale = zt_bench::bench_scale();
+    eprintln!("[bench] Fig. 6 at scale `{}`", scale.name);
+    let start = std::time::Instant::now();
+    let result = zt_experiments::exp2::run(&scale);
+    let few_shot_only = zt_experiments::exp2::Exp2Result {
+        categories: vec![],
+        few_shot: result.few_shot,
+        scatter: result.scatter,
+    };
+    zt_experiments::exp2::print(&few_shot_only);
+    println!("fig6_fewshot: {:.1}s", start.elapsed().as_secs_f64());
+}

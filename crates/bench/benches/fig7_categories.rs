@@ -1,0 +1,13 @@
+//! Bench target regenerating Fig. 7a–d (q-errors per parallelism
+//! category).
+//!
+//! Run: `cargo bench --bench fig7_categories`
+
+fn main() {
+    let scale = zt_bench::bench_scale();
+    eprintln!("[bench] Fig. 7 at scale `{}`", scale.name);
+    let start = std::time::Instant::now();
+    let result = zt_experiments::exp2::run(&scale);
+    zt_experiments::exp2::print(&result);
+    println!("fig7_categories: {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,13 @@
+//! Bench target regenerating Fig. 8a–e (generalization across unseen
+//! parameter values).
+//!
+//! Run: `cargo bench --bench fig8_unseen_params`
+
+fn main() {
+    let scale = zt_bench::bench_scale();
+    eprintln!("[bench] Fig. 8 at scale `{}`", scale.name);
+    let start = std::time::Instant::now();
+    let result = zt_experiments::exp3::run(&scale);
+    zt_experiments::exp3::print(&result);
+    println!("fig8_unseen_params: {:.1}s", start.elapsed().as_secs_f64());
+}

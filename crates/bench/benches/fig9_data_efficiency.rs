@@ -1,0 +1,13 @@
+//! Bench target regenerating Fig. 9a–b (OptiSample vs random data
+//! efficiency).
+//!
+//! Run: `cargo bench --bench fig9_data_efficiency`
+
+fn main() {
+    let scale = zt_bench::bench_scale();
+    eprintln!("[bench] Fig. 9 at scale `{}`", scale.name);
+    let start = std::time::Instant::now();
+    let result = zt_experiments::exp4::run(&scale);
+    zt_experiments::exp4::print(&result);
+    println!("fig9_data_efficiency: {:.1}s", start.elapsed().as_secs_f64());
+}

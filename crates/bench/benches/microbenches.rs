@@ -1,0 +1,129 @@
+//! Criterion microbenches for the performance-critical paths:
+//!
+//! * `analytical_simulate` — the steady-state solver labeling one plan
+//!   (the throughput of training-data generation).
+//! * `graph_encode` — featurization + graph construction.
+//! * `gnn_inference` — one what-if cost prediction (the optimizer issues
+//!   dozens per tuning call).
+//! * `gnn_train_step` — forward + backward + Adam on one graph.
+//! * `optimizer_tune` — a full parallelism-tuning call.
+//! * `discrete_event_engine` — one short engine run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zt_core::dataset::{generate_dataset, GenConfig};
+use zt_core::features::FeatureMask;
+use zt_core::graph::encode;
+use zt_core::model::{ModelConfig, ZeroTuneModel};
+use zt_core::optimizer::{tune, OptimizerConfig};
+use zt_dspsim::analytical::{simulate, SimConfig};
+use zt_dspsim::cluster::{Cluster, ClusterType};
+use zt_dspsim::engine::{run as engine_run, EngineConfig};
+use zt_dspsim::ChainingMode;
+use zt_nn::{Adam, Matrix, Optimizer, Tape};
+use zt_query::{ParallelQueryPlan, QueryGenerator, QueryStructure};
+
+fn fixture() -> (ParallelQueryPlan, Cluster) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let plan = QueryGenerator::seen().generate(QueryStructure::TwoWayJoin, &mut rng);
+    let n = plan.num_ops();
+    let pqp = ParallelQueryPlan::with_parallelism(plan, vec![4; n]);
+    let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+    (pqp, cluster)
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let (pqp, cluster) = fixture();
+    let cfg = SimConfig::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("analytical_simulate", |b| {
+        b.iter(|| simulate(std::hint::black_box(&pqp), &cluster, &cfg, &mut rng))
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let (pqp, cluster) = fixture();
+    let mask = FeatureMask::all();
+    c.bench_function("graph_encode", |b| {
+        b.iter(|| {
+            encode(
+                std::hint::black_box(&pqp),
+                &cluster,
+                ChainingMode::Auto,
+                &mask,
+            )
+        })
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (pqp, cluster) = fixture();
+    let graph = encode(&pqp, &cluster, ChainingMode::Auto, &FeatureMask::all());
+    let model = ZeroTuneModel::new(ModelConfig::default());
+    c.bench_function("gnn_inference", |b| {
+        b.iter(|| model.predict(std::hint::black_box(&graph)))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let (pqp, cluster) = fixture();
+    let graph = encode(&pqp, &cluster, ChainingMode::Auto, &FeatureMask::all());
+    let mut model = ZeroTuneModel::new(ModelConfig::default());
+    let mut opt = Adam::new(1e-3);
+    c.bench_function("gnn_train_step", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let out = model.forward(&mut tape, &graph);
+            let t = tape.leaf(Matrix::row(&[0.1, -0.2]));
+            let loss = tape.mse_loss(out, t);
+            model.store.zero_grad();
+            tape.backward(loss, &mut model.store);
+            opt.step(&mut model.store);
+        })
+    });
+}
+
+fn bench_tune(c: &mut Criterion) {
+    let data = generate_dataset(&GenConfig::seen(), 60, 1);
+    let mut model = ZeroTuneModel::new(ModelConfig {
+        hidden: 24,
+        seed: 1,
+    });
+    zt_core::train::train(
+        &mut model,
+        &data,
+        &zt_core::train::TrainConfig {
+            epochs: 4,
+            patience: 0,
+            ..Default::default()
+        },
+    );
+    let (pqp, cluster) = fixture();
+    let cfg = OptimizerConfig::default();
+    c.bench_function("optimizer_tune", |b| {
+        b.iter(|| tune(&model, std::hint::black_box(&pqp.plan), &cluster, &cfg))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (pqp, cluster) = fixture();
+    let cfg = EngineConfig {
+        horizon_secs: 0.5,
+        target_emissions: 200,
+        ..EngineConfig::default()
+    };
+    c.bench_function("discrete_event_engine", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            engine_run(std::hint::black_box(&pqp), &cluster, &cfg, &mut rng)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_simulate, bench_encode, bench_inference, bench_train_step, bench_tune, bench_engine
+}
+criterion_main!(benches);

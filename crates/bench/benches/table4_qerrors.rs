@@ -1,0 +1,14 @@
+//! Bench target regenerating Table IV (q-errors on seen / unseen /
+//! benchmark workloads) at the bench scale.
+//!
+//! Run: `cargo bench --bench table4_qerrors`
+//! (set `ZT_BENCH_SCALE=standard|full` for larger runs)
+
+fn main() {
+    let scale = zt_bench::bench_scale();
+    eprintln!("[bench] Table IV at scale `{}`", scale.name);
+    let start = std::time::Instant::now();
+    let result = zt_experiments::exp1::run(&scale);
+    zt_experiments::exp1::print(&result);
+    println!("table4_qerrors: {:.1}s", start.elapsed().as_secs_f64());
+}

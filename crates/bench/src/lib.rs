@@ -1,0 +1,32 @@
+//! # zt-bench
+//!
+//! `cargo bench` targets. One harness-free bench per paper table/figure —
+//! each re-runs the corresponding experiment at the `smoke` scale and
+//! prints the same rows/series the paper reports — plus a Criterion
+//! microbench suite (`microbenches`) covering the performance-critical
+//! paths (inference, graph encoding, the analytical solver, a training
+//! epoch, and the discrete-event engine).
+//!
+//! The scale can be overridden via the `ZT_BENCH_SCALE` environment
+//! variable (`smoke` / `standard` / `full`).
+
+use zt_experiments::Scale;
+
+/// Scale used by the per-figure bench targets.
+pub fn bench_scale() -> Scale {
+    match std::env::var("ZT_BENCH_SCALE").as_deref() {
+        Ok(name) => Scale::by_name(name),
+        Err(_) => Scale::smoke(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_smoke() {
+        std::env::remove_var("ZT_BENCH_SCALE");
+        assert_eq!(bench_scale().name, "smoke");
+    }
+}

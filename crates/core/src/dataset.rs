@@ -1,0 +1,408 @@
+//! Labeled training-data generation.
+//!
+//! Reproduces the paper's data-collection pipeline: for every sample a
+//! query plan is generated (structure + Table III parameters), a cluster
+//! is sampled from the allowed hardware families, parallelism degrees are
+//! enumerated by the configured strategy (OptiSample or random), the
+//! deployment is executed on the simulator, and the `(graph encoding,
+//! latency, throughput)` triple is recorded together with metadata used by
+//! the experiment harness for slicing (structure, parallelism category,
+//! unseen-parameter values, …).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use zt_dspsim::analytical::{simulate, SimConfig};
+use zt_dspsim::cluster::{Cluster, ClusterType};
+use zt_query::{
+    OperatorKind, ParallelQueryPlan, ParallelismCategory, ParamRanges, QueryGenerator,
+    QueryStructure, WindowPolicy,
+};
+
+use crate::features::FeatureMask;
+use crate::graph::{encode_with_deployment, GraphEncoding};
+use crate::optisample::EnumerationStrategy;
+
+/// Metadata recorded per sample for experiment slicing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SampleMeta {
+    pub structure: String,
+    pub seen_structure: bool,
+    pub category: ParallelismCategory,
+    pub avg_parallelism: f64,
+    pub cluster_seen: bool,
+    pub cluster_homogeneous: bool,
+    pub num_workers: usize,
+    /// Maximum source event rate of the query.
+    pub event_rate: f64,
+    /// Tuple width of the first source.
+    pub tuple_width: usize,
+    /// First count-window length (tuples), if any.
+    pub window_length: Option<f64>,
+    /// First time-window duration (ms), if any.
+    pub window_duration: Option<f64>,
+    pub backpressured: bool,
+}
+
+/// One labeled training/evaluation example.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sample {
+    pub graph: GraphEncoding,
+    /// Measured end-to-end latency, ms.
+    pub latency_ms: f64,
+    /// Measured sustained throughput, tuples/s.
+    pub throughput: f64,
+    pub meta: SampleMeta,
+}
+
+/// A collection of labeled samples.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    pub fn new(samples: Vec<Sample>) -> Self {
+        Dataset { samples }
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Deterministic shuffled split into `(train, test, validation)` with
+    /// the paper's 80/10/10 default.
+    pub fn split(&self, train_frac: f64, test_frac: f64, seed: u64) -> (Dataset, Dataset, Dataset) {
+        let mut idx: Vec<usize> = (0..self.samples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        let n = idx.len();
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_test = (n as f64 * test_frac).round() as usize;
+        let take = |range: &[usize]| {
+            Dataset::new(range.iter().map(|&i| self.samples[i].clone()).collect())
+        };
+        (
+            take(&idx[..n_train.min(n)]),
+            take(&idx[n_train.min(n)..(n_train + n_test).min(n)]),
+            take(&idx[(n_train + n_test).min(n)..]),
+        )
+    }
+
+    /// Concatenate two datasets.
+    pub fn extend(&mut self, other: Dataset) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Labels as `(latency, throughput)` pairs.
+    pub fn labels(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.samples.iter().map(|s| (s.latency_ms, s.throughput))
+    }
+}
+
+/// Configuration of the data generator.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    pub structures: Vec<QueryStructure>,
+    pub ranges: ParamRanges,
+    pub cluster_types: Vec<ClusterType>,
+    pub strategy: EnumerationStrategy,
+    pub sim: SimConfig,
+    pub mask: FeatureMask,
+    /// Measurement timeout: deployments whose simulated latency exceeds
+    /// this are discarded and resampled, exactly as timed-out runs are
+    /// dropped by a real testbed collection pipeline (5 minutes by
+    /// default).
+    pub max_latency_ms: f64,
+}
+
+impl GenConfig {
+    /// The paper's training setup: seen structures, seen parameter
+    /// ranges, seen hardware, OptiSample enumeration.
+    pub fn seen() -> Self {
+        GenConfig {
+            structures: QueryStructure::seen(),
+            ranges: ParamRanges::seen(),
+            cluster_types: ClusterType::seen(),
+            strategy: EnumerationStrategy::opti_sample(),
+            sim: SimConfig::default(),
+            mask: FeatureMask::all(),
+            max_latency_ms: 300_000.0,
+        }
+    }
+
+    /// Unseen structures on the unseen parameter ranges (still on seen
+    /// hardware unless overridden).
+    pub fn unseen_structures() -> Self {
+        GenConfig {
+            structures: QueryStructure::unseen_synthetic(),
+            ranges: ParamRanges::unseen(),
+            ..GenConfig::seen()
+        }
+    }
+
+    pub fn with_structures(mut self, structures: Vec<QueryStructure>) -> Self {
+        self.structures = structures;
+        self
+    }
+
+    pub fn with_strategy(mut self, strategy: EnumerationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    pub fn with_mask(mut self, mask: FeatureMask) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    pub fn with_cluster_types(mut self, types: Vec<ClusterType>) -> Self {
+        self.cluster_types = types;
+        self
+    }
+}
+
+fn meta_of(
+    structure: QueryStructure,
+    pqp: &ParallelQueryPlan,
+    cluster: &Cluster,
+    backpressured: bool,
+) -> SampleMeta {
+    let mut event_rate = 0f64;
+    let mut tuple_width = 0usize;
+    let mut window_length = None;
+    let mut window_duration = None;
+    for op in pqp.plan.ops() {
+        match &op.kind {
+            OperatorKind::Source(s) => {
+                if s.event_rate > event_rate {
+                    event_rate = s.event_rate;
+                }
+                if tuple_width == 0 {
+                    tuple_width = s.schema.width();
+                }
+            }
+            kind => {
+                if let Some(w) = kind.window() {
+                    match w.policy {
+                        WindowPolicy::Count => {
+                            window_length.get_or_insert(w.length);
+                        }
+                        WindowPolicy::Time => {
+                            window_duration.get_or_insert(w.length);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let cluster_seen = cluster.nodes.iter().all(|n| {
+        ClusterType::seen()
+            .iter()
+            .any(|t| t.name() == n.name.as_str())
+    });
+    SampleMeta {
+        structure: structure.name(),
+        seen_structure: structure.is_seen(),
+        category: pqp.parallelism_category(),
+        avg_parallelism: pqp.avg_parallelism(),
+        cluster_seen,
+        cluster_homogeneous: cluster.is_homogeneous(),
+        num_workers: cluster.num_workers(),
+        event_rate,
+        tuple_width,
+        window_length,
+        window_duration,
+        backpressured,
+    }
+}
+
+/// Generate one labeled sample. Deployments exceeding the measurement
+/// timeout are resampled (a bounded number of times) like timed-out runs
+/// on a real testbed.
+pub fn generate_sample<R: Rng + ?Sized>(
+    cfg: &GenConfig,
+    structure: QueryStructure,
+    rng: &mut R,
+) -> Sample {
+    let generator = QueryGenerator::new(cfg.ranges.clone());
+    const MAX_RETRIES: usize = 25;
+    let mut last = None;
+    for _ in 0..MAX_RETRIES {
+        let plan = generator.generate(structure, rng);
+        let n_workers = cfg.ranges.sample_num_workers(rng);
+        let cluster = Cluster::sample(
+            &cfg.cluster_types,
+            n_workers,
+            &cfg.ranges.link_speeds_gbps,
+            rng,
+        );
+        let parallelism = cfg.strategy.assign(&plan, &cluster, rng);
+        let pqp = ParallelQueryPlan::with_parallelism(plan, parallelism);
+        let metrics = simulate(&pqp, &cluster, &cfg.sim, rng);
+        let graph = encode_with_deployment(&pqp, &cluster, &metrics.deployment, &cfg.mask);
+        let meta = meta_of(structure, &pqp, &cluster, metrics.backpressured());
+        let sample = Sample {
+            graph,
+            latency_ms: metrics.latency_ms,
+            throughput: metrics.throughput,
+            meta,
+        };
+        if sample.latency_ms <= cfg.max_latency_ms {
+            return sample;
+        }
+        last = Some(sample);
+    }
+    last.expect("at least one attempt ran")
+}
+
+/// Generate `n` samples, cycling over the configured structures.
+/// Deterministic for a given `(cfg, n, seed)`; generation is chunked
+/// across threads when several cores are available (each chunk reseeds,
+/// so results do not depend on the thread count).
+pub fn generate_dataset(cfg: &GenConfig, n: usize, seed: u64) -> Dataset {
+    assert!(!cfg.structures.is_empty(), "no structures configured");
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(8)
+        .max(1);
+    let chunk = n.div_ceil(threads);
+    let mut samples: Vec<Option<Vec<Sample>>> = (0..threads).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (t, slot) in samples.iter_mut().enumerate() {
+            let start = t * chunk;
+            let count = chunk.min(n.saturating_sub(start));
+            scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+                let mut out = Vec::with_capacity(count);
+                for i in 0..count {
+                    let structure = cfg.structures[(start + i) % cfg.structures.len()];
+                    out.push(generate_sample(cfg, structure, &mut rng));
+                }
+                *slot = Some(out);
+            });
+        }
+    })
+    .expect("generation threads join");
+    Dataset::new(samples.into_iter().flat_map(|s| s.unwrap()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_with_cycling_structures() {
+        let cfg = GenConfig::seen();
+        let d = generate_dataset(&cfg, 12, 1);
+        assert_eq!(d.len(), 12);
+        let linear = d
+            .samples
+            .iter()
+            .filter(|s| s.meta.structure == "linear")
+            .count();
+        assert_eq!(linear, 4);
+    }
+
+    #[test]
+    fn labels_are_positive_and_finite() {
+        let d = generate_dataset(&GenConfig::seen(), 30, 2);
+        for s in &d.samples {
+            assert!(s.latency_ms > 0.0 && s.latency_ms.is_finite());
+            assert!(s.throughput > 0.0 && s.throughput.is_finite());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::seen();
+        let a = generate_dataset(&cfg, 10, 7);
+        let b = generate_dataset(&cfg, 10, 7);
+        for (x, y) in a.samples.iter().zip(b.samples.iter()) {
+            assert_eq!(x.latency_ms, y.latency_ms);
+            assert_eq!(x.throughput, y.throughput);
+        }
+    }
+
+    #[test]
+    fn split_partitions_dataset() {
+        let d = generate_dataset(&GenConfig::seen(), 30, 3);
+        let (train, test, val) = d.split(0.8, 0.1, 0);
+        assert_eq!(train.len() + test.len() + val.len(), 30);
+        assert_eq!(train.len(), 24);
+        assert_eq!(test.len(), 3);
+    }
+
+    #[test]
+    fn meta_reflects_configuration() {
+        let cfg = GenConfig::seen();
+        let d = generate_dataset(&cfg, 9, 4);
+        for s in &d.samples {
+            assert!(s.meta.seen_structure);
+            assert!(s.meta.cluster_seen);
+            assert!(s.meta.event_rate > 0.0);
+            assert!(s.meta.tuple_width >= 1);
+            assert!(zt_query::params::TRAIN_NUM_WORKERS.contains(&s.meta.num_workers));
+        }
+        let unseen = GenConfig::unseen_structures();
+        let d2 = generate_dataset(&unseen, 6, 4);
+        assert!(d2.samples.iter().all(|s| !s.meta.seen_structure));
+    }
+
+    #[test]
+    fn unseen_hardware_flagged() {
+        let cfg = GenConfig::seen().with_cluster_types(vec![ClusterType::C6420]);
+        let d = generate_dataset(&cfg, 5, 5);
+        assert!(d.samples.iter().all(|s| !s.meta.cluster_seen));
+    }
+
+    #[test]
+    fn optisample_parallelism_tracks_event_rate_but_random_does_not() {
+        // OptiSample provisions parallelism proportionally to the input
+        // rate (Definitions 7–8); random assignment has no such
+        // correlation. Compare the mean parallelism of the high-rate and
+        // low-rate halves of each dataset.
+        let n = 120;
+        let spread = |d: &Dataset| {
+            let mut by_rate: Vec<(f64, f64)> = d
+                .samples
+                .iter()
+                .map(|s| (s.meta.event_rate, s.meta.avg_parallelism))
+                .collect();
+            by_rate.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let half = by_rate.len() / 2;
+            let mean = |xs: &[(f64, f64)]| {
+                xs.iter().map(|x| x.1).sum::<f64>() / xs.len() as f64
+            };
+            mean(&by_rate[half..]) - mean(&by_rate[..half])
+        };
+        let opti = generate_dataset(
+            &GenConfig::seen().with_strategy(EnumerationStrategy::opti_sample()),
+            n,
+            6,
+        );
+        let random = generate_dataset(
+            &GenConfig::seen().with_strategy(EnumerationStrategy::random()),
+            n,
+            6,
+        );
+        let opti_spread = spread(&opti);
+        let random_spread = spread(&random);
+        assert!(
+            opti_spread > 2.0,
+            "OptiSample parallelism should grow with rate (spread {opti_spread})"
+        );
+        assert!(
+            opti_spread > random_spread,
+            "OptiSample spread {opti_spread} vs random {random_spread}"
+        );
+    }
+}

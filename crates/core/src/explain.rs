@@ -1,0 +1,152 @@
+//! Prediction attribution by feature-group occlusion.
+//!
+//! Complements the training-time ablation of Exp. 6 with an
+//! *inference-time* tool: for a single prediction, each transferable
+//! feature group (parallelism-, operator- and resource-related) is zeroed
+//! in turn and the prediction delta is measured. Large deltas identify
+//! which feature group drives a particular cost estimate — useful when
+//! debugging surprising what-if predictions.
+
+use crate::features::{OP_COMMON_DIM, RESOURCE_DIM};
+use crate::graph::{GraphEncoding, NodeKind};
+use crate::model::ZeroTuneModel;
+
+/// The attribution of one prediction to the three feature groups.
+#[derive(Clone, Debug)]
+pub struct Attribution {
+    /// Baseline prediction `(latency_ms, throughput)`.
+    pub prediction: (f64, f64),
+    /// |log-ratio| of the latency prediction when each group is occluded:
+    /// `[parallelism, operator, resource]`.
+    pub latency_impact: [f64; 3],
+    /// Same for throughput.
+    pub throughput_impact: [f64; 3],
+}
+
+impl Attribution {
+    /// Index of the group with the largest latency impact
+    /// (0 = parallelism, 1 = operator, 2 = resource).
+    pub fn dominant_latency_group(&self) -> usize {
+        self.latency_impact
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite impact"))
+            .map(|(i, _)| i)
+            .expect("three groups")
+    }
+
+    pub fn group_name(i: usize) -> &'static str {
+        ["parallelism", "operator", "resource"][i]
+    }
+}
+
+/// Occlude one feature group in a graph copy.
+fn occlude(graph: &GraphEncoding, group: usize) -> GraphEncoding {
+    let mut g = graph.clone();
+    for node in &mut g.nodes {
+        match (node.kind, group) {
+            // parallelism block: first 5 entries of the operator common
+            // block (degree + partitioning one-hot + grouping)
+            (k, 0) if k != NodeKind::Resource => {
+                for v in node.features.iter_mut().take(5) {
+                    *v = 0.0;
+                }
+            }
+            // operator/data block: the rest of the operator vector
+            (k, 1) if k != NodeKind::Resource => {
+                for v in node.features.iter_mut().skip(5) {
+                    *v = 0.0;
+                }
+            }
+            // resource features
+            (NodeKind::Resource, 2) => {
+                for v in node.features.iter_mut().take(RESOURCE_DIM) {
+                    *v = 0.0;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = OP_COMMON_DIM;
+    g
+}
+
+/// Attribute a prediction to the three transferable-feature groups.
+pub fn attribute(model: &ZeroTuneModel, graph: &GraphEncoding) -> Attribution {
+    let base = model.predict(graph);
+    let mut latency_impact = [0f64; 3];
+    let mut throughput_impact = [0f64; 3];
+    for group in 0..3 {
+        let (lat, tpt) = model.predict(&occlude(graph, group));
+        latency_impact[group] = (lat.max(1e-9) / base.0.max(1e-9)).ln().abs();
+        throughput_impact[group] = (tpt.max(1e-9) / base.1.max(1e-9)).ln().abs();
+    }
+    Attribution {
+        prediction: base,
+        latency_impact,
+        throughput_impact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_dataset, GenConfig};
+    use crate::model::ModelConfig;
+    use crate::train::{train, TrainConfig};
+
+    fn trained_model() -> (ZeroTuneModel, crate::dataset::Dataset) {
+        let data = generate_dataset(&GenConfig::seen(), 150, 81);
+        let mut model = ZeroTuneModel::new(ModelConfig {
+            hidden: 20,
+            seed: 81,
+        });
+        train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 8,
+                patience: 0,
+                ..TrainConfig::default()
+            },
+        );
+        (model, data)
+    }
+
+    #[test]
+    fn occlusion_changes_predictions() {
+        let (model, data) = trained_model();
+        let a = attribute(&model, &data.samples[0].graph);
+        assert!(a.prediction.0 > 0.0);
+        // at least one group matters for each metric
+        assert!(a.latency_impact.iter().any(|&v| v > 1e-4));
+        assert!(a.throughput_impact.iter().any(|&v| v > 1e-4));
+        let dom = a.dominant_latency_group();
+        assert!(dom < 3);
+        assert!(!Attribution::group_name(dom).is_empty());
+    }
+
+    #[test]
+    fn occlusion_preserves_graph_shape() {
+        let (_, data) = trained_model();
+        let g = &data.samples[0].graph;
+        for group in 0..3 {
+            let o = occlude(g, group);
+            assert_eq!(o.nodes.len(), g.nodes.len());
+            for (a, b) in o.nodes.iter().zip(g.nodes.iter()) {
+                assert_eq!(a.features.len(), b.features.len());
+            }
+        }
+    }
+
+    #[test]
+    fn impacts_are_finite_and_nonnegative() {
+        let (model, data) = trained_model();
+        for s in data.samples.iter().take(5) {
+            let a = attribute(&model, &s.graph);
+            for v in a.latency_impact.iter().chain(a.throughput_impact.iter()) {
+                assert!(v.is_finite() && *v >= 0.0);
+            }
+        }
+    }
+}

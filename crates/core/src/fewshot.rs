@@ -1,0 +1,150 @@
+//! Few-shot fine-tuning (Fig. 6 / Fig. 7d of the paper).
+//!
+//! For very complex unseen structures (4/5/6-way joins) the zero-shot
+//! prediction quality drops, especially for throughput. The paper shows
+//! that fine-tuning with as few as 500 examples of the complex structures
+//! recovers most of the accuracy. We fine-tune only the message-combine
+//! and read-out MLPs (the per-type encoders keep their transferable
+//! knowledge) at a reduced learning rate, and keep the original target
+//! normalization so predictions stay on the original scale.
+
+use crate::dataset::Dataset;
+use crate::model::ZeroTuneModel;
+use crate::train::{train, TrainConfig, TrainReport};
+
+/// Few-shot fine-tuning configuration.
+#[derive(Clone, Debug)]
+pub struct FewShotConfig {
+    pub epochs: usize,
+    pub lr: f32,
+    /// Fine-tune only the head (combine + read-out MLPs); encoders stay
+    /// frozen.
+    pub head_only: bool,
+    pub seed: u64,
+}
+
+impl Default for FewShotConfig {
+    fn default() -> Self {
+        FewShotConfig {
+            epochs: 15,
+            lr: 5e-4,
+            head_only: true,
+            seed: 0xF0CA,
+        }
+    }
+}
+
+/// Fine-tune a trained model on a small dataset of complex structures.
+pub fn fine_tune(model: &mut ZeroTuneModel, shots: &Dataset, cfg: &FewShotConfig) -> TrainReport {
+    let mask = cfg.head_only.then(|| model.head_param_ids());
+    let train_cfg = TrainConfig {
+        epochs: cfg.epochs,
+        lr: cfg.lr,
+        // Keep the zero-shot normalization: the few shots are not
+        // representative of the global label distribution.
+        refit_norm: false,
+        param_mask: mask,
+        val_fraction: 0.15,
+        patience: 5,
+        seed: cfg.seed,
+        ..TrainConfig::default()
+    };
+    train(model, shots, &train_cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_dataset, GenConfig};
+    use crate::model::{ModelConfig, ZeroTuneModel};
+    use crate::train::{evaluate, train, TrainConfig};
+    use zt_query::QueryStructure;
+
+    #[test]
+    fn few_shot_improves_complex_join_throughput() {
+        // Zero-shot training on seen structures…
+        let train_data = generate_dataset(&GenConfig::seen(), 200, 21);
+        let mut model = ZeroTuneModel::new(ModelConfig {
+            hidden: 24,
+            seed: 6,
+        });
+        train(
+            &mut model,
+            &train_data,
+            &TrainConfig {
+                epochs: 15,
+                patience: 0,
+                ..TrainConfig::default()
+            },
+        );
+
+        // …then evaluate on 6-way joins before and after fine-tuning.
+        let complex_cfg =
+            GenConfig::unseen_structures().with_structures(vec![QueryStructure::NWayJoin(6)]);
+        let shots = generate_dataset(&complex_cfg, 80, 22);
+        let test = generate_dataset(&complex_cfg, 50, 23);
+
+        let (_, tpt_before) = evaluate(&model, &test.samples);
+        fine_tune(&mut model, &shots, &FewShotConfig::default());
+        let (_, tpt_after) = evaluate(&model, &test.samples);
+
+        assert!(
+            tpt_after.median <= tpt_before.median * 1.05,
+            "few-shot made throughput q-error worse: {} -> {}",
+            tpt_before.median,
+            tpt_after.median
+        );
+    }
+
+    #[test]
+    fn head_only_fine_tune_keeps_encoders_frozen() {
+        let data = generate_dataset(&GenConfig::seen(), 40, 24);
+        let mut model = ZeroTuneModel::new(ModelConfig {
+            hidden: 16,
+            seed: 7,
+        });
+        model.norm = crate::model::TargetNorm::fit(data.labels());
+        let head = model.head_param_ids();
+        let frozen: Vec<_> = model
+            .store
+            .ids()
+            .filter(|id| !head.contains(id))
+            .collect();
+        let before: Vec<_> = frozen
+            .iter()
+            .map(|&id| model.store.value(id).clone())
+            .collect();
+        fine_tune(
+            &mut model,
+            &data,
+            &FewShotConfig {
+                epochs: 3,
+                ..FewShotConfig::default()
+            },
+        );
+        for (id, b) in frozen.iter().zip(before.iter()) {
+            assert_eq!(model.store.value(*id), b, "encoder weights moved");
+        }
+    }
+
+    #[test]
+    fn fine_tune_preserves_normalization() {
+        let data = generate_dataset(&GenConfig::seen(), 30, 25);
+        let mut model = ZeroTuneModel::new(ModelConfig {
+            hidden: 16,
+            seed: 8,
+        });
+        model.norm = crate::model::TargetNorm::fit(data.labels());
+        let norm_before = model.norm;
+        fine_tune(
+            &mut model,
+            &data,
+            &FewShotConfig {
+                epochs: 2,
+                ..FewShotConfig::default()
+            },
+        );
+        assert_eq!(norm_before.mean, model.norm.mean);
+        assert_eq!(norm_before.std, model.norm.std);
+    }
+}

@@ -1,0 +1,51 @@
+//! # zt-core — the ZeroTune zero-shot cost model
+//!
+//! This crate implements the paper's contribution on top of the
+//! [`zt_query`] algebra, the [`zt_dspsim`] substrate and the [`zt_nn`]
+//! autodiff stack:
+//!
+//! * [`features`] — the *transferable featurization* of Table I: every
+//!   logical operator and physical resource is described by features that
+//!   keep their semantic meaning across workloads (parallelism degree,
+//!   partitioning strategy, grouping number, tuple width/types,
+//!   selectivity, event rate, window/aggregation/join/filter parameters,
+//!   CPU cores/frequency, memory, link speed), plus the ablation masks of
+//!   Exp. 6.
+//! * [`graph`] — the *parallel graph representation* (Section III-C2):
+//!   one node per distinct operator (parallel instances are aggregated,
+//!   design option (2) of the paper) plus one node per worker, with
+//!   data-flow, physical and operator-resource-mapping edges.
+//! * [`model`] — the zero-shot GNN: per-node-type MLP encoders, three
+//!   message-passing phases, and a read-out MLP on the sink predicting
+//!   log-latency and log-throughput.
+//! * [`optisample`] — the **OptiSample** enumeration strategy
+//!   (Algorithm 1, Definitions 3–8) and the random baseline strategy.
+//! * [`dataset`] — labeled training-data generation against the
+//!   simulator.
+//! * [`train`] — the supervised trainer (Adam, mini-batches, gradient
+//!   clipping, early stopping) and evaluation helpers.
+//! * [`qerror`] — the q-error metric used throughout the evaluation.
+//! * [`optimizer`] — the parallelism-tuning optimizer minimizing the
+//!   weighted cost objective of Eq. 1.
+//! * [`fewshot`] — few-shot fine-tuning for complex unseen structures
+//!   (Fig. 6 / Fig. 7d).
+
+pub mod dataset;
+pub mod explain;
+pub mod features;
+pub mod fewshot;
+pub mod graph;
+pub mod model;
+pub mod optimizer;
+pub mod optisample;
+pub mod qerror;
+pub mod train;
+
+pub use dataset::{generate_dataset, Dataset, GenConfig, Sample, SampleMeta};
+pub use features::FeatureMask;
+pub use graph::{encode, GraphEncoding, GraphNode, NodeKind};
+pub use model::{ModelConfig, TargetNorm, ZeroTuneModel};
+pub use optimizer::{tune, OptimizerConfig, TuningOutcome};
+pub use optisample::{EnumerationStrategy, OptiSampleConfig, RandomConfig};
+pub use qerror::{q_error, QErrorStats};
+pub use train::{evaluate, train, TrainConfig, TrainReport};

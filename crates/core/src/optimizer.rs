@@ -1,0 +1,346 @@
+//! Parallelism tuning with what-if cost predictions (Section III-C3).
+//!
+//! The optimizer enumerates candidate parallelism configurations, asks the
+//! cost model for what-if latency/throughput of each, normalizes both
+//! costs to `[0, 1]` over the candidate set (throughput negated, because
+//! it is maximized) and picks the configuration minimizing the weighted
+//! objective of Eq. 1:
+//!
+//! ```text
+//! C = argmin [ wt · C_L + (1 − wt) · C_T ]
+//! s.t. P_i ∈ ℤ, P_i ≥ 1, max P ≤ n_core
+//! ```
+//!
+//! Candidates combine (a) OptiSample-derived configurations over a grid of
+//! scaling factors (rate-proportional provisioning at different
+//! aggressiveness), (b) uniform degrees, and (c) random perturbations for
+//! exploration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zt_dspsim::cluster::Cluster;
+use zt_dspsim::ChainingMode;
+use zt_query::{LogicalPlan, ParallelQueryPlan};
+
+use crate::features::FeatureMask;
+use crate::graph::encode;
+use crate::model::ZeroTuneModel;
+use crate::optisample::estimate_input_rates;
+
+/// Optimizer configuration.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Weight of the latency cost in Eq. 1 (`1 − wt` weights throughput).
+    pub wt: f64,
+    /// Number of OptiSample scaling factors to probe (log-spaced).
+    pub sf_grid: usize,
+    /// Number of random perturbation candidates.
+    pub random_candidates: usize,
+    /// Hard cap on any parallelism degree.
+    pub max_parallelism: u32,
+    pub chaining: ChainingMode,
+    pub mask: FeatureMask,
+    pub seed: u64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            wt: 0.5,
+            sf_grid: 14,
+            random_candidates: 12,
+            max_parallelism: 128,
+            chaining: ChainingMode::Auto,
+            mask: FeatureMask::all(),
+            seed: 0x0471,
+        }
+    }
+}
+
+/// Result of a tuning run.
+#[derive(Clone, Debug)]
+pub struct TuningOutcome {
+    /// Chosen parallelism degree per operator.
+    pub parallelism: Vec<u32>,
+    pub predicted_latency_ms: f64,
+    pub predicted_throughput: f64,
+    /// Weighted cost (Eq. 1) of the chosen candidate.
+    pub weighted_cost: f64,
+    pub candidates_evaluated: usize,
+}
+
+/// Enumerate candidate parallelism vectors for `plan` on `cluster`.
+pub fn enumerate_candidates(
+    plan: &LogicalPlan,
+    cluster: &Cluster,
+    cfg: &OptimizerConfig,
+    rng: &mut StdRng,
+) -> Vec<Vec<u32>> {
+    let cap = cfg.max_parallelism.min(cluster.total_cores()).max(1);
+    let n = plan.num_ops();
+    let mut candidates: Vec<Vec<u32>> = Vec::new();
+
+    // (a) rate-proportional candidates over a scaling-factor grid.
+    let rates = estimate_input_rates(plan, 0.0, rng);
+    let max_rate = rates.iter().copied().fold(1.0f64, f64::max);
+    // sf range chosen so the hottest operator sweeps 1..=cap instances.
+    let sf_lo = 1.0 / max_rate;
+    let sf_hi = cap as f64 / max_rate;
+    for k in 0..cfg.sf_grid.max(2) {
+        let t = k as f64 / (cfg.sf_grid.max(2) - 1) as f64;
+        let sf = sf_lo * (sf_hi / sf_lo).powf(t);
+        candidates.push(
+            (0..n)
+                .map(|i| ((sf * rates[i]).ceil() as i64).clamp(1, cap as i64) as u32)
+                .collect(),
+        );
+    }
+
+    // (b) uniform candidates.
+    let mut p = 1u32;
+    while p <= cap {
+        candidates.push(vec![p; n]);
+        p *= 2;
+    }
+
+    // (c) random perturbations of the rate-proportional shape.
+    for _ in 0..cfg.random_candidates {
+        let jitter: Vec<u32> = (0..n)
+            .map(|i| {
+                let base = (sf_hi * rates[i] * rng.gen_range(0.05..1.0)).ceil() as i64;
+                base.clamp(1, cap as i64) as u32
+            })
+            .collect();
+        candidates.push(jitter);
+    }
+
+    candidates.sort();
+    candidates.dedup();
+    candidates
+}
+
+/// Normalized weighted cost of Eq. 1 for a candidate given the min/max
+/// envelope over all candidates.
+fn weighted_cost(
+    wt: f64,
+    lat: f64,
+    tpt: f64,
+    lat_range: (f64, f64),
+    tpt_range: (f64, f64),
+) -> f64 {
+    // Normalization happens on the log scale (costs span decades) and a
+    // metric only participates when it varies *meaningfully* over the
+    // candidate set: throughput of a never-backpressured query is flat up
+    // to prediction noise, and min-max normalization would blow that
+    // noise up to the full [0, 1] range and let it dominate Eq. 1.
+    const INDIFFERENCE_RATIO: f64 = 1.25;
+    let log_norm = |v: f64, (lo, hi): (f64, f64)| -> f64 {
+        let lo = lo.max(1e-12);
+        let hi = hi.max(1e-12);
+        if hi / lo <= INDIFFERENCE_RATIO {
+            return 0.0;
+        }
+        ((v.max(1e-12) / lo).ln() / (hi / lo).ln()).clamp(0.0, 1.0)
+    };
+    let c_l = log_norm(lat, lat_range);
+    // Throughput is negated: higher throughput → lower cost. An
+    // indifferent throughput contributes 0 (not 1).
+    let c_t = {
+        let lo = tpt_range.0.max(1e-12);
+        let hi = tpt_range.1.max(1e-12);
+        if hi / lo <= INDIFFERENCE_RATIO {
+            0.0
+        } else {
+            1.0 - log_norm(tpt, tpt_range)
+        }
+    };
+    wt * c_l + (1.0 - wt) * c_t
+}
+
+/// Tune the parallelism of `plan` on `cluster` using `model`'s what-if
+/// predictions.
+pub fn tune(
+    model: &ZeroTuneModel,
+    plan: &LogicalPlan,
+    cluster: &Cluster,
+    cfg: &OptimizerConfig,
+) -> TuningOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let candidates = enumerate_candidates(plan, cluster, cfg, &mut rng);
+    assert!(!candidates.is_empty());
+
+    // What-if prediction per candidate.
+    let mut predictions = Vec::with_capacity(candidates.len());
+    for cand in &candidates {
+        let pqp = ParallelQueryPlan::with_parallelism(plan.clone(), cand.clone());
+        let graph = encode(&pqp, cluster, cfg.chaining, &cfg.mask);
+        predictions.push(model.predict(&graph));
+    }
+
+    let lat_range = predictions
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
+            (acc.0.min(p.0), acc.1.max(p.0))
+        });
+    let tpt_range = predictions
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
+            (acc.0.min(p.1), acc.1.max(p.1))
+        });
+
+    let mut best = 0usize;
+    let mut best_cost = f64::INFINITY;
+    for (i, &(lat, tpt)) in predictions.iter().enumerate() {
+        let c = weighted_cost(cfg.wt, lat, tpt, lat_range, tpt_range);
+        if c < best_cost {
+            best_cost = c;
+            best = i;
+        }
+    }
+
+    TuningOutcome {
+        parallelism: candidates[best].clone(),
+        predicted_latency_ms: predictions[best].0,
+        predicted_throughput: predictions[best].1,
+        weighted_cost: best_cost,
+        candidates_evaluated: candidates.len(),
+    }
+}
+
+/// Weighted cost of *measured* metrics against reference envelopes —
+/// used by the experiments to compare tuners on equal footing (Fig. 10b).
+pub fn measured_weighted_cost(
+    wt: f64,
+    latency_ms: f64,
+    throughput: f64,
+    lat_range: (f64, f64),
+    tpt_range: (f64, f64),
+) -> f64 {
+    weighted_cost(wt, latency_ms, throughput, lat_range, tpt_range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_dataset, GenConfig};
+    use crate::model::{ModelConfig, ZeroTuneModel};
+    use crate::train::{train, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zt_dspsim::cluster::ClusterType;
+    use zt_query::{QueryGenerator, QueryStructure};
+
+    fn cluster() -> Cluster {
+        Cluster::homogeneous(ClusterType::M510, 4, 10.0)
+    }
+
+    #[test]
+    fn candidates_respect_constraints() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = QueryGenerator::seen().generate(QueryStructure::TwoWayJoin, &mut rng);
+        let cfg = OptimizerConfig::default();
+        let cluster = cluster();
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let cands = enumerate_candidates(&plan, &cluster, &cfg, &mut rng2);
+        assert!(cands.len() >= 10);
+        for c in &cands {
+            assert_eq!(c.len(), plan.num_ops());
+            assert!(c.iter().all(|&p| p >= 1 && p <= cluster.total_cores()));
+        }
+        // dedup really happened
+        let mut sorted = cands.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cands.len());
+    }
+
+    #[test]
+    fn weighted_cost_prefers_low_latency_high_throughput() {
+        let lat_range = (10.0, 100.0);
+        let tpt_range = (1_000.0, 10_000.0);
+        let good = weighted_cost(0.5, 10.0, 10_000.0, lat_range, tpt_range);
+        let bad = weighted_cost(0.5, 100.0, 1_000.0, lat_range, tpt_range);
+        assert!(good < bad);
+        assert_eq!(good, 0.0);
+        assert_eq!(bad, 1.0);
+    }
+
+    #[test]
+    fn wt_extremes_favor_the_right_metric() {
+        let lat_range = (10.0, 100.0);
+        let tpt_range = (1_000.0, 10_000.0);
+        // candidate A: lowest latency but lowest throughput
+        let a = |wt: f64| weighted_cost(wt, 10.0, 1_000.0, lat_range, tpt_range);
+        // candidate B: highest latency but highest throughput
+        let b = |wt: f64| weighted_cost(wt, 100.0, 10_000.0, lat_range, tpt_range);
+        assert!(a(1.0) < b(1.0), "wt=1 must pick the low-latency plan");
+        assert!(b(0.0) < a(0.0), "wt=0 must pick the high-throughput plan");
+    }
+
+    #[test]
+    fn tuned_plan_beats_minimal_parallelism_on_simulator() {
+        // Train a small model, tune a query, and verify the chosen
+        // configuration really is better than the trivial P=1 deployment
+        // when executed on the simulator.
+        let data = generate_dataset(&GenConfig::seen(), 250, 31);
+        let mut model = ZeroTuneModel::new(ModelConfig {
+            hidden: 24,
+            seed: 9,
+        });
+        train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 20,
+                patience: 0,
+                ..TrainConfig::default()
+            },
+        );
+
+        let mut rng = StdRng::seed_from_u64(33);
+        // a high-rate linear query that needs parallelism
+        let ranges = zt_query::ParamRanges::seen();
+        let mut plan = None;
+        for _ in 0..50 {
+            let p = QueryGenerator::new(ranges.clone())
+                .generate(QueryStructure::Linear, &mut rng);
+            let rate = p
+                .ops()
+                .iter()
+                .find_map(|o| match &o.kind {
+                    zt_query::OperatorKind::Source(s) => Some(s.event_rate),
+                    _ => None,
+                })
+                .unwrap();
+            if rate >= 250_000.0 {
+                plan = Some(p);
+                break;
+            }
+        }
+        let plan = plan.expect("found a high-rate query");
+        let cluster = cluster();
+
+        let outcome = tune(&model, &plan, &cluster, &OptimizerConfig::default());
+        assert!(outcome.candidates_evaluated > 10);
+
+        let sim_cfg = zt_dspsim::analytical::SimConfig::noiseless();
+        let mut sim_rng = StdRng::seed_from_u64(1);
+        let tuned = zt_dspsim::simulate(
+            &ParallelQueryPlan::with_parallelism(plan.clone(), outcome.parallelism.clone()),
+            &cluster,
+            &sim_cfg,
+            &mut sim_rng,
+        );
+        let trivial = zt_dspsim::simulate(
+            &ParallelQueryPlan::with_parallelism(plan.clone(), vec![1; plan.num_ops()]),
+            &cluster,
+            &sim_cfg,
+            &mut sim_rng,
+        );
+        assert!(
+            tuned.throughput >= trivial.throughput,
+            "tuned {} < trivial {}",
+            tuned.throughput,
+            trivial.throughput
+        );
+    }
+}

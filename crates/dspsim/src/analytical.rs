@@ -1,0 +1,686 @@
+//! Steady-state analytical performance model.
+//!
+//! Given a [`ParallelQueryPlan`] deployed on a [`Cluster`], the solver
+//! computes the two cost metrics of the paper (Definitions 1 and 2):
+//!
+//! * **End-to-end latency** — the longest source→sink path through the
+//!   plan, where each operator contributes M/M/1-style sojourn time
+//!   (service inflated by `1/(1−ρ)`), windowed operators add the expected
+//!   residence until their window fires, and each non-chained exchange adds
+//!   serialization plus (for off-node traffic) network transfer. Constant
+//!   `L_in`/`L_out` terms model reading from / writing to external systems.
+//! * **Throughput** — the sustained ingestion rate. If any operator
+//!   instance or worker node would exceed the utilization target, the
+//!   sources are throttled (backpressure) until the bottleneck sits at the
+//!   target; throughput is the throttled total source rate.
+//!
+//! The solver runs a small fixed-point iteration because join service
+//! times depend on window contents, which depend on the (possibly
+//! throttled) rates.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use zt_query::{OpId, OperatorKind, ParallelQueryPlan, Partitioning, TupleSchema};
+
+use crate::cluster::Cluster;
+use crate::costmodel::CostModel;
+use crate::noise::NoiseConfig;
+use crate::placement::{place, ChainingMode, Deployment, EdgeExchange};
+
+/// Configuration of the analytical simulator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    pub cost: CostModel,
+    pub chaining: ChainingMode,
+    /// Backpressure throttles sources so the hottest resource sits at this
+    /// utilization (Flink's credit-based flow control keeps pipelines just
+    /// below saturation).
+    pub utilization_target: f64,
+    pub noise: NoiseConfig,
+    /// Constant external input+output latency (`L_in + L_out` of
+    /// Definition 1), ms.
+    pub external_io_ms: f64,
+    /// Event-time ingestion penalty under backpressure. Definition 1
+    /// measures latency from the *production* of a tuple; when the offered
+    /// rate exceeds capacity, events queue up in front of the sources, so
+    /// the measured latency grows with the excess ratio over the
+    /// measurement window. This constant is half a typical measurement
+    /// window (ms).
+    pub backpressure_ingest_ms: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cost: CostModel::default(),
+            chaining: ChainingMode::Auto,
+            utilization_target: 0.95,
+            noise: NoiseConfig::default(),
+            external_io_ms: 1.0,
+            backpressure_ingest_ms: 5_000.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Deterministic configuration without measurement noise.
+    pub fn noiseless() -> Self {
+        SimConfig {
+            noise: NoiseConfig::none(),
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Per-operator solver output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OpMetrics {
+    /// Total tuples/s arriving at the operator (after backpressure).
+    pub input_rate: f64,
+    /// Total tuples/s emitted.
+    pub output_rate: f64,
+    /// Per-tuple work of one instance, µs (including exchange work).
+    pub work_us: f64,
+    /// Utilization of the hottest instance.
+    pub utilization: f64,
+    /// M/M/1 sojourn contribution, ms.
+    pub sojourn_ms: f64,
+    /// Expected window residence, ms (0 for unwindowed operators).
+    pub residence_ms: f64,
+}
+
+/// The solver's result for one deployment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QueryMetrics {
+    /// End-to-end latency (Definition 1), ms.
+    pub latency_ms: f64,
+    /// Sustained throughput (Definition 2), tuples/s.
+    pub throughput: f64,
+    /// Total offered source rate, tuples/s.
+    pub offered_rate: f64,
+    /// Source throttle factor ∈ (0, 1]; < 1 means backpressure.
+    pub backpressure_scale: f64,
+    /// Bottleneck utilization at the *offered* rate (may exceed 1).
+    pub bottleneck_utilization: f64,
+    pub per_op: Vec<OpMetrics>,
+    pub deployment: Deployment,
+}
+
+impl QueryMetrics {
+    pub fn backpressured(&self) -> bool {
+        self.backpressure_scale < 1.0
+    }
+}
+
+struct Rates {
+    /// Total input rate per operator.
+    input: Vec<f64>,
+    /// Total output rate per operator.
+    output: Vec<f64>,
+    /// Rate flowing over each plan edge.
+    edge: Vec<f64>,
+}
+
+/// Propagate rates through the plan at a given source throttle factor.
+fn propagate(pqp: &ParallelQueryPlan, scale: f64) -> Rates {
+    let plan = &pqp.plan;
+    let n = plan.num_ops();
+    let mut input = vec![0f64; n];
+    let mut output = vec![0f64; n];
+    let order = plan.topo_order().expect("validated plan");
+    for id in order {
+        let i = id.idx();
+        let p = pqp.parallelism_of(id).max(1) as f64;
+        let up = plan.upstream(id);
+        let in_rate: f64 = up.iter().map(|u| output[u.idx()]).sum();
+        match &plan.op(id).kind {
+            OperatorKind::Source(s) => {
+                input[i] = s.event_rate * scale;
+                output[i] = input[i];
+            }
+            OperatorKind::Filter(f) => {
+                input[i] = in_rate;
+                output[i] = in_rate * f.selectivity;
+            }
+            OperatorKind::Aggregate(a) => {
+                input[i] = in_rate;
+                // `sel × |W|` groups fire every emission period; amortized
+                // this is `in × sel × overlap` results/s (see Def. 6).
+                output[i] = in_rate * a.selectivity * a.window.overlap_factor();
+            }
+            OperatorKind::Join(j) => {
+                let in_l = up.first().map(|u| output[u.idx()]).unwrap_or(0.0);
+                let in_r = up.get(1).map(|u| output[u.idx()]).unwrap_or(0.0);
+                input[i] = in_l + in_r;
+                // Stream-join output: every arriving tuple matches
+                // `sel × |W_other|` partners (Def. 5). Window contents are
+                // per instance (hash co-partitioning).
+                let wl = j.window.tuples_per_window(in_l / p);
+                let wr = j.window.tuples_per_window(in_r / p);
+                output[i] = j.selectivity * (in_l * wr + in_r * wl);
+            }
+            OperatorKind::Sink(_) => {
+                input[i] = in_rate;
+                output[i] = in_rate;
+            }
+        }
+    }
+    let edge = plan
+        .edges()
+        .iter()
+        .map(|&(u, _)| output[u.idx()])
+        .collect();
+    Rates {
+        input,
+        output,
+        edge,
+    }
+}
+
+/// Expected tuples in the *opposite* window of one join instance, averaged
+/// over arrival sides; 0 for non-joins.
+fn join_other_window(pqp: &ParallelQueryPlan, rates: &Rates, id: OpId) -> f64 {
+    let plan = &pqp.plan;
+    if let OperatorKind::Join(j) = &plan.op(id).kind {
+        let p = pqp.parallelism_of(id).max(1) as f64;
+        let up = plan.upstream(id);
+        let in_l = up.first().map(|u| rates.output[u.idx()]).unwrap_or(0.0);
+        let in_r = up.get(1).map(|u| rates.output[u.idx()]).unwrap_or(0.0);
+        let wl = j.window.tuples_per_window(in_l / p);
+        let wr = j.window.tuples_per_window(in_r / p);
+        let total = (in_l + in_r).max(1e-9);
+        (in_l * wr + in_r * wl) / total
+    } else {
+        0.0
+    }
+}
+
+struct WorkProfile {
+    hottest_util: Vec<f64>, // [op] utilization of the hottest instance
+    node_util: Vec<f64>,    // [node] demand / cores
+    work_us: Vec<f64>,      // [op] mean per-tuple work µs at 1 GHz
+}
+
+/// Compute per-instance and per-node utilization for given rates.
+fn work_profile(
+    pqp: &ParallelQueryPlan,
+    cluster: &Cluster,
+    dep: &Deployment,
+    cm: &CostModel,
+    rates: &Rates,
+    in_schemas: &[TupleSchema],
+    out_schemas: &[TupleSchema],
+) -> WorkProfile {
+    let plan = &pqp.plan;
+    let n = plan.num_ops();
+    let mut hottest = vec![0f64; n];
+    let mut node_util = vec![0f64; cluster.num_workers()];
+    let mut work_us = vec![0f64; n];
+
+    for op in plan.ops() {
+        let id = op.id;
+        let i = id.idx();
+        let p = pqp.parallelism_of(id).max(1) as f64;
+        let nodes = dep.instance_nodes(id);
+        let other_w = join_other_window(pqp, rates, id);
+        // Skew: hash-partitioned input concentrates load on the hottest
+        // instance.
+        let skew = if pqp.input_partitioning(id) == Partitioning::Hash {
+            cm.hash_skew
+        } else {
+            1.0
+        };
+
+        // Per-tuple exchange work (serialization both directions, hash
+        // routing), in µs at 1 GHz, per *input* tuple and *output* tuple.
+        let mut deser_us = 0.0;
+        let mut deser_rate = 0.0;
+        let mut ser_us_total = 0.0;
+        for (e, &(u, d)) in plan.edges().iter().enumerate() {
+            if dep.edge_exchange[e].is_chained() {
+                continue;
+            }
+            let schema = &out_schemas[u.idx()];
+            if d == id {
+                deser_us += cm.serialization_us(schema) * rates.edge[e];
+                deser_rate += rates.edge[e];
+            }
+            if u == id {
+                let mut s = cm.serialization_us(schema);
+                if pqp.partitioning[e] == Partitioning::Hash {
+                    s += cm.hash_route_us;
+                }
+                ser_us_total += s * rates.edge[e];
+            }
+        }
+        let _ = deser_rate;
+
+        let srv_us = cm.service_us(
+            &op.kind,
+            &in_schemas[i],
+            &out_schemas[i],
+            rates.input[i] / p,
+            other_w,
+        );
+
+        // Work per second of one instance at 1 GHz, µs/s.
+        let inst_work_per_s = (rates.input[i] * srv_us + deser_us + ser_us_total) / p;
+
+        work_us[i] = if rates.input[i] > 0.0 {
+            inst_work_per_s * p / rates.input[i]
+        } else {
+            srv_us
+        };
+
+        let mut utils = Vec::with_capacity(nodes.len());
+        for &node in nodes {
+            let ghz = cluster.nodes[node].cpu_ghz;
+            let u = inst_work_per_s / ghz * 1e-6; // fraction of one core
+            utils.push(u);
+            node_util[node] += u;
+        }
+        let max_u = utils.iter().copied().fold(0.0f64, f64::max);
+        hottest[i] = max_u * skew;
+    }
+
+    // Normalize node utilization by core count.
+    for (n_idx, spec) in cluster.nodes.iter().enumerate() {
+        node_util[n_idx] /= spec.cores.max(1) as f64;
+    }
+
+    WorkProfile {
+        hottest_util: hottest,
+        node_util,
+        work_us,
+    }
+}
+
+/// Run the analytical model. `rng` drives the measurement noise; pass a
+/// seeded RNG for reproducible labels.
+pub fn simulate<R: Rng + ?Sized>(
+    pqp: &ParallelQueryPlan,
+    cluster: &Cluster,
+    cfg: &SimConfig,
+    rng: &mut R,
+) -> QueryMetrics {
+    debug_assert!(pqp.validate().is_ok(), "simulate() requires a valid PQP");
+    let plan = &pqp.plan;
+    let dep = place(pqp, cluster, cfg.chaining);
+    let in_schemas = plan.input_schemas();
+    let out_schemas = plan.output_schemas();
+    let cm = &cfg.cost;
+
+    let offered: f64 = plan
+        .sources()
+        .iter()
+        .map(|&s| match &plan.op(s).kind {
+            OperatorKind::Source(src) => src.event_rate,
+            _ => 0.0,
+        })
+        .sum();
+
+    // --- Backpressure fixed point -----------------------------------
+    let mut scale = 1.0f64;
+    let mut bottleneck_at_offered = 0.0f64;
+    let mut rates = propagate(pqp, scale);
+    let mut profile = work_profile(pqp, cluster, &dep, cm, &rates, &in_schemas, &out_schemas);
+    for iter in 0..6 {
+        let u_inst = profile
+            .hottest_util
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        let u_node = profile.node_util.iter().copied().fold(0.0f64, f64::max);
+        let u = u_inst.max(u_node);
+        if iter == 0 {
+            bottleneck_at_offered = u;
+        }
+        if u > cfg.utilization_target {
+            scale *= cfg.utilization_target / u;
+            rates = propagate(pqp, scale);
+            profile = work_profile(pqp, cluster, &dep, cm, &rates, &in_schemas, &out_schemas);
+        } else {
+            break;
+        }
+    }
+
+    // --- Network congestion ------------------------------------------
+    let mut remote_bytes_per_s = 0.0f64;
+    for (e, &(u, _)) in plan.edges().iter().enumerate() {
+        let remote_frac = 1.0 - dep.edge_exchange[e].local_fraction();
+        remote_bytes_per_s += rates.edge[e] * out_schemas[u.idx()].bytes() as f64 * remote_frac;
+    }
+    let agg_link_bytes: f64 = cluster
+        .nodes
+        .iter()
+        .map(|n| n.network_gbps * 1e9 / 8.0)
+        .sum();
+    let net_util = (remote_bytes_per_s / agg_link_bytes.max(1.0)).min(0.95);
+    let net_congestion = 1.0 / (1.0 - net_util);
+
+    // --- Per-operator latency contributions --------------------------
+    let n = plan.num_ops();
+    let mut per_op = Vec::with_capacity(n);
+    for op in plan.ops() {
+        let i = op.id.idx();
+        let p = pqp.parallelism_of(op.id).max(1) as f64;
+        let rho = profile.hottest_util[i].min(0.98);
+        // Oversubscribed nodes stretch service times (processor sharing).
+        let stretch = dep
+            .instance_nodes(op.id)
+            .iter()
+            .map(|&nd| profile.node_util[nd].max(1.0))
+            .fold(1.0f64, f64::max);
+        let work_ms = profile.work_us[i] * 1e-3 * stretch
+            / cluster
+                .nodes
+                .get(dep.instance_nodes(op.id)[0])
+                .map(|nsp| nsp.cpu_ghz)
+                .unwrap_or(1.0);
+        // Queueing acts on processing batches (network buffers), not on
+        // single tuples: a batch only fills as fast as tuples arrive, and
+        // is handed over after the flush timeout at the latest.
+        let inst_rate = rates.input[i] / p;
+        let batch = cm
+            .batch_tuples
+            .min(inst_rate * cm.buffer_timeout_ms * 1e-3 + 1.0);
+        let sojourn_ms = work_ms * batch / (1.0 - rho);
+        let residence_ms = match op.kind.window() {
+            Some(w) => w.emission_period_secs(rates.input[i] / p) / 2.0 * 1e3,
+            None => 0.0,
+        };
+        per_op.push(OpMetrics {
+            input_rate: rates.input[i],
+            output_rate: rates.output[i],
+            work_us: profile.work_us[i],
+            utilization: profile.hottest_util[i],
+            sojourn_ms,
+            residence_ms,
+        });
+    }
+
+    // --- Edge latency contributions ----------------------------------
+    let backpressured = scale < 1.0;
+    let mut edge_ms = vec![0f64; plan.edges().len()];
+    for (e, &(u, d)) in plan.edges().iter().enumerate() {
+        edge_ms[e] = match dep.edge_exchange[e] {
+            EdgeExchange::Chained => 0.002,
+            EdgeExchange::Exchange { local_fraction } => {
+                let schema = &out_schemas[u.idx()];
+                let ghz = cluster.mean_ghz().max(0.1);
+                let serde_ms = 2.0 * cm.serialization_us(schema) / ghz * 1e-3;
+                let remote = 1.0 - local_fraction;
+                let link = cluster.nodes[0].network_gbps;
+                let net_ms = remote * (cm.net_hop_ms + cm.wire_ms(schema, link)) * net_congestion;
+                // Buffer batching: tuples wait until their buffer fills or
+                // the flush timeout expires. The edge rate is spread over
+                // p_u × p_d channels (hash/rebalance) or p channels
+                // (forward).
+                let pu = pqp.parallelism_of(u).max(1) as f64;
+                let pd = pqp.parallelism_of(d).max(1) as f64;
+                let channels = match pqp.partitioning[e] {
+                    Partitioning::Forward => pu,
+                    Partitioning::Rebalance | Partitioning::Hash => pu * pd,
+                };
+                let channel_rate = (rates.edge[e] / channels).max(1e-9);
+                let fill_ms = cm.batch_tuples / channel_rate * 1e3;
+                let mut buffer_ms = fill_ms.min(cm.buffer_timeout_ms);
+                if backpressured {
+                    // Credit-based flow control: in-flight buffers sit
+                    // full and drain at the (throttled) channel rate.
+                    buffer_ms += (cm.inflight_buffers * fill_ms).min(250.0);
+                }
+                serde_ms + net_ms + buffer_ms + 0.01
+            }
+        };
+    }
+
+    // --- Longest path (joins wait for the slower input) --------------
+    let order = plan.topo_order().expect("validated plan");
+    let mut path_ms = vec![0f64; n];
+    for id in order {
+        let i = id.idx();
+        let own = per_op[i].sojourn_ms + per_op[i].residence_ms;
+        let mut best_in = 0.0f64;
+        for (e, &(up, d)) in plan.edges().iter().enumerate() {
+            if d == id {
+                best_in = best_in.max(path_ms[up.idx()] + edge_ms[e]);
+            }
+        }
+        path_ms[i] = best_in + own;
+    }
+    let sink = plan.sink();
+    let mut latency_ms = path_ms[sink.idx()] + cfg.external_io_ms;
+    // Event-time queueing in front of the sources when the offered rate
+    // exceeds the sustainable rate (see SimConfig::backpressure_ingest_ms).
+    if scale < 1.0 {
+        latency_ms += cfg.backpressure_ingest_ms * (1.0 / scale - 1.0);
+    }
+    let mut throughput = offered * scale;
+
+    // --- Measurement noise --------------------------------------------
+    latency_ms *= cfg.noise.latency_factor(rng);
+    throughput *= cfg.noise.throughput_factor(rng);
+
+    QueryMetrics {
+        latency_ms,
+        throughput,
+        offered_rate: offered,
+        backpressure_scale: scale,
+        bottleneck_utilization: bottleneck_at_offered,
+        per_op,
+        deployment: dep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zt_query::operators::SinkOp;
+    use zt_query::{
+        AggFunction, AggregateOp, DataType, FilterFunction, FilterOp, JoinOp, LogicalPlan,
+        SourceOp, WindowPolicy, WindowSpec,
+    };
+
+    fn linear_plan(rate: f64, sel: f64) -> LogicalPlan {
+        let mut plan = LogicalPlan::new("linear");
+        let s = plan.add(OperatorKind::Source(SourceOp {
+            event_rate: rate,
+            schema: TupleSchema::uniform(DataType::Double, 3),
+        }));
+        let f = plan.add(OperatorKind::Filter(FilterOp {
+            function: FilterFunction::Gt,
+            literal_class: DataType::Double,
+            selectivity: sel,
+        }));
+        let a = plan.add(OperatorKind::Aggregate(AggregateOp {
+            window: WindowSpec::tumbling(WindowPolicy::Count, 50.0),
+            function: AggFunction::Avg,
+            agg_class: DataType::Double,
+            key_class: Some(DataType::Int),
+            selectivity: 0.2,
+        }));
+        let k = plan.add(OperatorKind::Sink(SinkOp));
+        plan.connect(s, f);
+        plan.connect(f, a);
+        plan.connect(a, k);
+        plan
+    }
+
+    fn pqp(rate: f64, p: u32) -> ParallelQueryPlan {
+        ParallelQueryPlan::with_parallelism(linear_plan(rate, 0.5), vec![p, p, p, p])
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::homogeneous(ClusterType::M510, 4, 10.0)
+    }
+
+    #[test]
+    fn rates_propagate_with_selectivity() {
+        let plan = ParallelQueryPlan::new(linear_plan(1000.0, 0.5));
+        let r = propagate(&plan, 1.0);
+        assert_eq!(r.input[0], 1000.0);
+        assert_eq!(r.output[0], 1000.0);
+        assert_eq!(r.input[1], 1000.0);
+        assert_eq!(r.output[1], 500.0);
+        assert_eq!(r.input[2], 500.0);
+        // tumbling count window: out = in × sel
+        assert!((r.output[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_rate_is_not_backpressured() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = simulate(&pqp(500.0, 2), &cluster(), &SimConfig::noiseless(), &mut rng);
+        assert!(!m.backpressured());
+        assert!((m.throughput - 500.0).abs() < 1e-6);
+        assert!(m.latency_ms > 0.0 && m.latency_ms.is_finite());
+    }
+
+    #[test]
+    fn overload_triggers_backpressure() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = simulate(
+            &pqp(50_000_000.0, 1),
+            &cluster(),
+            &SimConfig::noiseless(),
+            &mut rng,
+        );
+        assert!(m.backpressured());
+        assert!(m.throughput < 50_000_000.0);
+        assert!(m.bottleneck_utilization > 1.0);
+    }
+
+    #[test]
+    fn more_parallelism_raises_capacity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SimConfig::noiseless();
+        let heavy = 50_000_000.0;
+        let t1 = simulate(&pqp(heavy, 1), &cluster(), &cfg, &mut rng).throughput;
+        let t8 = simulate(&pqp(heavy, 8), &cluster(), &cfg, &mut rng).throughput;
+        assert!(t8 > t1 * 2.0, "t1={t1} t8={t8}");
+    }
+
+    #[test]
+    fn more_parallelism_lowers_latency_under_load() {
+        // At 3M ev/s a single instance is backpressured: events queue in
+        // front of the source and event-time latency explodes; scaling
+        // out removes the backpressure.
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SimConfig::noiseless();
+        let rate = 3_000_000.0;
+        let m1 = simulate(&pqp(rate, 1), &cluster(), &cfg, &mut rng);
+        let m8 = simulate(&pqp(rate, 8), &cluster(), &cfg, &mut rng);
+        assert!(m1.backpressured());
+        assert!(
+            m8.latency_ms < m1.latency_ms / 10.0,
+            "l1={} l8={}",
+            m1.latency_ms,
+            m8.latency_ms
+        );
+    }
+
+    #[test]
+    fn faster_hardware_is_faster() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = SimConfig::noiseless();
+        let slow = Cluster::homogeneous(ClusterType::M510, 2, 10.0); // 2.0 GHz, 8 cores
+        let fast = Cluster::homogeneous(ClusterType::Rs6525, 2, 10.0); // 2.8 GHz, 64 cores
+        let heavy = 20_000_000.0;
+        let t_slow = simulate(&pqp(heavy, 8), &slow, &cfg, &mut rng).throughput;
+        let t_fast = simulate(&pqp(heavy, 8), &fast, &cfg, &mut rng).throughput;
+        assert!(t_fast > t_slow);
+    }
+
+    #[test]
+    fn chaining_reduces_latency() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cfg = SimConfig::noiseless();
+        let plan = pqp(10_000.0, 4);
+        cfg.chaining = ChainingMode::Never;
+        let unchained = simulate(&plan, &cluster(), &cfg, &mut rng).latency_ms;
+        cfg.chaining = ChainingMode::Always;
+        let chained = simulate(&plan, &cluster(), &cfg, &mut rng).latency_ms;
+        assert!(chained < unchained, "chained={chained} unchained={unchained}");
+    }
+
+    #[test]
+    fn count_window_residence_grows_with_parallelism() {
+        // Higher parallelism -> fewer tuples per instance -> count windows
+        // fill more slowly (the effect the paper notes for count windows).
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = SimConfig::noiseless();
+        let m2 = simulate(&pqp(5_000.0, 2), &cluster(), &cfg, &mut rng);
+        let m16 = simulate(&pqp(5_000.0, 16), &cluster(), &cfg, &mut rng);
+        let agg = 2usize;
+        assert!(m16.per_op[agg].residence_ms > m2.per_op[agg].residence_ms);
+    }
+
+    #[test]
+    fn join_query_simulates() {
+        let mut plan = LogicalPlan::new("join");
+        let s1 = plan.add(OperatorKind::Source(SourceOp {
+            event_rate: 10_000.0,
+            schema: TupleSchema::uniform(DataType::Int, 3),
+        }));
+        let s2 = plan.add(OperatorKind::Source(SourceOp {
+            event_rate: 8_000.0,
+            schema: TupleSchema::uniform(DataType::Int, 3),
+        }));
+        let j = plan.add(OperatorKind::Join(JoinOp {
+            window: WindowSpec::tumbling(WindowPolicy::Time, 1_000.0),
+            key_class: DataType::Int,
+            selectivity: 0.001,
+        }));
+        let k = plan.add(OperatorKind::Sink(SinkOp));
+        plan.connect(s1, j);
+        plan.connect(s2, j);
+        plan.connect(j, k);
+        let pqp = ParallelQueryPlan::with_parallelism(plan, vec![2, 2, 4, 2]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = simulate(&pqp, &cluster(), &SimConfig::noiseless(), &mut rng);
+        assert!(m.latency_ms.is_finite() && m.latency_ms > 0.0);
+        assert!(m.throughput > 0.0);
+        // join output reflects both windows
+        assert!(m.per_op[2].output_rate > 0.0);
+    }
+
+    #[test]
+    fn noise_changes_labels_but_not_wildly() {
+        let cfg = SimConfig::default();
+        let plan = pqp(10_000.0, 4);
+        let mut r1 = StdRng::seed_from_u64(10);
+        let mut r2 = StdRng::seed_from_u64(11);
+        let a = simulate(&plan, &cluster(), &cfg, &mut r1);
+        let b = simulate(&plan, &cluster(), &cfg, &mut r2);
+        assert_ne!(a.latency_ms, b.latency_ms);
+        let ratio = a.latency_ms / b.latency_ms;
+        assert!(ratio > 0.5 && ratio < 2.0);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let cfg = SimConfig::default();
+        let plan = pqp(10_000.0, 4);
+        let a = simulate(&plan, &cluster(), &cfg, &mut StdRng::seed_from_u64(42));
+        let b = simulate(&plan, &cluster(), &cfg, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(a.throughput, b.throughput);
+    }
+
+    #[test]
+    fn throughput_never_exceeds_offered_without_noise() {
+        let cfg = SimConfig::noiseless();
+        let mut rng = StdRng::seed_from_u64(12);
+        for rate in [100.0, 10_000.0, 1_000_000.0, 100_000_000.0] {
+            for p in [1u32, 4, 16, 64] {
+                let m = simulate(&pqp(rate, p), &cluster(), &cfg, &mut rng);
+                assert!(m.throughput <= m.offered_rate + 1e-6);
+                assert!(m.backpressure_scale > 0.0 && m.backpressure_scale <= 1.0);
+            }
+        }
+    }
+}

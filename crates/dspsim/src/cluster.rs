@@ -1,0 +1,300 @@
+//! Cluster and hardware model, with the CloudLab presets of Table II.
+//!
+//! A [`Cluster`] is a set of worker [`NodeSpec`]s. The resource-related
+//! transferable features of Table I (CPU cores, CPU frequency, total
+//! memory, network link speed, node identifier) come straight from these
+//! specs.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One worker node (a Flink TaskManager host in the paper's setup).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Hardware family name (e.g. `m510`).
+    pub name: String,
+    /// Number of processing cores (= task slots offered by the node).
+    pub cores: u32,
+    /// CPU frequency in GHz.
+    pub cpu_ghz: f64,
+    /// Total memory in GB.
+    pub memory_gb: f64,
+    /// Disk capacity in GB (not performance-relevant for our cost model but
+    /// kept for completeness of Table II).
+    pub disk_gb: f64,
+    /// Network link speed in Gbit/s.
+    pub network_gbps: f64,
+}
+
+/// CloudLab hardware families used in the paper (Table II).
+///
+/// `Ho`/`He` (homogeneous/heterogeneous cluster type) and the seen/unseen
+/// split are captured by [`ClusterType::is_seen`] and
+/// [`ClusterType::is_homogeneous`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ClusterType {
+    /// 8 cores, 64 GB, Xeon D 2.0 GHz — homogeneous, seen.
+    M510,
+    /// 32 cores, 384 GB, Skylake 2.6 GHz — homogeneous, unseen.
+    C6420,
+    /// 8–10 cores, 128–384 GB, Xeon 2.2 GHz — heterogeneous, seen.
+    Rs620,
+    /// 20 cores, 256 GB, Ivy Bridge 2.2 GHz — heterogeneous, unseen.
+    C8220x,
+    /// 20 cores, 256 GB, Ivy Bridge 2.2 GHz — heterogeneous, unseen.
+    C8220,
+    /// 12 cores, 128 GB, Haswell 2.4 GHz — heterogeneous, unseen.
+    Dss7500,
+    /// 28 cores, 256 GB, Haswell 2.0 GHz — heterogeneous, unseen.
+    C6320,
+    /// 64 cores, 256 GB, AMD EPYC 2.8 GHz — heterogeneous, unseen.
+    Rs6525,
+}
+
+impl ClusterType {
+    pub const ALL: [ClusterType; 8] = [
+        ClusterType::M510,
+        ClusterType::C6420,
+        ClusterType::Rs620,
+        ClusterType::C8220x,
+        ClusterType::C8220,
+        ClusterType::Dss7500,
+        ClusterType::C6320,
+        ClusterType::Rs6525,
+    ];
+
+    /// Hardware families used for training-data generation ("S" in
+    /// Table II).
+    pub fn seen() -> Vec<ClusterType> {
+        vec![ClusterType::M510, ClusterType::Rs620]
+    }
+
+    /// Hardware families held out for generalization tests ("U").
+    pub fn unseen() -> Vec<ClusterType> {
+        vec![
+            ClusterType::C6420,
+            ClusterType::C8220x,
+            ClusterType::C8220,
+            ClusterType::Dss7500,
+            ClusterType::C6320,
+            ClusterType::Rs6525,
+        ]
+    }
+
+    pub fn is_seen(self) -> bool {
+        matches!(self, ClusterType::M510 | ClusterType::Rs620)
+    }
+
+    /// "Ho" rows of Table II.
+    pub fn is_homogeneous(self) -> bool {
+        matches!(self, ClusterType::M510 | ClusterType::C6420)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterType::M510 => "m510",
+            ClusterType::C6420 => "c6420",
+            ClusterType::Rs620 => "rs620",
+            ClusterType::C8220x => "c8220x",
+            ClusterType::C8220 => "c8220",
+            ClusterType::Dss7500 => "dss7500",
+            ClusterType::C6320 => "c6320",
+            ClusterType::Rs6525 => "rs6525",
+        }
+    }
+
+    /// Build one node of this family. `variant` disambiguates the
+    /// heterogeneous rs620 row (8–10 cores / 128–384 GB in Table II).
+    pub fn node(self, variant: usize, network_gbps: f64) -> NodeSpec {
+        let (cores, memory_gb, disk_gb, cpu_ghz) = match self {
+            ClusterType::M510 => (8, 64.0, 256.0, 2.0),
+            ClusterType::C6420 => (32, 384.0, 1024.0, 2.6),
+            ClusterType::Rs620 => {
+                // 8–10 cores and 128–384 GB depending on the sub-model.
+                let cores = 8 + (variant % 3) as u32;
+                let mem = [128.0, 256.0, 384.0][variant % 3];
+                (cores, mem, 900.0, 2.2)
+            }
+            ClusterType::C8220x => (20, 256.0, 4096.0, 2.2),
+            ClusterType::C8220 => (20, 256.0, 2048.0, 2.2),
+            ClusterType::Dss7500 => (12, 128.0, 120.0, 2.4),
+            ClusterType::C6320 => (28, 256.0, 1024.0, 2.0),
+            ClusterType::Rs6525 => (64, 256.0, 1600.0, 2.8),
+        };
+        NodeSpec {
+            name: self.name().to_string(),
+            cores,
+            cpu_ghz,
+            memory_gb,
+            disk_gb,
+            network_gbps,
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of worker nodes onto which a parallel query plan is deployed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl Cluster {
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        Cluster { nodes }
+    }
+
+    /// Homogeneous cluster of `n` workers of one hardware family.
+    pub fn homogeneous(ty: ClusterType, n: usize, network_gbps: f64) -> Self {
+        Cluster {
+            nodes: (0..n).map(|i| ty.node(i, network_gbps)).collect(),
+        }
+    }
+
+    /// Heterogeneous cluster mixing several families round-robin.
+    pub fn heterogeneous(types: &[ClusterType], n: usize, network_gbps: f64) -> Self {
+        assert!(!types.is_empty());
+        Cluster {
+            nodes: (0..n)
+                .map(|i| types[i % types.len()].node(i, network_gbps))
+                .collect(),
+        }
+    }
+
+    /// Sample a cluster from the given hardware families, as the paper's
+    /// training-data generator does: a random family mix, `n_workers`
+    /// nodes, one of the given link speeds.
+    pub fn sample<R: Rng + ?Sized>(
+        types: &[ClusterType],
+        n_workers: usize,
+        link_speeds: &[f64],
+        rng: &mut R,
+    ) -> Self {
+        let link = *link_speeds.choose(rng).expect("non-empty link speeds");
+        let mixed = rng.gen_bool(0.5) && types.len() > 1;
+        if mixed {
+            let mut shuffled = types.to_vec();
+            shuffled.shuffle(rng);
+            let k = rng.gen_range(2..=shuffled.len());
+            Cluster::heterogeneous(&shuffled[..k], n_workers, link)
+        } else {
+            let ty = *types.choose(rng).expect("non-empty types");
+            Cluster::homogeneous(ty, n_workers, link)
+        }
+    }
+
+    /// Total processing cores (= total task slots) in the cluster.
+    pub fn total_cores(&self) -> u32 {
+        self.nodes.iter().map(|n| n.cores).sum()
+    }
+
+    /// Number of worker nodes.
+    pub fn num_workers(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether all nodes share the same hardware family.
+    pub fn is_homogeneous(&self) -> bool {
+        self.nodes
+            .windows(2)
+            .all(|w| w[0].name == w[1].name && w[0].cores == w[1].cores)
+    }
+
+    /// Mean CPU frequency across nodes, used for quick capacity estimates.
+    pub fn mean_ghz(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.cpu_ghz).sum::<f64>() / self.nodes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_ii_presets() {
+        let m510 = ClusterType::M510.node(0, 10.0);
+        assert_eq!(m510.cores, 8);
+        assert_eq!(m510.memory_gb, 64.0);
+        assert_eq!(m510.cpu_ghz, 2.0);
+
+        let rs6525 = ClusterType::Rs6525.node(0, 1.0);
+        assert_eq!(rs6525.cores, 64);
+        assert_eq!(rs6525.cpu_ghz, 2.8);
+    }
+
+    #[test]
+    fn seen_unseen_split_matches_paper() {
+        assert!(ClusterType::M510.is_seen());
+        assert!(ClusterType::Rs620.is_seen());
+        for t in ClusterType::unseen() {
+            assert!(!t.is_seen());
+        }
+        assert_eq!(
+            ClusterType::seen().len() + ClusterType::unseen().len(),
+            ClusterType::ALL.len()
+        );
+    }
+
+    #[test]
+    fn homogeneity_flags() {
+        assert!(ClusterType::M510.is_homogeneous());
+        assert!(ClusterType::C6420.is_homogeneous());
+        assert!(!ClusterType::C8220.is_homogeneous());
+    }
+
+    #[test]
+    fn rs620_variants_differ() {
+        let a = ClusterType::Rs620.node(0, 1.0);
+        let b = ClusterType::Rs620.node(1, 1.0);
+        assert_ne!((a.cores, a.memory_gb as u64), (b.cores, b.memory_gb as u64));
+        assert!((8..=10).contains(&a.cores));
+        assert!((8..=10).contains(&b.cores));
+    }
+
+    #[test]
+    fn homogeneous_cluster() {
+        let c = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+        assert_eq!(c.num_workers(), 4);
+        assert_eq!(c.total_cores(), 32);
+        assert!(c.is_homogeneous());
+    }
+
+    #[test]
+    fn heterogeneous_cluster() {
+        let c = Cluster::heterogeneous(&[ClusterType::C8220, ClusterType::Dss7500], 4, 1.0);
+        assert_eq!(c.num_workers(), 4);
+        assert!(!c.is_homogeneous());
+        assert_eq!(c.total_cores(), 20 + 12 + 20 + 12);
+    }
+
+    #[test]
+    fn sampled_cluster_respects_worker_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let c = Cluster::sample(&ClusterType::ALL, 6, &[1.0, 10.0], &mut rng);
+            assert_eq!(c.num_workers(), 6);
+            assert!(c.total_cores() > 0);
+            let link = c.nodes[0].network_gbps;
+            assert!(link == 1.0 || link == 10.0);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Cluster::homogeneous(ClusterType::C6420, 2, 10.0);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Cluster = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

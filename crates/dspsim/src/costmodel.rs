@@ -1,0 +1,316 @@
+//! Per-tuple CPU, serialization and network cost primitives.
+//!
+//! All CPU costs are expressed in **microseconds per tuple at 1 GHz** and
+//! scaled by the hosting node's clock frequency by the solver. The
+//! constants were calibrated so that a single 2 GHz core sustains on the
+//! order of 10⁵–10⁶ simple tuples per second — the right ballpark for a
+//! JVM-based DSP like Flink — and so that serialization is a substantial
+//! fraction of a cheap operator's work (which is why operator chaining
+//! pays off, Fig. 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+use zt_query::{OperatorKind, TupleSchema, WindowSpec};
+
+/// Tunable cost constants of the simulator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Source: per-tuple ingestion/emission base cost (µs @ 1 GHz).
+    pub source_base_us: f64,
+    /// Source: additional cost per field (× type cost factor).
+    pub source_per_field_us: f64,
+    /// Filter: predicate evaluation base cost.
+    pub filter_base_us: f64,
+    pub filter_per_field_us: f64,
+    /// Aggregate: per-tuple state update base cost.
+    pub agg_update_us: f64,
+    pub agg_per_field_us: f64,
+    /// Aggregate: extra cost to hash the group-by key.
+    pub agg_key_us: f64,
+    /// Aggregate/join: cost of emitting one result tuple.
+    pub emit_base_us: f64,
+    pub emit_per_field_us: f64,
+    /// Join: per-tuple window insertion cost.
+    pub join_insert_us: f64,
+    pub join_insert_per_field_us: f64,
+    /// Join: hash-probe base cost per arriving tuple.
+    pub join_probe_us: f64,
+    /// Sink: per-tuple delivery cost.
+    pub sink_base_us: f64,
+    pub sink_per_field_us: f64,
+    /// Serialization cost per tuple and side (sender or receiver).
+    pub ser_base_us: f64,
+    pub ser_per_field_us: f64,
+    /// Sliding windows touch `overlap` window instances per tuple; the
+    /// effective multiplier is capped (pane-based implementations share
+    /// work across overlapping windows).
+    pub max_overlap_factor: f64,
+    /// Fixed per-hop network latency (switch + propagation), ms.
+    pub net_hop_ms: f64,
+    /// Extra per-hop latency under hash partitioning (key-group routing).
+    pub hash_route_us: f64,
+    /// Load imbalance factor of hash partitioning (hottest instance
+    /// receives `hash_skew ×` the average share).
+    pub hash_skew: f64,
+    /// Tuples per network buffer / processing batch. DSP runtimes hand
+    /// tuples between tasks in buffers, so queueing delays act on buffers,
+    /// not single tuples.
+    pub batch_tuples: f64,
+    /// Buffers are flushed after this timeout even when not full
+    /// (Flink's `execution.buffer-timeout`), bounding the latency floor of
+    /// lightly loaded channels, ms.
+    pub buffer_timeout_ms: f64,
+    /// Credit-based flow control keeps up to this many buffers in flight
+    /// per channel; under backpressure they sit full and add queueing
+    /// delay.
+    pub inflight_buffers: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            source_base_us: 0.8,
+            source_per_field_us: 0.12,
+            filter_base_us: 0.35,
+            filter_per_field_us: 0.05,
+            agg_update_us: 0.5,
+            agg_per_field_us: 0.06,
+            agg_key_us: 0.25,
+            emit_base_us: 0.6,
+            emit_per_field_us: 0.08,
+            join_insert_us: 0.3,
+            join_insert_per_field_us: 0.05,
+            join_probe_us: 0.4,
+            sink_base_us: 0.25,
+            sink_per_field_us: 0.04,
+            ser_base_us: 0.35,
+            ser_per_field_us: 0.08,
+            max_overlap_factor: 8.0,
+            net_hop_ms: 0.12,
+            hash_route_us: 0.15,
+            hash_skew: 1.15,
+            batch_tuples: 100.0,
+            buffer_timeout_ms: 100.0,
+            inflight_buffers: 8.0,
+        }
+    }
+}
+
+impl CostModel {
+    fn effective_overlap(&self, w: &WindowSpec) -> f64 {
+        w.overlap_factor().min(self.max_overlap_factor)
+    }
+
+    /// CPU service cost of processing one input tuple in `op`, in µs at
+    /// 1 GHz.
+    ///
+    /// * `in_schema` / `out_schema` — the operator's input/output schemas.
+    /// * `instance_in_rate` — tuples/s arriving at *one* parallel instance
+    ///   (needed to amortize window-emission work).
+    /// * `other_window_tuples` — for joins: expected tuples held in the
+    ///   *opposite* window of one instance (drives match emission).
+    pub fn service_us(
+        &self,
+        op: &OperatorKind,
+        in_schema: &TupleSchema,
+        out_schema: &TupleSchema,
+        instance_in_rate: f64,
+        other_window_tuples: f64,
+    ) -> f64 {
+        let w_in = in_schema.width() as f64 * in_schema.avg_cost_factor();
+        let w_out = out_schema.width() as f64 * out_schema.avg_cost_factor();
+        match op {
+            OperatorKind::Source(_) => self.source_base_us + self.source_per_field_us * w_out,
+            OperatorKind::Filter(f) => {
+                self.filter_base_us
+                    + self.filter_per_field_us * w_in
+                    + 0.08 * f.literal_class.cost_factor()
+            }
+            OperatorKind::Aggregate(a) => {
+                let overlap = self.effective_overlap(&a.window);
+                let key_cost = a
+                    .key_class
+                    .map(|k| self.agg_key_us * k.cost_factor())
+                    .unwrap_or(0.0);
+                let update =
+                    (self.agg_update_us + self.agg_per_field_us * w_in + key_cost) * overlap;
+                // Emission: `sel × |W|` groups fire per window instance;
+                // amortized per input tuple this is `sel × overlap` result
+                // tuples (see Definition 6 and the module docs).
+                let emit_per_tuple = a.selectivity
+                    * overlap
+                    * (self.emit_base_us + self.emit_per_field_us * w_out);
+                let _ = instance_in_rate; // rate-independent under this amortization
+                update + emit_per_tuple
+            }
+            OperatorKind::Join(j) => {
+                let overlap = self.effective_overlap(&j.window);
+                let insert =
+                    (self.join_insert_us + self.join_insert_per_field_us * w_in) * overlap;
+                let probe = self.join_probe_us * j.key_class.cost_factor();
+                // Every arriving tuple matches `sel × |W_other|` partners.
+                let matches = j.selectivity * other_window_tuples;
+                let emit = matches * (self.emit_base_us + self.emit_per_field_us * w_out);
+                insert + probe + emit
+            }
+            OperatorKind::Sink(_) => self.sink_base_us + self.sink_per_field_us * w_in,
+        }
+    }
+
+    /// Serialization (or deserialization) cost of one tuple, µs at 1 GHz.
+    pub fn serialization_us(&self, schema: &TupleSchema) -> f64 {
+        self.ser_base_us
+            + self.ser_per_field_us * schema.width() as f64 * schema.avg_cost_factor()
+    }
+
+    /// Wire time of one tuple over a link of `gbps`, in ms.
+    pub fn wire_ms(&self, schema: &TupleSchema, gbps: f64) -> f64 {
+        let bits = (schema.bytes() * 8) as f64;
+        bits / (gbps * 1e9) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zt_query::{
+        AggFunction, AggregateOp, DataType, FilterFunction, FilterOp, JoinOp, SourceOp,
+        WindowPolicy,
+    };
+    use zt_query::operators::SinkOp;
+
+    fn schema(w: usize) -> TupleSchema {
+        TupleSchema::uniform(DataType::Double, w)
+    }
+
+    #[test]
+    fn wider_tuples_cost_more_everywhere() {
+        let cm = CostModel::default();
+        let narrow = schema(1);
+        let wide = schema(10);
+        let src = OperatorKind::Source(SourceOp {
+            event_rate: 100.0,
+            schema: wide.clone(),
+        });
+        assert!(
+            cm.service_us(&src, &narrow, &wide, 100.0, 0.0)
+                > cm.service_us(&src, &narrow, &narrow, 100.0, 0.0)
+        );
+        assert!(cm.serialization_us(&wide) > cm.serialization_us(&narrow));
+        assert!(cm.wire_ms(&wide, 1.0) > cm.wire_ms(&narrow, 1.0));
+    }
+
+    #[test]
+    fn string_fields_cost_more_than_ints() {
+        let cm = CostModel::default();
+        let ints = TupleSchema::uniform(DataType::Int, 4);
+        let strs = TupleSchema::uniform(DataType::Text, 4);
+        let f = OperatorKind::Filter(FilterOp {
+            function: FilterFunction::Lt,
+            literal_class: DataType::Int,
+            selectivity: 0.5,
+        });
+        assert!(cm.service_us(&f, &strs, &strs, 0.0, 0.0) > cm.service_us(&f, &ints, &ints, 0.0, 0.0));
+    }
+
+    #[test]
+    fn sliding_windows_cost_more_than_tumbling() {
+        let cm = CostModel::default();
+        let s = schema(3);
+        let mk = |slide: Option<f64>| {
+            OperatorKind::Aggregate(AggregateOp {
+                window: WindowSpec {
+                    policy: WindowPolicy::Count,
+                    length: 100.0,
+                    slide,
+                },
+                function: AggFunction::Avg,
+                agg_class: DataType::Double,
+                key_class: Some(DataType::Int),
+                selectivity: 0.1,
+            })
+        };
+        let tumbling = cm.service_us(&mk(None), &s, &s, 1000.0, 0.0);
+        let sliding = cm.service_us(&mk(Some(25.0)), &s, &s, 1000.0, 0.0);
+        assert!(sliding > tumbling);
+    }
+
+    #[test]
+    fn overlap_factor_is_capped() {
+        let cm = CostModel::default();
+        let s = schema(2);
+        let mk = |slide: f64| {
+            OperatorKind::Aggregate(AggregateOp {
+                window: WindowSpec {
+                    policy: WindowPolicy::Count,
+                    length: 1000.0,
+                    slide: Some(slide),
+                },
+                function: AggFunction::Sum,
+                agg_class: DataType::Double,
+                key_class: None,
+                selectivity: 0.01,
+            })
+        };
+        // overlap 100 vs 1000 — both above the cap, equal cost
+        let a = cm.service_us(&mk(10.0), &s, &s, 100.0, 0.0);
+        let b = cm.service_us(&mk(1.0), &s, &s, 100.0, 0.0);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_cost_grows_with_opposite_window() {
+        let cm = CostModel::default();
+        let s = schema(3);
+        let j = OperatorKind::Join(JoinOp {
+            window: WindowSpec::tumbling(WindowPolicy::Count, 50.0),
+            key_class: DataType::Int,
+            selectivity: 0.05,
+        });
+        let small = cm.service_us(&j, &s, &schema(6), 100.0, 10.0);
+        let big = cm.service_us(&j, &s, &schema(6), 100.0, 10_000.0);
+        assert!(big > small * 5.0);
+    }
+
+    #[test]
+    fn sink_is_cheapest_operator() {
+        let cm = CostModel::default();
+        let s = schema(3);
+        let sink = cm.service_us(&OperatorKind::Sink(SinkOp), &s, &s, 0.0, 0.0);
+        let src = cm.service_us(
+            &OperatorKind::Source(SourceOp {
+                event_rate: 1.0,
+                schema: s.clone(),
+            }),
+            &s,
+            &s,
+            0.0,
+            0.0,
+        );
+        assert!(sink < src);
+    }
+
+    #[test]
+    fn wire_time_scales_inverse_with_bandwidth() {
+        let cm = CostModel::default();
+        let s = schema(5);
+        let slow = cm.wire_ms(&s, 1.0);
+        let fast = cm.wire_ms(&s, 10.0);
+        assert!((slow / fast - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn realistic_single_core_capacity() {
+        // A 2 GHz core should sustain roughly 10^5..10^6 simple filter
+        // tuples per second under these constants.
+        let cm = CostModel::default();
+        let s = schema(3);
+        let f = OperatorKind::Filter(FilterOp {
+            function: FilterFunction::Le,
+            literal_class: DataType::Double,
+            selectivity: 0.5,
+        });
+        let us = cm.service_us(&f, &s, &s, 0.0, 0.0) / 2.0; // 2 GHz
+        let capacity = 1e6 / us;
+        assert!(capacity > 1e5 && capacity < 1e7, "capacity {capacity}");
+    }
+}

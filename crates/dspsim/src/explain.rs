@@ -1,0 +1,173 @@
+//! Human-readable breakdowns of a simulated deployment.
+//!
+//! Turns a [`QueryMetrics`] into the per-operator latency decomposition
+//! and bottleneck diagnosis an engineer would extract from a Flink web-UI
+//! + metrics stack: where the end-to-end latency comes from (queueing vs
+//! window residence vs exchanges) and which operator throttles the
+//! throughput.
+
+use zt_query::{OpId, ParallelQueryPlan};
+
+use crate::analytical::QueryMetrics;
+
+/// One operator's share of the deployment's costs.
+#[derive(Clone, Debug)]
+pub struct OpBreakdown {
+    pub op: OpId,
+    pub label: String,
+    pub parallelism: u32,
+    pub grouping: u32,
+    pub input_rate: f64,
+    pub utilization: f64,
+    pub sojourn_ms: f64,
+    pub residence_ms: f64,
+}
+
+/// A full deployment diagnosis.
+#[derive(Clone, Debug)]
+pub struct Diagnosis {
+    pub per_op: Vec<OpBreakdown>,
+    /// Operator with the highest instance utilization.
+    pub bottleneck: OpId,
+    pub bottleneck_utilization: f64,
+    pub backpressured: bool,
+    pub latency_ms: f64,
+    pub throughput: f64,
+}
+
+/// Build the diagnosis from solver output.
+pub fn diagnose(pqp: &ParallelQueryPlan, metrics: &QueryMetrics) -> Diagnosis {
+    let per_op: Vec<OpBreakdown> = pqp
+        .plan
+        .ops()
+        .iter()
+        .zip(metrics.per_op.iter())
+        .map(|(op, m)| OpBreakdown {
+            op: op.id,
+            label: op.kind.label().to_string(),
+            parallelism: pqp.parallelism_of(op.id),
+            grouping: metrics.deployment.grouping_number(op.id),
+            input_rate: m.input_rate,
+            utilization: m.utilization,
+            sojourn_ms: m.sojourn_ms,
+            residence_ms: m.residence_ms,
+        })
+        .collect();
+    let (bottleneck, bottleneck_utilization) = per_op
+        .iter()
+        .map(|o| (o.op, o.utilization))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite utilization"))
+        .expect("non-empty plan");
+    Diagnosis {
+        per_op,
+        bottleneck,
+        bottleneck_utilization,
+        backpressured: metrics.backpressured(),
+        latency_ms: metrics.latency_ms,
+        throughput: metrics.throughput,
+    }
+}
+
+impl std::fmt::Display for Diagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "latency {:.2} ms, throughput {:.0} ev/s{}",
+            self.latency_ms,
+            self.throughput,
+            if self.backpressured {
+                " (BACKPRESSURED)"
+            } else {
+                ""
+            }
+        )?;
+        writeln!(
+            f,
+            "{:>4} {:<12} {:>3} {:>5} {:>12} {:>6} {:>12} {:>12}",
+            "op", "kind", "P", "group", "in (ev/s)", "util", "sojourn(ms)", "window(ms)"
+        )?;
+        for o in &self.per_op {
+            writeln!(
+                f,
+                "{:>4} {:<12} {:>3} {:>5} {:>12.0} {:>6.2} {:>12.3} {:>12.2}{}",
+                o.op.to_string(),
+                o.label,
+                o.parallelism,
+                o.grouping,
+                o.input_rate,
+                o.utilization,
+                o.sojourn_ms,
+                o.residence_ms,
+                if o.op == self.bottleneck {
+                    "  <- bottleneck"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytical::{simulate, SimConfig};
+    use crate::cluster::{Cluster, ClusterType};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zt_query::builder::StreamBuilder;
+    use zt_query::{AggFunction, DataType, FilterFunction, WindowPolicy, WindowSpec};
+
+    fn fixture() -> (ParallelQueryPlan, QueryMetrics) {
+        let plan = StreamBuilder::source(500_000.0, DataType::Double, 3)
+            .filter(FilterFunction::Gt, DataType::Double, 0.5)
+            .window_aggregate(
+                WindowSpec::tumbling(WindowPolicy::Count, 50.0),
+                AggFunction::Avg,
+                DataType::Double,
+                Some(DataType::Int),
+                0.2,
+            )
+            .sink("diag");
+        let pqp = ParallelQueryPlan::with_parallelism(plan, vec![2, 2, 2, 2]);
+        let cluster = Cluster::homogeneous(ClusterType::M510, 2, 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let metrics = simulate(&pqp, &cluster, &SimConfig::noiseless(), &mut rng);
+        (pqp, metrics)
+    }
+
+    #[test]
+    fn diagnosis_covers_every_operator() {
+        let (pqp, metrics) = fixture();
+        let d = diagnose(&pqp, &metrics);
+        assert_eq!(d.per_op.len(), pqp.plan.num_ops());
+        assert_eq!(d.latency_ms, metrics.latency_ms);
+        // bottleneck utilization is the max
+        for o in &d.per_op {
+            assert!(o.utilization <= d.bottleneck_utilization + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bottleneck_is_a_hot_operator() {
+        let (pqp, metrics) = fixture();
+        let d = diagnose(&pqp, &metrics);
+        let b = d
+            .per_op
+            .iter()
+            .find(|o| o.op == d.bottleneck)
+            .expect("bottleneck in list");
+        assert!(b.utilization > 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let (pqp, metrics) = fixture();
+        let d = diagnose(&pqp, &metrics);
+        let text = format!("{d}");
+        assert!(text.contains("bottleneck"));
+        assert!(text.contains("window-agg"));
+        assert_eq!(text.lines().count(), 2 + pqp.plan.num_ops());
+    }
+}

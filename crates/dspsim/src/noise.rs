@@ -1,0 +1,93 @@
+//! Multiplicative lognormal measurement noise.
+//!
+//! Real DSP measurements fluctuate (JIT warm-up, GC pauses, OS jitter,
+//! co-tenancy). We model this with multiplicative lognormal noise on both
+//! metrics, which creates the irreducible q-error floor visible in the
+//! paper's results. Throughput noise is slightly larger than latency noise,
+//! matching the paper's observation that throughput is harder to predict
+//! (it depends directly on the incoming data distribution).
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Noise configuration for the analytical simulator.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// σ of the lognormal factor applied to latency.
+    pub sigma_latency: f64,
+    /// σ of the lognormal factor applied to throughput.
+    pub sigma_throughput: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            sigma_latency: 0.08,
+            sigma_throughput: 0.11,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// Noise-free configuration (for deterministic tests).
+    pub fn none() -> Self {
+        NoiseConfig {
+            sigma_latency: 0.0,
+            sigma_throughput: 0.0,
+        }
+    }
+
+    /// Draw a multiplicative factor with the given σ; mean-one lognormal
+    /// (μ = −σ²/2 keeps the expected factor at 1 so noise does not bias the labels).
+    pub fn factor<R: Rng + ?Sized>(sigma: f64, rng: &mut R) -> f64 {
+        if sigma <= 0.0 {
+            return 1.0;
+        }
+        let dist = LogNormal::new(-sigma * sigma / 2.0, sigma).expect("valid lognormal");
+        dist.sample(rng)
+    }
+
+    pub fn latency_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Self::factor(self.sigma_latency, rng)
+    }
+
+    pub fn throughput_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Self::factor(self.sigma_throughput, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(NoiseConfig::none().latency_factor(&mut rng), 1.0);
+        assert_eq!(NoiseConfig::none().throughput_factor(&mut rng), 1.0);
+    }
+
+    #[test]
+    fn factors_are_positive_and_mean_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = NoiseConfig::default();
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let f = cfg.latency_factor(&mut rng);
+            assert!(f > 0.0);
+            sum += f;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn throughput_noise_larger_than_latency_noise() {
+        let cfg = NoiseConfig::default();
+        assert!(cfg.sigma_throughput > cfg.sigma_latency);
+    }
+}

@@ -1,0 +1,15 @@
+//! Exp. 1 runner: Table IV and the Fig. 1/5 architecture comparison.
+//!
+//! Usage: `cargo run --release --bin exp1_accuracy -- [--scale smoke|standard|full]`
+
+use zt_experiments::{exp1, report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("exp1 (accuracy on seen/unseen workloads), scale = {}", scale.name);
+    let result = exp1::run(&scale);
+    exp1::print(&result);
+    if let Ok(path) = report::save_json("exp1_accuracy", &result) {
+        eprintln!("saved {}", path.display());
+    }
+}

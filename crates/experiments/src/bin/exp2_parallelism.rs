@@ -1,0 +1,15 @@
+//! Exp. 2 runner: Fig. 7a–d parallelism categories and Fig. 6 few-shot.
+//!
+//! Usage: `cargo run --release --bin exp2_parallelism -- [--scale smoke|standard|full]`
+
+use zt_experiments::{exp2, report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("exp2 (fine-grained parallelism analysis), scale = {}", scale.name);
+    let result = exp2::run(&scale);
+    exp2::print(&result);
+    if let Ok(path) = report::save_json("exp2_parallelism", &result) {
+        eprintln!("saved {}", path.display());
+    }
+}

@@ -1,0 +1,15 @@
+//! Exp. 3 runner: Fig. 8a–e generalization over unseen parameters.
+//!
+//! Usage: `cargo run --release --bin exp3_parameters -- [--scale smoke|standard|full]`
+
+use zt_experiments::{exp3, report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("exp3 (unseen parameter generalization), scale = {}", scale.name);
+    let result = exp3::run(&scale);
+    exp3::print(&result);
+    if let Ok(path) = report::save_json("exp3_parameters", &result) {
+        eprintln!("saved {}", path.display());
+    }
+}

@@ -1,0 +1,20 @@
+//! Exp. 4 runner: Fig. 9a–b data-efficient training.
+//!
+//! Usage: `cargo run --release --bin exp4_efficiency -- [--scale smoke|standard|full]`
+
+use zt_experiments::{exp4, report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("exp4 (OptiSample vs random data efficiency), scale = {}", scale.name);
+    let result = exp4::run(&scale);
+    exp4::print(&result);
+    for strategy in ["OptiSample", "Random"] {
+        if let Some(n) = exp4::convergence_point(&result, strategy, 1.6) {
+            println!("{strategy} reaches median latency q-error <= 1.6 at {n} queries");
+        }
+    }
+    if let Ok(path) = report::save_json("exp4_efficiency", &result) {
+        eprintln!("saved {}", path.display());
+    }
+}

@@ -1,0 +1,15 @@
+//! Exp. 5 runner: Fig. 10a–b optimizer comparison (greedy, Dhalion).
+//!
+//! Usage: `cargo run --release --bin exp5_optimizer -- [--scale smoke|standard|full]`
+
+use zt_experiments::{exp5, report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("exp5 (parallelism tuning vs greedy/Dhalion), scale = {}", scale.name);
+    let result = exp5::run(&scale);
+    exp5::print(&result);
+    if let Ok(path) = report::save_json("exp5_optimizer", &result) {
+        eprintln!("saved {}", path.display());
+    }
+}

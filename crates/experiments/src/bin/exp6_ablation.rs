@@ -1,0 +1,15 @@
+//! Exp. 6 runner: Fig. 11 feature ablation.
+//!
+//! Usage: `cargo run --release --bin exp6_ablation -- [--scale smoke|standard|full]`
+
+use zt_experiments::{exp6, report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("exp6 (transferable-feature ablation), scale = {}", scale.name);
+    let result = exp6::run(&scale);
+    exp6::print(&result);
+    if let Ok(path) = report::save_json("exp6_ablation", &result) {
+        eprintln!("saved {}", path.display());
+    }
+}

@@ -1,0 +1,16 @@
+//! Fig. 3 runner: parallelism/operator-grouping micro-benchmark.
+//!
+//! Usage: `cargo run --release --bin fig3_microbench [-- rate workers]`
+
+use zt_experiments::{fig3, report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rate: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(3_000_000.0);
+    let workers: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let result = fig3::run(rate, workers);
+    fig3::print(&result);
+    if let Ok(path) = report::save_json("fig3_microbench", &result) {
+        eprintln!("saved {}", path.display());
+    }
+}

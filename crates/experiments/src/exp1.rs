@@ -1,0 +1,253 @@
+//! Exp. 1: accuracy on seen and unseen workloads (Table IV) and the
+//! model-architecture comparison (Fig. 1 / Fig. 5).
+
+use serde::Serialize;
+use zt_baselines::{evaluate_estimator, BaselineModel, CostEstimator};
+use zt_core::dataset::{generate_dataset, Dataset, GenConfig};
+use zt_core::train::evaluate_where;
+use zt_query::QueryStructure;
+
+use crate::report::{f2, Table};
+use crate::{train_pipeline, Scale, TrainedPipeline};
+
+/// One Table-IV row.
+#[derive(Clone, Debug, Serialize)]
+pub struct QErrorRow {
+    pub group: String,
+    pub structure: String,
+    pub lat_median: f64,
+    pub lat_p95: f64,
+    pub tpt_median: f64,
+    pub tpt_p95: f64,
+    pub n: usize,
+}
+
+/// One Fig.-5 row (per architecture × workload group).
+#[derive(Clone, Debug, Serialize)]
+pub struct ArchitectureRow {
+    pub model: String,
+    pub workload: String,
+    pub lat_median: f64,
+    pub lat_p95: f64,
+    pub tpt_median: f64,
+    pub tpt_p95: f64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Exp1Result {
+    pub table4: Vec<QErrorRow>,
+    pub architectures: Vec<ArchitectureRow>,
+}
+
+fn qrow(
+    pipeline: &TrainedPipeline,
+    group: &str,
+    structure: &str,
+    samples: &[zt_core::dataset::Sample],
+) -> QErrorRow {
+    let (lat, tpt) = zt_core::train::evaluate(&pipeline.model, samples);
+    QErrorRow {
+        group: group.to_string(),
+        structure: structure.to_string(),
+        lat_median: lat.median,
+        lat_p95: lat.p95,
+        tpt_median: tpt.median,
+        tpt_p95: tpt.p95,
+        n: lat.count,
+    }
+}
+
+/// Generate an evaluation set for one structure.
+pub fn structure_test_set(structure: QueryStructure, n: usize, seed: u64) -> Dataset {
+    let base = if structure.is_seen() {
+        GenConfig::seen()
+    } else {
+        GenConfig::unseen_structures()
+    };
+    generate_dataset(&base.with_structures(vec![structure]), n, seed)
+}
+
+/// Run Exp. 1 (optionally reusing an already-trained pipeline).
+pub fn run_with(pipeline: &TrainedPipeline) -> Exp1Result {
+    let scale = &pipeline.scale;
+    let mut table4 = Vec::new();
+
+    // ① seen workload: classical test split per structure + overall.
+    for s in QueryStructure::seen() {
+        let name = s.name();
+        let (lat, tpt) = evaluate_where(&pipeline.model, &pipeline.test_seen.samples, |x| {
+            x.meta.structure == name
+        });
+        table4.push(QErrorRow {
+            group: "seen".into(),
+            structure: name,
+            lat_median: lat.median,
+            lat_p95: lat.p95,
+            tpt_median: tpt.median,
+            tpt_p95: tpt.p95,
+            n: lat.count,
+        });
+    }
+    table4.push(qrow(
+        pipeline,
+        "seen",
+        "overall",
+        &pipeline.test_seen.samples,
+    ));
+
+    // ② unseen structures (200 queries each in the paper).
+    let mut unseen_pool = Dataset::default();
+    for (i, s) in QueryStructure::unseen_synthetic().into_iter().enumerate() {
+        let set = structure_test_set(s, scale.test_per_group, scale.seed + 100 + i as u64);
+        table4.push(qrow(pipeline, "unseen", &s.name(), &set.samples));
+        unseen_pool.extend(set);
+    }
+
+    // ③ public benchmarks.
+    for (i, s) in QueryStructure::benchmarks().into_iter().enumerate() {
+        let set = structure_test_set(s, scale.test_per_group, scale.seed + 200 + i as u64);
+        table4.push(qrow(pipeline, "benchmark", &s.name(), &set.samples));
+    }
+
+    // Fig. 5: flat-vector architectures vs ZeroTune, seen + unseen.
+    let baselines = BaselineModel::fit_all(&pipeline.train_set, scale.seed);
+    let mut architectures = Vec::new();
+    let mut arch_eval = |est: &dyn CostEstimator| {
+        for (workload, samples) in [
+            ("seen", &pipeline.test_seen.samples),
+            ("unseen", &unseen_pool.samples),
+        ] {
+            let (lat, tpt) = evaluate_estimator(est, samples);
+            architectures.push(ArchitectureRow {
+                model: est.name().to_string(),
+                workload: workload.to_string(),
+                lat_median: lat.median,
+                lat_p95: lat.p95,
+                tpt_median: tpt.median,
+                tpt_p95: tpt.p95,
+            });
+        }
+    };
+    arch_eval(&pipeline.model);
+    for b in &baselines {
+        arch_eval(b);
+    }
+
+    Exp1Result {
+        table4,
+        architectures,
+    }
+}
+
+/// Full Exp. 1: train and evaluate.
+pub fn run(scale: &Scale) -> Exp1Result {
+    let pipeline = train_pipeline(scale, &GenConfig::seen());
+    run_with(&pipeline)
+}
+
+/// Print the result in the paper's layout.
+pub fn print(result: &Exp1Result) {
+    let mut t = Table::new(
+        "Table IV: q-errors of cost prediction (seen / unseen / benchmarks)",
+        &[
+            "group",
+            "query structure",
+            "lat median",
+            "lat 95th",
+            "tpt median",
+            "tpt 95th",
+            "n",
+        ],
+    );
+    for r in &result.table4 {
+        t.row(vec![
+            r.group.clone(),
+            r.structure.clone(),
+            f2(r.lat_median),
+            f2(r.lat_p95),
+            f2(r.tpt_median),
+            f2(r.tpt_p95),
+            r.n.to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut a = Table::new(
+        "Fig. 5: model architectures, median (95th) latency/throughput q-error",
+        &["model", "workload", "lat median", "lat 95th", "tpt median", "tpt 95th"],
+    );
+    for r in &result.architectures {
+        a.row(vec![
+            r.model.clone(),
+            r.workload.clone(),
+            f2(r.lat_median),
+            f2(r.lat_p95),
+            f2(r.tpt_median),
+            f2(r.tpt_p95),
+        ]);
+    }
+    a.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            name: "tiny",
+            train_queries: 160,
+            test_per_group: 25,
+            epochs: 10,
+            hidden: 20,
+            seed: 0xE1,
+        }
+    }
+
+    #[test]
+    fn exp1_produces_all_rows() {
+        let result = run(&tiny_scale());
+        // 3 seen + overall + 6 unseen + 3 benchmarks
+        assert_eq!(result.table4.len(), 3 + 1 + 6 + 3);
+        // 4 models × 2 workloads
+        assert_eq!(result.architectures.len(), 8);
+        for r in &result.table4 {
+            assert!(r.lat_median >= 1.0, "{}: q < 1", r.structure);
+            assert!(r.lat_p95 >= r.lat_median);
+        }
+    }
+
+    #[test]
+    fn zerotune_beats_flat_mlp_tails_on_unseen() {
+        // The paper's headline architecture result: flat-vector deep
+        // models extrapolate catastrophically on unseen structures while
+        // the graph model degrades gracefully. The tail (95th) comparison
+        // is robust at every training scale; median orderings among the
+        // non-catastrophic baselines need paper-scale training (see
+        // EXPERIMENTS.md).
+        let result = run(&tiny_scale());
+        let get = |model: &str, workload: &str, p95: bool| {
+            let r = result
+                .architectures
+                .iter()
+                .find(|r| r.model == model && r.workload == workload)
+                .unwrap();
+            if p95 {
+                r.lat_p95
+            } else {
+                r.lat_median
+            }
+        };
+        let zt_p95 = get("ZeroTune", "unseen", true);
+        let mlp_p95 = get("Flat Vector MLP", "unseen", true);
+        assert!(
+            zt_p95 < mlp_p95,
+            "ZeroTune p95 ({zt_p95}) should beat the flat MLP p95 ({mlp_p95}) on unseen plans"
+        );
+        // and ZeroTune must be a usable in-distribution predictor even at
+        // this tiny training scale (the strict ordering against the other
+        // architectures needs paper-scale training; see EXPERIMENTS.md)
+        let zt_seen = get("ZeroTune", "seen", false);
+        assert!(zt_seen < 3.0, "ZeroTune seen median {zt_seen} unusable");
+    }
+}

@@ -1,0 +1,260 @@
+//! Exp. 2: fine-grained parallelism analysis (Fig. 7a–d) and the few-shot
+//! improvement on complex joins (Fig. 6).
+
+use serde::Serialize;
+use zt_core::dataset::{generate_dataset, GenConfig, Sample};
+use zt_core::fewshot::{fine_tune, FewShotConfig};
+use zt_core::train::{evaluate, evaluate_where};
+use zt_dspsim::cluster::ClusterType;
+use zt_query::{ParallelismCategory, QueryStructure};
+
+use crate::report::{f2, Table};
+use crate::{train_pipeline, Scale, TrainedPipeline};
+
+/// Q-errors of one parallelism category within one panel.
+#[derive(Clone, Debug, Serialize)]
+pub struct CategoryRow {
+    pub panel: String,
+    pub category: String,
+    pub lat_median: f64,
+    pub lat_p95: f64,
+    pub tpt_median: f64,
+    pub tpt_p95: f64,
+    pub n: usize,
+}
+
+/// Fig. 6: per-join-type throughput accuracy, zero-shot vs few-shot.
+#[derive(Clone, Debug, Serialize)]
+pub struct FewShotRow {
+    pub structure: String,
+    pub zero_shot_tpt_median: f64,
+    pub few_shot_tpt_median: f64,
+    pub improvement: f64,
+}
+
+/// Scatter point for the Fig. 6 plot.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScatterPoint {
+    pub structure: String,
+    pub true_throughput: f64,
+    pub zero_shot_pred: f64,
+    pub few_shot_pred: f64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Exp2Result {
+    pub categories: Vec<CategoryRow>,
+    pub few_shot: Vec<FewShotRow>,
+    pub scatter: Vec<ScatterPoint>,
+}
+
+fn category_rows(
+    model: &zt_core::model::ZeroTuneModel,
+    panel: &str,
+    samples: &[Sample],
+) -> Vec<CategoryRow> {
+    ParallelismCategory::ALL
+        .iter()
+        .filter_map(|&cat| {
+            let (lat, tpt) = evaluate_where(model, samples, |s| s.meta.category == cat);
+            (lat.count > 0).then(|| CategoryRow {
+                panel: panel.to_string(),
+                category: cat.to_string(),
+                lat_median: lat.median,
+                lat_p95: lat.p95,
+                tpt_median: tpt.median,
+                tpt_p95: tpt.p95,
+                n: lat.count,
+            })
+        })
+        .collect()
+}
+
+/// Run Exp. 2 with a trained pipeline.
+pub fn run_with(pipeline: &TrainedPipeline) -> Exp2Result {
+    let scale = &pipeline.scale;
+    let mut categories = Vec::new();
+
+    // (a) seen plans — enlarge the pool so every category is populated.
+    let mut seen_pool = pipeline.test_seen.clone();
+    seen_pool.extend(generate_dataset(
+        &GenConfig::seen(),
+        scale.test_per_group * 3,
+        scale.seed + 300,
+    ));
+    categories.extend(category_rows(&pipeline.model, "(a) seen", &seen_pool.samples));
+
+    // (b) unseen benchmarks (OptiSample picks low categories here — the
+    // paper notes only XS/S appear).
+    let bench_pool = generate_dataset(
+        &GenConfig::unseen_structures().with_structures(QueryStructure::benchmarks()),
+        scale.test_per_group * 2,
+        scale.seed + 310,
+    );
+    categories.extend(category_rows(
+        &pipeline.model,
+        "(b) benchmarks",
+        &bench_pool.samples,
+    ));
+
+    // (c) unseen hardware: homogeneous (c6420) and heterogeneous mixes.
+    let homo_pool = generate_dataset(
+        &GenConfig::seen().with_cluster_types(vec![ClusterType::C6420]),
+        scale.test_per_group * 2,
+        scale.seed + 320,
+    );
+    categories.extend(category_rows(
+        &pipeline.model,
+        "(c) unseen homogeneous hw",
+        &homo_pool.samples,
+    ));
+    let hetero_pool = generate_dataset(
+        &GenConfig::seen().with_cluster_types(ClusterType::unseen()),
+        scale.test_per_group * 2,
+        scale.seed + 330,
+    );
+    categories.extend(category_rows(
+        &pipeline.model,
+        "(c) unseen heterogeneous hw",
+        &hetero_pool.samples,
+    ));
+
+    // (d) unseen complex plans: zero-shot vs few-shot.
+    let complex = vec![
+        QueryStructure::NWayJoin(4),
+        QueryStructure::NWayJoin(5),
+        QueryStructure::NWayJoin(6),
+    ];
+    let complex_pool = generate_dataset(
+        &GenConfig::unseen_structures().with_structures(complex.clone()),
+        scale.test_per_group * 3,
+        scale.seed + 340,
+    );
+    categories.extend(category_rows(
+        &pipeline.model,
+        "(d) unseen plans zero-shot",
+        &complex_pool.samples,
+    ));
+
+    // Few-shot: fine-tune on ~500 (scaled) complex-join queries.
+    let shots = generate_dataset(
+        &GenConfig::unseen_structures().with_structures(complex.clone()),
+        (scale.test_per_group * 4).min(500),
+        scale.seed + 350,
+    );
+    let mut tuned = pipeline.model.clone();
+    fine_tune(&mut tuned, &shots, &FewShotConfig::default());
+    categories.extend(category_rows(
+        &tuned,
+        "(d) unseen plans few-shot",
+        &complex_pool.samples,
+    ));
+
+    // Fig. 6: per-join-type throughput medians + scatter.
+    let mut few_shot = Vec::new();
+    let mut scatter = Vec::new();
+    for s in &complex {
+        let name = s.name();
+        let subset: Vec<Sample> = complex_pool
+            .samples
+            .iter()
+            .filter(|x| x.meta.structure == name)
+            .cloned()
+            .collect();
+        let (_, zs) = evaluate(&pipeline.model, &subset);
+        let (_, fs) = evaluate(&tuned, &subset);
+        few_shot.push(FewShotRow {
+            structure: name.clone(),
+            zero_shot_tpt_median: zs.median,
+            few_shot_tpt_median: fs.median,
+            improvement: zs.median / fs.median.max(1e-9),
+        });
+        for x in subset.iter().take(40) {
+            scatter.push(ScatterPoint {
+                structure: name.clone(),
+                true_throughput: x.throughput,
+                zero_shot_pred: pipeline.model.predict(&x.graph).1,
+                few_shot_pred: tuned.predict(&x.graph).1,
+            });
+        }
+    }
+
+    Exp2Result {
+        categories,
+        few_shot,
+        scatter,
+    }
+}
+
+pub fn run(scale: &Scale) -> Exp2Result {
+    let pipeline = train_pipeline(scale, &GenConfig::seen());
+    run_with(&pipeline)
+}
+
+pub fn print(result: &Exp2Result) {
+    let mut t = Table::new(
+        "Fig. 7: q-errors per parallelism category (XS..XL)",
+        &["panel", "cat", "lat median", "lat 95th", "tpt median", "tpt 95th", "n"],
+    );
+    for r in &result.categories {
+        t.row(vec![
+            r.panel.clone(),
+            r.category.clone(),
+            f2(r.lat_median),
+            f2(r.lat_p95),
+            f2(r.tpt_median),
+            f2(r.tpt_p95),
+            r.n.to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut t6 = Table::new(
+        "Fig. 6: few-shot (500 queries) throughput improvement on complex joins",
+        &["structure", "zero-shot tpt median", "few-shot tpt median", "improvement"],
+    );
+    for r in &result.few_shot {
+        t6.row(vec![
+            r.structure.clone(),
+            f2(r.zero_shot_tpt_median),
+            f2(r.few_shot_tpt_median),
+            format!("{}x", f2(r.improvement)),
+        ]);
+    }
+    t6.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp2_panels_are_populated() {
+        let scale = Scale {
+            name: "tiny",
+            train_queries: 150,
+            test_per_group: 20,
+            epochs: 8,
+            hidden: 20,
+            seed: 0xE2,
+        };
+        let result = run(&scale);
+        let panels: std::collections::HashSet<&str> = result
+            .categories
+            .iter()
+            .map(|r| r.panel.as_str())
+            .collect();
+        assert!(panels.contains("(a) seen"));
+        assert!(panels.contains("(b) benchmarks"));
+        assert!(panels.contains("(c) unseen homogeneous hw"));
+        assert!(panels.contains("(d) unseen plans zero-shot"));
+        assert!(panels.contains("(d) unseen plans few-shot"));
+        assert_eq!(result.few_shot.len(), 3);
+        assert!(!result.scatter.is_empty());
+        // every row is a valid q-error
+        for r in &result.categories {
+            assert!(r.lat_median >= 1.0);
+            assert!(r.n > 0);
+        }
+    }
+}

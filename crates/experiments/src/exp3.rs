@@ -1,0 +1,231 @@
+//! Exp. 3: generalization for unseen parameters (Fig. 8a–e).
+//!
+//! The model is trained on the seen ranges of linear/2-way/3-way queries
+//! and evaluated on *pinned* parameter values covering the seen and unseen
+//! grids: tuple width, event rate, window duration, window length, and
+//! number of workers. The white/grey split of the paper's plots maps to
+//! the `seen` flag of each row.
+
+use serde::Serialize;
+use zt_core::dataset::{generate_dataset, GenConfig, Sample};
+use zt_core::train::evaluate;
+use zt_query::params;
+use zt_query::ParamRanges;
+
+use crate::report::{f2, fmt_qty, Table};
+use crate::{train_pipeline, Scale, TrainedPipeline};
+
+/// Median q-error at one pinned parameter value.
+#[derive(Clone, Debug, Serialize)]
+pub struct ParamRow {
+    pub parameter: String,
+    pub value: f64,
+    pub seen: bool,
+    pub lat_median: f64,
+    pub tpt_median: f64,
+    pub n: usize,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Exp3Result {
+    pub rows: Vec<ParamRow>,
+}
+
+fn eval_pinned(
+    pipeline: &TrainedPipeline,
+    parameter: &str,
+    value: f64,
+    seen: bool,
+    pin: impl Fn(&mut ParamRanges),
+    filter: impl Fn(&Sample) -> bool,
+    seed: u64,
+) -> ParamRow {
+    let mut ranges = ParamRanges::seen();
+    pin(&mut ranges);
+    let cfg = GenConfig {
+        ranges,
+        ..GenConfig::seen()
+    };
+    // Generate extra so post-filter counts stay near the target.
+    let want = pipeline.scale.test_per_group;
+    let pool = generate_dataset(&cfg, want * 3, seed);
+    let samples: Vec<Sample> = pool
+        .samples
+        .into_iter()
+        .filter(|s| filter(s))
+        .take(want)
+        .collect();
+    let (lat, tpt) = evaluate(&pipeline.model, &samples);
+    ParamRow {
+        parameter: parameter.to_string(),
+        value,
+        seen,
+        lat_median: lat.median,
+        tpt_median: tpt.median,
+        n: lat.count,
+    }
+}
+
+pub fn run_with(pipeline: &TrainedPipeline) -> Exp3Result {
+    let mut rows = Vec::new();
+    let mut seed = pipeline.scale.seed + 400;
+
+    // (a) tuple widths 1–5 (seen) and 6–15 (unseen, extrapolation).
+    for (vals, seen) in [
+        (params::TRAIN_TUPLE_WIDTHS, true),
+        (params::TEST_TUPLE_WIDTHS, false),
+    ] {
+        for &w in vals {
+            seed += 1;
+            rows.push(eval_pinned(
+                pipeline,
+                "tuple width",
+                w as f64,
+                seen,
+                |r| r.tuple_widths = vec![w],
+                |_| true,
+                seed,
+            ));
+        }
+    }
+
+    // (b) event rates (interpolation + extrapolation). Subsample the grids
+    // to keep the sweep bounded.
+    let pick = |grid: &[f64]| -> Vec<f64> {
+        grid.iter().step_by(2).copied().collect()
+    };
+    for (vals, seen) in [
+        (pick(params::TRAIN_EVENT_RATES), true),
+        (pick(params::TEST_EVENT_RATES), false),
+    ] {
+        for &rate in &vals {
+            seed += 1;
+            rows.push(eval_pinned(
+                pipeline,
+                "event rate",
+                rate,
+                seen,
+                |r| r.event_rates = vec![rate],
+                |_| true,
+                seed,
+            ));
+        }
+    }
+
+    // (c) time-window durations — keep only samples that drew a time
+    // window at the pinned value.
+    for (vals, seen) in [
+        (params::TRAIN_WINDOW_DURATIONS.to_vec(), true),
+        (pick(params::TEST_WINDOW_DURATIONS), false),
+    ] {
+        for &d in &vals {
+            seed += 1;
+            rows.push(eval_pinned(
+                pipeline,
+                "window duration (ms)",
+                d,
+                seen,
+                |r| r.window_durations_ms = vec![d],
+                move |s| s.meta.window_duration == Some(d),
+                seed,
+            ));
+        }
+    }
+
+    // (d) count-window lengths.
+    for (vals, seen) in [
+        (params::TRAIN_WINDOW_LENGTHS.to_vec(), true),
+        (pick(params::TEST_WINDOW_LENGTHS), false),
+    ] {
+        for &l in &vals {
+            seed += 1;
+            rows.push(eval_pinned(
+                pipeline,
+                "window length (tuples)",
+                l,
+                seen,
+                |r| r.window_lengths = vec![l],
+                move |s| s.meta.window_length == Some(l),
+                seed,
+            ));
+        }
+    }
+
+    // (e) number of workers.
+    for (vals, seen) in [
+        (params::TRAIN_NUM_WORKERS, true),
+        (params::TEST_NUM_WORKERS, false),
+    ] {
+        for &w in vals {
+            seed += 1;
+            rows.push(eval_pinned(
+                pipeline,
+                "workers",
+                w as f64,
+                seen,
+                |r| r.num_workers = vec![w],
+                |_| true,
+                seed,
+            ));
+        }
+    }
+
+    Exp3Result { rows }
+}
+
+pub fn run(scale: &Scale) -> Exp3Result {
+    let pipeline = train_pipeline(scale, &GenConfig::seen());
+    run_with(&pipeline)
+}
+
+pub fn print(result: &Exp3Result) {
+    let mut t = Table::new(
+        "Fig. 8: median q-errors across (un)seen parameter values",
+        &["parameter", "value", "range", "lat median", "tpt median", "n"],
+    );
+    for r in &result.rows {
+        t.row(vec![
+            r.parameter.clone(),
+            fmt_qty(r.value),
+            if r.seen { "seen".into() } else { "unseen".into() },
+            f2(r.lat_median),
+            f2(r.tpt_median),
+            r.n.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp3_covers_all_five_parameters() {
+        let scale = Scale {
+            name: "tiny",
+            train_queries: 150,
+            test_per_group: 15,
+            epochs: 8,
+            hidden: 20,
+            seed: 0xE3,
+        };
+        let result = run(&scale);
+        let params: std::collections::HashSet<&str> =
+            result.rows.iter().map(|r| r.parameter.as_str()).collect();
+        assert_eq!(params.len(), 5);
+        // both seen and unseen ranges appear for every parameter
+        for p in params {
+            assert!(result.rows.iter().any(|r| r.parameter == p && r.seen));
+            assert!(result.rows.iter().any(|r| r.parameter == p && !r.seen));
+        }
+        // pinned tuple-width rows carry data
+        let width_rows: Vec<_> = result
+            .rows
+            .iter()
+            .filter(|r| r.parameter == "tuple width")
+            .collect();
+        assert_eq!(width_rows.len(), 15);
+        assert!(width_rows.iter().all(|r| r.n > 0));
+    }
+}

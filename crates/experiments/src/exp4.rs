@@ -1,0 +1,180 @@
+//! Exp. 4: data-efficient training (Fig. 9a–b).
+//!
+//! Trains ZeroTune with increasing amounts of data collected by the
+//! OptiSample strategy and by the random strategy, and reports q-error on
+//! fixed seen/unseen evaluation sets plus wall-clock training time. The
+//! paper's finding: OptiSample reaches the converged accuracy with ~¼ of
+//! the queries and roughly half the training time.
+
+use serde::Serialize;
+use zt_core::dataset::{generate_dataset, GenConfig};
+use zt_core::model::{ModelConfig, ZeroTuneModel};
+use zt_core::optisample::EnumerationStrategy;
+use zt_core::train::{evaluate, train, TrainConfig};
+
+use crate::report::{f2, Table};
+use crate::Scale;
+
+/// One sweep point of Fig. 9.
+#[derive(Clone, Debug, Serialize)]
+pub struct EfficiencyRow {
+    pub strategy: String,
+    pub train_queries: usize,
+    pub seen_lat_median: f64,
+    pub unseen_lat_median: f64,
+    pub seen_tpt_median: f64,
+    pub unseen_tpt_median: f64,
+    /// Wall-clock time: data collection + training, seconds.
+    pub total_secs: f64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Exp4Result {
+    pub rows: Vec<EfficiencyRow>,
+}
+
+/// Training-set sizes: geometric sweep up to the scale's budget.
+pub fn sweep_sizes(max: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut n = (max / 16).max(50);
+    while n < max {
+        sizes.push(n);
+        n *= 2;
+    }
+    sizes.push(max);
+    sizes
+}
+
+pub fn run(scale: &Scale) -> Exp4Result {
+    // Fixed evaluation sets shared by every sweep point.
+    let eval_seen = generate_dataset(&GenConfig::seen(), scale.test_per_group * 2, scale.seed + 501);
+    let eval_unseen = generate_dataset(
+        &GenConfig::unseen_structures(),
+        scale.test_per_group * 2,
+        scale.seed + 502,
+    );
+
+    let mut rows = Vec::new();
+    for strategy in [
+        EnumerationStrategy::opti_sample(),
+        EnumerationStrategy::random(),
+    ] {
+        for &n in &sweep_sizes(scale.train_queries) {
+            let start = std::time::Instant::now();
+            let data = generate_dataset(
+                &GenConfig::seen().with_strategy(strategy),
+                n,
+                scale.seed + 510,
+            );
+            let mut model = ZeroTuneModel::new(ModelConfig {
+                hidden: scale.hidden,
+                seed: scale.seed,
+            });
+            train(
+                &mut model,
+                &data,
+                &TrainConfig {
+                    epochs: scale.epochs,
+                    patience: (scale.epochs / 4).max(5),
+                    seed: scale.seed,
+                    ..TrainConfig::default()
+                },
+            );
+            let total_secs = start.elapsed().as_secs_f64();
+            let (seen_lat, seen_tpt) = evaluate(&model, &eval_seen.samples);
+            let (unseen_lat, unseen_tpt) = evaluate(&model, &eval_unseen.samples);
+            rows.push(EfficiencyRow {
+                strategy: strategy.name().to_string(),
+                train_queries: n,
+                seen_lat_median: seen_lat.median,
+                unseen_lat_median: unseen_lat.median,
+                seen_tpt_median: seen_tpt.median,
+                unseen_tpt_median: unseen_tpt.median,
+                total_secs,
+            });
+        }
+    }
+    Exp4Result { rows }
+}
+
+pub fn print(result: &Exp4Result) {
+    let mut t = Table::new(
+        "Fig. 9: data efficiency — q-error and training time vs #queries",
+        &[
+            "strategy",
+            "#queries",
+            "seen lat med",
+            "unseen lat med",
+            "seen tpt med",
+            "unseen tpt med",
+            "time (s)",
+        ],
+    );
+    for r in &result.rows {
+        t.row(vec![
+            r.strategy.clone(),
+            r.train_queries.to_string(),
+            f2(r.seen_lat_median),
+            f2(r.unseen_lat_median),
+            f2(r.seen_tpt_median),
+            f2(r.unseen_tpt_median),
+            f2(r.total_secs),
+        ]);
+    }
+    t.print();
+}
+
+/// The smallest training-set size at which the strategy's seen latency
+/// q-error drops below `threshold` (Fig. 9a's "convergence point").
+pub fn convergence_point(result: &Exp4Result, strategy: &str, threshold: f64) -> Option<usize> {
+    result
+        .rows
+        .iter()
+        .filter(|r| r.strategy == strategy && r.seen_lat_median <= threshold)
+        .map(|r| r.train_queries)
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_sizes_are_increasing_and_end_at_max() {
+        let s = sweep_sizes(4000);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*s.last().unwrap(), 4000);
+        assert!(s.len() >= 3);
+    }
+
+    #[test]
+    fn exp4_runs_both_strategies() {
+        let scale = Scale {
+            name: "tiny",
+            train_queries: 200,
+            test_per_group: 20,
+            epochs: 8,
+            hidden: 20,
+            seed: 0xE4,
+        };
+        let result = run(&scale);
+        let strategies: std::collections::HashSet<&str> =
+            result.rows.iter().map(|r| r.strategy.as_str()).collect();
+        assert!(strategies.contains("OptiSample"));
+        assert!(strategies.contains("Random"));
+        for r in &result.rows {
+            assert!(r.total_secs > 0.0);
+            assert!(r.seen_lat_median >= 1.0);
+        }
+        // more data should not hurt badly: last point ≤ 3× first point
+        let opti: Vec<_> = result
+            .rows
+            .iter()
+            .filter(|r| r.strategy == "OptiSample")
+            .collect();
+        assert!(
+            opti.last().unwrap().seen_lat_median
+                <= opti.first().unwrap().seen_lat_median * 3.0
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Fig. 3 micro-benchmark: effect of the parallelism degree and operator
+//! grouping on latency and throughput.
+//!
+//! Reproduces the paper's setup: a linear query with a count-based
+//! tumbling window where everything except the parallelism degree is kept
+//! deterministic, with the input rate high enough to drive the cluster to
+//! full utilization. With increasing parallelism, latency falls and
+//! throughput rises; when the deployment saturates the cluster's slots
+//! the scheduler switches to fused (chained) execution — the highlighted
+//! discontinuity of the paper's figure.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use zt_dspsim::analytical::{simulate, SimConfig};
+use zt_dspsim::cluster::{Cluster, ClusterType};
+use zt_query::operators::*;
+use zt_query::{DataType, LogicalPlan, OperatorKind, ParallelQueryPlan, TupleSchema};
+
+use crate::report::{f2, fmt_qty, Table};
+
+/// One sweep point.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepPoint {
+    pub parallelism: u32,
+    pub latency_ms: f64,
+    pub throughput: f64,
+    /// Whether the scheduler fused operators at this degree (the paper's
+    /// "operator grouping" region).
+    pub chained: bool,
+    /// Grouping number of the filter operator.
+    pub grouping: u32,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig3Result {
+    pub points: Vec<SweepPoint>,
+    pub offered_rate: f64,
+    pub workers: usize,
+}
+
+/// The micro-benchmark query: source → filter → count-tumbling
+/// window-aggregate → sink with fixed parameters.
+pub fn microbench_query(rate: f64) -> LogicalPlan {
+    let mut plan = LogicalPlan::new("fig3-microbench");
+    let s = plan.add(OperatorKind::Source(SourceOp {
+        event_rate: rate,
+        schema: TupleSchema::uniform(DataType::Double, 3),
+    }));
+    let f = plan.add(OperatorKind::Filter(FilterOp {
+        function: FilterFunction::Gt,
+        literal_class: DataType::Double,
+        selectivity: 0.5,
+    }));
+    let a = plan.add(OperatorKind::Aggregate(AggregateOp {
+        window: WindowSpec::tumbling(WindowPolicy::Count, 50.0),
+        function: AggFunction::Avg,
+        agg_class: DataType::Double,
+        key_class: Some(DataType::Int),
+        selectivity: 0.2,
+    }));
+    let k = plan.add(OperatorKind::Sink(SinkOp));
+    plan.connect(s, f);
+    plan.connect(f, a);
+    plan.connect(a, k);
+    plan
+}
+
+/// Run the sweep. `rate` should saturate the cluster at low parallelism
+/// (the paper: "maximum utilization … while ensuring there is no
+/// backpressure with increasing parallelism").
+pub fn run(rate: f64, workers: usize) -> Fig3Result {
+    let cluster = Cluster::homogeneous(ClusterType::M510, workers, 10.0);
+    let sim = SimConfig::noiseless();
+    let degrees = [1u32, 2, 4, 6, 8, 10, 12, 14, 16, 20, 24, 32, 48, 64];
+    let plan = microbench_query(rate);
+    let points = degrees
+        .iter()
+        .map(|&p| {
+            let pqp = ParallelQueryPlan::with_parallelism(plan.clone(), vec![p; 4]);
+            let mut rng = StdRng::seed_from_u64(3);
+            let m = simulate(&pqp, &cluster, &sim, &mut rng);
+            SweepPoint {
+                parallelism: p,
+                latency_ms: m.latency_ms,
+                throughput: m.throughput,
+                chained: m.deployment.chained,
+                grouping: m.deployment.grouping_number(zt_query::OpId(1)),
+            }
+        })
+        .collect();
+    Fig3Result {
+        points,
+        offered_rate: rate,
+        workers,
+    }
+}
+
+pub fn print(result: &Fig3Result) {
+    let mut t = Table::new(
+        format!(
+            "Fig. 3: parallelism sweep (offered {} ev/s, {} workers)",
+            fmt_qty(result.offered_rate),
+            result.workers
+        ),
+        &["parallelism", "latency (ms)", "throughput (ev/s)", "chained", "grouping"],
+    );
+    for p in &result.points {
+        t.row(vec![
+            p.parallelism.to_string(),
+            f2(p.latency_ms),
+            fmt_qty(p.throughput),
+            if p.chained { "yes".into() } else { "no".into() },
+            p.grouping.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_paper_fig3_shape() {
+        let result = run(3_000_000.0, 8); // 64 slots
+        let pts = &result.points;
+        assert!(pts.len() >= 10);
+
+        // throughput increases with parallelism (up to saturation)
+        let t1 = pts[0].throughput;
+        let t_mid = pts.iter().find(|p| p.parallelism == 16).unwrap().throughput;
+        assert!(t_mid > t1 * 2.0, "throughput not scaling: {t1} -> {t_mid}");
+
+        // latency decreases from p=1 to mid parallelism
+        let l1 = pts[0].latency_ms;
+        let l_mid = pts.iter().find(|p| p.parallelism == 16).unwrap().latency_ms;
+        assert!(l_mid < l1, "latency not dropping: {l1} -> {l_mid}");
+
+        // the chaining discontinuity exists: some low-p points unchained,
+        // some high-p points chained
+        assert!(pts.iter().any(|p| !p.chained));
+        assert!(pts.iter().any(|p| p.chained));
+        // grouping number reflects the fusion
+        let first_chained = pts.iter().find(|p| p.chained).unwrap();
+        assert!(first_chained.grouping >= 2);
+    }
+
+    #[test]
+    fn chaining_transition_improves_latency() {
+        let result = run(3_000_000.0, 8);
+        let pts = &result.points;
+        // find the transition index
+        let idx = pts.iter().position(|p| p.chained);
+        if let Some(i) = idx {
+            if i > 0 {
+                let before = &pts[i - 1];
+                let after = &pts[i];
+                // the paper's highlighted effect: a sudden improvement at
+                // the grouping transition despite higher parallelism
+                assert!(
+                    after.latency_ms < before.latency_ms,
+                    "no latency improvement at the chaining transition: {} -> {}",
+                    before.latency_ms,
+                    after.latency_ms
+                );
+            }
+        }
+    }
+}

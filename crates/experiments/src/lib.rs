@@ -1,0 +1,172 @@
+//! # zt-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation section:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`exp1`] | Table IV ①②③ (seen / unseen / benchmark q-errors) and Fig. 1 / Fig. 5 (architecture comparison) |
+//! | [`exp2`] | Fig. 7a–d (parallelism categories) and Fig. 6 (few-shot scatter) |
+//! | [`exp3`] | Fig. 8a–e (unseen parameters) |
+//! | [`exp4`] | Fig. 9a–b (data-efficient training) |
+//! | [`exp5`] | Fig. 10a–b (optimizer speed-ups vs greedy and Dhalion) |
+//! | [`exp6`] | Fig. 11 (feature ablation) |
+//! | [`fig3`] | Fig. 3 (parallelism/chaining micro-benchmark) |
+//!
+//! Every runner accepts a [`Scale`] so the same code serves quick smoke
+//! runs (`cargo bench`), the default CLI runs, and paper-scale runs.
+
+pub mod exp1;
+pub mod exp2;
+pub mod exp3;
+pub mod exp4;
+pub mod exp5;
+pub mod exp6;
+pub mod fig3;
+pub mod report;
+
+use zt_core::dataset::{generate_dataset, Dataset, GenConfig};
+use zt_core::model::{ModelConfig, ZeroTuneModel};
+use zt_core::train::{train, TrainConfig, TrainReport};
+
+/// Experiment size preset.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    pub name: &'static str,
+    /// Training queries (the paper uses 19.2k after the 80/10/10 split of
+    /// 24k).
+    pub train_queries: usize,
+    /// Test queries per workload group (the paper uses 200 per unseen
+    /// structure).
+    pub test_per_group: usize,
+    pub epochs: usize,
+    pub hidden: usize,
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Fast preset used by `cargo bench` (finishes in seconds per
+    /// experiment).
+    pub fn smoke() -> Self {
+        Scale {
+            name: "smoke",
+            train_queries: 300,
+            test_per_group: 40,
+            epochs: 12,
+            hidden: 24,
+            seed: 0xD0E,
+        }
+    }
+
+    /// Default CLI preset (a couple of minutes per experiment).
+    pub fn standard() -> Self {
+        Scale {
+            name: "standard",
+            train_queries: 3_000,
+            test_per_group: 120,
+            epochs: 30,
+            hidden: 48,
+            seed: 0xD0E,
+        }
+    }
+
+    /// Paper-scale preset (24k queries as in Table III).
+    pub fn full() -> Self {
+        Scale {
+            name: "full",
+            train_queries: 19_200,
+            test_per_group: 200,
+            epochs: 40,
+            hidden: 64,
+            seed: 0xD0E,
+        }
+    }
+
+    /// Parse `--scale smoke|standard|full` style CLI args (defaults to
+    /// standard).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        for (i, a) in args.iter().enumerate() {
+            if a == "--scale" {
+                if let Some(v) = args.get(i + 1) {
+                    return Self::by_name(v);
+                }
+            }
+            if let Some(v) = a.strip_prefix("--scale=") {
+                return Self::by_name(v);
+            }
+        }
+        Self::standard()
+    }
+
+    pub fn by_name(name: &str) -> Self {
+        match name {
+            "smoke" => Self::smoke(),
+            "full" => Self::full(),
+            _ => Self::standard(),
+        }
+    }
+
+    fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            epochs: self.epochs,
+            patience: (self.epochs / 4).max(5),
+            seed: self.seed,
+            ..TrainConfig::default()
+        }
+    }
+}
+
+/// A trained ZeroTune model together with the datasets used to produce it.
+pub struct TrainedPipeline {
+    pub model: ZeroTuneModel,
+    pub train_set: Dataset,
+    pub test_seen: Dataset,
+    pub report: TrainReport,
+    pub scale: Scale,
+}
+
+/// Generate the seen workload, split 80/10/10 and train ZeroTune — the
+/// common preamble of experiments 1, 2, 3, 5 and 6.
+pub fn train_pipeline(scale: &Scale, gen_cfg: &GenConfig) -> TrainedPipeline {
+    // train_queries is the post-split training budget; generate 100/80 of
+    // it so the 80/10/10 split yields the requested size.
+    let total = scale.train_queries * 10 / 8;
+    let data = generate_dataset(gen_cfg, total, scale.seed);
+    let (train_set, test_seen, _val) = data.split(0.8, 0.1, scale.seed);
+    let mut model = ZeroTuneModel::new(ModelConfig {
+        hidden: scale.hidden,
+        seed: scale.seed,
+    });
+    let report = train(&mut model, &train_set, &scale.train_config());
+    TrainedPipeline {
+        model,
+        train_set,
+        test_seen,
+        report,
+        scale: *scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::by_name("smoke").name, "smoke");
+        assert_eq!(Scale::by_name("full").name, "full");
+        assert_eq!(Scale::by_name("anything").name, "standard");
+    }
+
+    #[test]
+    fn pipeline_trains_at_smoke_scale() {
+        let scale = Scale::smoke();
+        let p = train_pipeline(&scale, &GenConfig::seen());
+        assert_eq!(p.train_set.len(), scale.train_queries);
+        assert!(p.test_seen.len() > 0);
+        assert!(p.report.epochs_run > 0);
+        let (lat, _) = zt_core::train::evaluate(&p.model, &p.test_seen.samples);
+        assert!(lat.median < 10.0, "smoke model too inaccurate: {}", lat.median);
+    }
+}

@@ -1,0 +1,158 @@
+//! Table rendering and result persistence.
+//!
+//! Every experiment prints an ASCII table mirroring the paper's
+//! presentation and (optionally) persists the raw rows as JSON under
+//! `results/` so EXPERIMENTS.md can reference stable numbers.
+
+use serde::Serialize;
+
+/// A simple fixed-column ASCII table.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "+";
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("| {:w$} ", c, w = widths[i]))
+                .collect::<String>()
+                + "|"
+        };
+        let mut out = format!("\n== {} ==\n{sep}\n{}\n{sep}\n", self.title, fmt_row(&self.header));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with 2 decimals (the paper's q-error precision).
+pub fn f2(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Format a rate/latency with adaptive precision.
+pub fn fmt_qty(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v >= 100_000.0 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1000.0 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Persist a serializable result under `results/<name>.json` (relative to
+/// the workspace root if found, else the current directory).
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let mut dir = std::env::current_dir()?;
+    // walk up to the workspace root (where Cargo.toml with [workspace] is)
+    for anc in dir.clone().ancestors() {
+        let manifest = anc.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    dir = anc.to_path_buf();
+                    break;
+                }
+            }
+        }
+    }
+    let results = dir.join("results");
+    std::fs::create_dir_all(&results)?;
+    let path = results.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["short".into(), "1.00".into()]);
+        t.row(vec!["a-much-longer-name".into(), "2.50".into()]);
+        let out = t.render();
+        assert!(out.contains("demo"));
+        assert!(out.contains("| short"));
+        assert!(out.contains("| a-much-longer-name"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f2(f64::NAN), "-");
+        assert_eq!(f2(12345.6), "12346");
+        assert_eq!(fmt_qty(2_500_000.0), "2.50M");
+        assert_eq!(fmt_qty(2_500.0), "2.5k");
+        assert_eq!(fmt_qty(25.0), "25.00");
+    }
+
+    #[test]
+    fn save_json_writes_to_results() {
+        let path = save_json("unit_test_artifact", &vec![1, 2, 3]).unwrap();
+        assert!(path.exists());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains('1'));
+        std::fs::remove_file(path).ok();
+    }
+}

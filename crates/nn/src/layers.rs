@@ -1,0 +1,335 @@
+//! Parameter storage and neural-network modules (`Linear`, `Mlp`).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ParamEntry {
+    name: String,
+    value: Matrix,
+    #[serde(skip)]
+    grad: Option<Matrix>,
+    /// First/second Adam moments (lazily initialized by the optimizer).
+    #[serde(skip)]
+    m: Option<Matrix>,
+    #[serde(skip)]
+    v: Option<Matrix>,
+}
+
+/// Owns all trainable parameters of a model, their gradients and optimizer
+/// state. Serializable (weights only) so trained models can be persisted.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        ParamStore { params: Vec::new() }
+    }
+
+    /// Register a parameter and return its id.
+    pub fn alloc(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.params.push(ParamEntry {
+            name: name.into(),
+            value,
+            grad: None,
+            m: None,
+            v: None,
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.data.len()).sum()
+    }
+
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Current gradient (zeros if never touched).
+    pub fn grad(&self, id: ParamId) -> Matrix {
+        let p = &self.params[id.0];
+        p.grad
+            .clone()
+            .unwrap_or_else(|| Matrix::zeros(p.value.rows, p.value.cols))
+    }
+
+    /// Add `g` into the parameter's gradient accumulator.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
+        let p = &mut self.params[id.0];
+        match &mut p.grad {
+            Some(existing) => existing.add_assign(g),
+            slot @ None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Reset all gradients to zero (keeps allocations).
+    pub fn zero_grad(&mut self) {
+        for p in &mut self.params {
+            if let Some(g) = &mut p.grad {
+                g.zero_out();
+            }
+        }
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .filter_map(|p| p.grad.as_ref())
+            .map(|g| g.data.iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scale all gradients by `s` (used for gradient clipping and
+    /// mini-batch averaging).
+    pub fn scale_grads(&mut self, s: f32) {
+        for p in &mut self.params {
+            if let Some(g) = &mut p.grad {
+                for v in &mut g.data {
+                    *v *= s;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn optim_state(
+        &mut self,
+        id: ParamId,
+    ) -> (&mut Matrix, &mut Option<Matrix>, &mut Option<Matrix>, Option<&Matrix>) {
+        let p = &mut self.params[id.0];
+        (&mut p.value, &mut p.m, &mut p.v, p.grad.as_ref())
+    }
+
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Copy all weights from another store with identical layout (used by
+    /// few-shot fine-tuning to restore snapshots).
+    pub fn copy_weights_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.params.len(), other.params.len(), "layout mismatch");
+        for (a, b) in self.params.iter_mut().zip(other.params.iter()) {
+            assert!(a.value.same_shape(&b.value), "shape mismatch for {}", a.name);
+            a.value = b.value.clone();
+        }
+    }
+}
+
+/// A fully connected layer `y = x·W + b`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: ParamId,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// He-initialized layer (suits ReLU activations).
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let std = (2.0 / in_dim as f32).sqrt();
+        let w = Matrix {
+            rows: in_dim,
+            cols: out_dim,
+            data: (0..in_dim * out_dim)
+                .map(|_| {
+                    // Box–Muller normal draw.
+                    let u1: f32 = rng.gen_range(1e-7..1.0);
+                    let u2: f32 = rng.gen_range(0.0..1.0);
+                    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * std
+                })
+                .collect(),
+        };
+        let b = Matrix::zeros(1, out_dim);
+        Linear {
+            w: store.alloc(format!("{name}.w"), w),
+            b: store.alloc(format!("{name}.b"), b),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let xw = tape.matmul(x, w);
+        tape.add_row(xw, b)
+    }
+}
+
+/// Multi-layer perceptron with ReLU activations between layers and a
+/// linear output layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    pub layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// `dims = [in, hidden…, out]`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        dims: &[usize],
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.{i}"), w[0], w[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty MLP").in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty MLP").out_dim
+    }
+
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, mut x: Var) -> Var {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(tape, store, x);
+            if i < last {
+                x = tape.relu(x);
+            }
+        }
+        x
+    }
+
+    /// Parameter ids of this module (for per-module learning-rate masks).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(|l| [l.w, l.b]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 4, 3, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::zeros(2, 4));
+        let y = lin.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (2, 3));
+    }
+
+    #[test]
+    fn mlp_forward_shape_and_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[5, 8, 8, 2], &mut rng);
+        assert_eq!(mlp.in_dim(), 5);
+        assert_eq!(mlp.out_dim(), 2);
+        assert_eq!(store.len(), 6); // 3 layers × (w, b)
+        assert_eq!(store.num_weights(), 5 * 8 + 8 + 8 * 8 + 8 + 8 * 2 + 2);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::zeros(1, 5));
+        let y = mlp.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (1, 2));
+    }
+
+    #[test]
+    fn he_init_has_reasonable_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 100, 100, &mut rng);
+        let w = store.value(lin.w);
+        let std = (w.data.iter().map(|v| v * v).sum::<f32>() / w.data.len() as f32).sqrt();
+        let expected = (2.0f32 / 100.0).sqrt();
+        assert!((std - expected).abs() / expected < 0.15, "std {std}");
+        // bias starts at zero
+        assert!(store.value(lin.b).data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut store = ParamStore::new();
+        let id = store.alloc("p", Matrix::scalar(1.0));
+        store.accumulate_grad(id, &Matrix::scalar(5.0));
+        assert_eq!(store.grad(id).data[0], 5.0);
+        store.accumulate_grad(id, &Matrix::scalar(2.0));
+        assert_eq!(store.grad(id).data[0], 7.0);
+        store.zero_grad();
+        assert_eq!(store.grad(id).data[0], 0.0);
+    }
+
+    #[test]
+    fn grad_norm_and_scaling() {
+        let mut store = ParamStore::new();
+        let a = store.alloc("a", Matrix::scalar(0.0));
+        let b = store.alloc("b", Matrix::scalar(0.0));
+        store.accumulate_grad(a, &Matrix::scalar(3.0));
+        store.accumulate_grad(b, &Matrix::scalar(4.0));
+        assert!((store.grad_norm() - 5.0).abs() < 1e-6);
+        store.scale_grads(0.5);
+        assert!((store.grad_norm() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_serde_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let _ = Mlp::new(&mut store, "m", &[3, 4, 1], &mut rng);
+        let json = serde_json::to_string(&store).unwrap();
+        let back: ParamStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), store.len());
+        for id in store.ids() {
+            assert_eq!(back.value(id), store.value(id));
+        }
+    }
+
+    #[test]
+    fn copy_weights_from_restores_snapshot() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let _ = Mlp::new(&mut store, "m", &[2, 2], &mut rng);
+        let snapshot = store.clone();
+        store.value_mut(ParamId(0)).data[0] += 10.0;
+        store.copy_weights_from(&snapshot);
+        assert_eq!(store.value(ParamId(0)), snapshot.value(ParamId(0)));
+    }
+}

@@ -1,0 +1,30 @@
+//! # zt-nn
+//!
+//! A small, fully-tested neural-network stack built from scratch for the
+//! ZeroTune reproduction (mature GNN crates are not available, and the
+//! paper's model — per-node-type MLP encoders, DAG message passing, an MLP
+//! read-out — is small enough that a purpose-built tape is the right
+//! tool).
+//!
+//! * [`matrix`] — a dense row-major `f32` matrix.
+//! * [`tape`] — reverse-mode autodiff over matrices with a fixed op set
+//!   (matmul, broadcast add, ReLU/tanh, concat, element-wise mean of
+//!   several inputs, losses). Gradients are checked against central finite
+//!   differences in [`gradcheck`].
+//! * [`layers`] — parameter store, `Linear` and `Mlp` modules.
+//! * [`optim`] — SGD (with momentum) and Adam, with global-norm gradient
+//!   clipping.
+//! * [`linalg`] — `f64` Cholesky solver used by the ridge-regression
+//!   baseline.
+
+pub mod gradcheck;
+pub mod layers;
+pub mod linalg;
+pub mod matrix;
+pub mod optim;
+pub mod tape;
+
+pub use layers::{Linear, Mlp, ParamId, ParamStore};
+pub use matrix::Matrix;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tape::{Tape, Var};

@@ -1,0 +1,190 @@
+//! Small dense `f64` linear algebra: Cholesky factorization and solves,
+//! used by the ridge-regression baseline (closed-form normal equations).
+
+/// Errors from the linear solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not (numerically) positive definite.
+    NotPositiveDefinite,
+    /// Dimension mismatch between the matrix and the right-hand side.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Cholesky factor `L` (lower triangular, row-major `n×n`) of a symmetric
+/// positive-definite matrix `a` (row-major `n×n`).
+pub fn cholesky(a: &[f64], n: usize) -> Result<Vec<f64>, LinalgError> {
+    if a.len() != n * n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let mut l = vec![0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `A·x = b` for symmetric positive-definite `A` via Cholesky.
+pub fn solve_spd(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let l = cholesky(a, n)?;
+    // forward: L·y = b
+    let mut y = vec![0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // backward: Lᵀ·x = y
+    let mut x = vec![0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Ridge regression: solve `(XᵀX + λI)·w = Xᵀy` for the weight vector `w`.
+///
+/// `x` is `rows × cols` row-major, `y` has `rows` entries. Returns `cols`
+/// weights.
+pub fn ridge_fit(x: &[f64], y: &[f64], rows: usize, cols: usize, lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    if x.len() != rows * cols || y.len() != rows {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    // XᵀX + λI
+    let mut xtx = vec![0f64; cols * cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            let xi = row[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for j in 0..cols {
+                xtx[i * cols + j] += xi * row[j];
+            }
+        }
+    }
+    for i in 0..cols {
+        xtx[i * cols + i] += lambda;
+    }
+    // Xᵀy
+    let mut xty = vec![0f64; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            xty[i] += row[i] * y[r];
+        }
+    }
+    solve_spd(&xtx, &xty, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_of_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let l = cholesky(&a, 2).unwrap();
+        assert_eq!(l, a);
+    }
+
+    #[test]
+    fn cholesky_known_factor() {
+        // A = [[4, 2], [2, 3]] → L = [[2, 0], [1, √2]]
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let l = cholesky(&a, 2).unwrap();
+        assert!((l[0] - 2.0).abs() < 1e-12);
+        assert!((l[2] - 1.0).abs() < 1e-12);
+        assert!((l[3] - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_positive_definite_detected() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
+        assert_eq!(cholesky(&a, 2), Err(LinalgError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        // A = [[4, 2], [2, 3]], x = [1, 2] → b = [8, 8]
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let b = vec![8.0, 8.0];
+        let x = solve_spd(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ridge_fits_exact_linear_data() {
+        // y = 2·x1 − 3·x2, plenty of rows, tiny λ.
+        let rows = 50;
+        let mut x = Vec::with_capacity(rows * 2);
+        let mut y = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let a = (i as f64 * 0.37).sin();
+            let b = (i as f64 * 0.11).cos();
+            x.push(a);
+            x.push(b);
+            y.push(2.0 * a - 3.0 * b);
+        }
+        let w = ridge_fit(&x, &y, rows, 2, 1e-9).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6, "w = {w:?}");
+        assert!((w[1] + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_shrinks_with_large_lambda() {
+        let rows = 20;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..rows {
+            let a = i as f64 / rows as f64;
+            x.push(a);
+            y.push(5.0 * a);
+        }
+        let w_small = ridge_fit(&x, &y, rows, 1, 1e-9).unwrap()[0];
+        let w_big = ridge_fit(&x, &y, rows, 1, 100.0).unwrap()[0];
+        assert!(w_big.abs() < w_small.abs());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        assert_eq!(
+            ridge_fit(&[1.0, 2.0], &[1.0], 1, 1, 0.1),
+            Err(LinalgError::DimensionMismatch)
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Dense row-major `f32` matrix with the handful of operations the
+//! autodiff tape needs.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `rows × cols` matrix, row-major.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(rows * cols, data.len(), "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// 1×n row vector.
+    pub fn row(values: &[f32]) -> Self {
+        Matrix::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Scalar 1×1 matrix.
+    pub fn scalar(v: f32) -> Self {
+        Matrix::from_vec(1, 1, vec![v])
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn same_shape(&self, other: &Matrix) -> bool {
+        self.rows == other.rows && self.cols == other.cols
+    }
+
+    /// `self × other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: stream through `other` rows for cache locality.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn t(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert!(self.same_shape(other), "add shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Multiply every element by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Element-wise product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert!(self.same_shape(other), "hadamard shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Fill with zeros in place (reuses the allocation).
+    pub fn zero_out(&mut self) {
+        for v in &mut self.data {
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.t();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(0, 1), 4.0);
+        assert_eq!(t.get(2, 0), 3.0);
+        assert_eq!(t.t(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::row(&[1.0, -2.0, 3.0]);
+        let b = Matrix::row(&[0.5, 0.5, 0.5]);
+        assert_eq!(a.add(&b).data, vec![1.5, -1.5, 3.5]);
+        assert_eq!(a.hadamard(&b).data, vec![0.5, -1.0, 1.5]);
+        assert_eq!(a.scale(2.0).data, vec![2.0, -4.0, 6.0]);
+        assert_eq!(a.map(f32::abs).data, vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.sum(), 2.0);
+    }
+
+    #[test]
+    fn norm_and_zero() {
+        let mut a = Matrix::row(&[3.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        a.zero_out();
+        assert_eq!(a.data, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let s = serde_json::to_string(&a).unwrap();
+        let b: Matrix = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,194 @@
+//! First-order optimizers: SGD with momentum and Adam, plus global-norm
+//! gradient clipping.
+
+use crate::layers::{ParamId, ParamStore};
+use crate::matrix::Matrix;
+
+/// A gradient-descent optimizer stepping a [`ParamStore`].
+pub trait Optimizer {
+    /// Apply one update using the store's accumulated gradients. Does
+    /// *not* zero the gradients; call [`ParamStore::zero_grad`] after.
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// Restrict updates to a subset of parameters (`None` = all). Used by
+    /// few-shot fine-tuning to freeze encoder weights.
+    fn set_mask(&mut self, mask: Option<Vec<ParamId>>);
+}
+
+fn masked_ids(store: &ParamStore, mask: &Option<Vec<ParamId>>) -> Vec<ParamId> {
+    match mask {
+        Some(ids) => ids.clone(),
+        None => store.ids().collect(),
+    }
+}
+
+/// Clip gradients to a maximum global L2 norm; returns the pre-clip norm.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    let norm = store.grad_norm();
+    if norm.is_finite() && norm > max_norm && norm > 0.0 {
+        store.scale_grads(max_norm / norm);
+    }
+    norm
+}
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    mask: Option<Vec<ParamId>>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            mask: None,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        for id in masked_ids(store, &self.mask) {
+            let (value, m, _v, grad) = store.optim_state(id);
+            let Some(grad) = grad else { continue };
+            let grad = grad.clone();
+            let velocity = m.get_or_insert_with(|| Matrix::zeros(value.rows, value.cols));
+            for i in 0..value.data.len() {
+                velocity.data[i] = self.momentum * velocity.data[i] - self.lr * grad.data[i];
+                value.data[i] += velocity.data[i];
+            }
+        }
+    }
+
+    fn set_mask(&mut self, mask: Option<Vec<ParamId>>) {
+        self.mask = mask;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: i32,
+    mask: Option<Vec<ParamId>>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            mask: None,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t);
+        let b2t = 1.0 - self.beta2.powi(self.t);
+        for id in masked_ids(store, &self.mask) {
+            let (value, m, v, grad) = store.optim_state(id);
+            let Some(grad) = grad else { continue };
+            let grad = grad.clone();
+            let m = m.get_or_insert_with(|| Matrix::zeros(value.rows, value.cols));
+            let v = v.get_or_insert_with(|| Matrix::zeros(value.rows, value.cols));
+            for i in 0..value.data.len() {
+                let g = grad.data[i];
+                m.data[i] = self.beta1 * m.data[i] + (1.0 - self.beta1) * g;
+                v.data[i] = self.beta2 * v.data[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = m.data[i] / b1t;
+                let v_hat = v.data[i] / b2t;
+                value.data[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn set_mask(&mut self, mask: Option<Vec<ParamId>>) {
+        self.mask = mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimize (w − 3)² and check convergence.
+    fn optimize_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.alloc("w", Matrix::scalar(0.0));
+        for _ in 0..steps {
+            let mut tape = Tape::new();
+            let wv = tape.param(&store, w);
+            let target = tape.leaf(Matrix::scalar(3.0));
+            let loss = tape.mse_loss(wv, target);
+            store.zero_grad();
+            tape.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        store.value(w).data[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = optimize_quadratic(&mut Sgd::new(0.1, 0.0), 200);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = optimize_quadratic(&mut Sgd::new(0.05, 0.9), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = optimize_quadratic(&mut Adam::new(0.1), 300);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn mask_freezes_parameters() {
+        let mut store = ParamStore::new();
+        let a = store.alloc("a", Matrix::scalar(0.0));
+        let b = store.alloc("b", Matrix::scalar(0.0));
+        let mut opt = Adam::new(0.1);
+        opt.set_mask(Some(vec![b]));
+        for _ in 0..50 {
+            let mut tape = Tape::new();
+            let av = tape.param(&store, a);
+            let bv = tape.param(&store, b);
+            let s = tape.add(av, bv);
+            let target = tape.leaf(Matrix::scalar(4.0));
+            let loss = tape.mse_loss(s, target);
+            store.zero_grad();
+            tape.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        assert_eq!(store.value(a).data[0], 0.0, "masked param moved");
+        assert!(store.value(b).data[0] > 1.0, "unmasked param frozen");
+    }
+
+    #[test]
+    fn clipping_caps_global_norm() {
+        let mut store = ParamStore::new();
+        let a = store.alloc("a", Matrix::scalar(0.0));
+        store.accumulate_grad(a, &Matrix::scalar(30.0));
+        let pre = clip_grad_norm(&mut store, 5.0);
+        assert_eq!(pre, 30.0);
+        assert!((store.grad_norm() - 5.0).abs() < 1e-4);
+        // clipping below the threshold is a no-op
+        let pre2 = clip_grad_norm(&mut store, 10.0);
+        assert!((pre2 - 5.0).abs() < 1e-4);
+        assert!((store.grad_norm() - 5.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,459 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Tape`] records a computation as a flat list of nodes; calling
+//! [`Tape::backward`] walks the list in reverse, propagating gradients and
+//! accumulating them into the [`ParamStore`] for every parameter node.
+//! The op set is exactly what the ZeroTune GNN and the MLP baselines need;
+//! every gradient is verified against finite differences in
+//! [`crate::gradcheck`] and in this module's tests.
+
+use crate::layers::{ParamId, ParamStore};
+use crate::matrix::Matrix;
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Var(pub usize);
+
+#[derive(Debug)]
+enum Op {
+    /// Constant input (no gradient needed).
+    Leaf,
+    /// Trainable parameter; gradients accumulate into the store.
+    Param(ParamId),
+    MatMul(Var, Var),
+    Add(Var, Var),
+    /// `X (n×d) + broadcast b (1×d)`.
+    AddRow(Var, Var),
+    Sub(Var, Var),
+    Hadamard(Var, Var),
+    Scale(Var, f32),
+    Relu(Var),
+    Tanh(Var),
+    /// Horizontal concatenation of same-row-count matrices.
+    ConcatCols(Vec<Var>),
+    /// Element-wise mean of same-shape matrices.
+    MeanVars(Vec<Var>),
+    /// Element-wise weighted sum of same-shape matrices.
+    WeightedSum(Vec<(Var, f32)>),
+    /// Mean squared error against a constant target → 1×1.
+    MseLoss(Var, Var),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// The autodiff tape.
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Value of a 1×1 node.
+    pub fn scalar_value(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "not a scalar node");
+        m.data[0]
+    }
+
+    /// Record a constant input.
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Record a parameter: its current value is read from the store and
+    /// its gradient flows back into the store on [`Tape::backward`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `x (n×d) + row-broadcast bias (1×d)`.
+    pub fn add_row(&mut self, x: Var, bias: Var) -> Var {
+        let xm = self.value(x);
+        let bm = self.value(bias);
+        assert_eq!(bm.rows, 1, "bias must be a row vector");
+        assert_eq!(xm.cols, bm.cols, "bias width mismatch");
+        let mut out = xm.clone();
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out.data[r * out.cols + c] += bm.data[c];
+            }
+        }
+        self.push(out, Op::AddRow(x, bias))
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(&self.value(b).scale(-1.0));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(v, Op::Hadamard(a, b))
+    }
+
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Horizontal concatenation; all inputs must share the row count.
+    pub fn concat_cols(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty());
+        let rows = self.value(vars[0]).rows;
+        let total_cols: usize = vars.iter().map(|&v| self.value(v).cols).sum();
+        let mut out = Matrix::zeros(rows, total_cols);
+        let mut offset = 0;
+        for &v in vars {
+            let m = self.value(v);
+            assert_eq!(m.rows, rows, "concat row mismatch");
+            for r in 0..rows {
+                for c in 0..m.cols {
+                    out.data[r * total_cols + offset + c] = m.data[r * m.cols + c];
+                }
+            }
+            offset += m.cols;
+        }
+        self.push(out, Op::ConcatCols(vars.to_vec()))
+    }
+
+    /// Element-wise mean of same-shape inputs (the GNN's neighbour
+    /// aggregation).
+    pub fn mean_vars(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty());
+        let mut out = self.value(vars[0]).clone();
+        for &v in &vars[1..] {
+            out.add_assign(self.value(v));
+        }
+        let out = out.scale(1.0 / vars.len() as f32);
+        self.push(out, Op::MeanVars(vars.to_vec()))
+    }
+
+    /// Element-wise weighted sum of same-shape inputs (weighted neighbour
+    /// aggregation, e.g. by instance counts).
+    pub fn weighted_sum(&mut self, terms: &[(Var, f32)]) -> Var {
+        assert!(!terms.is_empty());
+        let mut out = self.value(terms[0].0).scale(terms[0].1);
+        for &(v, w) in &terms[1..] {
+            out.add_assign(&self.value(v).scale(w));
+        }
+        self.push(out, Op::WeightedSum(terms.to_vec()))
+    }
+
+    /// Mean-squared-error loss against a constant target.
+    pub fn mse_loss(&mut self, pred: Var, target: Var) -> Var {
+        let p = self.value(pred);
+        let t = self.value(target);
+        assert!(p.same_shape(t), "loss shape mismatch");
+        let n = p.data.len() as f32;
+        let mse = p
+            .data
+            .iter()
+            .zip(t.data.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n;
+        self.push(Matrix::scalar(mse), Op::MseLoss(pred, target))
+    }
+
+    /// Backpropagate from `loss` (must be 1×1) and accumulate parameter
+    /// gradients into `store`.
+    pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::scalar(1.0));
+
+        let add_grad = |grads: &mut Vec<Option<Matrix>>, v: Var, g: Matrix| {
+            match &mut grads[v.0] {
+                Some(existing) => existing.add_assign(&g),
+                slot @ None => *slot = Some(g),
+            }
+        };
+
+        for idx in (0..self.nodes.len()).rev() {
+            let Some(grad) = grads[idx].take() else {
+                continue;
+            };
+            match &self.nodes[idx].op {
+                Op::Leaf => {}
+                Op::Param(id) => store.accumulate_grad(*id, &grad),
+                Op::MatMul(a, b) => {
+                    let da = grad.matmul(&self.value(*b).t());
+                    let db = self.value(*a).t().matmul(&grad);
+                    add_grad(&mut grads, *a, da);
+                    add_grad(&mut grads, *b, db);
+                }
+                Op::Add(a, b) => {
+                    add_grad(&mut grads, *a, grad.clone());
+                    add_grad(&mut grads, *b, grad);
+                }
+                Op::AddRow(x, bias) => {
+                    // bias gradient: column sums.
+                    let mut db = Matrix::zeros(1, grad.cols);
+                    for r in 0..grad.rows {
+                        for c in 0..grad.cols {
+                            db.data[c] += grad.data[r * grad.cols + c];
+                        }
+                    }
+                    add_grad(&mut grads, *x, grad);
+                    add_grad(&mut grads, *bias, db);
+                }
+                Op::Sub(a, b) => {
+                    add_grad(&mut grads, *a, grad.clone());
+                    add_grad(&mut grads, *b, grad.scale(-1.0));
+                }
+                Op::Hadamard(a, b) => {
+                    let da = grad.hadamard(self.value(*b));
+                    let db = grad.hadamard(self.value(*a));
+                    add_grad(&mut grads, *a, da);
+                    add_grad(&mut grads, *b, db);
+                }
+                Op::Scale(a, s) => add_grad(&mut grads, *a, grad.scale(*s)),
+                Op::Relu(a) => {
+                    let mask = self.value(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    add_grad(&mut grads, *a, grad.hadamard(&mask));
+                }
+                Op::Tanh(a) => {
+                    // d tanh = 1 − tanh²; node value *is* tanh(a).
+                    let t = &self.nodes[idx].value;
+                    let dt = t.map(|x| 1.0 - x * x);
+                    add_grad(&mut grads, *a, grad.hadamard(&dt));
+                }
+                Op::ConcatCols(vars) => {
+                    let mut offset = 0;
+                    for &v in vars {
+                        let m = self.value(v);
+                        let mut part = Matrix::zeros(m.rows, m.cols);
+                        for r in 0..m.rows {
+                            for c in 0..m.cols {
+                                part.data[r * m.cols + c] =
+                                    grad.data[r * grad.cols + offset + c];
+                            }
+                        }
+                        offset += m.cols;
+                        add_grad(&mut grads, v, part);
+                    }
+                }
+                Op::MeanVars(vars) => {
+                    let share = grad.scale(1.0 / vars.len() as f32);
+                    for &v in vars {
+                        add_grad(&mut grads, v, share.clone());
+                    }
+                }
+                Op::WeightedSum(terms) => {
+                    for &(v, w) in terms {
+                        add_grad(&mut grads, v, grad.scale(w));
+                    }
+                }
+                Op::MseLoss(pred, target) => {
+                    let p = self.value(*pred);
+                    let t = self.value(*target);
+                    let n = p.data.len() as f32;
+                    let scale = 2.0 / n * grad.data[0];
+                    let dp = Matrix {
+                        rows: p.rows,
+                        cols: p.cols,
+                        data: p
+                            .data
+                            .iter()
+                            .zip(t.data.iter())
+                            .map(|(a, b)| scale * (a - b))
+                            .collect(),
+                    };
+                    add_grad(&mut grads, *pred, dp);
+                    // target is a constant: no gradient.
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParamStore {
+        ParamStore::new()
+    }
+
+    #[test]
+    fn matmul_forward_and_backward() {
+        let mut st = store();
+        let w = st.alloc("w", Matrix::from_vec(2, 1, vec![3.0, 4.0]));
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row(&[1.0, 2.0]));
+        let wv = tape.param(&st, w);
+        let y = tape.matmul(x, wv); // 1×1 = 3 + 8
+        assert_eq!(tape.scalar_value(y), 11.0);
+        let target = tape.leaf(Matrix::scalar(0.0));
+        let loss = tape.mse_loss(y, target); // (11)^2
+        assert_eq!(tape.scalar_value(loss), 121.0);
+        tape.backward(loss, &mut st);
+        // dL/dw = 2·y·x = 22·[1,2]
+        assert_eq!(st.grad(w).data, vec![22.0, 44.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks_negatives() {
+        let mut st = store();
+        let w = st.alloc("w", Matrix::row(&[-1.0, 2.0]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&st, w);
+        let r = tape.relu(wv);
+        assert_eq!(tape.value(r).data, vec![0.0, 2.0]);
+        let target = tape.leaf(Matrix::row(&[0.0, 0.0]));
+        let loss = tape.mse_loss(r, target);
+        tape.backward(loss, &mut st);
+        // negative input: zero grad; positive: 2·2/2 = 2
+        assert_eq!(st.grad(w).data, vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn tanh_gradient() {
+        let mut st = store();
+        let w = st.alloc("w", Matrix::scalar(0.5));
+        let mut tape = Tape::new();
+        let wv = tape.param(&st, w);
+        let t = tape.tanh(wv);
+        let target = tape.leaf(Matrix::scalar(0.0));
+        let loss = tape.mse_loss(t, target);
+        tape.backward(loss, &mut st);
+        let th = 0.5f32.tanh();
+        let expected = 2.0 * th * (1.0 - th * th);
+        assert!((st.grad(w).data[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_splits_gradient() {
+        let mut st = store();
+        let a = st.alloc("a", Matrix::row(&[1.0]));
+        let b = st.alloc("b", Matrix::row(&[2.0, 3.0]));
+        let mut tape = Tape::new();
+        let av = tape.param(&st, a);
+        let bv = tape.param(&st, b);
+        let c = tape.concat_cols(&[av, bv]);
+        assert_eq!(tape.value(c).data, vec![1.0, 2.0, 3.0]);
+        let target = tape.leaf(Matrix::row(&[0.0, 0.0, 0.0]));
+        let loss = tape.mse_loss(c, target);
+        tape.backward(loss, &mut st);
+        // d = 2·x/3
+        assert!((st.grad(a).data[0] - 2.0 / 3.0).abs() < 1e-6);
+        assert!((st.grad(b).data[0] - 4.0 / 3.0).abs() < 1e-6);
+        assert!((st.grad(b).data[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_vars_divides_gradient() {
+        let mut st = store();
+        let a = st.alloc("a", Matrix::row(&[4.0]));
+        let b = st.alloc("b", Matrix::row(&[8.0]));
+        let mut tape = Tape::new();
+        let av = tape.param(&st, a);
+        let bv = tape.param(&st, b);
+        let m = tape.mean_vars(&[av, bv]);
+        assert_eq!(tape.value(m).data, vec![6.0]);
+        let target = tape.leaf(Matrix::scalar(0.0));
+        let loss = tape.mse_loss(m, target);
+        tape.backward(loss, &mut st);
+        // dL/da = 2·6 · 1/2 = 6
+        assert!((st.grad(a).data[0] - 6.0).abs() < 1e-6);
+        assert!((st.grad(b).data[0] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_row_broadcast() {
+        let mut st = store();
+        let b = st.alloc("b", Matrix::row(&[1.0, -1.0]));
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let bv = tape.param(&st, b);
+        let y = tape.add_row(x, bv);
+        assert_eq!(tape.value(y).data, vec![2.0, 1.0, 4.0, 3.0]);
+        let target = tape.leaf(Matrix::zeros(2, 2));
+        let loss = tape.mse_loss(y, target);
+        tape.backward(loss, &mut st);
+        // dL/db_c = Σ_r 2·y_rc/4
+        assert!((st.grad(b).data[0] - (2.0 + 4.0) / 2.0).abs() < 1e-6);
+        assert!((st.grad(b).data[1] - (1.0 + 3.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_sum_gradient() {
+        let mut st = store();
+        let a = st.alloc("a", Matrix::scalar(2.0));
+        let mut tape = Tape::new();
+        let av = tape.param(&st, a);
+        let s = tape.weighted_sum(&[(av, 3.0)]);
+        assert_eq!(tape.scalar_value(s), 6.0);
+        let target = tape.leaf(Matrix::scalar(0.0));
+        let loss = tape.mse_loss(s, target);
+        tape.backward(loss, &mut st);
+        // dL/da = 2·6·3 = 36
+        assert!((st.grad(a).data[0] - 36.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_accumulates_across_uses() {
+        // A parameter used twice must receive the sum of both paths.
+        let mut st = store();
+        let a = st.alloc("a", Matrix::scalar(3.0));
+        let mut tape = Tape::new();
+        let av = tape.param(&st, a);
+        let doubled = tape.add(av, av); // 6
+        let target = tape.leaf(Matrix::scalar(0.0));
+        let loss = tape.mse_loss(doubled, target); // 36
+        tape.backward(loss, &mut st);
+        // dL/da = 2·6·2 = 24
+        assert!((st.grad(a).data[0] - 24.0).abs() < 1e-6);
+    }
+}

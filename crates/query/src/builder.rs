@@ -1,0 +1,200 @@
+//! Fluent builder for streaming query plans.
+//!
+//! [`LogicalPlan`] is deliberately low-level (explicit ids and edges); the
+//! [`StreamBuilder`] gives downstream users a Flink-DataStream-like API:
+//!
+//! ```
+//! use zt_query::builder::StreamBuilder;
+//! use zt_query::{AggFunction, DataType, FilterFunction, WindowPolicy, WindowSpec};
+//!
+//! let plan = StreamBuilder::source(10_000.0, DataType::Double, 3)
+//!     .filter(FilterFunction::Gt, DataType::Double, 0.4)
+//!     .window_aggregate(
+//!         WindowSpec::tumbling(WindowPolicy::Count, 50.0),
+//!         AggFunction::Avg,
+//!         DataType::Double,
+//!         Some(DataType::Int),
+//!         0.2,
+//!     )
+//!     .sink("my-query");
+//! assert!(plan.validate().is_ok());
+//! ```
+
+use crate::operators::{
+    AggFunction, AggregateOp, FilterFunction, FilterOp, JoinOp, OperatorKind, SinkOp, SourceOp,
+    WindowSpec,
+};
+use crate::plan::LogicalPlan;
+use crate::types::{DataType, OpId, TupleSchema};
+
+/// A partially built plan with one open (un-consumed) stream head.
+#[derive(Debug)]
+pub struct StreamBuilder {
+    plan: LogicalPlan,
+    head: OpId,
+}
+
+impl StreamBuilder {
+    /// Start a new plan from a source emitting `width` fields of `ty` at
+    /// `event_rate` tuples/s.
+    pub fn source(event_rate: f64, ty: DataType, width: usize) -> Self {
+        Self::source_with_schema(event_rate, TupleSchema::uniform(ty, width))
+    }
+
+    /// Start a new plan from a source with an explicit schema.
+    pub fn source_with_schema(event_rate: f64, schema: TupleSchema) -> Self {
+        let mut plan = LogicalPlan::new("built");
+        let head = plan.add(OperatorKind::Source(SourceOp { event_rate, schema }));
+        StreamBuilder { plan, head }
+    }
+
+    /// Append a comparison filter.
+    pub fn filter(mut self, function: FilterFunction, literal: DataType, selectivity: f64) -> Self {
+        let f = self.plan.add(OperatorKind::Filter(FilterOp {
+            function,
+            literal_class: literal,
+            selectivity,
+        }));
+        self.plan.connect(self.head, f);
+        self.head = f;
+        self
+    }
+
+    /// Append a windowed aggregation (`key_class: None` for a global
+    /// aggregate).
+    pub fn window_aggregate(
+        mut self,
+        window: WindowSpec,
+        function: AggFunction,
+        agg_class: DataType,
+        key_class: Option<DataType>,
+        selectivity: f64,
+    ) -> Self {
+        let a = self.plan.add(OperatorKind::Aggregate(AggregateOp {
+            window,
+            function,
+            agg_class,
+            key_class,
+            selectivity,
+        }));
+        self.plan.connect(self.head, a);
+        self.head = a;
+        self
+    }
+
+    /// Join this stream with `other` on a windowed equi-join. All of
+    /// `other`'s operators are merged into this plan.
+    pub fn join(
+        mut self,
+        other: StreamBuilder,
+        window: WindowSpec,
+        key_class: DataType,
+        selectivity: f64,
+    ) -> Self {
+        // merge `other`'s operators, remapping its ids
+        let offset = self.plan.num_ops() as u32;
+        for op in other.plan.ops() {
+            self.plan.add(op.kind.clone());
+        }
+        for &(u, d) in other.plan.edges() {
+            self.plan
+                .connect(OpId(u.0 + offset), OpId(d.0 + offset));
+        }
+        let other_head = OpId(other.head.0 + offset);
+
+        let j = self.plan.add(OperatorKind::Join(JoinOp {
+            window,
+            key_class,
+            selectivity,
+        }));
+        self.plan.connect(self.head, j);
+        self.plan.connect(other_head, j);
+        self.head = j;
+        self
+    }
+
+    /// Terminate with a sink and name the plan; returns the finished
+    /// (validated) logical plan.
+    pub fn sink(mut self, name: impl Into<String>) -> LogicalPlan {
+        let k = self.plan.add(OperatorKind::Sink(SinkOp));
+        self.plan.connect(self.head, k);
+        self.plan.name = name.into();
+        debug_assert!(self.plan.validate().is_ok(), "builder produced invalid plan");
+        self.plan
+    }
+
+    /// Current head operator id (for advanced wiring).
+    pub fn head(&self) -> OpId {
+        self.head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::WindowPolicy;
+
+    #[test]
+    fn linear_pipeline_builds() {
+        let plan = StreamBuilder::source(1_000.0, DataType::Double, 3)
+            .filter(FilterFunction::Le, DataType::Double, 0.5)
+            .window_aggregate(
+                WindowSpec::tumbling(WindowPolicy::Count, 10.0),
+                AggFunction::Max,
+                DataType::Double,
+                Some(DataType::Int),
+                0.2,
+            )
+            .sink("linear");
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.num_ops(), 4);
+        assert_eq!(plan.name, "linear");
+    }
+
+    #[test]
+    fn join_merges_two_streams() {
+        let right = StreamBuilder::source(500.0, DataType::Int, 2).filter(
+            FilterFunction::Eq,
+            DataType::Int,
+            0.1,
+        );
+        let plan = StreamBuilder::source(1_000.0, DataType::Int, 2)
+            .join(
+                right,
+                WindowSpec::tumbling(WindowPolicy::Time, 1_000.0),
+                DataType::Int,
+                0.01,
+            )
+            .sink("joined");
+        assert!(plan.validate().is_ok());
+        // 2 sources + 1 filter + 1 join + 1 sink
+        assert_eq!(plan.num_ops(), 5);
+        assert_eq!(plan.sources().len(), 2);
+        assert_eq!(plan.depth(), 4);
+    }
+
+    #[test]
+    fn nested_joins_build() {
+        let a = StreamBuilder::source(100.0, DataType::Int, 1);
+        let b = StreamBuilder::source(100.0, DataType::Int, 1);
+        let c = StreamBuilder::source(100.0, DataType::Int, 1);
+        let w = || WindowSpec::tumbling(WindowPolicy::Count, 10.0);
+        let plan = a
+            .join(b, w(), DataType::Int, 0.01)
+            .join(c, w(), DataType::Int, 0.01)
+            .sink("three-way");
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.sources().len(), 3);
+    }
+
+    #[test]
+    fn filter_chain_builds_windowless_plan() {
+        let plan = StreamBuilder::source(100.0, DataType::Text, 4)
+            .filter(FilterFunction::Ne, DataType::Text, 0.9)
+            .filter(FilterFunction::Lt, DataType::Int, 0.3)
+            .sink("chain");
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.num_ops(), 4);
+        assert!(plan.ops().iter().all(|o| o.kind.window().is_none()));
+    }
+}

@@ -1,0 +1,410 @@
+//! Synthetic query generator.
+//!
+//! Builds the parallel query workloads of Table III: *linear* queries,
+//! *2-/3-way joins* (seen during training) and *chained filters* and
+//! *4-/5-/6-way joins* (unseen structures used to probe generalization),
+//! plus the public benchmark topologies.
+//!
+//! All parameters (event rates, tuple widths, window configurations,
+//! selectivities, data types) are sampled from a [`ParamRanges`] grid so
+//! the same generator serves both the seen and the unseen range.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::benchmarks;
+use crate::operators::*;
+use crate::params::ParamRanges;
+use crate::plan::LogicalPlan;
+use crate::types::{DataType, OpId, TupleSchema};
+
+/// The query-plan structures evaluated in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum QueryStructure {
+    /// source → filter → window-aggregate → sink.
+    Linear,
+    /// Join of 2 streams (seen).
+    TwoWayJoin,
+    /// Join of 3 streams (seen).
+    ThreeWayJoin,
+    /// source → n filters → sink, `n ∈ 2..=4` (unseen).
+    ChainedFilters(u8),
+    /// Join of `n` streams, `n ∈ 4..=6` (unseen).
+    NWayJoin(u8),
+    /// Public benchmark: Intel-lab spike detection (unseen).
+    SpikeDetection,
+    /// Public benchmark: smart-grid local load (unseen).
+    SmartGridLocal,
+    /// Public benchmark: smart-grid global load (unseen).
+    SmartGridGlobal,
+}
+
+impl QueryStructure {
+    /// The structures seen during training.
+    pub fn seen() -> Vec<QueryStructure> {
+        vec![
+            QueryStructure::Linear,
+            QueryStructure::TwoWayJoin,
+            QueryStructure::ThreeWayJoin,
+        ]
+    }
+
+    /// The unseen synthetic structures (Table IV ②).
+    pub fn unseen_synthetic() -> Vec<QueryStructure> {
+        vec![
+            QueryStructure::ChainedFilters(2),
+            QueryStructure::ChainedFilters(3),
+            QueryStructure::ChainedFilters(4),
+            QueryStructure::NWayJoin(4),
+            QueryStructure::NWayJoin(5),
+            QueryStructure::NWayJoin(6),
+        ]
+    }
+
+    /// The unseen public benchmarks (Table IV ③).
+    pub fn benchmarks() -> Vec<QueryStructure> {
+        vec![
+            QueryStructure::SpikeDetection,
+            QueryStructure::SmartGridLocal,
+            QueryStructure::SmartGridGlobal,
+        ]
+    }
+
+    pub fn is_seen(self) -> bool {
+        matches!(
+            self,
+            QueryStructure::Linear | QueryStructure::TwoWayJoin | QueryStructure::ThreeWayJoin
+        )
+    }
+
+    /// Number of source streams involved.
+    pub fn num_streams(self) -> usize {
+        match self {
+            QueryStructure::TwoWayJoin => 2,
+            QueryStructure::ThreeWayJoin => 3,
+            QueryStructure::NWayJoin(n) => n as usize,
+            _ => 1,
+        }
+    }
+
+    pub fn name(self) -> String {
+        match self {
+            QueryStructure::Linear => "linear".into(),
+            QueryStructure::TwoWayJoin => "2-way-join".into(),
+            QueryStructure::ThreeWayJoin => "3-way-join".into(),
+            QueryStructure::ChainedFilters(n) => format!("{n}-filter-chained"),
+            QueryStructure::NWayJoin(n) => format!("{n}-way-join"),
+            QueryStructure::SpikeDetection => "spike-detection".into(),
+            QueryStructure::SmartGridLocal => "smart-grid-local".into(),
+            QueryStructure::SmartGridGlobal => "smart-grid-global".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryStructure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Randomized generator of logical plans over a parameter grid.
+pub struct QueryGenerator {
+    pub ranges: ParamRanges,
+}
+
+impl QueryGenerator {
+    pub fn new(ranges: ParamRanges) -> Self {
+        QueryGenerator { ranges }
+    }
+
+    /// Generator over the training ranges.
+    pub fn seen() -> Self {
+        QueryGenerator::new(ParamRanges::seen())
+    }
+
+    /// Generator over the unseen testing ranges.
+    pub fn unseen() -> Self {
+        QueryGenerator::new(ParamRanges::unseen())
+    }
+
+    /// Generate a validated logical plan of the requested structure.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        structure: QueryStructure,
+        rng: &mut R,
+    ) -> LogicalPlan {
+        let plan = match structure {
+            QueryStructure::Linear => self.linear(rng),
+            QueryStructure::TwoWayJoin => self.n_way_join(2, rng),
+            QueryStructure::ThreeWayJoin => self.n_way_join(3, rng),
+            QueryStructure::ChainedFilters(n) => self.chained_filters(n as usize, rng),
+            QueryStructure::NWayJoin(n) => self.n_way_join(n as usize, rng),
+            QueryStructure::SpikeDetection => benchmarks::spike_detection(
+                self.ranges.sample_event_rate(rng),
+            ),
+            QueryStructure::SmartGridLocal => benchmarks::smart_grid_local(
+                self.ranges.sample_event_rate(rng),
+            ),
+            QueryStructure::SmartGridGlobal => benchmarks::smart_grid_global(
+                self.ranges.sample_event_rate(rng),
+            ),
+        };
+        debug_assert!(plan.validate().is_ok(), "generated invalid plan: {plan}");
+        plan
+    }
+
+    fn sample_schema<R: Rng + ?Sized>(&self, rng: &mut R) -> TupleSchema {
+        let width = self.ranges.sample_tuple_width(rng);
+        let fields = (0..width).map(|_| self.ranges.sample_data_type(rng)).collect();
+        TupleSchema::new(fields)
+    }
+
+    fn sample_source<R: Rng + ?Sized>(&self, rng: &mut R) -> OperatorKind {
+        OperatorKind::Source(SourceOp {
+            event_rate: self.ranges.sample_event_rate(rng),
+            schema: self.sample_schema(rng),
+        })
+    }
+
+    fn sample_filter<R: Rng + ?Sized>(&self, rng: &mut R) -> OperatorKind {
+        let function = FilterFunction::ALL[rng.gen_range(0..FilterFunction::ALL.len())];
+        // Equality filters are much more selective than range filters.
+        let selectivity = match function {
+            FilterFunction::Eq => rng.gen_range(0.01..0.2),
+            FilterFunction::Ne => rng.gen_range(0.8..0.99),
+            _ => rng.gen_range(0.05..0.95),
+        };
+        OperatorKind::Filter(FilterOp {
+            function,
+            literal_class: self.ranges.sample_data_type(rng),
+            selectivity,
+        })
+    }
+
+    fn sample_window<R: Rng + ?Sized>(&self, rng: &mut R) -> WindowSpec {
+        let policy = if rng.gen_bool(0.5) {
+            WindowPolicy::Count
+        } else {
+            WindowPolicy::Time
+        };
+        let length = match policy {
+            WindowPolicy::Count => self.ranges.sample_window_length(rng),
+            WindowPolicy::Time => self.ranges.sample_window_duration(rng),
+        };
+        let slide = if rng.gen_bool(0.5) {
+            Some((self.ranges.sample_sliding_ratio(rng) * length).max(1.0))
+        } else {
+            None
+        };
+        WindowSpec {
+            policy,
+            length,
+            slide,
+        }
+    }
+
+    fn sample_aggregate<R: Rng + ?Sized>(&self, rng: &mut R) -> OperatorKind {
+        let keyed = rng.gen_bool(0.8);
+        OperatorKind::Aggregate(AggregateOp {
+            window: self.sample_window(rng),
+            function: AggFunction::ALL[rng.gen_range(0..AggFunction::ALL.len())],
+            agg_class: if rng.gen_bool(0.5) {
+                DataType::Double
+            } else {
+                DataType::Int
+            },
+            key_class: keyed.then(|| self.ranges.sample_data_type(rng)),
+            selectivity: if keyed {
+                rng.gen_range(0.02..0.5)
+            } else {
+                // a global aggregate emits one tuple per window
+                rng.gen_range(0.001..0.05)
+            },
+        })
+    }
+
+    fn sample_join<R: Rng + ?Sized>(&self, rng: &mut R) -> OperatorKind {
+        // Equi-joins over K distinct keys match ≈ 1/K of the cartesian
+        // product (Definition 5), so we sample the key-domain size
+        // log-uniformly: K ∈ [10², 10⁴] → selectivity ∈ [1e-4, 1e-2].
+        let exponent = rng.gen_range(2.0..4.0f64);
+        OperatorKind::Join(JoinOp {
+            window: self.sample_window(rng),
+            key_class: self.ranges.sample_data_type(rng),
+            selectivity: 10f64.powf(-exponent),
+        })
+    }
+
+    /// A linear chain: source → (filter and/or window-aggregate) → sink.
+    ///
+    /// The paper's "linear" structure is a pipeline of unary operators;
+    /// we sample the common filter→window-aggregate chain most of the
+    /// time but also pure filter and pure aggregation pipelines, so the
+    /// training data covers windowless chains too (the unseen
+    /// "n-chained-filters" structures then differ only in chain length).
+    fn linear<R: Rng + ?Sized>(&self, rng: &mut R) -> LogicalPlan {
+        let mut p = LogicalPlan::new("linear");
+        let s = p.add(self.sample_source(rng));
+        let variant = rng.gen_range(0..10);
+        let mut prev = s;
+        if variant < 8 {
+            // filter → … (80%)
+            let f = p.add(self.sample_filter(rng));
+            p.connect(prev, f);
+            prev = f;
+        }
+        if variant >= 2 {
+            // … → window-aggregate (80%)
+            let a = p.add(self.sample_aggregate(rng));
+            p.connect(prev, a);
+            prev = a;
+        }
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(prev, k);
+        p
+    }
+
+    /// source → f1 → … → fn → sink.
+    fn chained_filters<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> LogicalPlan {
+        assert!(n >= 1);
+        let mut p = LogicalPlan::new(format!("{n}-filter-chained"));
+        let mut prev = p.add(self.sample_source(rng));
+        for _ in 0..n {
+            let f = p.add(self.sample_filter(rng));
+            p.connect(prev, f);
+            prev = f;
+        }
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(prev, k);
+        p
+    }
+
+    /// `n` sources, each with a filter, joined left-deep, then aggregated:
+    /// `((s1 ⋈ s2) ⋈ s3) ⋈ …  → window-agg → sink`.
+    fn n_way_join<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> LogicalPlan {
+        assert!(n >= 2);
+        let mut p = LogicalPlan::new(format!("{n}-way-join"));
+        let mut branches: Vec<OpId> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = p.add(self.sample_source(rng));
+            let f = p.add(self.sample_filter(rng));
+            p.connect(s, f);
+            branches.push(f);
+        }
+        let mut left = branches[0];
+        for &right in &branches[1..] {
+            let j = p.add(self.sample_join(rng));
+            p.connect(left, j);
+            p.connect(right, j);
+            left = j;
+        }
+        let a = p.add(self.sample_aggregate(rng));
+        p.connect(left, a);
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(a, k);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_structures_generate_valid_plans() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let all: Vec<QueryStructure> = QueryStructure::seen()
+            .into_iter()
+            .chain(QueryStructure::unseen_synthetic())
+            .chain(QueryStructure::benchmarks())
+            .collect();
+        let gen = QueryGenerator::seen();
+        for s in all {
+            for _ in 0..20 {
+                let plan = gen.generate(s, &mut rng);
+                assert!(plan.validate().is_ok(), "invalid {s}: {plan}");
+            }
+        }
+    }
+
+    #[test]
+    fn structure_operator_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gen = QueryGenerator::seen();
+        let linear_ops = gen.generate(QueryStructure::Linear, &mut rng).num_ops();
+        assert!((3..=4).contains(&linear_ops), "linear has {linear_ops} ops");
+        // n-way join: n sources + n filters + (n-1) joins + agg + sink
+        assert_eq!(
+            gen.generate(QueryStructure::TwoWayJoin, &mut rng).num_ops(),
+            2 + 2 + 1 + 1 + 1
+        );
+        assert_eq!(
+            gen.generate(QueryStructure::NWayJoin(6), &mut rng).num_ops(),
+            6 + 6 + 5 + 1 + 1
+        );
+        assert_eq!(
+            gen.generate(QueryStructure::ChainedFilters(3), &mut rng)
+                .num_ops(),
+            1 + 3 + 1
+        );
+    }
+
+    #[test]
+    fn seen_generator_samples_seen_widths() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gen = QueryGenerator::seen();
+        for _ in 0..50 {
+            let plan = gen.generate(QueryStructure::Linear, &mut rng);
+            for op in plan.ops() {
+                if let OperatorKind::Source(s) = &op.kind {
+                    assert!(crate::params::TRAIN_TUPLE_WIDTHS.contains(&s.schema.width()));
+                    assert!(crate::params::TRAIN_EVENT_RATES.contains(&s.event_rate));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unseen_generator_samples_unseen_widths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gen = QueryGenerator::unseen();
+        for _ in 0..50 {
+            let plan = gen.generate(QueryStructure::Linear, &mut rng);
+            for op in plan.ops() {
+                if let OperatorKind::Source(s) = &op.kind {
+                    assert!(crate::params::TEST_TUPLE_WIDTHS.contains(&s.schema.width()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = QueryGenerator::seen();
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        let p1 = gen.generate(QueryStructure::ThreeWayJoin, &mut r1);
+        let p2 = gen.generate(QueryStructure::ThreeWayJoin, &mut r2);
+        assert_eq!(format!("{p1}"), format!("{p2}"));
+    }
+
+    #[test]
+    fn join_depth_grows_with_n() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let gen = QueryGenerator::seen();
+        let d2 = gen.generate(QueryStructure::TwoWayJoin, &mut rng).depth();
+        let d6 = gen.generate(QueryStructure::NWayJoin(6), &mut rng).depth();
+        assert!(d6 > d2);
+    }
+
+    #[test]
+    fn structure_names() {
+        assert_eq!(QueryStructure::Linear.name(), "linear");
+        assert_eq!(QueryStructure::NWayJoin(5).name(), "5-way-join");
+        assert_eq!(QueryStructure::ChainedFilters(2).name(), "2-filter-chained");
+        assert!(QueryStructure::Linear.is_seen());
+        assert!(!QueryStructure::SpikeDetection.is_seen());
+    }
+}

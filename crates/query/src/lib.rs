@@ -1,0 +1,43 @@
+//! # zt-query
+//!
+//! Streaming query algebra and workload generation for the ZeroTune
+//! reproduction.
+//!
+//! This crate models everything the cost model needs to know about a
+//! streaming query *before* it runs:
+//!
+//! * [`types`] — tuple schemas and data types (the paper's "tuple width" and
+//!   "tuple data type" features).
+//! * [`operators`] — the operator algebra: sources, comparison filters,
+//!   windowed aggregations, windowed joins and sinks, together with their
+//!   transferable parameters (window type/policy/length, aggregation
+//!   function, filter function, key classes, selectivities, …).
+//! * [`plan`] — logical query plans as validated DAGs.
+//! * [`pqp`] — *parallel* query plans: a logical plan plus per-operator
+//!   parallelism degrees and per-edge partitioning strategies (forward /
+//!   rebalance / hash), mirroring Flink's runtime knobs.
+//! * [`params`] — the training ("seen") and testing ("unseen") parameter
+//!   ranges of Table III in the paper.
+//! * [`generator`] — the synthetic query generator used to produce training
+//!   and evaluation workloads (linear queries, chained filters, n-way joins).
+//! * [`benchmarks`] — the public benchmark queries used in the paper's
+//!   Exp. 1 (spike detection, smart-grid local/global).
+
+pub mod benchmarks;
+pub mod builder;
+pub mod generator;
+pub mod operators;
+pub mod params;
+pub mod plan;
+pub mod pqp;
+pub mod types;
+
+pub use generator::{QueryGenerator, QueryStructure};
+pub use operators::{
+    AggFunction, AggregateOp, FilterFunction, FilterOp, JoinOp, OperatorKind, SourceOp,
+    WindowPolicy, WindowSpec, WindowType,
+};
+pub use params::{ParallelismCategory, ParamRanges};
+pub use plan::{LogicalOperator, LogicalPlan, PlanError};
+pub use pqp::{ParallelQueryPlan, Partitioning};
+pub use types::{DataType, OpId, TupleSchema};

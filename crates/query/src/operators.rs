@@ -1,0 +1,454 @@
+//! The streaming operator algebra.
+//!
+//! ZeroTune supports the operator types evaluated in the paper: `Source`,
+//! `Filter`, `Window-Aggregation`, `Window-Join` and `Sink` (Table III,
+//! "Operator type"). Each operator carries exactly the *transferable*
+//! parameters of Table I — the pieces of information that keep their
+//! semantic meaning across data streams (e.g. the filter *function* `≤`
+//! rather than the concrete literal `27`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{DataType, TupleSchema};
+
+/// Comparison function of a filter predicate ("Filter function" feature).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FilterFunction {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl FilterFunction {
+    pub const ALL: [FilterFunction; 6] = [
+        FilterFunction::Lt,
+        FilterFunction::Le,
+        FilterFunction::Gt,
+        FilterFunction::Ge,
+        FilterFunction::Eq,
+        FilterFunction::Ne,
+    ];
+
+    #[inline]
+    pub fn one_hot_index(self) -> usize {
+        match self {
+            FilterFunction::Lt => 0,
+            FilterFunction::Le => 1,
+            FilterFunction::Gt => 2,
+            FilterFunction::Ge => 3,
+            FilterFunction::Eq => 4,
+            FilterFunction::Ne => 5,
+        }
+    }
+
+    /// Evaluate the comparison on an f64 ordering key. Used by the
+    /// discrete-event engine.
+    #[inline]
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            FilterFunction::Lt => lhs < rhs,
+            FilterFunction::Le => lhs <= rhs,
+            FilterFunction::Gt => lhs > rhs,
+            FilterFunction::Ge => lhs >= rhs,
+            FilterFunction::Eq => (lhs - rhs).abs() < f64::EPSILON,
+            FilterFunction::Ne => (lhs - rhs).abs() >= f64::EPSILON,
+        }
+    }
+}
+
+impl std::fmt::Display for FilterFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FilterFunction::Lt => "<",
+            FilterFunction::Le => "<=",
+            FilterFunction::Gt => ">",
+            FilterFunction::Ge => ">=",
+            FilterFunction::Eq => "==",
+            FilterFunction::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregation function ("Agg. function" feature).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AggFunction {
+    Min,
+    Max,
+    Avg,
+    Sum,
+}
+
+impl AggFunction {
+    pub const ALL: [AggFunction; 4] = [
+        AggFunction::Min,
+        AggFunction::Max,
+        AggFunction::Avg,
+        AggFunction::Sum,
+    ];
+
+    #[inline]
+    pub fn one_hot_index(self) -> usize {
+        match self {
+            AggFunction::Min => 0,
+            AggFunction::Max => 1,
+            AggFunction::Avg => 2,
+            AggFunction::Sum => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for AggFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AggFunction::Min => "min",
+            AggFunction::Max => "max",
+            AggFunction::Avg => "avg",
+            AggFunction::Sum => "sum",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Window shifting strategy ("Window type" feature).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum WindowType {
+    Tumbling,
+    Sliding,
+}
+
+/// Windowing strategy ("Window policy" feature): count- or time-based.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum WindowPolicy {
+    /// `length`/`slide` are measured in tuples.
+    Count,
+    /// `length`/`slide` are measured in milliseconds.
+    Time,
+}
+
+/// A window specification shared by aggregations and joins.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct WindowSpec {
+    pub policy: WindowPolicy,
+    /// Window length: tuples for [`WindowPolicy::Count`], milliseconds for
+    /// [`WindowPolicy::Time`] ("Window length" / "Window duration").
+    pub length: f64,
+    /// Sliding interval in the same unit; `None` makes the window tumbling
+    /// ("Sliding length" feature).
+    pub slide: Option<f64>,
+}
+
+impl WindowSpec {
+    pub fn tumbling(policy: WindowPolicy, length: f64) -> Self {
+        WindowSpec {
+            policy,
+            length,
+            slide: None,
+        }
+    }
+
+    pub fn sliding(policy: WindowPolicy, length: f64, slide: f64) -> Self {
+        WindowSpec {
+            policy,
+            length,
+            slide: Some(slide),
+        }
+    }
+
+    #[inline]
+    pub fn window_type(&self) -> WindowType {
+        if self.slide.is_some() {
+            WindowType::Sliding
+        } else {
+            WindowType::Tumbling
+        }
+    }
+
+    /// How often the window fires, in its own unit (slide for sliding
+    /// windows, length for tumbling ones).
+    #[inline]
+    pub fn emission_period(&self) -> f64 {
+        self.slide.unwrap_or(self.length)
+    }
+
+    /// Average number of windows each tuple participates in.
+    #[inline]
+    pub fn overlap_factor(&self) -> f64 {
+        (self.length / self.emission_period()).max(1.0)
+    }
+
+    /// The emission period in seconds given the upstream arrival rate
+    /// (tuples/s). For count windows the period is `slide_tuples / rate`;
+    /// for time windows it is independent of the rate.
+    pub fn emission_period_secs(&self, input_rate: f64) -> f64 {
+        match self.policy {
+            WindowPolicy::Count => {
+                if input_rate <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    self.emission_period() / input_rate
+                }
+            }
+            WindowPolicy::Time => self.emission_period() / 1000.0,
+        }
+    }
+
+    /// Expected number of tuples held in one window instance given the
+    /// arrival rate (tuples/s).
+    pub fn tuples_per_window(&self, input_rate: f64) -> f64 {
+        match self.policy {
+            WindowPolicy::Count => self.length,
+            WindowPolicy::Time => (input_rate * self.length / 1000.0).max(1.0),
+        }
+    }
+}
+
+/// Data source: emits tuples of `schema` at `event_rate` tuples/second.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SourceOp {
+    /// "Event rate" feature (ev/sec).
+    pub event_rate: f64,
+    pub schema: TupleSchema,
+}
+
+/// Comparison filter.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FilterOp {
+    pub function: FilterFunction,
+    /// "Filter literal class": data type of the comparison literal.
+    pub literal_class: DataType,
+    /// Average selectivity over all parallel instances (Definition 4).
+    pub selectivity: f64,
+}
+
+/// Windowed group-by aggregation.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AggregateOp {
+    pub window: WindowSpec,
+    pub function: AggFunction,
+    /// "Agg. class": data type of the aggregated expression.
+    pub agg_class: DataType,
+    /// "Agg. key class": data type of the group-by key; `None` for a global
+    /// (un-keyed) aggregate.
+    pub key_class: Option<DataType>,
+    /// Fraction of distinct group-by keys per window (Definition 6).
+    pub selectivity: f64,
+}
+
+/// Windowed two-input equi-join.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct JoinOp {
+    pub window: WindowSpec,
+    /// "Join key class": data type of the join key.
+    pub key_class: DataType,
+    /// Match fraction on the cartesian product of the two windows
+    /// (Definition 5).
+    pub selectivity: f64,
+}
+
+/// Data sink: delivers results to an external system.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct SinkOp;
+
+/// Sum type of all supported operators.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum OperatorKind {
+    Source(SourceOp),
+    Filter(FilterOp),
+    Aggregate(AggregateOp),
+    Join(JoinOp),
+    Sink(SinkOp),
+}
+
+impl OperatorKind {
+    /// Short label for plan printing.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OperatorKind::Source(_) => "source",
+            OperatorKind::Filter(_) => "filter",
+            OperatorKind::Aggregate(_) => "window-agg",
+            OperatorKind::Join(_) => "window-join",
+            OperatorKind::Sink(_) => "sink",
+        }
+    }
+
+    /// Index in the canonical operator-type one-hot encoding.
+    pub fn type_index(&self) -> usize {
+        match self {
+            OperatorKind::Source(_) => 0,
+            OperatorKind::Filter(_) => 1,
+            OperatorKind::Aggregate(_) => 2,
+            OperatorKind::Join(_) => 3,
+            OperatorKind::Sink(_) => 4,
+        }
+    }
+
+    /// Number of distinct operator types.
+    pub const NUM_TYPES: usize = 5;
+
+    pub fn is_source(&self) -> bool {
+        matches!(self, OperatorKind::Source(_))
+    }
+
+    pub fn is_sink(&self) -> bool {
+        matches!(self, OperatorKind::Sink(_))
+    }
+
+    /// Expected number of input edges.
+    pub fn expected_inputs(&self) -> usize {
+        match self {
+            OperatorKind::Source(_) => 0,
+            OperatorKind::Join(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether this operator requires hash partitioning of its input
+    /// (keyed state, like Flink's `keyBy`).
+    pub fn requires_hash_input(&self) -> bool {
+        match self {
+            OperatorKind::Join(_) => true,
+            OperatorKind::Aggregate(a) => a.key_class.is_some(),
+            _ => false,
+        }
+    }
+
+    /// Average output/input rate ratio (selectivity in the paper's
+    /// Definitions 4–6; sources and sinks pass everything through).
+    pub fn selectivity(&self) -> f64 {
+        match self {
+            OperatorKind::Source(_) | OperatorKind::Sink(_) => 1.0,
+            OperatorKind::Filter(f) => f.selectivity,
+            OperatorKind::Aggregate(a) => a.selectivity,
+            OperatorKind::Join(j) => j.selectivity,
+        }
+    }
+
+    /// Window specification for windowed operators.
+    pub fn window(&self) -> Option<&WindowSpec> {
+        match self {
+            OperatorKind::Aggregate(a) => Some(&a.window),
+            OperatorKind::Join(j) => Some(&j.window),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_function_eval() {
+        assert!(FilterFunction::Lt.eval(1.0, 2.0));
+        assert!(!FilterFunction::Lt.eval(2.0, 1.0));
+        assert!(FilterFunction::Le.eval(2.0, 2.0));
+        assert!(FilterFunction::Ge.eval(2.0, 2.0));
+        assert!(FilterFunction::Eq.eval(3.0, 3.0));
+        assert!(FilterFunction::Ne.eval(3.0, 4.0));
+    }
+
+    #[test]
+    fn window_type_derivation() {
+        let t = WindowSpec::tumbling(WindowPolicy::Count, 10.0);
+        assert_eq!(t.window_type(), WindowType::Tumbling);
+        assert_eq!(t.emission_period(), 10.0);
+        assert_eq!(t.overlap_factor(), 1.0);
+
+        let s = WindowSpec::sliding(WindowPolicy::Time, 1000.0, 300.0);
+        assert_eq!(s.window_type(), WindowType::Sliding);
+        assert_eq!(s.emission_period(), 300.0);
+        assert!((s.overlap_factor() - 1000.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_window_emission_depends_on_rate() {
+        let w = WindowSpec::tumbling(WindowPolicy::Count, 100.0);
+        assert!((w.emission_period_secs(1000.0) - 0.1).abs() < 1e-12);
+        // Zero input rate never fires.
+        assert!(w.emission_period_secs(0.0).is_infinite());
+    }
+
+    #[test]
+    fn time_window_emission_independent_of_rate() {
+        let w = WindowSpec::tumbling(WindowPolicy::Time, 2000.0);
+        assert_eq!(w.emission_period_secs(10.0), 2.0);
+        assert_eq!(w.emission_period_secs(100_000.0), 2.0);
+    }
+
+    #[test]
+    fn tuples_per_window() {
+        let c = WindowSpec::tumbling(WindowPolicy::Count, 50.0);
+        assert_eq!(c.tuples_per_window(12_345.0), 50.0);
+        let t = WindowSpec::tumbling(WindowPolicy::Time, 500.0);
+        assert_eq!(t.tuples_per_window(1000.0), 500.0);
+        // Degenerate low rates still hold at least one tuple.
+        assert_eq!(t.tuples_per_window(0.1), 1.0);
+    }
+
+    #[test]
+    fn operator_kind_queries() {
+        let src = OperatorKind::Source(SourceOp {
+            event_rate: 100.0,
+            schema: TupleSchema::uniform(DataType::Int, 3),
+        });
+        assert!(src.is_source());
+        assert_eq!(src.expected_inputs(), 0);
+        assert_eq!(src.selectivity(), 1.0);
+
+        let join = OperatorKind::Join(JoinOp {
+            window: WindowSpec::tumbling(WindowPolicy::Count, 10.0),
+            key_class: DataType::Int,
+            selectivity: 0.01,
+        });
+        assert!(join.requires_hash_input());
+        assert_eq!(join.expected_inputs(), 2);
+        assert!(join.window().is_some());
+
+        let global_agg = OperatorKind::Aggregate(AggregateOp {
+            window: WindowSpec::tumbling(WindowPolicy::Time, 1000.0),
+            function: AggFunction::Avg,
+            agg_class: DataType::Double,
+            key_class: None,
+            selectivity: 0.001,
+        });
+        assert!(!global_agg.requires_hash_input());
+
+        let keyed_agg = OperatorKind::Aggregate(AggregateOp {
+            window: WindowSpec::tumbling(WindowPolicy::Time, 1000.0),
+            function: AggFunction::Avg,
+            agg_class: DataType::Double,
+            key_class: Some(DataType::Int),
+            selectivity: 0.1,
+        });
+        assert!(keyed_agg.requires_hash_input());
+    }
+
+    #[test]
+    fn one_hot_indices_are_dense_and_unique() {
+        let mut seen = [false; 6];
+        for f in FilterFunction::ALL {
+            let i = f.one_hot_index();
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+
+        let mut seen = [false; 4];
+        for f in AggFunction::ALL {
+            let i = f.one_hot_index();
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

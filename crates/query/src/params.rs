@@ -1,0 +1,278 @@
+//! Training ("seen") and testing ("unseen") parameter ranges.
+//!
+//! This module transcribes Table III of the paper: the value grids used to
+//! generate the training workload and the inter-/extrapolation grids used to
+//! probe generalization, plus the XS–XL parallelism-degree categories used
+//! in Exp. 2.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::types::DataType;
+
+/// Event rates (ev/sec) in the training range.
+pub const TRAIN_EVENT_RATES: &[f64] = &[
+    100.0, 200.0, 400.0, 500.0, 700.0, 1_000.0, 2_000.0, 3_000.0, 5_000.0, 10_000.0, 20_000.0,
+    50_000.0, 100_000.0, 250_000.0, 500_000.0, 1_000_000.0,
+];
+
+/// Event rates (ev/sec) in the unseen testing range (inter- and
+/// extrapolation).
+pub const TEST_EVENT_RATES: &[f64] = &[
+    50.0, 75.0, 150.0, 300.0, 450.0, 600.0, 850.0, 1_500.0, 4_000.0, 7_500.0, 15_000.0, 35_000.0,
+    175_000.0, 375_000.0, 750_000.0, 1_500_000.0, 2_000_000.0, 3_000_000.0, 4_000_000.0,
+];
+
+/// Tuple widths (fields per tuple) in the training range.
+pub const TRAIN_TUPLE_WIDTHS: &[usize] = &[1, 2, 3, 4, 5];
+
+/// Tuple widths in the unseen testing range (extrapolation).
+pub const TEST_TUPLE_WIDTHS: &[usize] = &[6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+
+/// Count-window lengths (tuples) in the training range.
+pub const TRAIN_WINDOW_LENGTHS: &[f64] = &[5.0, 10.0, 25.0, 50.0, 75.0, 100.0];
+
+/// Count-window lengths in the unseen testing range.
+pub const TEST_WINDOW_LENGTHS: &[f64] = &[
+    2.0, 3.0, 4.0, 7.0, 17.0, 37.0, 62.0, 82.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0,
+];
+
+/// Time-window durations (ms) in the training range.
+pub const TRAIN_WINDOW_DURATIONS: &[f64] = &[250.0, 500.0, 1_000.0, 2_000.0, 3_000.0];
+
+/// Time-window durations (ms) in the unseen testing range.
+pub const TEST_WINDOW_DURATIONS: &[f64] = &[
+    50.0, 100.0, 150.0, 200.0, 325.0, 750.0, 1_500.0, 2_500.0, 4_000.0, 5_000.0, 6_000.0, 7_000.0,
+    8_000.0, 9_000.0, 10_000.0,
+];
+
+/// Sliding-length ratios (fraction of window length); shared between seen
+/// and unseen ranges in the paper.
+pub const SLIDING_RATIOS: &[f64] = &[0.3, 0.4, 0.5, 0.6, 0.7];
+
+/// Numbers of workers in the training range.
+pub const TRAIN_NUM_WORKERS: &[usize] = &[2, 4, 6];
+
+/// Numbers of workers in the unseen testing range.
+pub const TEST_NUM_WORKERS: &[usize] = &[3, 8, 10];
+
+/// Network link speeds (Gbps); shared between ranges.
+pub const NETWORK_LINK_SPEEDS_GBPS: &[f64] = &[1.0, 10.0];
+
+/// The paper's parallelism-degree categories (Exp. 2, Table III):
+/// `1 ≤ XS < 8, 8 ≤ S < 16, 16 ≤ M < 32, 32 ≤ L < 64, 64 ≤ XL < 128`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum ParallelismCategory {
+    XS,
+    S,
+    M,
+    L,
+    XL,
+}
+
+impl ParallelismCategory {
+    pub const ALL: [ParallelismCategory; 5] = [
+        ParallelismCategory::XS,
+        ParallelismCategory::S,
+        ParallelismCategory::M,
+        ParallelismCategory::L,
+        ParallelismCategory::XL,
+    ];
+
+    /// Classify an average per-operator parallelism degree.
+    pub fn from_avg(avg: f64) -> Self {
+        if avg < 8.0 {
+            ParallelismCategory::XS
+        } else if avg < 16.0 {
+            ParallelismCategory::S
+        } else if avg < 32.0 {
+            ParallelismCategory::M
+        } else if avg < 64.0 {
+            ParallelismCategory::L
+        } else {
+            ParallelismCategory::XL
+        }
+    }
+
+    /// Inclusive lower bound of the category.
+    pub fn lower_bound(self) -> f64 {
+        match self {
+            ParallelismCategory::XS => 1.0,
+            ParallelismCategory::S => 8.0,
+            ParallelismCategory::M => 16.0,
+            ParallelismCategory::L => 32.0,
+            ParallelismCategory::XL => 64.0,
+        }
+    }
+
+    /// Exclusive upper bound of the category.
+    pub fn upper_bound(self) -> f64 {
+        match self {
+            ParallelismCategory::XS => 8.0,
+            ParallelismCategory::S => 16.0,
+            ParallelismCategory::M => 32.0,
+            ParallelismCategory::L => 64.0,
+            ParallelismCategory::XL => 128.0,
+        }
+    }
+}
+
+impl std::fmt::Display for ParallelismCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ParallelismCategory::XS => "XS",
+            ParallelismCategory::S => "S",
+            ParallelismCategory::M => "M",
+            ParallelismCategory::L => "L",
+            ParallelismCategory::XL => "XL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete set of sampling grids for the workload generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParamRanges {
+    pub event_rates: Vec<f64>,
+    pub tuple_widths: Vec<usize>,
+    pub window_lengths: Vec<f64>,
+    pub window_durations_ms: Vec<f64>,
+    pub sliding_ratios: Vec<f64>,
+    pub num_workers: Vec<usize>,
+    pub link_speeds_gbps: Vec<f64>,
+}
+
+impl ParamRanges {
+    /// The training ("seen") ranges of Table III.
+    pub fn seen() -> Self {
+        ParamRanges {
+            event_rates: TRAIN_EVENT_RATES.to_vec(),
+            tuple_widths: TRAIN_TUPLE_WIDTHS.to_vec(),
+            window_lengths: TRAIN_WINDOW_LENGTHS.to_vec(),
+            window_durations_ms: TRAIN_WINDOW_DURATIONS.to_vec(),
+            sliding_ratios: SLIDING_RATIOS.to_vec(),
+            num_workers: TRAIN_NUM_WORKERS.to_vec(),
+            link_speeds_gbps: NETWORK_LINK_SPEEDS_GBPS.to_vec(),
+        }
+    }
+
+    /// The testing ("unseen") ranges of Table III.
+    pub fn unseen() -> Self {
+        ParamRanges {
+            event_rates: TEST_EVENT_RATES.to_vec(),
+            tuple_widths: TEST_TUPLE_WIDTHS.to_vec(),
+            window_lengths: TEST_WINDOW_LENGTHS.to_vec(),
+            window_durations_ms: TEST_WINDOW_DURATIONS.to_vec(),
+            sliding_ratios: SLIDING_RATIOS.to_vec(),
+            num_workers: TEST_NUM_WORKERS.to_vec(),
+            link_speeds_gbps: NETWORK_LINK_SPEEDS_GBPS.to_vec(),
+        }
+    }
+
+    pub fn sample_event_rate<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        *self.event_rates.choose(rng).expect("non-empty grid")
+    }
+
+    pub fn sample_tuple_width<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        *self.tuple_widths.choose(rng).expect("non-empty grid")
+    }
+
+    pub fn sample_window_length<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        *self.window_lengths.choose(rng).expect("non-empty grid")
+    }
+
+    pub fn sample_window_duration<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        *self.window_durations_ms.choose(rng).expect("non-empty grid")
+    }
+
+    pub fn sample_sliding_ratio<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        *self.sliding_ratios.choose(rng).expect("non-empty grid")
+    }
+
+    pub fn sample_num_workers<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        *self.num_workers.choose(rng).expect("non-empty grid")
+    }
+
+    pub fn sample_link_speed<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        *self.link_speeds_gbps.choose(rng).expect("non-empty grid")
+    }
+
+    pub fn sample_data_type<R: Rng + ?Sized>(&self, rng: &mut R) -> DataType {
+        *DataType::ALL.choose(rng).expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn category_bounds_match_table_iii() {
+        assert_eq!(ParallelismCategory::from_avg(1.0), ParallelismCategory::XS);
+        assert_eq!(ParallelismCategory::from_avg(7.99), ParallelismCategory::XS);
+        assert_eq!(ParallelismCategory::from_avg(8.0), ParallelismCategory::S);
+        assert_eq!(ParallelismCategory::from_avg(16.0), ParallelismCategory::M);
+        assert_eq!(ParallelismCategory::from_avg(32.0), ParallelismCategory::L);
+        assert_eq!(ParallelismCategory::from_avg(64.0), ParallelismCategory::XL);
+        assert_eq!(ParallelismCategory::from_avg(127.0), ParallelismCategory::XL);
+    }
+
+    #[test]
+    fn categories_tile_the_range() {
+        for pair in ParallelismCategory::ALL.windows(2) {
+            assert_eq!(pair[0].upper_bound(), pair[1].lower_bound());
+        }
+    }
+
+    #[test]
+    fn seen_and_unseen_ranges_disjoint_for_extrapolated_params() {
+        // Tuple widths are an extrapolation parameter — fully disjoint.
+        for w in TEST_TUPLE_WIDTHS {
+            assert!(!TRAIN_TUPLE_WIDTHS.contains(w));
+        }
+        for r in TEST_EVENT_RATES {
+            assert!(!TRAIN_EVENT_RATES.contains(r));
+        }
+        for w in TEST_WINDOW_LENGTHS {
+            assert!(!TRAIN_WINDOW_LENGTHS.contains(w));
+        }
+        for d in TEST_WINDOW_DURATIONS {
+            assert!(!TRAIN_WINDOW_DURATIONS.contains(d));
+        }
+        for n in TEST_NUM_WORKERS {
+            assert!(!TRAIN_NUM_WORKERS.contains(n));
+        }
+    }
+
+    #[test]
+    fn sampling_stays_in_grid() {
+        let ranges = ParamRanges::seen();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(ranges.event_rates.contains(&ranges.sample_event_rate(&mut rng)));
+            assert!(ranges
+                .tuple_widths
+                .contains(&ranges.sample_tuple_width(&mut rng)));
+            assert!(ranges
+                .window_lengths
+                .contains(&ranges.sample_window_length(&mut rng)));
+            assert!(ranges
+                .num_workers
+                .contains(&ranges.sample_num_workers(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn grids_are_sorted_ascending() {
+        let sorted = |xs: &[f64]| xs.windows(2).all(|w| w[0] < w[1]);
+        assert!(sorted(TRAIN_EVENT_RATES));
+        assert!(sorted(TEST_EVENT_RATES));
+        assert!(sorted(TRAIN_WINDOW_LENGTHS));
+        assert!(sorted(TEST_WINDOW_LENGTHS));
+        assert!(sorted(TRAIN_WINDOW_DURATIONS));
+        assert!(sorted(TEST_WINDOW_DURATIONS));
+    }
+}

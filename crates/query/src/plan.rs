@@ -1,0 +1,584 @@
+//! Logical query plans: validated operator DAGs.
+//!
+//! A [`LogicalPlan`] is a directed acyclic graph whose nodes are
+//! [`LogicalOperator`]s and whose edges point *downstream*, i.e. in the
+//! direction of the data flow from sources to the single sink. This is the
+//! structure the paper encodes as a graph for the GNN (Section III-C).
+
+use serde::{Deserialize, Serialize};
+
+use crate::operators::OperatorKind;
+use crate::types::{OpId, TupleSchema};
+
+/// An operator instance inside a plan.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LogicalOperator {
+    pub id: OpId,
+    pub kind: OperatorKind,
+}
+
+/// Errors produced by [`LogicalPlan::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan has no operators at all.
+    Empty,
+    /// An edge references an operator id that does not exist.
+    UnknownOperator(OpId),
+    /// A self-loop or duplicate edge.
+    InvalidEdge(OpId, OpId),
+    /// The graph contains a cycle.
+    Cyclic,
+    /// `op` has `actual` inputs but its kind expects `expected`.
+    WrongInputCount {
+        op: OpId,
+        expected: usize,
+        actual: usize,
+    },
+    /// The plan must contain exactly one sink; this many were found.
+    SinkCount(usize),
+    /// A non-sink operator has no downstream consumer.
+    DeadEnd(OpId),
+    /// There is no source operator.
+    NoSource,
+    /// An operator parameter is out of its valid domain (e.g. selectivity
+    /// outside `[0, 1]` or a non-positive rate/window).
+    InvalidParameter(OpId, &'static str),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Empty => write!(f, "plan has no operators"),
+            PlanError::UnknownOperator(id) => write!(f, "edge references unknown operator {id}"),
+            PlanError::InvalidEdge(a, b) => write!(f, "invalid edge {a} -> {b}"),
+            PlanError::Cyclic => write!(f, "plan graph contains a cycle"),
+            PlanError::WrongInputCount {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op} expects {expected} input(s) but has {actual}"),
+            PlanError::SinkCount(n) => write!(f, "plan must have exactly one sink, found {n}"),
+            PlanError::DeadEnd(id) => write!(f, "operator {id} has no downstream consumer"),
+            PlanError::NoSource => write!(f, "plan has no source operator"),
+            PlanError::InvalidParameter(id, what) => {
+                write!(f, "operator {id} has invalid parameter: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A logical streaming query plan.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LogicalPlan {
+    pub name: String,
+    ops: Vec<LogicalOperator>,
+    /// Edges in data-flow direction `(upstream, downstream)`.
+    edges: Vec<(OpId, OpId)>,
+}
+
+impl LogicalPlan {
+    pub fn new(name: impl Into<String>) -> Self {
+        LogicalPlan {
+            name: name.into(),
+            ops: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add an operator and return its id.
+    pub fn add(&mut self, kind: OperatorKind) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(LogicalOperator { id, kind });
+        id
+    }
+
+    /// Connect `upstream -> downstream`.
+    pub fn connect(&mut self, upstream: OpId, downstream: OpId) {
+        self.edges.push((upstream, downstream));
+    }
+
+    #[inline]
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    #[inline]
+    pub fn ops(&self) -> &[LogicalOperator] {
+        &self.ops
+    }
+
+    #[inline]
+    pub fn edges(&self) -> &[(OpId, OpId)] {
+        &self.edges
+    }
+
+    #[inline]
+    pub fn op(&self, id: OpId) -> &LogicalOperator {
+        &self.ops[id.idx()]
+    }
+
+    /// Ids of the operators feeding `id`, in edge insertion order.
+    pub fn upstream(&self, id: OpId) -> Vec<OpId> {
+        self.edges
+            .iter()
+            .filter(|(_, d)| *d == id)
+            .map(|(u, _)| *u)
+            .collect()
+    }
+
+    /// Ids of the operators consuming `id`'s output.
+    pub fn downstream(&self, id: OpId) -> Vec<OpId> {
+        self.edges
+            .iter()
+            .filter(|(u, _)| *u == id)
+            .map(|(_, d)| *d)
+            .collect()
+    }
+
+    /// All source operators.
+    pub fn sources(&self) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .filter(|o| o.kind.is_source())
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// The single sink (panics if the plan was not validated).
+    pub fn sink(&self) -> OpId {
+        self.ops
+            .iter()
+            .find(|o| o.kind.is_sink())
+            .map(|o| o.id)
+            .expect("validated plan has a sink")
+    }
+
+    /// Kahn topological order (sources first). Returns `None` on a cycle.
+    pub fn topo_order(&self) -> Option<Vec<OpId>> {
+        let n = self.ops.len();
+        let mut indeg = vec![0usize; n];
+        for &(_, d) in &self.edges {
+            if d.idx() >= n {
+                return None;
+            }
+            indeg[d.idx()] += 1;
+        }
+        let mut queue: Vec<OpId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| OpId(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(u);
+            for &(a, b) in &self.edges {
+                if a == u {
+                    indeg[b.idx()] -= 1;
+                    if indeg[b.idx()] == 0 {
+                        queue.push(b);
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Compute the output schema of every operator, in id order.
+    ///
+    /// * source: its declared schema
+    /// * filter / sink: pass-through
+    /// * aggregate: `[key?, aggregate, window-timestamp]`
+    /// * join: concatenation of both input schemas
+    pub fn output_schemas(&self) -> Vec<TupleSchema> {
+        use crate::types::DataType;
+        let order = self.topo_order().expect("acyclic plan");
+        let mut schemas: Vec<TupleSchema> = vec![TupleSchema::new(vec![]); self.ops.len()];
+        for id in order {
+            let up = self.upstream(id);
+            let schema = match &self.op(id).kind {
+                OperatorKind::Source(s) => s.schema.clone(),
+                OperatorKind::Filter(_) | OperatorKind::Sink(_) => up
+                    .first()
+                    .map(|u| schemas[u.idx()].clone())
+                    .unwrap_or_else(|| TupleSchema::new(vec![])),
+                OperatorKind::Aggregate(a) => {
+                    let mut fields = Vec::with_capacity(3);
+                    if let Some(k) = a.key_class {
+                        fields.push(k);
+                    }
+                    fields.push(a.agg_class);
+                    fields.push(DataType::Int); // window timestamp
+                    TupleSchema::new(fields)
+                }
+                OperatorKind::Join(_) => {
+                    let left = up
+                        .first()
+                        .map(|u| schemas[u.idx()].clone())
+                        .unwrap_or_else(|| TupleSchema::new(vec![]));
+                    let right = up
+                        .get(1)
+                        .map(|u| schemas[u.idx()].clone())
+                        .unwrap_or_else(|| TupleSchema::new(vec![]));
+                    left.concat(&right)
+                }
+            };
+            schemas[id.idx()] = schema;
+        }
+        schemas
+    }
+
+    /// Input schema (first input's output schema) per operator.
+    pub fn input_schemas(&self) -> Vec<TupleSchema> {
+        let out = self.output_schemas();
+        self.ops
+            .iter()
+            .map(|o| {
+                let up = self.upstream(o.id);
+                match &o.kind {
+                    OperatorKind::Source(s) => s.schema.clone(),
+                    _ => up
+                        .first()
+                        .map(|u| out[u.idx()].clone())
+                        .unwrap_or_else(|| TupleSchema::new(vec![])),
+                }
+            })
+            .collect()
+    }
+
+    /// Full structural and parameter validation.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if self.ops.is_empty() {
+            return Err(PlanError::Empty);
+        }
+        let n = self.ops.len();
+        for &(a, b) in &self.edges {
+            if a.idx() >= n {
+                return Err(PlanError::UnknownOperator(a));
+            }
+            if b.idx() >= n {
+                return Err(PlanError::UnknownOperator(b));
+            }
+            if a == b {
+                return Err(PlanError::InvalidEdge(a, b));
+            }
+        }
+        // duplicate edges
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &self.edges {
+            if !seen.insert((a, b)) {
+                return Err(PlanError::InvalidEdge(a, b));
+            }
+        }
+        if self.topo_order().is_none() {
+            return Err(PlanError::Cyclic);
+        }
+        let sinks = self.ops.iter().filter(|o| o.kind.is_sink()).count();
+        if sinks != 1 {
+            return Err(PlanError::SinkCount(sinks));
+        }
+        if self.sources().is_empty() {
+            return Err(PlanError::NoSource);
+        }
+        for op in &self.ops {
+            let inputs = self.upstream(op.id).len();
+            let expected = op.kind.expected_inputs();
+            if inputs != expected {
+                return Err(PlanError::WrongInputCount {
+                    op: op.id,
+                    expected,
+                    actual: inputs,
+                });
+            }
+            if !op.kind.is_sink() && self.downstream(op.id).is_empty() {
+                return Err(PlanError::DeadEnd(op.id));
+            }
+            self.validate_params(op)?;
+        }
+        Ok(())
+    }
+
+    fn validate_params(&self, op: &LogicalOperator) -> Result<(), PlanError> {
+        let id = op.id;
+        let sel_ok = |s: f64| (0.0..=1.0).contains(&s) && s.is_finite();
+        match &op.kind {
+            OperatorKind::Source(s) => {
+                if !(s.event_rate > 0.0 && s.event_rate.is_finite()) {
+                    return Err(PlanError::InvalidParameter(id, "event rate must be > 0"));
+                }
+                if s.schema.width() == 0 {
+                    return Err(PlanError::InvalidParameter(id, "empty source schema"));
+                }
+            }
+            OperatorKind::Filter(f) => {
+                if !sel_ok(f.selectivity) {
+                    return Err(PlanError::InvalidParameter(id, "selectivity not in [0,1]"));
+                }
+            }
+            OperatorKind::Aggregate(a) => {
+                if !sel_ok(a.selectivity) {
+                    return Err(PlanError::InvalidParameter(id, "selectivity not in [0,1]"));
+                }
+                Self::validate_window(id, &a.window)?;
+            }
+            OperatorKind::Join(j) => {
+                if !sel_ok(j.selectivity) {
+                    return Err(PlanError::InvalidParameter(id, "selectivity not in [0,1]"));
+                }
+                Self::validate_window(id, &j.window)?;
+            }
+            OperatorKind::Sink(_) => {}
+        }
+        Ok(())
+    }
+
+    fn validate_window(id: OpId, w: &crate::operators::WindowSpec) -> Result<(), PlanError> {
+        if !(w.length > 0.0 && w.length.is_finite()) {
+            return Err(PlanError::InvalidParameter(id, "window length must be > 0"));
+        }
+        if let Some(s) = w.slide {
+            if !(s > 0.0 && s.is_finite()) {
+                return Err(PlanError::InvalidParameter(id, "slide must be > 0"));
+            }
+            if s > w.length {
+                return Err(PlanError::InvalidParameter(
+                    id,
+                    "slide must not exceed window length",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Longest path length (in operators) from any source to the sink.
+    pub fn depth(&self) -> usize {
+        let order = self.topo_order().expect("acyclic plan");
+        let mut depth = vec![1usize; self.ops.len()];
+        for id in order {
+            for d in self.downstream(id) {
+                depth[d.idx()] = depth[d.idx()].max(depth[id.idx()] + 1);
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "plan `{}`:", self.name)?;
+        for op in &self.ops {
+            let down: Vec<String> = self.downstream(op.id).iter().map(|d| d.to_string()).collect();
+            writeln!(
+                f,
+                "  {} [{}] -> {}",
+                op.id,
+                op.kind.label(),
+                if down.is_empty() {
+                    "∅".to_string()
+                } else {
+                    down.join(", ")
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::*;
+    use crate::types::{DataType, TupleSchema};
+
+    fn source(rate: f64) -> OperatorKind {
+        OperatorKind::Source(SourceOp {
+            event_rate: rate,
+            schema: TupleSchema::uniform(DataType::Double, 3),
+        })
+    }
+
+    fn filter(sel: f64) -> OperatorKind {
+        OperatorKind::Filter(FilterOp {
+            function: FilterFunction::Le,
+            literal_class: DataType::Double,
+            selectivity: sel,
+        })
+    }
+
+    fn agg() -> OperatorKind {
+        OperatorKind::Aggregate(AggregateOp {
+            window: WindowSpec::tumbling(WindowPolicy::Count, 10.0),
+            function: AggFunction::Avg,
+            agg_class: DataType::Double,
+            key_class: Some(DataType::Int),
+            selectivity: 0.2,
+        })
+    }
+
+    fn linear_plan() -> LogicalPlan {
+        let mut p = LogicalPlan::new("linear");
+        let s = p.add(source(1000.0));
+        let f = p.add(filter(0.5));
+        let a = p.add(agg());
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(s, f);
+        p.connect(f, a);
+        p.connect(a, k);
+        p
+    }
+
+    #[test]
+    fn linear_plan_validates() {
+        let p = linear_plan();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.num_ops(), 4);
+        assert_eq!(p.sources(), vec![OpId(0)]);
+        assert_eq!(p.sink(), OpId(3));
+        assert_eq!(p.depth(), 4);
+    }
+
+    #[test]
+    fn topo_order_is_consistent() {
+        let p = linear_plan();
+        let order = p.topo_order().unwrap();
+        assert_eq!(order.len(), 4);
+        let pos: Vec<usize> = (0..4)
+            .map(|i| order.iter().position(|&o| o == OpId(i)).unwrap())
+            .collect();
+        assert!(pos[0] < pos[1] && pos[1] < pos[2] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut p = linear_plan();
+        p.connect(OpId(3), OpId(0));
+        assert_eq!(p.validate(), Err(PlanError::Cyclic));
+    }
+
+    #[test]
+    fn join_needs_two_inputs() {
+        let mut p = LogicalPlan::new("bad-join");
+        let s = p.add(source(100.0));
+        let j = p.add(OperatorKind::Join(JoinOp {
+            window: WindowSpec::tumbling(WindowPolicy::Count, 5.0),
+            key_class: DataType::Int,
+            selectivity: 0.1,
+        }));
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(s, j);
+        p.connect(j, k);
+        assert_eq!(
+            p.validate(),
+            Err(PlanError::WrongInputCount {
+                op: j,
+                expected: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn exactly_one_sink_required() {
+        let mut p = LogicalPlan::new("no-sink");
+        let s = p.add(source(100.0));
+        let f = p.add(filter(0.1));
+        p.connect(s, f);
+        assert_eq!(p.validate(), Err(PlanError::SinkCount(0)));
+    }
+
+    #[test]
+    fn dead_end_detected() {
+        let mut p = linear_plan();
+        // add a filter that consumes the source output but feeds nothing
+        let dead = p.add(filter(0.3));
+        p.connect(OpId(0), dead);
+        assert_eq!(p.validate(), Err(PlanError::DeadEnd(dead)));
+    }
+
+    #[test]
+    fn invalid_selectivity_rejected() {
+        let mut p = LogicalPlan::new("bad-sel");
+        let s = p.add(source(100.0));
+        let f = p.add(filter(1.5));
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(s, f);
+        p.connect(f, k);
+        assert!(matches!(
+            p.validate(),
+            Err(PlanError::InvalidParameter(_, _))
+        ));
+    }
+
+    #[test]
+    fn slide_larger_than_window_rejected() {
+        let mut p = LogicalPlan::new("bad-window");
+        let s = p.add(source(100.0));
+        let a = p.add(OperatorKind::Aggregate(AggregateOp {
+            window: WindowSpec::sliding(WindowPolicy::Time, 100.0, 200.0),
+            function: AggFunction::Sum,
+            agg_class: DataType::Double,
+            key_class: None,
+            selectivity: 0.1,
+        }));
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(s, a);
+        p.connect(a, k);
+        assert!(matches!(
+            p.validate(),
+            Err(PlanError::InvalidParameter(_, "slide must not exceed window length"))
+        ));
+    }
+
+    #[test]
+    fn output_schemas_propagate() {
+        let p = linear_plan();
+        let schemas = p.output_schemas();
+        assert_eq!(schemas[0].width(), 3); // source
+        assert_eq!(schemas[1].width(), 3); // filter passes through
+        assert_eq!(schemas[2].width(), 3); // keyed agg: key + agg + ts
+        assert_eq!(schemas[3].width(), 3); // sink passes through
+    }
+
+    #[test]
+    fn join_output_schema_concatenates() {
+        let mut p = LogicalPlan::new("join");
+        let s1 = p.add(source(100.0));
+        let s2 = p.add(source(100.0));
+        let j = p.add(OperatorKind::Join(JoinOp {
+            window: WindowSpec::tumbling(WindowPolicy::Count, 5.0),
+            key_class: DataType::Int,
+            selectivity: 0.1,
+        }));
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(s1, j);
+        p.connect(s2, j);
+        p.connect(j, k);
+        assert!(p.validate().is_ok());
+        let schemas = p.output_schemas();
+        assert_eq!(schemas[j.idx()].width(), 6);
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut p = linear_plan();
+        p.connect(OpId(0), OpId(1));
+        assert!(matches!(p.validate(), Err(PlanError::InvalidEdge(_, _))));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = linear_plan();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: LogicalPlan = serde_json::from_str(&json).unwrap();
+        assert!(back.validate().is_ok());
+        assert_eq!(back.num_ops(), p.num_ops());
+        assert_eq!(back.edges(), p.edges());
+    }
+}

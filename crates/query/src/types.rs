@@ -1,0 +1,215 @@
+//! Fundamental identifier and schema types shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an operator inside a [`crate::plan::LogicalPlan`].
+///
+/// Ids are dense indices assigned in insertion order, which lets downstream
+/// crates use plain `Vec`s keyed by `OpId` instead of hash maps.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default,
+)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ω{}", self.0)
+    }
+}
+
+/// Data type of a single tuple field.
+///
+/// The paper treats the *class* of a literal or key (int / double / string)
+/// as a transferable feature ("filter literal class", "join key class",
+/// "agg. class"), because evaluation and hashing costs depend on the class
+/// but not on concrete values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum DataType {
+    Int,
+    Double,
+    Text,
+}
+
+impl DataType {
+    /// All supported data types, in canonical (one-hot) order.
+    pub const ALL: [DataType; 3] = [DataType::Int, DataType::Double, DataType::Text];
+
+    /// Wire size of one field of this type in bytes.
+    ///
+    /// Strings are modeled with the average payload size used by the
+    /// workload generator.
+    #[inline]
+    pub fn byte_size(self) -> usize {
+        match self {
+            DataType::Int => 8,
+            DataType::Double => 8,
+            DataType::Text => 24,
+        }
+    }
+
+    /// Position in the canonical one-hot encoding.
+    #[inline]
+    pub fn one_hot_index(self) -> usize {
+        match self {
+            DataType::Int => 0,
+            DataType::Double => 1,
+            DataType::Text => 2,
+        }
+    }
+
+    /// Relative CPU cost factor of comparing/hashing a value of this type
+    /// (ints are cheapest, strings most expensive).
+    #[inline]
+    pub fn cost_factor(self) -> f64 {
+        match self {
+            DataType::Int => 1.0,
+            DataType::Double => 1.15,
+            DataType::Text => 2.2,
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DataType::Int => "int",
+            DataType::Double => "double",
+            DataType::Text => "string",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Schema of a stream's tuples: an ordered list of field types.
+///
+/// Exposes the two data-related transferable features from Table I:
+/// *tuple width* (number of fields) and *tuple data type* (type mix).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TupleSchema {
+    pub fields: Vec<DataType>,
+}
+
+impl TupleSchema {
+    pub fn new(fields: Vec<DataType>) -> Self {
+        TupleSchema { fields }
+    }
+
+    /// Schema with `width` fields, all of the same type.
+    pub fn uniform(ty: DataType, width: usize) -> Self {
+        TupleSchema {
+            fields: vec![ty; width],
+        }
+    }
+
+    /// Number of fields ("tuple width" feature).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Serialized size of one tuple in bytes (including a fixed 16-byte
+    /// envelope for timestamp + framing, as in typical DSP wire formats).
+    pub fn bytes(&self) -> usize {
+        16 + self.fields.iter().map(|f| f.byte_size()).sum::<usize>()
+    }
+
+    /// Fraction of fields of each data type, in [`DataType::ALL`] order.
+    pub fn type_fractions(&self) -> [f64; 3] {
+        let mut counts = [0usize; 3];
+        for f in &self.fields {
+            counts[f.one_hot_index()] += 1;
+        }
+        let n = self.width().max(1) as f64;
+        [
+            counts[0] as f64 / n,
+            counts[1] as f64 / n,
+            counts[2] as f64 / n,
+        ]
+    }
+
+    /// Average per-field CPU cost factor; used by the simulator's service
+    /// cost model.
+    pub fn avg_cost_factor(&self) -> f64 {
+        if self.fields.is_empty() {
+            return 1.0;
+        }
+        self.fields.iter().map(|f| f.cost_factor()).sum::<f64>() / self.fields.len() as f64
+    }
+
+    /// Concatenation of two schemas (output of a join).
+    pub fn concat(&self, other: &TupleSchema) -> TupleSchema {
+        let mut fields = self.fields.clone();
+        fields.extend_from_slice(&other.fields);
+        TupleSchema { fields }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_width_and_bytes() {
+        let s = TupleSchema::new(vec![DataType::Int, DataType::Double, DataType::Text]);
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.bytes(), 16 + 8 + 8 + 24);
+    }
+
+    #[test]
+    fn uniform_schema() {
+        let s = TupleSchema::uniform(DataType::Double, 5);
+        assert_eq!(s.width(), 5);
+        assert_eq!(s.type_fractions(), [0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn type_fractions_sum_to_one() {
+        let s = TupleSchema::new(vec![
+            DataType::Int,
+            DataType::Int,
+            DataType::Double,
+            DataType::Text,
+        ]);
+        let f = s.type_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concat_joins_schemas() {
+        let a = TupleSchema::uniform(DataType::Int, 2);
+        let b = TupleSchema::uniform(DataType::Text, 3);
+        let c = a.concat(&b);
+        assert_eq!(c.width(), 5);
+        assert_eq!(c.fields[0], DataType::Int);
+        assert_eq!(c.fields[4], DataType::Text);
+    }
+
+    #[test]
+    fn cost_factors_ordered() {
+        assert!(DataType::Int.cost_factor() < DataType::Double.cost_factor());
+        assert!(DataType::Double.cost_factor() < DataType::Text.cost_factor());
+    }
+
+    #[test]
+    fn empty_schema_is_safe() {
+        let s = TupleSchema::new(vec![]);
+        assert_eq!(s.width(), 0);
+        assert_eq!(s.avg_cost_factor(), 1.0);
+        assert_eq!(s.type_fractions(), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn opid_display_and_index() {
+        assert_eq!(OpId(3).idx(), 3);
+        assert_eq!(format!("{}", OpId(3)), "ω3");
+    }
+}

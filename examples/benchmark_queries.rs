@@ -1,0 +1,74 @@
+//! The public benchmark queries (spike detection, smart-grid local and
+//! global) executed on both simulator paths: the analytical solver used
+//! for training labels and the discrete-event engine that actually runs
+//! tuples through operators.
+//!
+//! Run with: `cargo run --release --example benchmark_queries`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerotune::dspsim::analytical::{simulate, SimConfig};
+use zerotune::dspsim::cluster::{Cluster, ClusterType};
+use zerotune::dspsim::engine::{run, EngineConfig};
+use zerotune::query::benchmarks::{smart_grid_global, smart_grid_local, spike_detection};
+use zerotune::query::{LogicalPlan, ParallelQueryPlan};
+
+fn show(name: &str, plan: LogicalPlan, parallelism: Vec<u32>, cluster: &Cluster) {
+    let pqp = ParallelQueryPlan::with_parallelism(plan, parallelism);
+    println!("\n=== {name} ===");
+    println!("{pqp}");
+
+    // Analytical steady-state solution.
+    let mut rng = StdRng::seed_from_u64(1);
+    let analytical = simulate(&pqp, cluster, &SimConfig::noiseless(), &mut rng);
+    println!(
+        "analytical : latency {:>8.2} ms | throughput {:>9.0} ev/s | bottleneck util {:.2}",
+        analytical.latency_ms, analytical.throughput, analytical.bottleneck_utilization
+    );
+
+    // Discrete-event execution (tuples actually flow). The horizon must
+    // comfortably exceed the largest window slide (smart-grid: 3 s) so
+    // windows fire and results reach the sink.
+    let mut rng = StdRng::seed_from_u64(2);
+    let engine = run(
+        &pqp,
+        cluster,
+        &EngineConfig {
+            horizon_secs: 15.0,
+            ..EngineConfig::default()
+        },
+        &mut rng,
+    );
+    println!(
+        "event-level: latency {:>8.2} ms (p95 {:.2}) | source rate {:>9.0} ev/s | {} sink samples",
+        engine.latency_p50_ms, engine.latency_p95_ms, engine.source_throughput, engine.samples
+    );
+}
+
+fn main() {
+    let cluster = Cluster::homogeneous(ClusterType::M510, 2, 10.0);
+    println!(
+        "cluster: {} × m510 ({} cores)",
+        cluster.num_workers(),
+        cluster.total_cores()
+    );
+
+    show(
+        "spike detection (Intel lab)",
+        spike_detection(10_000.0),
+        vec![2, 4, 2, 1],
+        &cluster,
+    );
+    show(
+        "smart-grid local load (DEBS'14)",
+        smart_grid_local(20_000.0),
+        vec![4, 4, 2, 1],
+        &cluster,
+    );
+    show(
+        "smart-grid global load (DEBS'14)",
+        smart_grid_global(20_000.0),
+        vec![4, 1, 1],
+        &cluster,
+    );
+}

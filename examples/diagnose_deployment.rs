@@ -1,0 +1,97 @@
+//! Deployment diagnosis: build a query with the fluent builder, simulate
+//! a deliberately under-provisioned deployment, print the per-operator
+//! cost breakdown, and use occlusion attribution to see which feature
+//! group drives the model's what-if prediction.
+//!
+//! Run with: `cargo run --release --example diagnose_deployment`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerotune::core::dataset::{generate_dataset, GenConfig};
+use zerotune::core::explain::{attribute, Attribution};
+use zerotune::core::features::FeatureMask;
+use zerotune::core::graph::encode;
+use zerotune::core::model::{ModelConfig, ZeroTuneModel};
+use zerotune::core::train::{train, TrainConfig};
+use zerotune::dspsim::analytical::{simulate, SimConfig};
+use zerotune::dspsim::cluster::{Cluster, ClusterType};
+use zerotune::dspsim::explain::diagnose;
+use zerotune::dspsim::ChainingMode;
+use zerotune::query::builder::StreamBuilder;
+use zerotune::query::{
+    AggFunction, DataType, FilterFunction, ParallelQueryPlan, WindowPolicy, WindowSpec,
+};
+
+fn main() {
+    // A fraud-detection-style pipeline built with the fluent API.
+    let transactions = StreamBuilder::source(800_000.0, DataType::Double, 5).filter(
+        FilterFunction::Ge,
+        DataType::Double,
+        0.3,
+    );
+    let plan = StreamBuilder::source(600_000.0, DataType::Double, 4)
+        .join(
+            transactions,
+            WindowSpec::sliding(WindowPolicy::Time, 1_000.0, 500.0),
+            DataType::Int,
+            0.001,
+        )
+        .window_aggregate(
+            WindowSpec::tumbling(WindowPolicy::Time, 2_000.0),
+            AggFunction::Sum,
+            DataType::Double,
+            Some(DataType::Int),
+            0.1,
+        )
+        .sink("fraud-detection");
+
+    let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+    let sim = SimConfig::noiseless();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Under-provisioned deployment: everything at parallelism 1.
+    let bad = ParallelQueryPlan::new(plan.clone());
+    let m_bad = simulate(&bad, &cluster, &sim, &mut rng);
+    println!("--- under-provisioned deployment (P = 1 everywhere) ---");
+    print!("{}", diagnose(&bad, &m_bad));
+
+    // A sane deployment.
+    let good = ParallelQueryPlan::with_parallelism(plan.clone(), vec![8, 8, 4, 12, 6, 2]);
+    let m_good = simulate(&good, &cluster, &sim, &mut rng);
+    println!("\n--- provisioned deployment ---");
+    print!("{}", diagnose(&good, &m_good));
+
+    // What does the trained model base its prediction on?
+    println!("\ntraining a small model for attribution…");
+    let data = generate_dataset(&GenConfig::seen(), 800, 3);
+    let mut model = ZeroTuneModel::new(ModelConfig::default());
+    train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 15,
+            ..TrainConfig::default()
+        },
+    );
+    let graph = encode(&good, &cluster, ChainingMode::Auto, &FeatureMask::all());
+    let a = attribute(&model, &graph);
+    println!(
+        "prediction: latency {:.1} ms, throughput {:.0} ev/s",
+        a.prediction.0, a.prediction.1
+    );
+    for (i, (l, t)) in a
+        .latency_impact
+        .iter()
+        .zip(a.throughput_impact.iter())
+        .enumerate()
+    {
+        println!(
+            "occluding {:<12} features shifts latency by e^{l:.2}, throughput by e^{t:.2}",
+            Attribution::group_name(i)
+        );
+    }
+    println!(
+        "dominant latency driver: {} features",
+        Attribution::group_name(a.dominant_latency_group())
+    );
+}

@@ -1,0 +1,88 @@
+//! Parallelism tuning on the smart-grid benchmark: ZeroTune's what-if
+//! optimizer vs the greedy heuristic [20] and a Dhalion-style controller
+//! [19] (the comparison behind Fig. 10 of the paper).
+//!
+//! Run with: `cargo run --release --example parallelism_tuning`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerotune::baselines::{dhalion_tune, greedy_tune, DhalionConfig, GreedyConfig};
+use zerotune::core::dataset::{generate_dataset, GenConfig};
+use zerotune::core::model::{ModelConfig, ZeroTuneModel};
+use zerotune::core::optimizer::{tune, OptimizerConfig};
+use zerotune::core::train::{train, TrainConfig};
+use zerotune::dspsim::analytical::{simulate, SimConfig};
+use zerotune::dspsim::cluster::{Cluster, ClusterType};
+use zerotune::query::benchmarks::smart_grid_local;
+use zerotune::query::ParallelQueryPlan;
+
+fn main() {
+    // Train a cost model on the synthetic seen workload (smart-grid is
+    // never part of training — this is zero-shot tuning).
+    println!("training ZeroTune…");
+    let data = generate_dataset(&GenConfig::seen(), 2_000, 11);
+    let mut model = ZeroTuneModel::new(ModelConfig::default());
+    train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        },
+    );
+
+    // The benchmark query and target cluster.
+    let plan = smart_grid_local(200_000.0);
+    let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+    println!("query:\n{plan}");
+    println!(
+        "cluster: {} × {} ({} cores total)\n",
+        cluster.num_workers(),
+        cluster.nodes[0].name,
+        cluster.total_cores()
+    );
+
+    let sim = SimConfig::noiseless();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // --- the three tuners --------------------------------------------
+    let zt = tune(&model, &plan, &cluster, &OptimizerConfig::default());
+    let greedy = greedy_tune(&plan, &cluster, &GreedyConfig::default());
+    let dhalion = dhalion_tune(&plan, &cluster, &DhalionConfig::default(), &sim, &mut rng);
+
+    let mut measure = |name: &str, parallelism: &Vec<u32>, reconfigs: Option<usize>| {
+        let pqp = ParallelQueryPlan::with_parallelism(plan.clone(), parallelism.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = simulate(&pqp, &cluster, &sim, &mut rng);
+        println!(
+            "{name:<10} parallelism {:?} -> latency {:>9.2} ms, throughput {:>9.0} ev/s{}",
+            parallelism,
+            m.latency_ms,
+            m.throughput,
+            reconfigs
+                .map(|r| format!(", {r} costly reconfigurations"))
+                .unwrap_or_default()
+        );
+        m
+    };
+
+    println!("deploying each tuner's configuration on the simulator:");
+    let m_zt = measure("ZeroTune", &zt.parallelism, None);
+    let m_gr = measure("greedy", &greedy, None);
+    let m_dh = measure(
+        "Dhalion",
+        &dhalion.parallelism,
+        Some(dhalion.reconfigurations),
+    );
+
+    println!(
+        "\nspeed-up vs greedy : latency {:.2}x, throughput {:.2}x",
+        m_gr.latency_ms / m_zt.latency_ms,
+        m_zt.throughput / m_gr.throughput
+    );
+    println!(
+        "speed-up vs Dhalion: latency {:.2}x, throughput {:.2}x — and ZeroTune needed zero reconfigurations",
+        m_dh.latency_ms / m_zt.latency_ms,
+        m_zt.throughput / m_dh.throughput
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: train a small zero-shot cost model, predict the cost of an
+//! unseen query, and tune its parallelism.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerotune::core::dataset::{generate_dataset, GenConfig};
+use zerotune::core::model::{ModelConfig, ZeroTuneModel};
+use zerotune::core::optimizer::{tune, OptimizerConfig};
+use zerotune::core::train::{evaluate, train, TrainConfig};
+use zerotune::dspsim::analytical::{simulate, SimConfig};
+use zerotune::dspsim::cluster::{Cluster, ClusterType};
+use zerotune::query::{ParallelQueryPlan, QueryGenerator, QueryStructure};
+
+fn main() {
+    // 1. Collect a training workload: synthetic queries over the paper's
+    //    seen parameter ranges, labeled by the DSP simulator, with
+    //    parallelism degrees enumerated by OptiSample.
+    println!("generating training workload…");
+    let data = generate_dataset(&GenConfig::seen(), 1_500, 42);
+    let (train_set, test_set, _val) = data.split(0.8, 0.1, 0);
+
+    // 2. Train the zero-shot GNN cost model.
+    println!("training ZeroTune on {} queries…", train_set.len());
+    let mut model = ZeroTuneModel::new(ModelConfig::default());
+    let report = train(
+        &mut model,
+        &train_set,
+        &TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        },
+    );
+    println!(
+        "trained for {} epochs in {:.1}s (val loss {:.4})",
+        report.epochs_run, report.wall_secs, report.best_val_loss
+    );
+
+    // 3. Check accuracy on held-out queries.
+    let (lat_q, tpt_q) = evaluate(&model, &test_set.samples);
+    println!("held-out q-errors: latency {lat_q}, throughput {tpt_q}");
+
+    // 4. Zero-shot cost prediction for a *never-seen* query structure.
+    // (Chained filters never occur in training; deeper join cascades are
+    // also available — see EXPERIMENTS.md for how accuracy degrades with
+    // structural distance from the training set.)
+    let mut rng = StdRng::seed_from_u64(7);
+    let plan = QueryGenerator::unseen().generate(QueryStructure::ChainedFilters(3), &mut rng);
+    let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+    println!("\nunseen query:\n{plan}");
+
+    // 5. Let the optimizer pick parallelism degrees from what-if costs.
+    let outcome = tune(&model, &plan, &cluster, &OptimizerConfig::default());
+    println!(
+        "optimizer chose parallelism {:?} ({} candidates)",
+        outcome.parallelism, outcome.candidates_evaluated
+    );
+    println!(
+        "predicted: latency {:.1} ms, throughput {:.0} ev/s",
+        outcome.predicted_latency_ms, outcome.predicted_throughput
+    );
+
+    // 6. Deploy the chosen configuration on the simulator and compare.
+    let pqp = ParallelQueryPlan::with_parallelism(plan, outcome.parallelism);
+    let measured = simulate(&pqp, &cluster, &SimConfig::noiseless(), &mut rng);
+    println!(
+        "measured : latency {:.1} ms, throughput {:.0} ev/s (bottleneck util {:.2})",
+        measured.latency_ms, measured.throughput, measured.bottleneck_utilization
+    );
+}

@@ -1,0 +1,58 @@
+//! What-if analysis: sweep the parallelism degree of a linear query and
+//! compare the trained model's *predicted* cost curve against the
+//! simulator's *measured* curve — the core capability behind the paper's
+//! optimizer (Fig. 2, inference phase).
+//!
+//! Run with: `cargo run --release --example whatif_analysis`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerotune::core::dataset::{generate_dataset, GenConfig};
+use zerotune::core::features::FeatureMask;
+use zerotune::core::graph::encode;
+use zerotune::core::model::{ModelConfig, ZeroTuneModel};
+use zerotune::core::train::{train, TrainConfig};
+use zerotune::dspsim::analytical::{simulate, SimConfig};
+use zerotune::dspsim::cluster::{Cluster, ClusterType};
+use zerotune::dspsim::ChainingMode;
+use zerotune::experiments::fig3::microbench_query;
+use zerotune::query::ParallelQueryPlan;
+
+fn main() {
+    println!("training ZeroTune…");
+    let data = generate_dataset(&GenConfig::seen(), 2_000, 5);
+    let mut model = ZeroTuneModel::new(ModelConfig::default());
+    train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        },
+    );
+
+    let plan = microbench_query(500_000.0);
+    let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+    let sim = SimConfig::noiseless();
+
+    println!("\nwhat-if cost curve for the linear query (offered 500k ev/s):");
+    println!(
+        "{:>4} | {:>14} | {:>14} | {:>16} | {:>16}",
+        "P", "pred lat (ms)", "true lat (ms)", "pred tpt (ev/s)", "true tpt (ev/s)"
+    );
+    for p in [1u32, 2, 4, 8, 16, 32] {
+        let pqp = ParallelQueryPlan::with_parallelism(plan.clone(), vec![p; 4]);
+        let graph = encode(&pqp, &cluster, ChainingMode::Auto, &FeatureMask::all());
+        let (pred_lat, pred_tpt) = model.predict(&graph);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = simulate(&pqp, &cluster, &sim, &mut rng);
+        println!(
+            "{:>4} | {:>14.1} | {:>14.1} | {:>16.0} | {:>16.0}",
+            p, pred_lat, m.latency_ms, pred_tpt, m.throughput
+        );
+    }
+    println!(
+        "\nthe optimizer picks the degree minimizing the weighted cost of Eq. 1 —\n\
+         without ever deploying the rejected configurations."
+    );
+}

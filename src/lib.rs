@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the ZeroTune workspace public API.
+pub use zt_baselines as baselines;
+pub use zt_core as core;
+pub use zt_dspsim as dspsim;
+pub use zt_experiments as experiments;
+pub use zt_nn as nn;
+pub use zt_query as query;

@@ -1,0 +1,135 @@
+//! End-to-end integration tests spanning the whole workspace: dataset
+//! generation → training → prediction → optimization, plus model
+//! persistence.
+
+use zerotune::core::dataset::{generate_dataset, GenConfig};
+use zerotune::core::model::{ModelConfig, ZeroTuneModel};
+use zerotune::core::optimizer::{tune, OptimizerConfig};
+use zerotune::core::train::{evaluate, train, TrainConfig};
+use zerotune::dspsim::analytical::{simulate, SimConfig};
+use zerotune::dspsim::cluster::{Cluster, ClusterType};
+use zerotune::query::{ParallelQueryPlan, QueryGenerator, QueryStructure};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_model(n: usize, seed: u64) -> (ZeroTuneModel, zerotune::core::dataset::Dataset) {
+    let data = generate_dataset(&GenConfig::seen(), n, seed);
+    let (train_set, test_set, _) = data.split(0.85, 0.15, 0);
+    let mut model = ZeroTuneModel::new(ModelConfig {
+        hidden: 24,
+        seed,
+    });
+    train(
+        &mut model,
+        &train_set,
+        &TrainConfig {
+            epochs: 14,
+            patience: 0,
+            ..TrainConfig::default()
+        },
+    );
+    (model, test_set)
+}
+
+#[test]
+fn train_predict_pipeline_reaches_usable_accuracy() {
+    let (model, test_set) = quick_model(350, 1);
+    let (lat, tpt) = evaluate(&model, &test_set.samples);
+    assert!(
+        lat.median < 2.5,
+        "latency median q-error too high: {}",
+        lat.median
+    );
+    assert!(
+        tpt.median < 2.5,
+        "throughput median q-error too high: {}",
+        tpt.median
+    );
+}
+
+#[test]
+fn model_round_trips_through_json() {
+    let (model, test_set) = quick_model(200, 2);
+    let json = model.to_json();
+    let restored = ZeroTuneModel::from_json(&json).expect("valid model json");
+    for s in test_set.samples.iter().take(10) {
+        assert_eq!(model.predict(&s.graph), restored.predict(&s.graph));
+    }
+}
+
+#[test]
+fn optimizer_configuration_is_feasible_and_sensible() {
+    let (model, _) = quick_model(300, 3);
+    let mut rng = StdRng::seed_from_u64(9);
+    let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+    for structure in [QueryStructure::Linear, QueryStructure::TwoWayJoin] {
+        let plan = QueryGenerator::seen().generate(structure, &mut rng);
+        let outcome = tune(&model, &plan, &cluster, &OptimizerConfig::default());
+        // Eq. 1 constraints: P ≥ 1 and max P ≤ n_core.
+        assert_eq!(outcome.parallelism.len(), plan.num_ops());
+        assert!(outcome.parallelism.iter().all(|&p| p >= 1));
+        assert!(outcome
+            .parallelism
+            .iter()
+            .all(|&p| p <= cluster.total_cores()));
+        // the chosen deployment must actually run
+        let pqp = ParallelQueryPlan::with_parallelism(plan, outcome.parallelism);
+        assert!(pqp.validate().is_ok());
+        let m = simulate(&pqp, &cluster, &SimConfig::noiseless(), &mut rng);
+        assert!(m.latency_ms.is_finite() && m.throughput > 0.0);
+    }
+}
+
+#[test]
+fn zero_shot_prediction_on_unseen_structure_is_in_the_right_ballpark() {
+    let (model, _) = quick_model(400, 4);
+    // 4-way joins never appear in training.
+    let unseen = generate_dataset(
+        &GenConfig::unseen_structures()
+            .with_structures(vec![QueryStructure::NWayJoin(4)]),
+        40,
+        5,
+    );
+    let (lat, _) = evaluate(&model, &unseen.samples);
+    // zero-shot on a structurally new plan: should be within one order of
+    // magnitude at the median
+    assert!(
+        lat.median < 12.0,
+        "zero-shot latency q-error too high: {}",
+        lat.median
+    );
+}
+
+#[test]
+fn fewshot_does_not_degrade_and_stays_loadable() {
+    let (mut model, _) = quick_model(250, 6);
+    let shots = generate_dataset(
+        &GenConfig::unseen_structures()
+            .with_structures(vec![QueryStructure::NWayJoin(5)]),
+        60,
+        7,
+    );
+    let test = generate_dataset(
+        &GenConfig::unseen_structures()
+            .with_structures(vec![QueryStructure::NWayJoin(5)]),
+        40,
+        8,
+    );
+    let (_, before) = evaluate(&model, &test.samples);
+    zerotune::core::fewshot::fine_tune(
+        &mut model,
+        &shots,
+        &zerotune::core::fewshot::FewShotConfig::default(),
+    );
+    let (_, after) = evaluate(&model, &test.samples);
+    assert!(
+        after.median <= before.median * 1.25,
+        "few-shot degraded throughput q-error: {} -> {}",
+        before.median,
+        after.median
+    );
+    // fine-tuned model still serializes
+    let json = model.to_json();
+    assert!(ZeroTuneModel::from_json(&json).is_ok());
+}

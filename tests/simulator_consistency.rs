@@ -1,0 +1,117 @@
+//! Cross-validation of the two simulator paths: the analytical
+//! steady-state solver (used for labels) and the discrete-event engine
+//! (tuples actually flow). They implement the same cost model, so their
+//! *orderings* and coarse magnitudes must agree.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerotune::dspsim::analytical::{simulate, SimConfig};
+use zerotune::dspsim::cluster::{Cluster, ClusterType};
+use zerotune::dspsim::engine::{run, EngineConfig};
+use zerotune::query::operators::*;
+use zerotune::query::{
+    DataType, LogicalPlan, OperatorKind, ParallelQueryPlan, TupleSchema,
+};
+
+fn linear(rate: f64, sel: f64, window: f64) -> LogicalPlan {
+    let mut plan = LogicalPlan::new("linear");
+    let s = plan.add(OperatorKind::Source(SourceOp {
+        event_rate: rate,
+        schema: TupleSchema::uniform(DataType::Double, 3),
+    }));
+    let f = plan.add(OperatorKind::Filter(FilterOp {
+        function: FilterFunction::Gt,
+        literal_class: DataType::Double,
+        selectivity: sel,
+    }));
+    let a = plan.add(OperatorKind::Aggregate(AggregateOp {
+        window: WindowSpec::tumbling(WindowPolicy::Count, window),
+        function: AggFunction::Avg,
+        agg_class: DataType::Double,
+        key_class: Some(DataType::Int),
+        selectivity: 0.2,
+    }));
+    let k = plan.add(OperatorKind::Sink(SinkOp));
+    plan.connect(s, f);
+    plan.connect(f, a);
+    plan.connect(a, k);
+    plan
+}
+
+fn cluster() -> Cluster {
+    Cluster::homogeneous(ClusterType::M510, 2, 10.0)
+}
+
+#[test]
+fn sustained_rates_agree_without_backpressure() {
+    let pqp = ParallelQueryPlan::with_parallelism(linear(4_000.0, 0.5, 10.0), vec![2; 4]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = simulate(&pqp, &cluster(), &SimConfig::noiseless(), &mut rng);
+    let e = run(&pqp, &cluster(), &EngineConfig::default(), &mut rng);
+    // both report the full offered rate
+    assert!((a.throughput - 4_000.0).abs() < 1.0);
+    assert!(
+        (e.source_throughput - 4_000.0).abs() / 4_000.0 < 0.2,
+        "engine sustained {} ev/s",
+        e.source_throughput
+    );
+}
+
+#[test]
+fn both_paths_rank_window_sizes_identically_for_latency() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let small = ParallelQueryPlan::with_parallelism(linear(2_000.0, 0.5, 5.0), vec![2; 4]);
+    let large = ParallelQueryPlan::with_parallelism(linear(2_000.0, 0.5, 500.0), vec![2; 4]);
+
+    let a_small = simulate(&small, &cluster(), &SimConfig::noiseless(), &mut rng);
+    let a_large = simulate(&large, &cluster(), &SimConfig::noiseless(), &mut rng);
+    assert!(a_large.latency_ms > a_small.latency_ms);
+
+    let e_small = run(&small, &cluster(), &EngineConfig::default(), &mut rng);
+    let e_large = run(&large, &cluster(), &EngineConfig::default(), &mut rng);
+    assert!(
+        e_large.latency_p50_ms > e_small.latency_p50_ms,
+        "engine disagreed: {} vs {}",
+        e_large.latency_p50_ms,
+        e_small.latency_p50_ms
+    );
+}
+
+#[test]
+fn both_paths_agree_on_selectivity_driven_sink_rates() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let pqp = ParallelQueryPlan::with_parallelism(linear(5_000.0, 0.4, 10.0), vec![2; 4]);
+    let a = simulate(&pqp, &cluster(), &SimConfig::noiseless(), &mut rng);
+    let e = run(&pqp, &cluster(), &EngineConfig::default(), &mut rng);
+    // sink input rate = rate × filter sel × agg sel = 5000 × 0.4 × 0.2
+    let expected = 5_000.0 * 0.4 * 0.2;
+    let analytic_sink = a.per_op.last().expect("sink").input_rate;
+    assert!(
+        (analytic_sink - expected).abs() / expected < 0.05,
+        "analytical sink rate {analytic_sink}"
+    );
+    assert!(
+        (e.sink_rate - expected).abs() / expected < 0.5,
+        "engine sink rate {} vs expected {expected}",
+        e.sink_rate
+    );
+}
+
+#[test]
+fn engine_latency_same_ballpark_as_analytical() {
+    // The discrete-event engine does not model exchange buffer batching
+    // (the analytical path's dominant term for lightly loaded channels:
+    // up to the 100 ms flush timeout per hop), so only coarse agreement
+    // is expected — same ballpark, not the same number.
+    let mut rng = StdRng::seed_from_u64(4);
+    let pqp = ParallelQueryPlan::with_parallelism(linear(5_000.0, 0.5, 25.0), vec![2; 4]);
+    let a = simulate(&pqp, &cluster(), &SimConfig::noiseless(), &mut rng);
+    let e = run(&pqp, &cluster(), &EngineConfig::default(), &mut rng);
+    let ratio = a.latency_ms / e.latency_p50_ms;
+    assert!(
+        (0.02..=50.0).contains(&ratio),
+        "paths diverge: analytical {} ms vs engine {} ms",
+        a.latency_ms,
+        e.latency_p50_ms
+    );
+}
