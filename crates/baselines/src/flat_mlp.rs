@@ -12,7 +12,7 @@ use zt_core::dataset::Dataset;
 use zt_core::graph::GraphEncoding;
 use zt_core::model::TargetNorm;
 use zt_nn::optim::clip_grad_norm;
-use zt_nn::{Adam, Matrix, Mlp, Optimizer, ParamStore, Tape};
+use zt_nn::{Adam, Matrix, Mlp, Optimizer, ParamStore, Scratch, Tape};
 
 use crate::flat::{flatten, FLAT_DIM};
 
@@ -28,6 +28,12 @@ pub struct FlatMlp {
     norm: TargetNorm,
     input_mean: Vec<f32>,
     input_std: Vec<f32>,
+}
+
+thread_local! {
+    /// Per-thread scratch arena so `predict(&self)` stays allocation-free
+    /// after warm-up while the model remains `Sync`.
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::new());
 }
 
 impl FlatMlp {
@@ -102,20 +108,26 @@ impl FlatMlp {
         }
     }
 
-    /// Predict `(latency_ms, throughput)`.
+    /// Predict `(latency_ms, throughput)` via the tapeless forward pass.
     pub fn predict(&self, graph: &GraphEncoding) -> (f64, f64) {
+        SCRATCH.with(|s| self.predict_with(graph, &mut s.borrow_mut()))
+    }
+
+    /// Tapeless prediction reusing an explicit scratch arena.
+    pub fn predict_with(&self, graph: &GraphEncoding, scratch: &mut Scratch) -> (f64, f64) {
         let f = flatten(graph);
-        let z: Vec<f32> = f
-            .iter()
-            .enumerate()
-            .map(|(d, &v)| ((v as f32) - self.input_mean[d]) / self.input_std[d])
-            .collect();
-        let mut tape = Tape::new();
-        let x = tape.leaf(Matrix::row(&z));
-        let out = self.mlp.forward(&mut tape, &self.store, x);
-        let v = tape.value(out);
-        self.norm
-            .denormalize([v.data[0].clamp(-20.0, 20.0), v.data[1].clamp(-20.0, 20.0)])
+        let mut x = scratch.zeros(1, FLAT_DIM);
+        for (d, &v) in f.iter().enumerate() {
+            x.data[d] = ((v as f32) - self.input_mean[d]) / self.input_std[d];
+        }
+        let out = self.mlp.infer(&self.store, &x, scratch);
+        let pred = self.norm.denormalize([
+            out.data[0].clamp(-20.0, 20.0),
+            out.data[1].clamp(-20.0, 20.0),
+        ]);
+        scratch.recycle(x);
+        scratch.recycle(out);
+        pred
     }
 }
 
@@ -126,9 +138,7 @@ mod tests {
     use zt_core::dataset::{generate_dataset, GenConfig};
     use zt_core::qerror::QErrorStats;
 
-    fn qerr(
-        pairs: impl Iterator<Item = (f64, f64)>,
-    ) -> QErrorStats {
+    fn qerr(pairs: impl Iterator<Item = (f64, f64)>) -> QErrorStats {
         QErrorStats::from_pairs(pairs.collect::<Vec<_>>())
     }
 
@@ -167,6 +177,28 @@ mod tests {
             q_mlp.median,
             q_lin.median
         );
+    }
+
+    #[test]
+    fn tapeless_predict_matches_taped_forward() {
+        let data = generate_dataset(&GenConfig::seen(), 60, 65);
+        let model = FlatMlp::fit(&data, 4);
+        for s in data.samples.iter().take(10) {
+            let f = flatten(&s.graph);
+            let z: Vec<f32> = f
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| ((v as f32) - model.input_mean[d]) / model.input_std[d])
+                .collect();
+            let mut tape = Tape::new();
+            let x = tape.leaf(Matrix::row(&z));
+            let out = model.mlp.forward(&mut tape, &model.store, x);
+            let v = tape.value(out);
+            let taped = model
+                .norm
+                .denormalize([v.data[0].clamp(-20.0, 20.0), v.data[1].clamp(-20.0, 20.0)]);
+            assert_eq!(model.predict(&s.graph), taped);
+        }
     }
 
     #[test]

@@ -27,43 +27,41 @@ pub use forest::{RandomForest, RandomForestConfig};
 pub use greedy::{greedy_tune, GreedyConfig};
 pub use linreg::LinearRegression;
 
+// The unified estimation interface lives in zt-core (the optimizer needs
+// it); re-exported here because the baselines are its other implementors.
+pub use zt_core::estimator::{evaluate_estimator, CostEstimator, CostPrediction};
+
 use zt_core::dataset::Dataset;
 use zt_core::graph::GraphEncoding;
 
-/// A cost model that predicts `(latency_ms, throughput)` for an encoded
-/// plan — implemented by ZeroTune and by every flat-vector baseline so the
-/// experiment harness can evaluate them uniformly.
-pub trait CostEstimator {
-    fn name(&self) -> &'static str;
-    fn predict_costs(&self, graph: &GraphEncoding) -> (f64, f64);
-}
-
-impl CostEstimator for zt_core::model::ZeroTuneModel {
+impl CostEstimator for LinearRegression {
     fn name(&self) -> &'static str {
-        "ZeroTune"
+        "Linear Regression"
     }
 
-    fn predict_costs(&self, graph: &GraphEncoding) -> (f64, f64) {
-        self.predict(graph)
+    fn predict(&self, graph: &GraphEncoding) -> CostPrediction {
+        LinearRegression::predict(self, graph).into()
     }
 }
 
-/// Q-error statistics of any estimator over a sample set, per metric.
-pub fn evaluate_estimator(
-    est: &dyn CostEstimator,
-    samples: &[zt_core::dataset::Sample],
-) -> (zt_core::qerror::QErrorStats, zt_core::qerror::QErrorStats) {
-    let mut lat = Vec::with_capacity(samples.len());
-    let mut tpt = Vec::with_capacity(samples.len());
-    for s in samples {
-        let (l, t) = est.predict_costs(&s.graph);
-        lat.push((l, s.latency_ms));
-        tpt.push((t, s.throughput));
+impl CostEstimator for FlatMlp {
+    fn name(&self) -> &'static str {
+        "Flat Vector MLP"
     }
-    (
-        zt_core::qerror::QErrorStats::from_pairs(lat),
-        zt_core::qerror::QErrorStats::from_pairs(tpt),
-    )
+
+    fn predict(&self, graph: &GraphEncoding) -> CostPrediction {
+        FlatMlp::predict(self, graph).into()
+    }
+}
+
+impl CostEstimator for RandomForest {
+    fn name(&self) -> &'static str {
+        "Random Forest"
+    }
+
+    fn predict(&self, graph: &GraphEncoding) -> CostPrediction {
+        RandomForest::predict(self, graph).into()
+    }
 }
 
 /// The three flat-vector baseline architectures, trainable from one call.
@@ -79,7 +77,11 @@ impl BaselineModel {
         vec![
             BaselineModel::Linear(LinearRegression::fit(data, 1e-3)),
             BaselineModel::FlatMlp(FlatMlp::fit(data, seed)),
-            BaselineModel::Forest(RandomForest::fit(data, &RandomForestConfig::default(), seed)),
+            BaselineModel::Forest(RandomForest::fit(
+                data,
+                &RandomForestConfig::default(),
+                seed,
+            )),
         ]
     }
 }
@@ -93,11 +95,11 @@ impl CostEstimator for BaselineModel {
         }
     }
 
-    fn predict_costs(&self, graph: &GraphEncoding) -> (f64, f64) {
+    fn predict(&self, graph: &GraphEncoding) -> CostPrediction {
         match self {
-            BaselineModel::Linear(m) => m.predict(graph),
-            BaselineModel::FlatMlp(m) => m.predict(graph),
-            BaselineModel::Forest(m) => m.predict(graph),
+            BaselineModel::Linear(m) => m.predict(graph).into(),
+            BaselineModel::FlatMlp(m) => m.predict(graph).into(),
+            BaselineModel::Forest(m) => m.predict(graph).into(),
         }
     }
 }
@@ -113,9 +115,19 @@ mod tests {
         let models = BaselineModel::fit_all(&data, 1);
         assert_eq!(models.len(), 3);
         for m in &models {
-            let (lat, tpt) = m.predict_costs(&data.samples[0].graph);
-            assert!(lat > 0.0 && lat.is_finite(), "{}: bad latency {lat}", m.name());
-            assert!(tpt > 0.0 && tpt.is_finite(), "{}: bad throughput {tpt}", m.name());
+            let p = CostEstimator::predict(m, &data.samples[0].graph);
+            assert!(
+                p.latency_ms > 0.0 && p.latency_ms.is_finite(),
+                "{}: bad latency {}",
+                m.name(),
+                p.latency_ms
+            );
+            assert!(
+                p.throughput > 0.0 && p.throughput.is_finite(),
+                "{}: bad throughput {}",
+                m.name(),
+                p.throughput
+            );
         }
     }
 

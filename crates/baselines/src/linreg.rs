@@ -78,29 +78,16 @@ mod tests {
 
         // geometric-mean constant predictors
         let n = train.len() as f64;
-        let const_tpt = (train
-            .samples
-            .iter()
-            .map(|s| s.throughput.ln())
-            .sum::<f64>()
-            / n)
-            .exp();
-        let const_lat = (train
-            .samples
-            .iter()
-            .map(|s| s.latency_ms.ln())
-            .sum::<f64>()
-            / n)
-            .exp();
+        let const_tpt = (train.samples.iter().map(|s| s.throughput.ln()).sum::<f64>() / n).exp();
+        let const_lat = (train.samples.iter().map(|s| s.latency_ms.ln()).sum::<f64>() / n).exp();
 
         let model_tpt = QErrorStats::from_pairs(
             test.samples
                 .iter()
                 .map(|s| (model.predict(&s.graph).1, s.throughput)),
         );
-        let const_tpt_q = QErrorStats::from_pairs(
-            test.samples.iter().map(|s| (const_tpt, s.throughput)),
-        );
+        let const_tpt_q =
+            QErrorStats::from_pairs(test.samples.iter().map(|s| (const_tpt, s.throughput)));
         assert!(
             model_tpt.median < const_tpt_q.median * 0.8,
             "linreg tpt {} vs constant {}",
@@ -113,9 +100,8 @@ mod tests {
                 .iter()
                 .map(|s| (model.predict(&s.graph).0, s.latency_ms)),
         );
-        let const_lat_q = QErrorStats::from_pairs(
-            test.samples.iter().map(|s| (const_lat, s.latency_ms)),
-        );
+        let const_lat_q =
+            QErrorStats::from_pairs(test.samples.iter().map(|s| (const_lat, s.latency_ms)));
         assert!(
             model_lat.median < const_lat_q.median * 1.25,
             "linreg lat {} not competitive with constant {}",
@@ -141,11 +127,7 @@ mod tests {
         // so predictions stay finite.
         let data = generate_dataset(&GenConfig::seen(), 40, 53);
         let model = LinearRegression::fit(&data, 1e-3);
-        let unseen = generate_dataset(
-            &GenConfig::unseen_structures(),
-            20,
-            54,
-        );
+        let unseen = generate_dataset(&GenConfig::unseen_structures(), 20, 54);
         for s in &unseen.samples {
             let (lat, tpt) = model.predict(&s.graph);
             assert!(lat.is_finite() && tpt.is_finite());

@@ -9,5 +9,8 @@ fn main() {
     let start = std::time::Instant::now();
     let result = zt_experiments::exp4::run(&scale);
     zt_experiments::exp4::print(&result);
-    println!("fig9_data_efficiency: {:.1}s", start.elapsed().as_secs_f64());
+    println!(
+        "fig9_data_efficiency: {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
 }

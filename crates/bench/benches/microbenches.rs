@@ -17,6 +17,7 @@ use zt_core::features::FeatureMask;
 use zt_core::graph::encode;
 use zt_core::model::{ModelConfig, ZeroTuneModel};
 use zt_core::optimizer::{tune, OptimizerConfig};
+use zt_core::CostEstimator;
 use zt_dspsim::analytical::{simulate, SimConfig};
 use zt_dspsim::cluster::{Cluster, ClusterType};
 use zt_dspsim::engine::{run as engine_run, EngineConfig};

@@ -272,16 +272,17 @@ pub fn generate_dataset(cfg: &GenConfig, n: usize, seed: u64) -> Dataset {
     let threads = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1)
-        .min(8)
-        .max(1);
+        .clamp(1, 8);
     let chunk = n.div_ceil(threads);
     let mut samples: Vec<Option<Vec<Sample>>> = (0..threads).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot) in samples.iter_mut().enumerate() {
             let start = t * chunk;
             let count = chunk.min(n.saturating_sub(start));
-            scope.spawn(move |_| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
+                );
                 let mut out = Vec::with_capacity(count);
                 for i in 0..count {
                     let structure = cfg.structures[(start + i) % cfg.structures.len()];
@@ -290,8 +291,7 @@ pub fn generate_dataset(cfg: &GenConfig, n: usize, seed: u64) -> Dataset {
                 *slot = Some(out);
             });
         }
-    })
-    .expect("generation threads join");
+    });
     Dataset::new(samples.into_iter().flat_map(|s| s.unwrap()).collect())
 }
 
@@ -379,9 +379,7 @@ mod tests {
                 .collect();
             by_rate.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             let half = by_rate.len() / 2;
-            let mean = |xs: &[(f64, f64)]| {
-                xs.iter().map(|x| x.1).sum::<f64>() / xs.len() as f64
-            };
+            let mean = |xs: &[(f64, f64)]| xs.iter().map(|x| x.1).sum::<f64>() / xs.len() as f64;
             mean(&by_rate[half..]) - mean(&by_rate[..half])
         };
         let opti = generate_dataset(

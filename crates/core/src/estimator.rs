@@ -1,0 +1,141 @@
+//! The unified cost-estimation interface.
+//!
+//! Every cost model in the workspace — the ZeroTune GNN and the
+//! flat-vector baselines — predicts the same two quantities for an encoded
+//! plan. [`CostEstimator`] is the one trait they all implement, so the
+//! optimizer, the experiment harness and the examples share a single
+//! prediction path:
+//!
+//! * [`CostEstimator::predict`] — one what-if prediction;
+//! * [`CostEstimator::predict_batch`] — a candidate batch. The default
+//!   implementation is a serial loop; estimators with a cheaper amortized
+//!   path (the GNN reuses a scratch arena and fans out over
+//!   `std::thread::scope`) override it.
+//!
+//! Implementations must be `Send + Sync`: the optimizer may evaluate
+//! candidate batches from multiple threads against one shared estimator,
+//! so `predict` takes `&self` and interior state (if any) must be
+//! thread-safe (the GNN keeps its scratch buffers thread-local).
+
+use crate::dataset::Sample;
+use crate::graph::GraphEncoding;
+use crate::qerror::QErrorStats;
+
+/// A what-if cost prediction for one candidate deployment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostPrediction {
+    /// Predicted end-to-end latency in milliseconds.
+    pub latency_ms: f64,
+    /// Predicted sustained throughput in events per second.
+    pub throughput: f64,
+}
+
+impl CostPrediction {
+    /// `(latency_ms, throughput)` — the historical tuple shape.
+    pub fn pair(self) -> (f64, f64) {
+        (self.latency_ms, self.throughput)
+    }
+}
+
+impl From<(f64, f64)> for CostPrediction {
+    fn from((latency_ms, throughput): (f64, f64)) -> Self {
+        CostPrediction {
+            latency_ms,
+            throughput,
+        }
+    }
+}
+
+/// A cost model predicting `(latency, throughput)` for encoded plans.
+pub trait CostEstimator: Send + Sync {
+    /// Human-readable model name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Predict the cost of one encoded plan.
+    fn predict(&self, graph: &GraphEncoding) -> CostPrediction;
+
+    /// Predict a batch of candidates. Semantics are exactly
+    /// `graphs.iter().map(|g| self.predict(g))` — same values, same order —
+    /// but implementations may amortize per-call setup or evaluate
+    /// candidates in parallel.
+    fn predict_batch(&self, graphs: &[GraphEncoding]) -> Vec<CostPrediction> {
+        graphs.iter().map(|g| self.predict(g)).collect()
+    }
+}
+
+/// Q-error statistics of any estimator over a sample set:
+/// `(latency stats, throughput stats)`.
+pub fn evaluate_estimator<E: CostEstimator + ?Sized>(
+    est: &E,
+    samples: &[Sample],
+) -> (QErrorStats, QErrorStats) {
+    let mut lat = Vec::with_capacity(samples.len());
+    let mut tpt = Vec::with_capacity(samples.len());
+    for s in samples {
+        let p = est.predict(&s.graph);
+        lat.push((p.latency_ms, s.latency_ms));
+        tpt.push((p.throughput, s.throughput));
+    }
+    (QErrorStats::from_pairs(lat), QErrorStats::from_pairs(tpt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64, f64);
+
+    impl CostEstimator for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+
+        fn predict(&self, _graph: &GraphEncoding) -> CostPrediction {
+            CostPrediction {
+                latency_ms: self.0,
+                throughput: self.1,
+            }
+        }
+    }
+
+    fn graph() -> GraphEncoding {
+        use crate::features::FeatureMask;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use zt_dspsim::cluster::{Cluster, ClusterType};
+        use zt_dspsim::ChainingMode;
+        use zt_query::{ParallelQueryPlan, QueryGenerator, QueryStructure};
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = QueryGenerator::seen().generate(QueryStructure::Linear, &mut rng);
+        let n = plan.num_ops();
+        let pqp = ParallelQueryPlan::with_parallelism(plan, vec![2; n]);
+        let cluster = Cluster::homogeneous(ClusterType::M510, 2, 10.0);
+        crate::graph::encode(&pqp, &cluster, ChainingMode::Auto, &FeatureMask::all())
+    }
+
+    #[test]
+    fn default_batch_matches_serial_predict() {
+        let est = Fixed(12.5, 4_000.0);
+        let graphs = vec![graph(), graph(), graph()];
+        let batch = est.predict_batch(&graphs);
+        assert_eq!(batch.len(), 3);
+        for (g, p) in graphs.iter().zip(&batch) {
+            assert_eq!(*p, est.predict(g));
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let est = Fixed(1.0, 2.0);
+        let dyn_est: &dyn CostEstimator = &est;
+        assert_eq!(dyn_est.name(), "fixed");
+        assert_eq!(dyn_est.predict(&graph()).pair(), (1.0, 2.0));
+    }
+
+    #[test]
+    fn pair_and_from_round_trip() {
+        let p = CostPrediction::from((3.0, 7.0));
+        assert_eq!(p.pair(), (3.0, 7.0));
+    }
+}

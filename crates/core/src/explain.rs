@@ -7,6 +7,7 @@
 //! which feature group drives a particular cost estimate — useful when
 //! debugging surprising what-if predictions.
 
+use crate::estimator::CostEstimator;
 use crate::features::{OP_COMMON_DIM, RESOURCE_DIM};
 use crate::graph::{GraphEncoding, NodeKind};
 use crate::model::ZeroTuneModel;
@@ -73,11 +74,11 @@ fn occlude(graph: &GraphEncoding, group: usize) -> GraphEncoding {
 
 /// Attribute a prediction to the three transferable-feature groups.
 pub fn attribute(model: &ZeroTuneModel, graph: &GraphEncoding) -> Attribution {
-    let base = model.predict(graph);
+    let base = model.predict(graph).pair();
     let mut latency_impact = [0f64; 3];
     let mut throughput_impact = [0f64; 3];
     for group in 0..3 {
-        let (lat, tpt) = model.predict(&occlude(graph, group));
+        let (lat, tpt) = model.predict(&occlude(graph, group)).pair();
         latency_impact[group] = (lat.max(1e-9) / base.0.max(1e-9)).ln().abs();
         throughput_impact[group] = (tpt.max(1e-9) / base.1.max(1e-9)).ln().abs();
     }

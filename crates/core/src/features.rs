@@ -226,7 +226,11 @@ mod tests {
     fn sample_pqp() -> (ParallelQueryPlan, Cluster, Deployment) {
         let mut rng = StdRng::seed_from_u64(1);
         let plan = QueryGenerator::seen().generate(QueryStructure::Linear, &mut rng);
-        let pqp = ParallelQueryPlan::with_parallelism(plan, vec![2, 4, 4, 2]);
+        // Mixed degrees, sized to however many operators the generator drew.
+        let par = (0..plan.num_ops())
+            .map(|i| if i % 2 == 0 { 2 } else { 4 })
+            .collect();
+        let pqp = ParallelQueryPlan::with_parallelism(plan, par);
         let cluster = Cluster::homogeneous(ClusterType::M510, 2, 10.0);
         let dep = place(&pqp, &cluster, ChainingMode::Auto);
         (pqp, cluster, dep)

@@ -105,11 +105,7 @@ mod tests {
         });
         model.norm = crate::model::TargetNorm::fit(data.labels());
         let head = model.head_param_ids();
-        let frozen: Vec<_> = model
-            .store
-            .ids()
-            .filter(|id| !head.contains(id))
-            .collect();
+        let frozen: Vec<_> = model.store.ids().filter(|id| !head.contains(id)).collect();
         let before: Vec<_> = frozen
             .iter()
             .map(|&id| model.store.value(id).clone())

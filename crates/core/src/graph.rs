@@ -24,7 +24,7 @@
 use serde::{Deserialize, Serialize};
 use zt_dspsim::cluster::Cluster;
 use zt_dspsim::placement::{place, ChainingMode, Deployment};
-use zt_query::{OperatorKind, ParallelQueryPlan};
+use zt_query::{LogicalPlan, OperatorKind, ParallelQueryPlan, TupleSchema};
 
 use crate::features::{operator_features, resource_features, FeatureMask};
 
@@ -121,91 +121,144 @@ pub fn encode_with_deployment(
     dep: &Deployment,
     mask: &FeatureMask,
 ) -> GraphEncoding {
-    let plan = &pqp.plan;
-    let in_schemas = plan.input_schemas();
-    let out_schemas = plan.output_schemas();
+    EncodeContext::new(&pqp.plan, cluster, mask).encode_with_deployment(pqp, cluster, dep)
+}
 
-    let mut nodes: Vec<GraphNode> = plan
-        .ops()
-        .iter()
-        .map(|op| GraphNode {
-            kind: NodeKind::of(&op.kind),
-            features: operator_features(
-                op,
-                pqp,
-                dep,
-                &in_schemas[op.id.idx()],
-                &out_schemas[op.id.idx()],
-                mask,
-            ),
-        })
-        .collect();
+/// Parallelism-independent encoding state, computed once per
+/// (plan, cluster, mask) and reused across what-if candidates.
+///
+/// The optimizer evaluates dozens of parallelism vectors for the *same*
+/// logical plan on the *same* cluster; schemas, topological order,
+/// data-flow edges and per-worker resource feature vectors never change
+/// between candidates, so only the parallelism-dependent operator features
+/// and the deployment-dependent edges are recomputed per candidate.
+pub struct EncodeContext {
+    in_schemas: Vec<TupleSchema>,
+    out_schemas: Vec<TupleSchema>,
+    data_flow: Vec<(usize, usize)>,
+    topo: Vec<usize>,
+    sink: usize,
+    /// Feature vector of every cluster worker (used or not).
+    resource_feats: Vec<Vec<f32>>,
+    mask: FeatureMask,
+}
 
-    let n_ops = nodes.len();
-    // Only materialize resource nodes that actually host instances.
-    let mut used = vec![false; cluster.num_workers()];
-    for op in plan.ops() {
-        for &(node, _) in &dep.instance_counts(op.id) {
-            used[node] = true;
-        }
-    }
-    let mut resource_node_of = vec![usize::MAX; cluster.num_workers()];
-    for (i, spec) in cluster.nodes.iter().enumerate() {
-        if used[i] {
-            resource_node_of[i] = nodes.len();
-            nodes.push(GraphNode {
-                kind: NodeKind::Resource,
-                features: resource_features(spec, i, mask),
-            });
-        }
-    }
-
-    let data_flow = plan
-        .edges()
-        .iter()
-        .map(|&(u, d)| (u.idx(), d.idx()))
-        .collect();
-
-    // Physical edges: a ring over the used resources (the cluster
-    // interconnect); a single resource has no physical edges.
-    let used_resources: Vec<usize> = resource_node_of
-        .iter()
-        .copied()
-        .filter(|&r| r != usize::MAX)
-        .collect();
-    let mut physical = Vec::new();
-    if used_resources.len() > 1 {
-        for w in used_resources.windows(2) {
-            physical.push((w[0], w[1]));
-            physical.push((w[1], w[0]));
+impl EncodeContext {
+    pub fn new(plan: &LogicalPlan, cluster: &Cluster, mask: &FeatureMask) -> Self {
+        EncodeContext {
+            in_schemas: plan.input_schemas(),
+            out_schemas: plan.output_schemas(),
+            data_flow: plan
+                .edges()
+                .iter()
+                .map(|&(u, d)| (u.idx(), d.idx()))
+                .collect(),
+            topo: plan
+                .topo_order()
+                .expect("validated plan")
+                .into_iter()
+                .map(|id| id.idx())
+                .collect(),
+            sink: plan.sink().idx(),
+            resource_feats: cluster
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| resource_features(spec, i, mask))
+                .collect(),
+            mask: *mask,
         }
     }
 
-    // Mapping edges: resource -> operator, weighted by instance share.
-    let mut mapping = Vec::new();
-    for op in plan.ops() {
-        let p = pqp.parallelism_of(op.id).max(1) as f32;
-        for (node, count) in dep.instance_counts(op.id) {
-            mapping.push((resource_node_of[node], op.id.idx(), count as f32 / p));
+    /// Encode one candidate: places the plan, then re-derives only the
+    /// parallelism-dependent parts of the encoding.
+    pub fn encode(
+        &self,
+        pqp: &ParallelQueryPlan,
+        cluster: &Cluster,
+        chaining: ChainingMode,
+    ) -> GraphEncoding {
+        let dep = place(pqp, cluster, chaining);
+        self.encode_with_deployment(pqp, cluster, &dep)
+    }
+
+    /// Encode one candidate with an already-computed deployment.
+    pub fn encode_with_deployment(
+        &self,
+        pqp: &ParallelQueryPlan,
+        cluster: &Cluster,
+        dep: &Deployment,
+    ) -> GraphEncoding {
+        let plan = &pqp.plan;
+        let mut nodes: Vec<GraphNode> = plan
+            .ops()
+            .iter()
+            .map(|op| GraphNode {
+                kind: NodeKind::of(&op.kind),
+                features: operator_features(
+                    op,
+                    pqp,
+                    dep,
+                    &self.in_schemas[op.id.idx()],
+                    &self.out_schemas[op.id.idx()],
+                    &self.mask,
+                ),
+            })
+            .collect();
+
+        let n_ops = nodes.len();
+        // Only materialize resource nodes that actually host instances.
+        let mut used = vec![false; cluster.num_workers()];
+        for op in plan.ops() {
+            for &(node, _) in &dep.instance_counts(op.id) {
+                used[node] = true;
+            }
         }
-    }
+        let mut resource_node_of = vec![usize::MAX; cluster.num_workers()];
+        for (i, feats) in self.resource_feats.iter().enumerate() {
+            if used[i] {
+                resource_node_of[i] = nodes.len();
+                nodes.push(GraphNode {
+                    kind: NodeKind::Resource,
+                    features: feats.clone(),
+                });
+            }
+        }
 
-    let topo = plan
-        .topo_order()
-        .expect("validated plan")
-        .into_iter()
-        .map(|id| id.idx())
-        .collect();
+        // Physical edges: a ring over the used resources (the cluster
+        // interconnect); a single resource has no physical edges.
+        let used_resources: Vec<usize> = resource_node_of
+            .iter()
+            .copied()
+            .filter(|&r| r != usize::MAX)
+            .collect();
+        let mut physical = Vec::new();
+        if used_resources.len() > 1 {
+            for w in used_resources.windows(2) {
+                physical.push((w[0], w[1]));
+                physical.push((w[1], w[0]));
+            }
+        }
 
-    GraphEncoding {
-        nodes,
-        data_flow,
-        physical,
-        mapping,
-        topo,
-        sink: plan.sink().idx(),
+        // Mapping edges: resource -> operator, weighted by instance share.
+        let mut mapping = Vec::new();
+        for op in plan.ops() {
+            let p = pqp.parallelism_of(op.id).max(1) as f32;
+            for (node, count) in dep.instance_counts(op.id) {
+                mapping.push((resource_node_of[node], op.id.idx(), count as f32 / p));
+            }
+        }
+
+        GraphEncoding {
+            nodes,
+            data_flow: self.data_flow.clone(),
+            physical,
+            mapping,
+            topo: self.topo.clone(),
+            sink: self.sink,
+        }
+        .tap_check(n_ops)
     }
-    .tap_check(n_ops)
 }
 
 impl GraphEncoding {
@@ -307,6 +360,33 @@ mod tests {
         assert_eq!(g1.data_flow, g64.data_flow);
         // but the parallelism feature differs
         assert!(g1.nodes[1].features[0] < g64.nodes[1].features[0]);
+    }
+
+    #[test]
+    fn context_encoding_matches_direct_encoding() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let plan = QueryGenerator::seen().generate(QueryStructure::ThreeWayJoin, &mut rng);
+        let n = plan.num_ops();
+        let cluster = Cluster::homogeneous(ClusterType::M510, 3, 10.0);
+        let mask = FeatureMask::all();
+        let ctx = EncodeContext::new(&plan, &cluster, &mask);
+        let mut pqp = ParallelQueryPlan::new(plan.clone());
+        for p in [1u32, 2, 7, 16] {
+            pqp.parallelism = vec![p; n];
+            pqp.reset_partitioning();
+            let cached = ctx.encode(&pqp, &cluster, ChainingMode::Auto);
+            let direct = encode(&pqp, &cluster, ChainingMode::Auto, &mask);
+            assert_eq!(cached.data_flow, direct.data_flow);
+            assert_eq!(cached.physical, direct.physical);
+            assert_eq!(cached.mapping, direct.mapping);
+            assert_eq!(cached.topo, direct.topo);
+            assert_eq!(cached.sink, direct.sink);
+            assert_eq!(cached.nodes.len(), direct.nodes.len());
+            for (a, b) in cached.nodes.iter().zip(direct.nodes.iter()) {
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.features, b.features);
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   data-flow, physical and operator-resource-mapping edges.
 //! * [`model`] — the zero-shot GNN: per-node-type MLP encoders, three
 //!   message-passing phases, and a read-out MLP on the sink predicting
-//!   log-latency and log-throughput.
+//!   log-latency and log-throughput. Training runs on the autodiff tape;
+//!   prediction uses a tapeless forward pass over a scratch-buffer arena.
+//! * [`estimator`] — the [`CostEstimator`] trait unifying the GNN and the
+//!   flat-vector baselines behind one (batched) prediction interface.
 //! * [`optisample`] — the **OptiSample** enumeration strategy
 //!   (Algorithm 1, Definitions 3–8) and the random baseline strategy.
 //! * [`dataset`] — labeled training-data generation against the
@@ -31,6 +34,7 @@
 //!   (Fig. 6 / Fig. 7d).
 
 pub mod dataset;
+pub mod estimator;
 pub mod explain;
 pub mod features;
 pub mod fewshot;
@@ -42,8 +46,9 @@ pub mod qerror;
 pub mod train;
 
 pub use dataset::{generate_dataset, Dataset, GenConfig, Sample, SampleMeta};
+pub use estimator::{evaluate_estimator, CostEstimator, CostPrediction};
 pub use features::FeatureMask;
-pub use graph::{encode, GraphEncoding, GraphNode, NodeKind};
+pub use graph::{encode, EncodeContext, GraphEncoding, GraphNode, NodeKind};
 pub use model::{ModelConfig, TargetNorm, ZeroTuneModel};
 pub use optimizer::{tune, OptimizerConfig, TuningOutcome};
 pub use optisample::{EnumerationStrategy, OptiSampleConfig, RandomConfig};

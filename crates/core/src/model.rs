@@ -13,11 +13,15 @@
 //!   trunk, as the paper's final MLP node does; fine-tuning for other
 //!   metrics only needs to replace this head.
 
+use std::cell::RefCell;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use zt_nn::{Mlp, ParamStore, Tape, Var};
+use zt_nn::infer::{concat_pair, mean_of, relu_inplace, weighted_sum_of};
+use zt_nn::{Matrix, Mlp, ParamStore, Scratch, Tape, Var};
 
+use crate::estimator::{CostEstimator, CostPrediction};
 use crate::features::{
     AGG_EXTRA_DIM, FILTER_EXTRA_DIM, JOIN_EXTRA_DIM, OP_COMMON_DIM, RESOURCE_DIM, SINK_EXTRA_DIM,
     SOURCE_EXTRA_DIM,
@@ -82,10 +86,7 @@ impl TargetNorm {
             var[0] += (l[0] - mean[0]).powi(2);
             var[1] += (l[1] - mean[1]).powi(2);
         }
-        let std = [
-            (var[0] / n).sqrt().max(1e-6),
-            (var[1] / n).sqrt().max(1e-6),
-        ];
+        let std = [(var[0] / n).sqrt().max(1e-6), (var[1] / n).sqrt().max(1e-6)];
         TargetNorm {
             mean: [mean[0] as f32, mean[1] as f32],
             std: [std[0] as f32, std[1] as f32],
@@ -292,12 +293,141 @@ impl ZeroTuneModel {
         tape.concat_cols(&[lat, tpt])
     }
 
-    /// Predict `(latency_ms, throughput)` for an encoded plan.
-    pub fn predict(&self, graph: &GraphEncoding) -> (f64, f64) {
-        let mut tape = Tape::new();
-        let out = self.forward(&mut tape, graph);
-        let v = tape.value(out);
-        self.norm.denormalize([v.data[0], v.data[1]])
+    /// Tapeless forward pass: the same three message-passing phases as
+    /// [`ZeroTuneModel::forward`], computed directly on [`Matrix`] values
+    /// from a reusable [`Scratch`] arena — no tape nodes, no weight
+    /// clones, and (after warm-up) no allocation. Every aggregation
+    /// mirrors the corresponding tape op's accumulation order, so the
+    /// normalized outputs match the taped forward bit for bit.
+    pub fn forward_infer(&self, graph: &GraphEncoding, scratch: &mut Scratch) -> [f32; 2] {
+        let n = graph.nodes.len();
+
+        // Step ②: encode every node with its type's MLP.
+        let mut h: Vec<Matrix> = Vec::with_capacity(n);
+        for node in &graph.nodes {
+            let x = scratch.row_of(&node.features);
+            let enc = &self.encoders[kind_index(node.kind)];
+            debug_assert_eq!(enc.in_dim(), node.features.len());
+            let mut e = enc.infer(&self.store, &x, scratch);
+            relu_inplace(&mut e);
+            scratch.recycle(x);
+            h.push(e);
+        }
+
+        // Phase 1: physical edges among resources (synchronous update —
+        // all messages read the pre-phase states, so new states are
+        // staged and swapped in afterwards).
+        let mut staged: Vec<(usize, Matrix)> = Vec::new();
+        if !graph.physical.is_empty() {
+            let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for &(a, b) in &graph.physical {
+                incoming[b].push(a);
+            }
+            for (i, inc) in incoming.iter().enumerate() {
+                if inc.is_empty() {
+                    continue;
+                }
+                let msg = mean_of(&h, inc, scratch);
+                let cat = concat_pair(&h[i], &msg, scratch);
+                scratch.recycle(msg);
+                let upd = self.upd_physical.infer(&self.store, &cat, scratch);
+                scratch.recycle(cat);
+                let mut next = scratch.copy_of(&h[i]);
+                next.add_assign(&upd);
+                scratch.recycle(upd);
+                staged.push((i, next));
+            }
+            for (i, next) in staged.drain(..) {
+                scratch.recycle(std::mem::replace(&mut h[i], next));
+            }
+        }
+
+        // Phase 2: operator-resource mapping (instance-share weighted,
+        // also synchronous).
+        {
+            let mut per_op: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n];
+            for &(res, op, w) in &graph.mapping {
+                per_op[op].push((res, w));
+            }
+            for (op, terms) in per_op.iter().enumerate() {
+                if terms.is_empty() {
+                    continue;
+                }
+                let msg = weighted_sum_of(&h, terms, scratch);
+                let cat = concat_pair(&h[op], &msg, scratch);
+                scratch.recycle(msg);
+                let upd = self.upd_mapping.infer(&self.store, &cat, scratch);
+                scratch.recycle(cat);
+                let mut next = scratch.copy_of(&h[op]);
+                next.add_assign(&upd);
+                scratch.recycle(upd);
+                staged.push((op, next));
+            }
+            for (op, next) in staged.drain(..) {
+                scratch.recycle(std::mem::replace(&mut h[op], next));
+            }
+        }
+
+        // Phase 3: bottom-up data-flow pass toward the sink (sequential in
+        // topological order: downstream nodes see already-updated
+        // upstream states, exactly like the taped pass).
+        let mut upstream: Vec<usize> = Vec::new();
+        for &node in &graph.topo {
+            upstream.clear();
+            upstream.extend(
+                graph
+                    .data_flow
+                    .iter()
+                    .filter(|&&(_, d)| d == node)
+                    .map(|&(u, _)| u),
+            );
+            if upstream.is_empty() {
+                continue;
+            }
+            let msg = mean_of(&h, &upstream, scratch);
+            let cat = concat_pair(&h[node], &msg, scratch);
+            scratch.recycle(msg);
+            let upd = self.upd_dataflow.infer(&self.store, &cat, scratch);
+            scratch.recycle(cat);
+            h[node].add_assign(&upd);
+            scratch.recycle(upd);
+        }
+
+        // Step ④: read out at the sink.
+        let sources: Vec<usize> = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| node.kind == NodeKind::Source)
+            .map(|(i, _)| i)
+            .collect();
+        let context = if sources.is_empty() {
+            scratch.copy_of(&h[graph.sink])
+        } else {
+            mean_of(&h, &sources, scratch)
+        };
+        let lat = self
+            .readout_latency
+            .infer(&self.store, &h[graph.sink], scratch);
+        let tpt_in = concat_pair(&h[graph.sink], &context, scratch);
+        scratch.recycle(context);
+        let tpt = self.readout_throughput.infer(&self.store, &tpt_in, scratch);
+        scratch.recycle(tpt_in);
+        let out = [lat.data[0], tpt.data[0]];
+        scratch.recycle(lat);
+        scratch.recycle(tpt);
+        for m in h {
+            scratch.recycle(m);
+        }
+        out
+    }
+
+    /// Predict with an explicit scratch arena (the batched/threaded entry
+    /// points each own one so repeated calls never allocate).
+    pub fn predict_with(&self, graph: &GraphEncoding, scratch: &mut Scratch) -> CostPrediction {
+        self.norm
+            .denormalize(self.forward_infer(graph, scratch))
+            .into()
     }
 
     /// Serialize the model (weights + normalization) to JSON.
@@ -308,6 +438,59 @@ impl ZeroTuneModel {
     /// Load a model back from [`ZeroTuneModel::to_json`] output.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch arena for [`CostEstimator::predict`]: the trait
+    /// method takes `&self`, so the reusable buffers live thread-locally —
+    /// repeated single predictions allocate nothing after warm-up and the
+    /// model stays `Sync`.
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+impl CostEstimator for ZeroTuneModel {
+    fn name(&self) -> &'static str {
+        "ZeroTune"
+    }
+
+    fn predict(&self, graph: &GraphEncoding) -> CostPrediction {
+        SCRATCH.with(|s| self.predict_with(graph, &mut s.borrow_mut()))
+    }
+
+    /// Evaluate a candidate batch, fanning the chunks out over scoped
+    /// threads (each with its own scratch arena). Falls back to a serial
+    /// loop on single-core hosts or tiny batches.
+    fn predict_batch(&self, graphs: &[GraphEncoding]) -> Vec<CostPrediction> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(graphs.len());
+        if workers <= 1 {
+            let mut scratch = Scratch::new();
+            return graphs
+                .iter()
+                .map(|g| self.predict_with(g, &mut scratch))
+                .collect();
+        }
+        let chunk = graphs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = graphs
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut scratch = Scratch::new();
+                        part.iter()
+                            .map(|g| self.predict_with(g, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|hdl| hdl.join().expect("prediction worker panicked"))
+                .collect()
+        })
     }
 }
 
@@ -358,6 +541,27 @@ mod tests {
     }
 
     #[test]
+    fn tapeless_forward_matches_tape_exactly() {
+        let model = ZeroTuneModel::new(ModelConfig::default());
+        let mut scratch = Scratch::new();
+        for (i, s) in [
+            QueryStructure::Linear,
+            QueryStructure::TwoWayJoin,
+            QueryStructure::NWayJoin(5),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let g = sample_graph(s, 1 + i as u32 * 3, 7 + i as u64);
+            let mut tape = Tape::new();
+            let out = model.forward(&mut tape, &g);
+            let taped = tape.value(out).clone();
+            let tapeless = model.forward_infer(&g, &mut scratch);
+            assert_eq!(taped.data, tapeless.to_vec(), "structure {s:?}");
+        }
+    }
+
+    #[test]
     fn target_norm_round_trip() {
         let norm = TargetNorm::fit(vec![(10.0, 1000.0), (100.0, 5000.0), (55.0, 2000.0)]);
         let z = norm.normalize(42.0, 3000.0);
@@ -368,24 +572,16 @@ mod tests {
 
     #[test]
     fn target_norm_is_standardizing() {
-        let labels: Vec<(f64, f64)> = (1..100)
-            .map(|i| (i as f64, (i * i) as f64))
-            .collect();
+        let labels: Vec<(f64, f64)> = (1..100).map(|i| (i as f64, (i * i) as f64)).collect();
         let norm = TargetNorm::fit(labels.clone());
-        let zs: Vec<[f32; 2]> = labels
-            .iter()
-            .map(|&(l, t)| norm.normalize(l, t))
-            .collect();
+        let zs: Vec<[f32; 2]> = labels.iter().map(|&(l, t)| norm.normalize(l, t)).collect();
         let mean: f32 = zs.iter().map(|z| z[0]).sum::<f32>() / zs.len() as f32;
         assert!(mean.abs() < 1e-3, "mean {mean}");
     }
 
     #[test]
     fn gnn_gradients_match_finite_differences() {
-        let mut model = ZeroTuneModel::new(ModelConfig {
-            hidden: 8,
-            seed: 3,
-        });
+        let mut model = ZeroTuneModel::new(ModelConfig { hidden: 8, seed: 3 });
         let g = sample_graph(QueryStructure::TwoWayJoin, 2, 4);
         let target = zt_nn::Matrix::row(&[0.3, -0.5]);
         let report = zt_nn::gradcheck::check_gradients(

@@ -22,9 +22,9 @@ use zt_dspsim::cluster::Cluster;
 use zt_dspsim::ChainingMode;
 use zt_query::{LogicalPlan, ParallelQueryPlan};
 
+use crate::estimator::CostEstimator;
 use crate::features::FeatureMask;
-use crate::graph::encode;
-use crate::model::ZeroTuneModel;
+use crate::graph::EncodeContext;
 use crate::optisample::estimate_input_rates;
 
 /// Optimizer configuration.
@@ -121,13 +121,7 @@ pub fn enumerate_candidates(
 
 /// Normalized weighted cost of Eq. 1 for a candidate given the min/max
 /// envelope over all candidates.
-fn weighted_cost(
-    wt: f64,
-    lat: f64,
-    tpt: f64,
-    lat_range: (f64, f64),
-    tpt_range: (f64, f64),
-) -> f64 {
+fn weighted_cost(wt: f64, lat: f64, tpt: f64, lat_range: (f64, f64), tpt_range: (f64, f64)) -> f64 {
     // Normalization happens on the log scale (costs span decades) and a
     // metric only participates when it varies *meaningfully* over the
     // candidate set: throughput of a never-backpressured query is flat up
@@ -157,10 +151,17 @@ fn weighted_cost(
     wt * c_l + (1.0 - wt) * c_t
 }
 
-/// Tune the parallelism of `plan` on `cluster` using `model`'s what-if
-/// predictions.
-pub fn tune(
-    model: &ZeroTuneModel,
+/// Tune the parallelism of `plan` on `cluster` using the estimator's
+/// what-if predictions.
+///
+/// Works with any [`CostEstimator`] — the trained GNN, a flat-vector
+/// baseline, or a trait object. Parallelism-independent encoding state
+/// (schemas, topology, resource features) is computed once via
+/// [`EncodeContext`]; per candidate only the parallelism-dependent
+/// features and edges are re-derived, and the whole candidate set is
+/// scored through one [`CostEstimator::predict_batch`] call.
+pub fn tune<E: CostEstimator + ?Sized>(
+    est: &E,
     plan: &LogicalPlan,
     cluster: &Cluster,
     cfg: &OptimizerConfig,
@@ -169,29 +170,38 @@ pub fn tune(
     let candidates = enumerate_candidates(plan, cluster, cfg, &mut rng);
     assert!(!candidates.is_empty());
 
-    // What-if prediction per candidate.
-    let mut predictions = Vec::with_capacity(candidates.len());
-    for cand in &candidates {
-        let pqp = ParallelQueryPlan::with_parallelism(plan.clone(), cand.clone());
-        let graph = encode(&pqp, cluster, cfg.chaining, &cfg.mask);
-        predictions.push(model.predict(&graph));
-    }
+    // Encode every candidate against the shared context, reusing one
+    // mutable PQP (partitioning depends on the parallelism vector, so it
+    // must be re-derived after each mutation).
+    let ctx = EncodeContext::new(plan, cluster, &cfg.mask);
+    let mut pqp = ParallelQueryPlan::new(plan.clone());
+    let graphs: Vec<_> = candidates
+        .iter()
+        .map(|cand| {
+            pqp.parallelism.clone_from(cand);
+            pqp.reset_partitioning();
+            ctx.encode(&pqp, cluster, cfg.chaining)
+        })
+        .collect();
+
+    let predictions = est.predict_batch(&graphs);
+    debug_assert_eq!(predictions.len(), candidates.len());
 
     let lat_range = predictions
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
-            (acc.0.min(p.0), acc.1.max(p.0))
+            (acc.0.min(p.latency_ms), acc.1.max(p.latency_ms))
         });
     let tpt_range = predictions
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
-            (acc.0.min(p.1), acc.1.max(p.1))
+            (acc.0.min(p.throughput), acc.1.max(p.throughput))
         });
 
     let mut best = 0usize;
     let mut best_cost = f64::INFINITY;
-    for (i, &(lat, tpt)) in predictions.iter().enumerate() {
-        let c = weighted_cost(cfg.wt, lat, tpt, lat_range, tpt_range);
+    for (i, p) in predictions.iter().enumerate() {
+        let c = weighted_cost(cfg.wt, p.latency_ms, p.throughput, lat_range, tpt_range);
         if c < best_cost {
             best_cost = c;
             best = i;
@@ -200,8 +210,8 @@ pub fn tune(
 
     TuningOutcome {
         parallelism: candidates[best].clone(),
-        predicted_latency_ms: predictions[best].0,
-        predicted_throughput: predictions[best].1,
+        predicted_latency_ms: predictions[best].latency_ms,
+        predicted_throughput: predictions[best].throughput,
         weighted_cost: best_cost,
         candidates_evaluated: candidates.len(),
     }
@@ -301,8 +311,7 @@ mod tests {
         let ranges = zt_query::ParamRanges::seen();
         let mut plan = None;
         for _ in 0..50 {
-            let p = QueryGenerator::new(ranges.clone())
-                .generate(QueryStructure::Linear, &mut rng);
+            let p = QueryGenerator::new(ranges.clone()).generate(QueryStructure::Linear, &mut rng);
             let rate = p
                 .ops()
                 .iter()

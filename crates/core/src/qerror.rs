@@ -43,10 +43,7 @@ impl QErrorStats {
 
     /// Compute stats from (prediction, truth) pairs.
     pub fn from_pairs<I: IntoIterator<Item = (f64, f64)>>(pairs: I) -> Self {
-        let qs: Vec<f64> = pairs
-            .into_iter()
-            .map(|(p, t)| q_error(p, t))
-            .collect();
+        let qs: Vec<f64> = pairs.into_iter().map(|(p, t)| q_error(p, t)).collect();
         Self::from_qerrors(&qs)
     }
 }
@@ -78,7 +75,13 @@ mod tests {
 
     #[test]
     fn always_at_least_one() {
-        for (p, t) in [(1.0, 3.0), (3.0, 1.0), (0.0, 5.0), (5.0, 0.0), (1e-12, 1e-12)] {
+        for (p, t) in [
+            (1.0, 3.0),
+            (3.0, 1.0),
+            (0.0, 5.0),
+            (5.0, 0.0),
+            (1e-12, 1e-12),
+        ] {
             assert!(q_error(p, t) >= 1.0, "q({p},{t}) < 1");
         }
     }

@@ -10,6 +10,7 @@ use zt_nn::optim::clip_grad_norm;
 use zt_nn::{Adam, Matrix, Optimizer, Tape};
 
 use crate::dataset::{Dataset, Sample};
+use crate::estimator::CostEstimator;
 use crate::model::{TargetNorm, ZeroTuneModel};
 use crate::qerror::QErrorStats;
 
@@ -139,7 +140,9 @@ pub fn train(model: &mut ZeroTuneModel, data: &Dataset, cfg: &TrainConfig) -> Tr
             epoch_loss += batch_loss / batch.len() as f64;
             batch_count += 1;
         }
-        report.train_loss.push(epoch_loss / batch_count.max(1) as f64);
+        report
+            .train_loss
+            .push(epoch_loss / batch_count.max(1) as f64);
 
         let vl = if val.is_empty() {
             *report.train_loss.last().expect("one epoch ran")
@@ -170,30 +173,23 @@ pub fn train(model: &mut ZeroTuneModel, data: &Dataset, cfg: &TrainConfig) -> Tr
     report
 }
 
-/// Q-error statistics of `model` on `samples`, per metric:
+/// Q-error statistics of any [`CostEstimator`] on `samples`, per metric:
 /// `(latency stats, throughput stats)`.
-pub fn evaluate(model: &ZeroTuneModel, samples: &[Sample]) -> (QErrorStats, QErrorStats) {
-    let mut lat_pairs = Vec::with_capacity(samples.len());
-    let mut tpt_pairs = Vec::with_capacity(samples.len());
-    for s in samples {
-        let (lat, tpt) = model.predict(&s.graph);
-        lat_pairs.push((lat, s.latency_ms));
-        tpt_pairs.push((tpt, s.throughput));
-    }
-    (
-        QErrorStats::from_pairs(lat_pairs),
-        QErrorStats::from_pairs(tpt_pairs),
-    )
+pub fn evaluate<E: CostEstimator + ?Sized>(
+    est: &E,
+    samples: &[Sample],
+) -> (QErrorStats, QErrorStats) {
+    crate::estimator::evaluate_estimator(est, samples)
 }
 
 /// Evaluate on the subset of samples matching `pred`.
-pub fn evaluate_where(
-    model: &ZeroTuneModel,
+pub fn evaluate_where<E: CostEstimator + ?Sized>(
+    est: &E,
     samples: &[Sample],
     pred: impl Fn(&Sample) -> bool,
 ) -> (QErrorStats, QErrorStats) {
     let filtered: Vec<Sample> = samples.iter().filter(|s| pred(s)).cloned().collect();
-    evaluate(model, &filtered)
+    evaluate(est, &filtered)
 }
 
 #[cfg(test)]

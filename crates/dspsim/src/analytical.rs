@@ -165,11 +165,7 @@ fn propagate(pqp: &ParallelQueryPlan, scale: f64) -> Rates {
             }
         }
     }
-    let edge = plan
-        .edges()
-        .iter()
-        .map(|&(u, _)| output[u.idx()])
-        .collect();
+    let edge = plan.edges().iter().map(|&(u, _)| output[u.idx()]).collect();
     Rates {
         input,
         output,
@@ -325,11 +321,7 @@ pub fn simulate<R: Rng + ?Sized>(
     let mut rates = propagate(pqp, scale);
     let mut profile = work_profile(pqp, cluster, &dep, cm, &rates, &in_schemas, &out_schemas);
     for iter in 0..6 {
-        let u_inst = profile
-            .hottest_util
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let u_inst = profile.hottest_util.iter().copied().fold(0.0f64, f64::max);
         let u_node = profile.node_util.iter().copied().fold(0.0f64, f64::max);
         let u = u_inst.max(u_node);
         if iter == 0 {
@@ -534,7 +526,12 @@ mod tests {
     #[test]
     fn low_rate_is_not_backpressured() {
         let mut rng = StdRng::seed_from_u64(1);
-        let m = simulate(&pqp(500.0, 2), &cluster(), &SimConfig::noiseless(), &mut rng);
+        let m = simulate(
+            &pqp(500.0, 2),
+            &cluster(),
+            &SimConfig::noiseless(),
+            &mut rng,
+        );
         assert!(!m.backpressured());
         assert!((m.throughput - 500.0).abs() < 1e-6);
         assert!(m.latency_ms > 0.0 && m.latency_ms.is_finite());
@@ -604,7 +601,10 @@ mod tests {
         let unchained = simulate(&plan, &cluster(), &cfg, &mut rng).latency_ms;
         cfg.chaining = ChainingMode::Always;
         let chained = simulate(&plan, &cluster(), &cfg, &mut rng).latency_ms;
-        assert!(chained < unchained, "chained={chained} unchained={unchained}");
+        assert!(
+            chained < unchained,
+            "chained={chained} unchained={unchained}"
+        );
     }
 
     #[test]

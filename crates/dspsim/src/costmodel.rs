@@ -136,16 +136,14 @@ impl CostModel {
                 // Emission: `sel × |W|` groups fire per window instance;
                 // amortized per input tuple this is `sel × overlap` result
                 // tuples (see Definition 6 and the module docs).
-                let emit_per_tuple = a.selectivity
-                    * overlap
-                    * (self.emit_base_us + self.emit_per_field_us * w_out);
+                let emit_per_tuple =
+                    a.selectivity * overlap * (self.emit_base_us + self.emit_per_field_us * w_out);
                 let _ = instance_in_rate; // rate-independent under this amortization
                 update + emit_per_tuple
             }
             OperatorKind::Join(j) => {
                 let overlap = self.effective_overlap(&j.window);
-                let insert =
-                    (self.join_insert_us + self.join_insert_per_field_us * w_in) * overlap;
+                let insert = (self.join_insert_us + self.join_insert_per_field_us * w_in) * overlap;
                 let probe = self.join_probe_us * j.key_class.cost_factor();
                 // Every arriving tuple matches `sel × |W_other|` partners.
                 let matches = j.selectivity * other_window_tuples;
@@ -158,8 +156,7 @@ impl CostModel {
 
     /// Serialization (or deserialization) cost of one tuple, µs at 1 GHz.
     pub fn serialization_us(&self, schema: &TupleSchema) -> f64 {
-        self.ser_base_us
-            + self.ser_per_field_us * schema.width() as f64 * schema.avg_cost_factor()
+        self.ser_base_us + self.ser_per_field_us * schema.width() as f64 * schema.avg_cost_factor()
     }
 
     /// Wire time of one tuple over a link of `gbps`, in ms.
@@ -172,11 +169,11 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zt_query::operators::SinkOp;
     use zt_query::{
         AggFunction, AggregateOp, DataType, FilterFunction, FilterOp, JoinOp, SourceOp,
         WindowPolicy,
     };
-    use zt_query::operators::SinkOp;
 
     fn schema(w: usize) -> TupleSchema {
         TupleSchema::uniform(DataType::Double, w)
@@ -209,7 +206,9 @@ mod tests {
             literal_class: DataType::Int,
             selectivity: 0.5,
         });
-        assert!(cm.service_us(&f, &strs, &strs, 0.0, 0.0) > cm.service_us(&f, &ints, &ints, 0.0, 0.0));
+        assert!(
+            cm.service_us(&f, &strs, &strs, 0.0, 0.0) > cm.service_us(&f, &ints, &ints, 0.0, 0.0)
+        );
     }
 
     #[test]

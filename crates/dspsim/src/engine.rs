@@ -293,20 +293,17 @@ pub fn run<R: Rng + ?Sized>(
                 }
                 Partitioning::Hash => rng.gen_range(0..pd),
             };
-            let src_node = dep.instance_nodes(from)[from_instance.min(
-                dep.instance_nodes(from).len().saturating_sub(1),
-            )];
-            let dst_node = dep.instance_nodes(d)[target.min(
-                dep.instance_nodes(d).len().saturating_sub(1),
-            )];
+            let src_node = dep.instance_nodes(from)
+                [from_instance.min(dep.instance_nodes(from).len().saturating_sub(1))];
+            let dst_node =
+                dep.instance_nodes(d)[target.min(dep.instance_nodes(d).len().saturating_sub(1))];
             let mut delay = 1e-6;
             if !dep.edge_exchange[e].is_chained() {
                 let ghz = cluster.nodes[src_node].cpu_ghz;
                 delay += 2.0 * cm.ser_base_us / ghz * 1e-6;
                 if src_node != dst_node {
                     let link = cluster.nodes[src_node].network_gbps;
-                    delay += cm.net_hop_ms * 1e-3
-                        + schema_bytes_edge[e] * 8.0 / (link * 1e9);
+                    delay += cm.net_hop_ms * 1e-3 + schema_bytes_edge[e] * 8.0 / (link * 1e9);
                 }
             }
             *seq += 1;
@@ -352,7 +349,7 @@ pub fn run<R: Rng + ?Sized>(
             OperatorKind::Source(_) | OperatorKind::Sink(_) => Some(batch.clone()),
             OperatorKind::Filter(f) => {
                 let out = round_count(batch.count * f.selectivity, rng);
-                (out > 0.0).then(|| Batch {
+                (out > 0.0).then_some(Batch {
                     count: out,
                     created: batch.created,
                 })
@@ -368,11 +365,9 @@ pub fn run<R: Rng + ?Sized>(
                         let fire_at = a.window.emission_period();
                         if state.agg.pending >= fire_at {
                             let windows = (state.agg.pending / fire_at).floor();
-                            let groups = round_count(
-                                a.selectivity * a.window.length * windows,
-                                rng,
-                            )
-                            .max(1.0);
+                            let groups =
+                                round_count(a.selectivity * a.window.length * windows, rng)
+                                    .max(1.0);
                             let created = state.agg.oldest;
                             state.agg.pending -= windows * fire_at;
                             state.agg.has_pending = state.agg.pending > 0.0;
@@ -447,7 +442,11 @@ pub fn run<R: Rng + ?Sized>(
                     );
                 }
             }
-            EventKind::Arrival { op, instance, batch } => {
+            EventKind::Arrival {
+                op,
+                instance,
+                batch,
+            } => {
                 let i = op.idx();
                 if plan.op(op).kind.is_sink() {
                     if now >= warmup {
@@ -464,9 +463,8 @@ pub fn run<R: Rng + ?Sized>(
                 if st.in_service.is_none() {
                     // start service
                     let b = st.queue.pop_front().expect("just pushed");
-                    let node = dep.instance_nodes(op)[instance.min(
-                        dep.instance_nodes(op).len().saturating_sub(1),
-                    )];
+                    let node = dep.instance_nodes(op)
+                        [instance.min(dep.instance_nodes(op).len().saturating_sub(1))];
                     let ghz = cluster.nodes[node].cpu_ghz;
                     let other_w = match &plan.op(op).kind {
                         OperatorKind::Join(_) => {
@@ -535,9 +533,8 @@ pub fn run<R: Rng + ?Sized>(
                         kind => apply_op(kind, st, &batch, now, rng),
                     };
                     next_service = st.queue.pop_front().map(|b| {
-                        let node = dep.instance_nodes(op)[instance.min(
-                            dep.instance_nodes(op).len().saturating_sub(1),
-                        )];
+                        let node = dep.instance_nodes(op)
+                            [instance.min(dep.instance_nodes(op).len().saturating_sub(1))];
                         let ghz = cluster.nodes[node].cpu_ghz;
                         let other_w = match &plan.op(op).kind {
                             OperatorKind::Join(_) => JoinState::total(&st.join.left)

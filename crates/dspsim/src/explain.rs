@@ -3,8 +3,8 @@
 //! Turns a [`QueryMetrics`] into the per-operator latency decomposition
 //! and bottleneck diagnosis an engineer would extract from a Flink web-UI
 //! + metrics stack: where the end-to-end latency comes from (queueing vs
-//! window residence vs exchanges) and which operator throttles the
-//! throughput.
+//!   window residence vs exchanges) and which operator throttles the
+//!   throughput.
 
 use zt_query::{OpId, ParallelQueryPlan};
 

@@ -57,11 +57,7 @@ impl Summary {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f64>()
+        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
             / (self.values.len() - 1) as f64;
         var.sqrt()
     }

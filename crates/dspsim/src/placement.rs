@@ -115,7 +115,6 @@ impl Deployment {
             .into_iter()
             .enumerate()
             .filter(|&(_, c)| c > 0)
-            .map(|(n, c)| (n, c))
             .collect()
     }
 
@@ -156,7 +155,7 @@ pub fn place(pqp: &ParallelQueryPlan, cluster: &Cluster, mode: ChainingMode) -> 
 
     // 3. Union-find over chained edges.
     let mut parent: Vec<usize> = (0..n_ops).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];
@@ -184,7 +183,8 @@ pub fn place(pqp: &ParallelQueryPlan, cluster: &Cluster, mode: ChainingMode) -> 
 
     // Group ids in topological order for stable output.
     let topo = plan.topo_order().expect("validated plan");
-    let mut group_of_root: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut group_of_root: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
     let mut groups: Vec<ChainGroup> = Vec::new();
     let mut op_group = vec![usize::MAX; n_ops];
     for &id in &topo {
@@ -286,12 +286,12 @@ pub fn place(pqp: &ParallelQueryPlan, cluster: &Cluster, mode: ChainingMode) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cluster::ClusterType;
+    use zt_query::operators::SinkOp;
     use zt_query::{
         AggFunction, AggregateOp, DataType, FilterFunction, FilterOp, LogicalPlan, OperatorKind,
         SourceOp, TupleSchema, WindowPolicy, WindowSpec,
     };
-    use zt_query::operators::SinkOp;
-    use crate::cluster::ClusterType;
 
     fn linear_pqp(p: u32) -> ParallelQueryPlan {
         let mut plan = LogicalPlan::new("linear");

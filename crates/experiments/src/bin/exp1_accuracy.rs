@@ -6,7 +6,10 @@ use zt_experiments::{exp1, report, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("exp1 (accuracy on seen/unseen workloads), scale = {}", scale.name);
+    eprintln!(
+        "exp1 (accuracy on seen/unseen workloads), scale = {}",
+        scale.name
+    );
     let result = exp1::run(&scale);
     exp1::print(&result);
     if let Ok(path) = report::save_json("exp1_accuracy", &result) {

@@ -6,7 +6,10 @@ use zt_experiments::{exp2, report, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("exp2 (fine-grained parallelism analysis), scale = {}", scale.name);
+    eprintln!(
+        "exp2 (fine-grained parallelism analysis), scale = {}",
+        scale.name
+    );
     let result = exp2::run(&scale);
     exp2::print(&result);
     if let Ok(path) = report::save_json("exp2_parallelism", &result) {

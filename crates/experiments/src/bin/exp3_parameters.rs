@@ -6,7 +6,10 @@ use zt_experiments::{exp3, report, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("exp3 (unseen parameter generalization), scale = {}", scale.name);
+    eprintln!(
+        "exp3 (unseen parameter generalization), scale = {}",
+        scale.name
+    );
     let result = exp3::run(&scale);
     exp3::print(&result);
     if let Ok(path) = report::save_json("exp3_parameters", &result) {

@@ -6,7 +6,10 @@ use zt_experiments::{exp4, report, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("exp4 (OptiSample vs random data efficiency), scale = {}", scale.name);
+    eprintln!(
+        "exp4 (OptiSample vs random data efficiency), scale = {}",
+        scale.name
+    );
     let result = exp4::run(&scale);
     exp4::print(&result);
     for strategy in ["OptiSample", "Random"] {

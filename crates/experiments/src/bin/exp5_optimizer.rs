@@ -6,7 +6,10 @@ use zt_experiments::{exp5, report, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("exp5 (parallelism tuning vs greedy/Dhalion), scale = {}", scale.name);
+    eprintln!(
+        "exp5 (parallelism tuning vs greedy/Dhalion), scale = {}",
+        scale.name
+    );
     let result = exp5::run(&scale);
     exp5::print(&result);
     if let Ok(path) = report::save_json("exp5_optimizer", &result) {

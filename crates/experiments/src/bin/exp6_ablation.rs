@@ -6,7 +6,10 @@ use zt_experiments::{exp6, report, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("exp6 (transferable-feature ablation), scale = {}", scale.name);
+    eprintln!(
+        "exp6 (transferable-feature ablation), scale = {}",
+        scale.name
+    );
     let result = exp6::run(&scale);
     exp6::print(&result);
     if let Ok(path) = report::save_json("exp6_ablation", &result) {

@@ -6,7 +6,10 @@ use zt_experiments::{fig3, report};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let rate: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(3_000_000.0);
+    let rate: f64 = args
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3_000_000.0);
     let workers: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(8);
     let result = fig3::run(rate, workers);
     fig3::print(&result);

@@ -174,7 +174,14 @@ pub fn print(result: &Exp1Result) {
 
     let mut a = Table::new(
         "Fig. 5: model architectures, median (95th) latency/throughput q-error",
-        &["model", "workload", "lat median", "lat 95th", "tpt median", "tpt 95th"],
+        &[
+            "model",
+            "workload",
+            "lat median",
+            "lat 95th",
+            "tpt median",
+            "tpt 95th",
+        ],
     );
     for r in &result.architectures {
         a.row(vec![

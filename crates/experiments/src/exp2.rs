@@ -5,6 +5,7 @@ use serde::Serialize;
 use zt_core::dataset::{generate_dataset, GenConfig, Sample};
 use zt_core::fewshot::{fine_tune, FewShotConfig};
 use zt_core::train::{evaluate, evaluate_where};
+use zt_core::CostEstimator;
 use zt_dspsim::cluster::ClusterType;
 use zt_query::{ParallelismCategory, QueryStructure};
 
@@ -82,7 +83,11 @@ pub fn run_with(pipeline: &TrainedPipeline) -> Exp2Result {
         scale.test_per_group * 3,
         scale.seed + 300,
     ));
-    categories.extend(category_rows(&pipeline.model, "(a) seen", &seen_pool.samples));
+    categories.extend(category_rows(
+        &pipeline.model,
+        "(a) seen",
+        &seen_pool.samples,
+    ));
 
     // (b) unseen benchmarks (OptiSample picks low categories here — the
     // paper notes only XS/S appear).
@@ -173,8 +178,8 @@ pub fn run_with(pipeline: &TrainedPipeline) -> Exp2Result {
             scatter.push(ScatterPoint {
                 structure: name.clone(),
                 true_throughput: x.throughput,
-                zero_shot_pred: pipeline.model.predict(&x.graph).1,
-                few_shot_pred: tuned.predict(&x.graph).1,
+                zero_shot_pred: pipeline.model.predict(&x.graph).throughput,
+                few_shot_pred: tuned.predict(&x.graph).throughput,
             });
         }
     }
@@ -194,7 +199,15 @@ pub fn run(scale: &Scale) -> Exp2Result {
 pub fn print(result: &Exp2Result) {
     let mut t = Table::new(
         "Fig. 7: q-errors per parallelism category (XS..XL)",
-        &["panel", "cat", "lat median", "lat 95th", "tpt median", "tpt 95th", "n"],
+        &[
+            "panel",
+            "cat",
+            "lat median",
+            "lat 95th",
+            "tpt median",
+            "tpt 95th",
+            "n",
+        ],
     );
     for r in &result.categories {
         t.row(vec![
@@ -211,7 +224,12 @@ pub fn print(result: &Exp2Result) {
 
     let mut t6 = Table::new(
         "Fig. 6: few-shot (500 queries) throughput improvement on complex joins",
-        &["structure", "zero-shot tpt median", "few-shot tpt median", "improvement"],
+        &[
+            "structure",
+            "zero-shot tpt median",
+            "few-shot tpt median",
+            "improvement",
+        ],
     );
     for r in &result.few_shot {
         t6.row(vec![
@@ -239,11 +257,8 @@ mod tests {
             seed: 0xE2,
         };
         let result = run(&scale);
-        let panels: std::collections::HashSet<&str> = result
-            .categories
-            .iter()
-            .map(|r| r.panel.as_str())
-            .collect();
+        let panels: std::collections::HashSet<&str> =
+            result.categories.iter().map(|r| r.panel.as_str()).collect();
         assert!(panels.contains("(a) seen"));
         assert!(panels.contains("(b) benchmarks"));
         assert!(panels.contains("(c) unseen homogeneous hw"));

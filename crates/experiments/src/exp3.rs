@@ -91,9 +91,7 @@ pub fn run_with(pipeline: &TrainedPipeline) -> Exp3Result {
 
     // (b) event rates (interpolation + extrapolation). Subsample the grids
     // to keep the sweep bounded.
-    let pick = |grid: &[f64]| -> Vec<f64> {
-        grid.iter().step_by(2).copied().collect()
-    };
+    let pick = |grid: &[f64]| -> Vec<f64> { grid.iter().step_by(2).copied().collect() };
     for (vals, seen) in [
         (pick(params::TRAIN_EVENT_RATES), true),
         (pick(params::TEST_EVENT_RATES), false),
@@ -181,13 +179,24 @@ pub fn run(scale: &Scale) -> Exp3Result {
 pub fn print(result: &Exp3Result) {
     let mut t = Table::new(
         "Fig. 8: median q-errors across (un)seen parameter values",
-        &["parameter", "value", "range", "lat median", "tpt median", "n"],
+        &[
+            "parameter",
+            "value",
+            "range",
+            "lat median",
+            "tpt median",
+            "n",
+        ],
     );
     for r in &result.rows {
         t.row(vec![
             r.parameter.clone(),
             fmt_qty(r.value),
-            if r.seen { "seen".into() } else { "unseen".into() },
+            if r.seen {
+                "seen".into()
+            } else {
+                "unseen".into()
+            },
             f2(r.lat_median),
             f2(r.tpt_median),
             r.n.to_string(),

@@ -47,7 +47,11 @@ pub fn sweep_sizes(max: usize) -> Vec<usize> {
 
 pub fn run(scale: &Scale) -> Exp4Result {
     // Fixed evaluation sets shared by every sweep point.
-    let eval_seen = generate_dataset(&GenConfig::seen(), scale.test_per_group * 2, scale.seed + 501);
+    let eval_seen = generate_dataset(
+        &GenConfig::seen(),
+        scale.test_per_group * 2,
+        scale.seed + 501,
+    );
     let eval_unseen = generate_dataset(
         &GenConfig::unseen_structures(),
         scale.test_per_group * 2,
@@ -173,8 +177,7 @@ mod tests {
             .filter(|r| r.strategy == "OptiSample")
             .collect();
         assert!(
-            opti.last().unwrap().seen_lat_median
-                <= opti.first().unwrap().seen_lat_median * 3.0
+            opti.last().unwrap().seen_lat_median <= opti.first().unwrap().seen_lat_median * 3.0
         );
     }
 }

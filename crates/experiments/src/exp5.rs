@@ -58,7 +58,7 @@ fn geo_mean(values: &[f64]) -> f64 {
 
 pub fn run_with(pipeline: &TrainedPipeline) -> Exp5Result {
     let scale = &pipeline.scale;
-    let structures = vec![
+    let structures = [
         QueryStructure::Linear,
         QueryStructure::TwoWayJoin,
         QueryStructure::ThreeWayJoin,
@@ -105,13 +105,7 @@ pub fn run_with(pipeline: &TrainedPipeline) -> Exp5Result {
             // --- the three tuners ------------------------------------
             let zt = tune(&pipeline.model, &plan, &cluster, &opt_cfg);
             let greedy = greedy_tune(&plan, &cluster, &GreedyConfig::default());
-            let dhalion = dhalion_tune(
-                &plan,
-                &cluster,
-                &DhalionConfig::default(),
-                &sim,
-                &mut rng,
-            );
+            let dhalion = dhalion_tune(&plan, &cluster, &DhalionConfig::default(), &sim, &mut rng);
 
             // --- execute all three ------------------------------------
             let mut exec_rng = StdRng::seed_from_u64(1);
@@ -196,7 +190,11 @@ pub fn print(result: &Exp5Result) {
     for r in &result.rows {
         t.row(vec![
             r.structure.clone(),
-            if r.seen { "seen".into() } else { "unseen".into() },
+            if r.seen {
+                "seen".into()
+            } else {
+                "unseen".into()
+            },
             format!("{}x", f2(r.speedup_latency)),
             format!("{}x", f2(r.speedup_throughput)),
             f2(r.zerotune_cost),

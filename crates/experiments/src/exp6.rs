@@ -74,7 +74,13 @@ pub fn run(scale: &Scale) -> Exp6Result {
 pub fn print(result: &Exp6Result) {
     let mut t = Table::new(
         "Fig. 11: feature ablation — latency q-errors",
-        &["features", "seen median", "seen 95th", "unseen median", "unseen 95th"],
+        &[
+            "features",
+            "seen median",
+            "seen 95th",
+            "unseen median",
+            "unseen 95th",
+        ],
     );
     for r in &result.rows {
         t.row(vec![
@@ -120,7 +126,7 @@ mod tests {
         // degenerate.
         for name in ["all", "operator-only", "parallelism+resource"] {
             let v = get(name);
-            assert!(v >= 1.0 && v < 15.0, "{name} variant degenerate: {v}");
+            assert!((1.0..15.0).contains(&v), "{name} variant degenerate: {v}");
         }
     }
 }

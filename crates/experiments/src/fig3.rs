@@ -103,7 +103,13 @@ pub fn print(result: &Fig3Result) {
             fmt_qty(result.offered_rate),
             result.workers
         ),
-        &["parallelism", "latency (ms)", "throughput (ev/s)", "chained", "grouping"],
+        &[
+            "parallelism",
+            "latency (ms)",
+            "throughput (ev/s)",
+            "chained",
+            "grouping",
+        ],
     );
     for p in &result.points {
         t.row(vec![

@@ -164,9 +164,13 @@ mod tests {
         let scale = Scale::smoke();
         let p = train_pipeline(&scale, &GenConfig::seen());
         assert_eq!(p.train_set.len(), scale.train_queries);
-        assert!(p.test_seen.len() > 0);
+        assert!(!p.test_seen.is_empty());
         assert!(p.report.epochs_run > 0);
         let (lat, _) = zt_core::train::evaluate(&p.model, &p.test_seen.samples);
-        assert!(lat.median < 10.0, "smoke model too inaccurate: {}", lat.median);
+        assert!(
+            lat.median < 10.0,
+            "smoke model too inaccurate: {}",
+            lat.median
+        );
     }
 }

@@ -52,7 +52,11 @@ impl Table {
                 .collect::<String>()
                 + "|"
         };
-        let mut out = format!("\n== {} ==\n{sep}\n{}\n{sep}\n", self.title, fmt_row(&self.header));
+        let mut out = format!(
+            "\n== {} ==\n{sep}\n{}\n{sep}\n",
+            self.title,
+            fmt_row(&self.header)
+        );
         for row in &self.rows {
             out.push_str(&fmt_row(row));
             out.push('\n');

@@ -3,6 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::infer::Scratch;
 use crate::matrix::Matrix;
 use crate::tape::{Tape, Var};
 
@@ -123,7 +124,12 @@ impl ParamStore {
     pub(crate) fn optim_state(
         &mut self,
         id: ParamId,
-    ) -> (&mut Matrix, &mut Option<Matrix>, &mut Option<Matrix>, Option<&Matrix>) {
+    ) -> (
+        &mut Matrix,
+        &mut Option<Matrix>,
+        &mut Option<Matrix>,
+        Option<&Matrix>,
+    ) {
         let p = &mut self.params[id.0];
         (&mut p.value, &mut p.m, &mut p.v, p.grad.as_ref())
     }
@@ -137,7 +143,11 @@ impl ParamStore {
     pub fn copy_weights_from(&mut self, other: &ParamStore) {
         assert_eq!(self.params.len(), other.params.len(), "layout mismatch");
         for (a, b) in self.params.iter_mut().zip(other.params.iter()) {
-            assert!(a.value.same_shape(&b.value), "shape mismatch for {}", a.name);
+            assert!(
+                a.value.same_shape(&b.value),
+                "shape mismatch for {}",
+                a.name
+            );
             a.value = b.value.clone();
         }
     }
@@ -189,6 +199,23 @@ impl Linear {
         let xw = tape.matmul(x, w);
         tape.add_row(xw, b)
     }
+
+    /// Tapeless forward pass: `x·W + b` computed directly against the
+    /// store's weights (no tape nodes, no weight clones). Produces the
+    /// same `f32` values as [`Linear::forward`] — both use
+    /// [`Matrix::matmul_into`] and add the bias after accumulation.
+    pub fn infer(&self, store: &ParamStore, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let w = store.value(self.w);
+        let b = store.value(self.b);
+        let mut out = scratch.zeros(x.rows, self.out_dim);
+        x.matmul_into(w, &mut out);
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out.data[r * out.cols + c] += b.data[c];
+            }
+        }
+        out
+    }
 }
 
 /// Multi-layer perceptron with ReLU activations between layers and a
@@ -232,6 +259,26 @@ impl Mlp {
             }
         }
         x
+    }
+
+    /// Tapeless forward pass mirroring [`Mlp::forward`] (ReLU between
+    /// layers, linear output). Intermediate activations live in `scratch`
+    /// and are recycled layer by layer; the returned matrix can be
+    /// recycled by the caller once read.
+    pub fn infer(&self, store: &ParamStore, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let last = self.layers.len() - 1;
+        let mut cur: Option<Matrix> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut next = layer.infer(store, cur.as_ref().unwrap_or(x), scratch);
+            if i < last {
+                crate::infer::relu_inplace(&mut next);
+            }
+            if let Some(prev) = cur.take() {
+                scratch.recycle(prev);
+            }
+            cur = Some(next);
+        }
+        cur.expect("non-empty MLP")
     }
 
     /// Parameter ids of this module (for per-module learning-rate masks).
@@ -319,6 +366,65 @@ mod tests {
         assert_eq!(back.len(), store.len());
         for id in store.ids() {
             assert_eq!(back.value(id), store.value(id));
+        }
+    }
+
+    #[test]
+    fn infer_matches_tape_forward_exactly() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[6, 16, 16, 3], &mut rng);
+        let mut scratch = Scratch::new();
+        for row in 0..20 {
+            let x = Matrix::row(
+                &(0..6)
+                    .map(|c| ((row * 7 + c) as f32 * 0.31).sin())
+                    .collect::<Vec<_>>(),
+            );
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let out = mlp.forward(&mut tape, &store, xv);
+            let taped = tape.value(out).clone();
+            let tapeless = mlp.infer(&store, &x, &mut scratch);
+            // bitwise equality: both paths share the matmul kernel and
+            // accumulation order
+            assert_eq!(taped.data, tapeless.data);
+            scratch.recycle(tapeless);
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Random MLP shapes and seeds: the tapeless path must agree
+            /// with the tape within 1e-5 (in fact bitwise).
+            #[test]
+            fn infer_matches_tape(
+                seed in 0u64..10_000,
+                hidden in 2usize..24,
+                depth in 1usize..4,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut store = ParamStore::new();
+                let mut dims = vec![5];
+                dims.extend(std::iter::repeat_n(hidden, depth));
+                dims.push(2);
+                let mlp = Mlp::new(&mut store, "m", &dims, &mut rng);
+                let x = Matrix::row(&[0.9, -1.4, 0.02, 3.0, -0.6]);
+                let mut tape = Tape::new();
+                let xv = tape.leaf(x.clone());
+                let out = mlp.forward(&mut tape, &store, xv);
+                let taped = tape.value(out).clone();
+                let mut scratch = Scratch::new();
+                let tapeless = mlp.infer(&store, &x, &mut scratch);
+                for (a, b) in taped.data.iter().zip(tapeless.data.iter()) {
+                    prop_assert!((a - b).abs() <= 1e-5, "tape {a} vs tapeless {b}");
+                }
+            }
         }
     }
 

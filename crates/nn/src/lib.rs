@@ -11,19 +11,25 @@
 //!   (matmul, broadcast add, ReLU/tanh, concat, element-wise mean of
 //!   several inputs, losses). Gradients are checked against central finite
 //!   differences in [`gradcheck`].
-//! * [`layers`] — parameter store, `Linear` and `Mlp` modules.
+//! * [`layers`] — parameter store, `Linear` and `Mlp` modules, each with
+//!   a taped `forward` (training) and a tapeless `infer` (prediction).
+//! * [`infer`] — the tapeless inference support: a reusable [`infer::Scratch`]
+//!   buffer arena plus aggregation helpers that mirror the tape ops'
+//!   accumulation order exactly.
 //! * [`optim`] — SGD (with momentum) and Adam, with global-norm gradient
 //!   clipping.
 //! * [`linalg`] — `f64` Cholesky solver used by the ridge-regression
 //!   baseline.
 
 pub mod gradcheck;
+pub mod infer;
 pub mod layers;
 pub mod linalg;
 pub mod matrix;
 pub mod optim;
 pub mod tape;
 
+pub use infer::Scratch;
 pub use layers::{Linear, Mlp, ParamId, ParamStore};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};

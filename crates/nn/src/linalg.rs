@@ -78,7 +78,13 @@ pub fn solve_spd(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>, LinalgError
 ///
 /// `x` is `rows × cols` row-major, `y` has `rows` entries. Returns `cols`
 /// weights.
-pub fn ridge_fit(x: &[f64], y: &[f64], rows: usize, cols: usize, lambda: f64) -> Result<Vec<f64>, LinalgError> {
+pub fn ridge_fit(
+    x: &[f64],
+    y: &[f64],
+    rows: usize,
+    cols: usize,
+    lambda: f64,
+) -> Result<Vec<f64>, LinalgError> {
     if x.len() != rows * cols || y.len() != rows {
         return Err(LinalgError::DimensionMismatch);
     }

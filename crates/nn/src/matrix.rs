@@ -55,12 +55,23 @@ impl Matrix {
 
     /// `self × other`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self × other`, accumulated into a pre-zeroed `out`.
+    ///
+    /// This is the single matmul kernel of the crate: the tape op and the
+    /// tapeless inference path both call it, so they produce bitwise
+    /// identical results (same i-k-j accumulation order).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} × {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul out shape");
         // i-k-j loop order: stream through `other` rows for cache locality.
         for i in 0..self.rows {
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
@@ -75,7 +86,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Transpose.

@@ -213,11 +213,9 @@ impl Tape {
         let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Matrix::scalar(1.0));
 
-        let add_grad = |grads: &mut Vec<Option<Matrix>>, v: Var, g: Matrix| {
-            match &mut grads[v.0] {
-                Some(existing) => existing.add_assign(&g),
-                slot @ None => *slot = Some(g),
-            }
+        let add_grad = |grads: &mut Vec<Option<Matrix>>, v: Var, g: Matrix| match &mut grads[v.0] {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
         };
 
         for idx in (0..self.nodes.len()).rev() {
@@ -276,8 +274,7 @@ impl Tape {
                         let mut part = Matrix::zeros(m.rows, m.cols);
                         for r in 0..m.rows {
                             for c in 0..m.cols {
-                                part.data[r * m.cols + c] =
-                                    grad.data[r * grad.cols + offset + c];
+                                part.data[r * m.cols + c] = grad.data[r * grad.cols + offset + c];
                             }
                         }
                         offset += m.cols;

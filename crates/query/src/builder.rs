@@ -97,8 +97,7 @@ impl StreamBuilder {
             self.plan.add(op.kind.clone());
         }
         for &(u, d) in other.plan.edges() {
-            self.plan
-                .connect(OpId(u.0 + offset), OpId(d.0 + offset));
+            self.plan.connect(OpId(u.0 + offset), OpId(d.0 + offset));
         }
         let other_head = OpId(other.head.0 + offset);
 
@@ -119,7 +118,10 @@ impl StreamBuilder {
         let k = self.plan.add(OperatorKind::Sink(SinkOp));
         self.plan.connect(self.head, k);
         self.plan.name = name.into();
-        debug_assert!(self.plan.validate().is_ok(), "builder produced invalid plan");
+        debug_assert!(
+            self.plan.validate().is_ok(),
+            "builder produced invalid plan"
+        );
         self.plan
     }
 

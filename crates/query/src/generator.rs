@@ -128,26 +128,22 @@ impl QueryGenerator {
     }
 
     /// Generate a validated logical plan of the requested structure.
-    pub fn generate<R: Rng + ?Sized>(
-        &self,
-        structure: QueryStructure,
-        rng: &mut R,
-    ) -> LogicalPlan {
+    pub fn generate<R: Rng + ?Sized>(&self, structure: QueryStructure, rng: &mut R) -> LogicalPlan {
         let plan = match structure {
             QueryStructure::Linear => self.linear(rng),
             QueryStructure::TwoWayJoin => self.n_way_join(2, rng),
             QueryStructure::ThreeWayJoin => self.n_way_join(3, rng),
             QueryStructure::ChainedFilters(n) => self.chained_filters(n as usize, rng),
             QueryStructure::NWayJoin(n) => self.n_way_join(n as usize, rng),
-            QueryStructure::SpikeDetection => benchmarks::spike_detection(
-                self.ranges.sample_event_rate(rng),
-            ),
-            QueryStructure::SmartGridLocal => benchmarks::smart_grid_local(
-                self.ranges.sample_event_rate(rng),
-            ),
-            QueryStructure::SmartGridGlobal => benchmarks::smart_grid_global(
-                self.ranges.sample_event_rate(rng),
-            ),
+            QueryStructure::SpikeDetection => {
+                benchmarks::spike_detection(self.ranges.sample_event_rate(rng))
+            }
+            QueryStructure::SmartGridLocal => {
+                benchmarks::smart_grid_local(self.ranges.sample_event_rate(rng))
+            }
+            QueryStructure::SmartGridGlobal => {
+                benchmarks::smart_grid_global(self.ranges.sample_event_rate(rng))
+            }
         };
         debug_assert!(plan.validate().is_ok(), "generated invalid plan: {plan}");
         plan
@@ -155,7 +151,9 @@ impl QueryGenerator {
 
     fn sample_schema<R: Rng + ?Sized>(&self, rng: &mut R) -> TupleSchema {
         let width = self.ranges.sample_tuple_width(rng);
-        let fields = (0..width).map(|_| self.ranges.sample_data_type(rng)).collect();
+        let fields = (0..width)
+            .map(|_| self.ranges.sample_data_type(rng))
+            .collect();
         TupleSchema::new(fields)
     }
 
@@ -341,7 +339,8 @@ mod tests {
             2 + 2 + 1 + 1 + 1
         );
         assert_eq!(
-            gen.generate(QueryStructure::NWayJoin(6), &mut rng).num_ops(),
+            gen.generate(QueryStructure::NWayJoin(6), &mut rng)
+                .num_ops(),
             6 + 6 + 5 + 1 + 1
         );
         assert_eq!(

@@ -13,15 +13,46 @@ use crate::types::DataType;
 
 /// Event rates (ev/sec) in the training range.
 pub const TRAIN_EVENT_RATES: &[f64] = &[
-    100.0, 200.0, 400.0, 500.0, 700.0, 1_000.0, 2_000.0, 3_000.0, 5_000.0, 10_000.0, 20_000.0,
-    50_000.0, 100_000.0, 250_000.0, 500_000.0, 1_000_000.0,
+    100.0,
+    200.0,
+    400.0,
+    500.0,
+    700.0,
+    1_000.0,
+    2_000.0,
+    3_000.0,
+    5_000.0,
+    10_000.0,
+    20_000.0,
+    50_000.0,
+    100_000.0,
+    250_000.0,
+    500_000.0,
+    1_000_000.0,
 ];
 
 /// Event rates (ev/sec) in the unseen testing range (inter- and
 /// extrapolation).
 pub const TEST_EVENT_RATES: &[f64] = &[
-    50.0, 75.0, 150.0, 300.0, 450.0, 600.0, 850.0, 1_500.0, 4_000.0, 7_500.0, 15_000.0, 35_000.0,
-    175_000.0, 375_000.0, 750_000.0, 1_500_000.0, 2_000_000.0, 3_000_000.0, 4_000_000.0,
+    50.0,
+    75.0,
+    150.0,
+    300.0,
+    450.0,
+    600.0,
+    850.0,
+    1_500.0,
+    4_000.0,
+    7_500.0,
+    15_000.0,
+    35_000.0,
+    175_000.0,
+    375_000.0,
+    750_000.0,
+    1_500_000.0,
+    2_000_000.0,
+    3_000_000.0,
+    4_000_000.0,
 ];
 
 /// Tuple widths (fields per tuple) in the training range.
@@ -183,7 +214,10 @@ impl ParamRanges {
     }
 
     pub fn sample_window_duration<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        *self.window_durations_ms.choose(rng).expect("non-empty grid")
+        *self
+            .window_durations_ms
+            .choose(rng)
+            .expect("non-empty grid")
     }
 
     pub fn sample_sliding_ratio<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
@@ -217,7 +251,10 @@ mod tests {
         assert_eq!(ParallelismCategory::from_avg(16.0), ParallelismCategory::M);
         assert_eq!(ParallelismCategory::from_avg(32.0), ParallelismCategory::L);
         assert_eq!(ParallelismCategory::from_avg(64.0), ParallelismCategory::XL);
-        assert_eq!(ParallelismCategory::from_avg(127.0), ParallelismCategory::XL);
+        assert_eq!(
+            ParallelismCategory::from_avg(127.0),
+            ParallelismCategory::XL
+        );
     }
 
     #[test]
@@ -252,7 +289,9 @@ mod tests {
         let ranges = ParamRanges::seen();
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..100 {
-            assert!(ranges.event_rates.contains(&ranges.sample_event_rate(&mut rng)));
+            assert!(ranges
+                .event_rates
+                .contains(&ranges.sample_event_rate(&mut rng)));
             assert!(ranges
                 .tuple_widths
                 .contains(&ranges.sample_tuple_width(&mut rng)));

@@ -374,7 +374,11 @@ impl std::fmt::Display for LogicalPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "plan `{}`:", self.name)?;
         for op in &self.ops {
-            let down: Vec<String> = self.downstream(op.id).iter().map(|d| d.to_string()).collect();
+            let down: Vec<String> = self
+                .downstream(op.id)
+                .iter()
+                .map(|d| d.to_string())
+                .collect();
             writeln!(
                 f,
                 "  {} [{}] -> {}",
@@ -532,7 +536,10 @@ mod tests {
         p.connect(a, k);
         assert!(matches!(
             p.validate(),
-            Err(PlanError::InvalidParameter(_, "slide must not exceed window length"))
+            Err(PlanError::InvalidParameter(
+                _,
+                "slide must not exceed window length"
+            ))
         ));
     }
 

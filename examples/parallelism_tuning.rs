@@ -50,7 +50,7 @@ fn main() {
     let greedy = greedy_tune(&plan, &cluster, &GreedyConfig::default());
     let dhalion = dhalion_tune(&plan, &cluster, &DhalionConfig::default(), &sim, &mut rng);
 
-    let mut measure = |name: &str, parallelism: &Vec<u32>, reconfigs: Option<usize>| {
+    let measure = |name: &str, parallelism: &Vec<u32>, reconfigs: Option<usize>| {
         let pqp = ParallelQueryPlan::with_parallelism(plan.clone(), parallelism.clone());
         let mut rng = StdRng::seed_from_u64(2);
         let m = simulate(&pqp, &cluster, &sim, &mut rng);

@@ -12,6 +12,7 @@ use zerotune::core::features::FeatureMask;
 use zerotune::core::graph::encode;
 use zerotune::core::model::{ModelConfig, ZeroTuneModel};
 use zerotune::core::train::{train, TrainConfig};
+use zerotune::core::CostEstimator;
 use zerotune::dspsim::analytical::{simulate, SimConfig};
 use zerotune::dspsim::cluster::{Cluster, ClusterType};
 use zerotune::dspsim::ChainingMode;
@@ -43,7 +44,7 @@ fn main() {
     for p in [1u32, 2, 4, 8, 16, 32] {
         let pqp = ParallelQueryPlan::with_parallelism(plan.clone(), vec![p; 4]);
         let graph = encode(&pqp, &cluster, ChainingMode::Auto, &FeatureMask::all());
-        let (pred_lat, pred_tpt) = model.predict(&graph);
+        let (pred_lat, pred_tpt) = model.predict(&graph).pair();
         let mut rng = StdRng::seed_from_u64(1);
         let m = simulate(&pqp, &cluster, &sim, &mut rng);
         println!(

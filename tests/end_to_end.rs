@@ -6,6 +6,7 @@ use zerotune::core::dataset::{generate_dataset, GenConfig};
 use zerotune::core::model::{ModelConfig, ZeroTuneModel};
 use zerotune::core::optimizer::{tune, OptimizerConfig};
 use zerotune::core::train::{evaluate, train, TrainConfig};
+use zerotune::core::CostEstimator;
 use zerotune::dspsim::analytical::{simulate, SimConfig};
 use zerotune::dspsim::cluster::{Cluster, ClusterType};
 use zerotune::query::{ParallelQueryPlan, QueryGenerator, QueryStructure};
@@ -16,15 +17,12 @@ use rand::SeedableRng;
 fn quick_model(n: usize, seed: u64) -> (ZeroTuneModel, zerotune::core::dataset::Dataset) {
     let data = generate_dataset(&GenConfig::seen(), n, seed);
     let (train_set, test_set, _) = data.split(0.85, 0.15, 0);
-    let mut model = ZeroTuneModel::new(ModelConfig {
-        hidden: 24,
-        seed,
-    });
+    let mut model = ZeroTuneModel::new(ModelConfig { hidden: 24, seed });
     train(
         &mut model,
         &train_set,
         &TrainConfig {
-            epochs: 14,
+            epochs: 20,
             patience: 0,
             ..TrainConfig::default()
         },
@@ -86,8 +84,7 @@ fn zero_shot_prediction_on_unseen_structure_is_in_the_right_ballpark() {
     let (model, _) = quick_model(400, 4);
     // 4-way joins never appear in training.
     let unseen = generate_dataset(
-        &GenConfig::unseen_structures()
-            .with_structures(vec![QueryStructure::NWayJoin(4)]),
+        &GenConfig::unseen_structures().with_structures(vec![QueryStructure::NWayJoin(4)]),
         40,
         5,
     );
@@ -105,14 +102,12 @@ fn zero_shot_prediction_on_unseen_structure_is_in_the_right_ballpark() {
 fn fewshot_does_not_degrade_and_stays_loadable() {
     let (mut model, _) = quick_model(250, 6);
     let shots = generate_dataset(
-        &GenConfig::unseen_structures()
-            .with_structures(vec![QueryStructure::NWayJoin(5)]),
+        &GenConfig::unseen_structures().with_structures(vec![QueryStructure::NWayJoin(5)]),
         60,
         7,
     );
     let test = generate_dataset(
-        &GenConfig::unseen_structures()
-            .with_structures(vec![QueryStructure::NWayJoin(5)]),
+        &GenConfig::unseen_structures().with_structures(vec![QueryStructure::NWayJoin(5)]),
         40,
         8,
     );

@@ -12,10 +12,7 @@ use zerotune::query::QueryStructure;
 fn trained(n: usize, seed: u64) -> (ZeroTuneModel, zerotune::core::dataset::Dataset) {
     let data = generate_dataset(&GenConfig::seen(), n, seed);
     let (train_set, test_set, _) = data.split(0.85, 0.15, 0);
-    let mut model = ZeroTuneModel::new(ModelConfig {
-        hidden: 24,
-        seed,
-    });
+    let mut model = ZeroTuneModel::new(ModelConfig { hidden: 24, seed });
     train(
         &mut model,
         &train_set,
@@ -114,7 +111,11 @@ fn graph_representation_beats_flat_models_on_unseen_structures() {
             );
         }
     }
-    assert!(zt_lat.median < 8.0, "ZeroTune unseen median {}", zt_lat.median);
+    assert!(
+        zt_lat.median < 8.0,
+        "ZeroTune unseen median {}",
+        zt_lat.median
+    );
 }
 
 #[test]
@@ -132,10 +133,7 @@ fn ablated_features_hurt_generalization() {
     let run = |cfg: &GenConfig, seed: u64| {
         let data = generate_dataset(cfg, 350, seed);
         let (train_set, test_set, _) = data.split(0.85, 0.15, 0);
-        let mut model = ZeroTuneModel::new(ModelConfig {
-            hidden: 24,
-            seed,
-        });
+        let mut model = ZeroTuneModel::new(ModelConfig { hidden: 24, seed });
         train(
             &mut model,
             &train_set,

@@ -9,9 +9,7 @@ use zerotune::dspsim::analytical::{simulate, SimConfig};
 use zerotune::dspsim::cluster::{Cluster, ClusterType};
 use zerotune::dspsim::engine::{run, EngineConfig};
 use zerotune::query::operators::*;
-use zerotune::query::{
-    DataType, LogicalPlan, OperatorKind, ParallelQueryPlan, TupleSchema,
-};
+use zerotune::query::{DataType, LogicalPlan, OperatorKind, ParallelQueryPlan, TupleSchema};
 
 fn linear(rate: f64, sel: f64, window: f64) -> LogicalPlan {
     let mut plan = LogicalPlan::new("linear");

@@ -1,0 +1,115 @@
+//! Property-based equivalence of the two forward passes: the autodiff
+//! tape used for training and the tapeless scratch-arena path used for
+//! prediction must produce the same outputs for *any* workload, cluster,
+//! parallelism assignment and feature mask.
+//!
+//! Both paths share the same matmul kernel and mirror each aggregation's
+//! accumulation order, so agreement is in practice bitwise; the asserted
+//! tolerance is the 1e-5 contract.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerotune::core::features::FeatureMask;
+use zerotune::core::graph::encode;
+use zerotune::core::model::{ModelConfig, ZeroTuneModel};
+use zerotune::core::CostEstimator;
+use zerotune::dspsim::cluster::{Cluster, ClusterType};
+use zerotune::dspsim::placement::ChainingMode;
+use zerotune::nn::{Scratch, Tape};
+use zerotune::query::{ParallelQueryPlan, QueryGenerator, QueryStructure};
+
+fn structure_from_index(i: u8) -> QueryStructure {
+    match i % 8 {
+        0 => QueryStructure::Linear,
+        1 => QueryStructure::TwoWayJoin,
+        2 => QueryStructure::ThreeWayJoin,
+        3 => QueryStructure::ChainedFilters(2 + i % 3),
+        4 => QueryStructure::NWayJoin(4 + i % 3),
+        5 => QueryStructure::SpikeDetection,
+        6 => QueryStructure::SmartGridLocal,
+        _ => QueryStructure::SmartGridGlobal,
+    }
+}
+
+fn mask_from_index(i: u8) -> FeatureMask {
+    match i % 3 {
+        0 => FeatureMask::all(),
+        1 => FeatureMask::operator_only(),
+        _ => FeatureMask::parallelism_resource_only(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `forward` (taped) and `forward_infer` (tapeless) agree within 1e-5
+    /// on the normalized outputs for any encodable workload.
+    #[test]
+    fn tape_and_tapeless_forward_agree(
+        structure_idx in 0u8..8,
+        seed in 0u64..10_000,
+        workers in 1usize..6,
+        p in 1u32..64,
+        mask_idx in 0u8..3,
+        hidden in 8usize..32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let structure = structure_from_index(structure_idx);
+        let generator = if structure.is_seen() {
+            QueryGenerator::seen()
+        } else {
+            QueryGenerator::unseen()
+        };
+        let plan = generator.generate(structure, &mut rng);
+        let n = plan.num_ops();
+        let pqp = ParallelQueryPlan::with_parallelism(plan, vec![p; n]);
+        let cluster = Cluster::sample(&ClusterType::ALL, workers, &[1.0, 10.0], &mut rng);
+        let graph = encode(&pqp, &cluster, ChainingMode::Auto, &mask_from_index(mask_idx));
+
+        let model = ZeroTuneModel::new(ModelConfig { hidden, seed });
+
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &graph);
+        let taped = tape.value(out).clone();
+
+        let mut scratch = Scratch::new();
+        let tapeless = model.forward_infer(&graph, &mut scratch);
+
+        prop_assert_eq!(taped.data.len(), 2);
+        for (t, i) in taped.data.iter().zip(tapeless.iter()) {
+            prop_assert!(
+                (t - i).abs() <= 1e-5,
+                "tape {} vs tapeless {} diverge", t, i
+            );
+        }
+    }
+
+    /// `predict_batch` (scoped threads) returns exactly the per-graph
+    /// `predict` results, in order.
+    #[test]
+    fn batched_prediction_matches_serial(
+        seed in 0u64..10_000,
+        workers in 1usize..6,
+        batch in 1usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = QueryGenerator::seen().generate(QueryStructure::TwoWayJoin, &mut rng);
+        let n = plan.num_ops();
+        let cluster = Cluster::sample(&ClusterType::ALL, workers, &[1.0, 10.0], &mut rng);
+        let graphs: Vec<_> = (0..batch)
+            .map(|i| {
+                let p = 1 + ((seed as u32 + i as u32) % 16);
+                let pqp = ParallelQueryPlan::with_parallelism(plan.clone(), vec![p; n]);
+                encode(&pqp, &cluster, ChainingMode::Auto, &FeatureMask::all())
+            })
+            .collect();
+
+        let model = ZeroTuneModel::new(ModelConfig { hidden: 16, seed });
+        let batched = model.predict_batch(&graphs);
+        prop_assert_eq!(batched.len(), graphs.len());
+        for (g, b) in graphs.iter().zip(batched.iter()) {
+            prop_assert_eq!(model.predict(g), *b);
+        }
+    }
+}

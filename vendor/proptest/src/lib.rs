@@ -1,0 +1,267 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Supports the workspace's usage: the `proptest!` macro with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header, range
+//! strategies over integers/floats, `any::<bool>()`, and
+//! `prop_assert!`/`prop_assert_eq!`. Failing cases report their inputs and
+//! the deterministic case seed; there is no shrinking — cases are small
+//! enough here that the raw inputs are directly debuggable.
+
+pub mod strategy {
+    use crate::test_runner::CaseRng;
+    use std::ops::Range;
+
+    /// A source of random test inputs.
+    pub trait Strategy {
+        type Value: std::fmt::Debug + Clone;
+        fn sample(&self, rng: &mut CaseRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut CaseRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + ((rng.next_u64() as u128 * span as u128) >> 64) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut CaseRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    self.start + (self.end - self.start) * unit as $t
+                }
+            }
+        )*};
+    }
+
+    float_strategy!(f64);
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut CaseRng) -> f32 {
+            assert!(self.start < self.end, "empty strategy range");
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+            self.start + (self.end - self.start) * unit
+        }
+    }
+
+    /// `any::<T>()` marker strategy.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut CaseRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Constant strategy, for completeness with upstream's `Just`.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: std::fmt::Debug + Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut CaseRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// SplitMix64 stream dedicated to one test case.
+    pub struct CaseRng {
+        x: u64,
+    }
+
+    impl CaseRng {
+        pub fn new(seed: u64) -> Self {
+            CaseRng { x: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.x = self.x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runner configuration; only `cases` is interpreted.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Soft test-case failure raised by `prop_assert!`.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Deterministic per-case rng: independent of execution order.
+        pub fn rng_for(&self, test_name: &str, case: u32) -> CaseRng {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            CaseRng::new(h ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` block: an optional config header followed by test
+/// functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::test_runner::TestRunner::new($cfg);
+            for case in 0..runner.cases() {
+                let mut case_rng = runner.rng_for(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut case_rng);)*
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)*),
+                    $(&$arg),*
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name), case, runner.cases(), e, inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+}

@@ -1,0 +1,464 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Written against `proc_macro` alone — no `syn`/`quote`, which the
+//! offline build can't fetch. The parser walks the item's token trees
+//! and extracts only what codegen needs: the item name, the shape of
+//! each struct/variant (unit / tuple / named), field names, and
+//! `#[serde(skip)]` markers. Field *types* are never parsed; generated
+//! code relies on type inference (`::serde::field(..)?`,
+//! `Deserialize::from_value(..)?`) instead.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! named structs, tuple structs (newtype included), unit structs, and
+//! enums with unit / tuple / named-field variants (externally tagged,
+//! like upstream serde). Generics are rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields; only the count matters (skip unsupported here).
+    Tuple(usize),
+    Named(Vec<NamedField>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parser
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip a run of attributes, returning whether any was `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        loop {
+            match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                    self.pos += 2;
+                }
+                _ => return skip,
+            }
+        }
+    }
+
+    /// Skip `pub` / `pub(in path)` visibility markers.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consume a field's type: everything up to a comma at angle depth 0.
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let mut it = attr.into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<NamedField> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        let skip = c.skip_attrs();
+        c.skip_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        c.skip_type();
+        fields.push(NamedField { name, skip });
+        // Trailing comma between fields.
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.pos += 1;
+            }
+        }
+    }
+    fields
+}
+
+fn parse_tuple_fields(ts: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    for t in ts {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive shim: generic types are not supported (on `{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde derive: unexpected struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: unexpected enum body for `{name}`: {other:?}"),
+            };
+            let mut vc = Cursor::new(body);
+            let mut variants = Vec::new();
+            loop {
+                vc.skip_attrs();
+                if vc.peek().is_none() {
+                    break;
+                }
+                let vname = vc.expect_ident("variant name");
+                let fields = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(parse_tuple_fields(g.stream()));
+                        vc.pos += 1;
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream()));
+                        vc.pos += 1;
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an optional discriminant (`= expr`) and the comma.
+                while let Some(t) = vc.peek() {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        vc.pos += 1;
+                        break;
+                    }
+                    vc.pos += 1;
+                }
+                variants.push((vname, fields));
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn derive_serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => {
+                    let pushes: Vec<String> = fs
+                        .iter()
+                        .filter(|f| !f.skip)
+                        .map(|f| {
+                            format!(
+                                "(String::from(\"{n}\"), ::serde::Serialize::to_value(&self.{n}))",
+                                n = f.name
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", pushes.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Map(vec![(String::from(\"{vname}\"), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(String::from(\"{vname}\"), ::serde::Value::Seq(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> =
+                            fs.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fs
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{n}\"), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(String::from(\"{vname}\"), ::serde::Value::Map(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn de_named_ctor(path: &str, fields: &[NamedField], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{n}: ::std::default::Default::default()", n = f.name)
+            } else {
+                format!("{n}: ::serde::field({map_expr}, \"{n}\")?", n = f.name)
+            }
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                        .collect();
+                    format!(
+                        "let s = v.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                         if s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n\
+                         ::std::result::Result::Ok({name}({items}))",
+                        items = items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let ctor = de_named_ctor(name, fs, "m");
+                    format!(
+                        "let m = v.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for {name}\"))?;\n\
+                         ::std::result::Result::Ok({ctor})"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let s = inner.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected array for {name}::{vname}\"))?;\n\
+                                 if s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong arity for {name}::{vname}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                             }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let ctor = de_named_ctor(&format!("{name}::{vname}"), fs, "m2");
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let m2 = inner.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for {name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({ctor})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (k, inner) = &m[0];\n\
+                                 let _ = inner;\n\
+                                 match k.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::custom(\"bad enum encoding for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item)
+        .parse()
+        .expect("serde derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("serde derive: generated invalid Deserialize impl")
+}
