@@ -1,0 +1,121 @@
+//! Data-generation throughput microbenches for the sharded pipeline:
+//!
+//! * `datagen_serial_256` — one shard generated on the calling thread
+//!   (the legacy single-threaded path).
+//! * `datagen_sharded_256` — the same request through the sharded
+//!   scoped-thread pipeline at the machine's worker count.
+//! * `datagen_cached_repeats` — a repeat-heavy OptiSample-style request
+//!   with the simulator memo attached: nearby scaling-factor draws clamp
+//!   to identical parallelism vectors, so most labels are cache hits.
+//!
+//! After the criterion timings, a summary reports samples/sec for the
+//! serial and sharded paths at 1..=8 workers, plus the cache hit rate of
+//! the memoized run. On a multi-core machine the sharded path scales with
+//! the worker count (output is bitwise identical either way); on a
+//! single-core machine the cached path is the one that shows the win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use zt_core::datagen::{generate_dataset_report, GenPlan};
+use zt_core::dataset::GenConfig;
+use zt_dspsim::SimCache;
+
+const N: usize = 256;
+const SEED: u64 = 0xBE7C;
+
+fn bench_serial(c: &mut Criterion) {
+    let cfg = GenConfig::seen();
+    c.bench_function("datagen_serial_256", |b| {
+        b.iter(|| {
+            let (data, _) =
+                generate_dataset_report(&cfg, N, SEED, &GenPlan::serial().with_shard_size(64));
+            std::hint::black_box(data.len())
+        })
+    });
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let cfg = GenConfig::seen();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    let plan = GenPlan::serial().with_workers(workers).with_shard_size(64);
+    c.bench_function("datagen_sharded_256", |b| {
+        b.iter(|| {
+            let (data, _) = generate_dataset_report(&cfg, N, SEED, &plan);
+            std::hint::black_box(data.len())
+        })
+    });
+}
+
+fn bench_cached(c: &mut Criterion) {
+    // OptiSample's factored enumeration clamps nearby scaling factors to
+    // the same parallelism vector, so the solver sees heavy repetition.
+    let cache = Arc::new(SimCache::default());
+    let cfg = GenConfig::seen().with_cache(Arc::clone(&cache));
+    c.bench_function("datagen_cached_repeats", |b| {
+        b.iter(|| {
+            let (data, _) =
+                generate_dataset_report(&cfg, N, SEED, &GenPlan::serial().with_shard_size(64));
+            std::hint::black_box(data.len())
+        })
+    });
+}
+
+/// Samples/sec at 1..=8 workers plus the cache hit rate, printed after
+/// the criterion timings.
+fn throughput_summary(_c: &mut Criterion) {
+    let cfg = GenConfig::seen();
+    let time = |plan: &GenPlan| {
+        let t0 = std::time::Instant::now();
+        let (data, _) = generate_dataset_report(&cfg, N, SEED, plan);
+        assert_eq!(data.len(), N);
+        t0.elapsed().as_secs_f64()
+    };
+    // warm-up
+    std::hint::black_box(time(&GenPlan::serial()));
+
+    let serial = time(&GenPlan::serial().with_shard_size(64));
+    println!();
+    println!(
+        "datagen serial:        {:>8.0} samples/sec",
+        N as f64 / serial
+    );
+    for workers in [2usize, 4, 8] {
+        let t = time(&GenPlan::serial().with_workers(workers).with_shard_size(64));
+        println!(
+            "datagen {workers} workers:     {:>8.0} samples/sec ({:.2}x vs serial)",
+            N as f64 / t,
+            serial / t
+        );
+    }
+
+    let cache = Arc::new(SimCache::default());
+    let cached_cfg = GenConfig::seen().with_cache(Arc::clone(&cache));
+    let t0 = std::time::Instant::now();
+    let (data, _) =
+        generate_dataset_report(&cached_cfg, N, SEED, &GenPlan::serial().with_shard_size(64));
+    let first = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let (again, _) =
+        generate_dataset_report(&cached_cfg, N, SEED, &GenPlan::serial().with_shard_size(64));
+    let warm = t1.elapsed().as_secs_f64();
+    assert_eq!(data.len(), again.len());
+    let stats = cache.stats();
+    println!(
+        "datagen warm cache:    {:>8.0} samples/sec ({:.2}x vs cold, hit rate {:.0}%)",
+        N as f64 / warm,
+        first / warm,
+        stats.hit_rate() * 100.0
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_serial,
+    bench_sharded,
+    bench_cached,
+    throughput_summary
+);
+criterion_main!(benches);

@@ -1,0 +1,419 @@
+//! Parallel, sharded, resumable training-data generation.
+//!
+//! The paper's data-collection loop (Sec. IV) labels thousands of PQPs on
+//! the simulator; this module is the producer side of the whole training
+//! stack: **enumeration → sharding → labeling → merge**.
+//!
+//! ## Determinism contract
+//!
+//! A request for `n` samples is split into fixed-size shards of
+//! [`GenPlan::shard_size`] consecutive samples. Shard `t` owns a
+//! counter-derived RNG seeded with
+//!
+//! ```text
+//! shard_seed(base, t) = base ^ (0x9E3779B97F4A7C15 · (t + 1))
+//! ```
+//!
+//! (a splitmix-style golden-ratio multiply, so nearby shard indices get
+//! decorrelated streams). Shard boundaries depend only on `(n,
+//! shard_size)` — never on the worker count or the machine — so the merged
+//! dataset is **bitwise identical at 1, 2 or 8 workers**. Workers pull
+//! whole shards from a queue; results are merged in shard order.
+//!
+//! ## Resume
+//!
+//! With [`GenPlan::shard_dir`] set, every finished shard is serialized to
+//! `<dir>/shard-<fingerprint>-<index>.json` (written to a temp file, then
+//! renamed). A later run with the same `(config, n, seed, shard_size)`
+//! loads completed shards instead of regenerating them; shard files whose
+//! fingerprint, seed, index or sample count disagree are ignored and
+//! regenerated. Since JSON floats round-trip exactly (shortest
+//! representation) the resumed dataset is byte-for-byte the dataset a
+//! fresh run would produce.
+//!
+//! ## Environment knobs
+//!
+//! * `ZT_DATAGEN_WORKERS` — worker-thread count (default: available
+//!   parallelism, clamped to 8);
+//! * `ZT_DATAGEN_SHARD_SIZE` — samples per shard (default 256);
+//! * `ZT_DATAGEN_RESUME` — shard directory enabling resumable generation.
+//!
+//! The experiment binaries map `--workers N` / `--resume[=DIR]` onto these
+//! variables, so nested generation calls inside an experiment inherit
+//! them.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{generate_sample, Dataset, GenConfig, Sample};
+
+/// Default shard size. Fixture note: requests of at most one shard
+/// (n ≤ 256) reproduce the pre-sharding single-chunk RNG stream, so the
+/// workspace's seed-sensitive test fixtures stay valid.
+pub const DEFAULT_SHARD_SIZE: usize = 256;
+
+/// Execution plan for [`generate_dataset_with`]: how many workers label
+/// shards, how big a shard is, and where (if anywhere) shards persist.
+///
+/// None of these fields affect the generated samples — only wall-clock
+/// and resumability. That is the module's core contract.
+#[derive(Clone, Debug)]
+pub struct GenPlan {
+    /// Worker threads labeling shards concurrently (≥ 1).
+    pub workers: usize,
+    /// Samples per shard (≥ 1). Part of the determinism fingerprint:
+    /// changing it changes shard seeding and therefore the dataset.
+    pub shard_size: usize,
+    /// Directory for shard files; `None` disables persistence/resume.
+    pub shard_dir: Option<PathBuf>,
+}
+
+impl Default for GenPlan {
+    fn default() -> Self {
+        GenPlan::from_env()
+    }
+}
+
+impl GenPlan {
+    /// Single worker, default shard size, no persistence.
+    pub fn serial() -> Self {
+        GenPlan {
+            workers: 1,
+            shard_size: DEFAULT_SHARD_SIZE,
+            shard_dir: None,
+        }
+    }
+
+    /// Plan configured from `ZT_DATAGEN_WORKERS`, `ZT_DATAGEN_SHARD_SIZE`
+    /// and `ZT_DATAGEN_RESUME` (see module docs), with hardware defaults
+    /// for anything unset.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("ZT_DATAGEN_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|t| t.get())
+                    .unwrap_or(1)
+                    .clamp(1, 8)
+            });
+        let shard_size = std::env::var("ZT_DATAGEN_SHARD_SIZE")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&s| s >= 1)
+            .unwrap_or(DEFAULT_SHARD_SIZE);
+        let shard_dir = std::env::var("ZT_DATAGEN_RESUME")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+            .map(PathBuf::from);
+        GenPlan {
+            workers,
+            shard_size,
+            shard_dir,
+        }
+    }
+
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    pub fn with_shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = shard_size.max(1);
+        self
+    }
+
+    pub fn with_shard_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.shard_dir = Some(dir.into());
+        self
+    }
+}
+
+/// What a generation run actually did (for logs, benches and tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GenReport {
+    /// Total shards the request was split into.
+    pub shards: usize,
+    /// Shards loaded from `shard_dir` instead of being regenerated.
+    pub shards_resumed: usize,
+    /// Shards labeled in this run.
+    pub shards_generated: usize,
+    /// Worker threads actually spawned.
+    pub workers_used: usize,
+}
+
+/// Counter-derived per-shard seed (see module docs). Shard index — not
+/// thread id — keys the stream, so any worker can own any shard.
+pub fn shard_seed(base_seed: u64, shard_index: usize) -> u64 {
+    base_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard_index as u64 + 1)
+}
+
+/// FNV-1a over everything that determines the dataset's content. Shard
+/// files carry this fingerprint so a resume never mixes shards from a
+/// different configuration, sample count, seed or shard layout.
+pub fn config_fingerprint(cfg: &GenConfig, n: usize, seed: u64, shard_size: usize) -> u64 {
+    let descr = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
+        cfg.structures,
+        cfg.ranges,
+        cfg.cluster_types,
+        cfg.strategy,
+        cfg.sim,
+        cfg.mask,
+        cfg.max_latency_ms,
+        n,
+        seed,
+        shard_size,
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in descr.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// On-disk shard format. The header makes every file self-validating.
+/// The 64-bit fields are stored as hex strings: JSON numbers round-trip
+/// through f64, which silently truncates integers above 2^53.
+#[derive(Serialize, Deserialize)]
+struct ShardFile {
+    fingerprint: String,
+    base_seed: String,
+    shard_index: usize,
+    samples: Vec<Sample>,
+}
+
+fn shard_path(dir: &Path, fingerprint: u64, index: usize) -> PathBuf {
+    dir.join(format!("shard-{fingerprint:016x}-{index:05}.json"))
+}
+
+/// Load one shard file if it exists and its header matches.
+fn load_shard(
+    dir: &Path,
+    fingerprint: u64,
+    base_seed: u64,
+    index: usize,
+    expected_count: usize,
+) -> Option<Vec<Sample>> {
+    let text = std::fs::read_to_string(shard_path(dir, fingerprint, index)).ok()?;
+    let file: ShardFile = serde_json::from_str(&text).ok()?;
+    (file.fingerprint == format!("{fingerprint:016x}")
+        && file.base_seed == format!("{base_seed:016x}")
+        && file.shard_index == index
+        && file.samples.len() == expected_count)
+        .then_some(file.samples)
+}
+
+/// Persist one shard (temp file + rename, so a crash never leaves a
+/// half-written shard that a resume would trust).
+fn store_shard(dir: &Path, fingerprint: u64, base_seed: u64, index: usize, samples: &[Sample]) {
+    let file = ShardFile {
+        fingerprint: format!("{fingerprint:016x}"),
+        base_seed: format!("{base_seed:016x}"),
+        shard_index: index,
+        samples: samples.to_vec(),
+    };
+    let Ok(json) = serde_json::to_string(&file) else {
+        return;
+    };
+    let final_path = shard_path(dir, fingerprint, index);
+    let tmp_path = final_path.with_extension("json.tmp");
+    if std::fs::write(&tmp_path, json).is_ok() {
+        let _ = std::fs::rename(&tmp_path, &final_path);
+    }
+}
+
+/// Label the samples of shard `index`: consecutive global sample indices
+/// `[index·shard_size, …)`, structures cycling by global index, RNG
+/// derived from the shard counter.
+fn generate_shard(
+    cfg: &GenConfig,
+    n: usize,
+    base_seed: u64,
+    shard_size: usize,
+    index: usize,
+) -> Vec<Sample> {
+    let start = index * shard_size;
+    let count = shard_size.min(n - start);
+    let mut rng = StdRng::seed_from_u64(shard_seed(base_seed, index));
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let structure = cfg.structures[(start + i) % cfg.structures.len()];
+        out.push(generate_sample(cfg, structure, &mut rng));
+    }
+    out
+}
+
+/// Generate `n` samples under an explicit execution plan. See the module
+/// docs for the determinism and resume contracts.
+pub fn generate_dataset_with(cfg: &GenConfig, n: usize, seed: u64, plan: &GenPlan) -> Dataset {
+    generate_dataset_report(cfg, n, seed, plan).0
+}
+
+/// [`generate_dataset_with`] plus a [`GenReport`] describing the run.
+pub fn generate_dataset_report(
+    cfg: &GenConfig,
+    n: usize,
+    seed: u64,
+    plan: &GenPlan,
+) -> (Dataset, GenReport) {
+    assert!(!cfg.structures.is_empty(), "no structures configured");
+    let shard_size = plan.shard_size.max(1);
+    let num_shards = n.div_ceil(shard_size);
+    let fingerprint = config_fingerprint(cfg, n, seed, shard_size);
+    let count_of = |i: usize| shard_size.min(n - i * shard_size);
+
+    let mut slots: Vec<Option<Vec<Sample>>> = (0..num_shards).map(|_| None).collect();
+    let mut report = GenReport {
+        shards: num_shards,
+        ..GenReport::default()
+    };
+
+    // Resume pass: adopt any shard file whose header checks out.
+    if let Some(dir) = &plan.shard_dir {
+        let _ = std::fs::create_dir_all(dir);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if let Some(samples) = load_shard(dir, fingerprint, seed, i, count_of(i)) {
+                *slot = Some(samples);
+                report.shards_resumed += 1;
+            }
+        }
+    }
+
+    // Labeling pass: workers pull pending shards from a shared counter.
+    let pending: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    report.shards_generated = pending.len();
+    let workers = plan.workers.max(1).min(pending.len().max(1));
+    report.workers_used = if pending.is_empty() { 0 } else { workers };
+    if !pending.is_empty() {
+        let next = AtomicUsize::new(0);
+        let produced: Vec<(usize, Vec<Sample>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let pending = &pending;
+                    let dir = plan.shard_dir.as_deref();
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&index) = pending.get(k) else {
+                                break;
+                            };
+                            let samples = generate_shard(cfg, n, seed, shard_size, index);
+                            if let Some(dir) = dir {
+                                store_shard(dir, fingerprint, seed, index, &samples);
+                            }
+                            mine.push((index, samples));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("datagen worker panicked"))
+                .collect()
+        });
+        for (index, samples) in produced {
+            slots[index] = Some(samples);
+        }
+    }
+
+    // Merge in shard order — the layout, not the completion order,
+    // defines the dataset.
+    let samples = slots
+        .into_iter()
+        .flat_map(|s| s.expect("every shard resolved"))
+        .collect();
+    (Dataset::new(samples), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_seed_is_counter_derived_and_distinct() {
+        let seeds: Vec<u64> = (0..16).map(|i| shard_seed(7, i)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in seeds.iter().skip(i + 1) {
+                assert_ne!(a, b, "shard seeds collide");
+            }
+        }
+        // pure function of (base, index)
+        assert_eq!(shard_seed(7, 3), shard_seed(7, 3));
+        assert_ne!(shard_seed(7, 3), shard_seed(8, 3));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_generation_input() {
+        let cfg = GenConfig::seen();
+        let base = config_fingerprint(&cfg, 100, 1, 256);
+        assert_eq!(base, config_fingerprint(&GenConfig::seen(), 100, 1, 256));
+        assert_ne!(base, config_fingerprint(&cfg, 101, 1, 256));
+        assert_ne!(base, config_fingerprint(&cfg, 100, 2, 256));
+        assert_ne!(base, config_fingerprint(&cfg, 100, 1, 128));
+        assert_ne!(
+            base,
+            config_fingerprint(&GenConfig::unseen_structures(), 100, 1, 256)
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_dataset() {
+        let cfg = GenConfig::seen();
+        let plan = |w: usize| GenPlan::serial().with_workers(w).with_shard_size(4);
+        let a = generate_dataset_with(&cfg, 18, 5, &plan(1));
+        let b = generate_dataset_with(&cfg, 18, 5, &plan(3));
+        assert_eq!(a.len(), 18);
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb, "worker count changed the dataset");
+    }
+
+    #[test]
+    fn single_shard_matches_legacy_stream() {
+        // n ≤ shard_size must reproduce the pre-sharding single-chunk
+        // stream: one shard seeded with shard_seed(seed, 0).
+        let cfg = GenConfig::seen();
+        let sharded = generate_dataset_with(&cfg, 6, 9, &GenPlan::serial());
+        let mut rng = StdRng::seed_from_u64(shard_seed(9, 0));
+        for (i, s) in sharded.samples.iter().enumerate() {
+            let structure = cfg.structures[i % cfg.structures.len()];
+            let direct = generate_sample(&cfg, structure, &mut rng);
+            assert_eq!(s.latency_ms, direct.latency_ms);
+            assert_eq!(s.throughput, direct.throughput);
+        }
+    }
+
+    #[test]
+    fn report_counts_shards() {
+        let cfg = GenConfig::seen();
+        let plan = GenPlan::serial().with_workers(2).with_shard_size(5);
+        let (d, r) = generate_dataset_report(&cfg, 12, 3, &plan);
+        assert_eq!(d.len(), 12);
+        assert_eq!(r.shards, 3);
+        assert_eq!(r.shards_generated, 3);
+        assert_eq!(r.shards_resumed, 0);
+        assert_eq!(r.workers_used, 2);
+    }
+
+    #[test]
+    fn empty_request_yields_empty_dataset() {
+        let (d, r) = generate_dataset_report(&GenConfig::seen(), 0, 1, &GenPlan::serial());
+        assert!(d.is_empty());
+        assert_eq!(r.shards, 0);
+        assert_eq!(r.workers_used, 0);
+    }
+}

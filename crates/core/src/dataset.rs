@@ -9,11 +9,14 @@
 //! the experiment harness for slicing (structure, parallelism category,
 //! unseen-parameter values, …).
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use zt_dspsim::analytical::{simulate, SimConfig};
 use zt_dspsim::cluster::{Cluster, ClusterType};
+use zt_dspsim::simcache::SimCache;
 use zt_query::{
     OperatorKind, ParallelQueryPlan, ParallelismCategory, ParamRanges, QueryGenerator,
     QueryStructure, WindowPolicy,
@@ -121,6 +124,11 @@ pub struct GenConfig {
     /// dropped by a real testbed collection pipeline (5 minutes by
     /// default).
     pub max_latency_ms: f64,
+    /// Optional memo table for the deterministic simulator core, shared
+    /// across all generation workers. Labels are bitwise identical with
+    /// and without the cache (noise is drawn outside it); enable it for
+    /// repeat-heavy workloads such as factored candidate enumeration.
+    pub cache: Option<Arc<SimCache>>,
 }
 
 impl GenConfig {
@@ -135,6 +143,7 @@ impl GenConfig {
             sim: SimConfig::default(),
             mask: FeatureMask::all(),
             max_latency_ms: 300_000.0,
+            cache: None,
         }
     }
 
@@ -165,6 +174,11 @@ impl GenConfig {
 
     pub fn with_cluster_types(mut self, types: Vec<ClusterType>) -> Self {
         self.cluster_types = types;
+        self
+    }
+
+    pub fn with_cache(mut self, cache: Arc<SimCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 }
@@ -246,7 +260,13 @@ pub fn generate_sample<R: Rng + ?Sized>(
         );
         let parallelism = cfg.strategy.assign(&plan, &cluster, rng);
         let pqp = ParallelQueryPlan::with_parallelism(plan, parallelism);
-        let metrics = simulate(&pqp, &cluster, &cfg.sim, rng);
+        // The cached path is bitwise-equivalent: the memo covers only the
+        // deterministic solver core, and the noise factors are drawn from
+        // `rng` either way.
+        let metrics = match &cfg.cache {
+            Some(cache) => cache.simulate(&pqp, &cluster, &cfg.sim, rng),
+            None => simulate(&pqp, &cluster, &cfg.sim, rng),
+        };
         let graph = encode_with_deployment(&pqp, &cluster, &metrics.deployment, &cfg.mask);
         let meta = meta_of(structure, &pqp, &cluster, metrics.backpressured());
         let sample = Sample {
@@ -264,35 +284,12 @@ pub fn generate_sample<R: Rng + ?Sized>(
 }
 
 /// Generate `n` samples, cycling over the configured structures.
-/// Deterministic for a given `(cfg, n, seed)`; generation is chunked
-/// across threads when several cores are available (each chunk reseeds,
-/// so results do not depend on the thread count).
+/// Deterministic for a given `(cfg, n, seed)` — the request is split into
+/// fixed-size shards with counter-derived RNGs, so the output is bitwise
+/// identical regardless of how many worker threads label the shards (see
+/// [`crate::datagen`] for the seeding, resume and worker-count knobs).
 pub fn generate_dataset(cfg: &GenConfig, n: usize, seed: u64) -> Dataset {
-    assert!(!cfg.structures.is_empty(), "no structures configured");
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
-        .clamp(1, 8);
-    let chunk = n.div_ceil(threads);
-    let mut samples: Vec<Option<Vec<Sample>>> = (0..threads).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (t, slot) in samples.iter_mut().enumerate() {
-            let start = t * chunk;
-            let count = chunk.min(n.saturating_sub(start));
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(
-                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
-                );
-                let mut out = Vec::with_capacity(count);
-                for i in 0..count {
-                    let structure = cfg.structures[(start + i) % cfg.structures.len()];
-                    out.push(generate_sample(cfg, structure, &mut rng));
-                }
-                *slot = Some(out);
-            });
-        }
-    });
-    Dataset::new(samples.into_iter().flat_map(|s| s.unwrap()).collect())
+    crate::datagen::generate_dataset_with(cfg, n, seed, &crate::datagen::GenPlan::from_env())
 }
 
 #[cfg(test)]

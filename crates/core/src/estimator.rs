@@ -126,6 +126,15 @@ mod tests {
     }
 
     #[test]
+    fn empty_candidate_list_yields_empty_batch() {
+        let est = Fixed(1.0, 2.0);
+        assert!(est.predict_batch(&[]).is_empty());
+        // also through a trait object (the optimizer's calling shape)
+        let dyn_est: &dyn CostEstimator = &est;
+        assert!(dyn_est.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
     fn trait_is_object_safe() {
         let est = Fixed(1.0, 2.0);
         let dyn_est: &dyn CostEstimator = &est;

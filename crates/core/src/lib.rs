@@ -33,6 +33,7 @@
 //! * [`fewshot`] — few-shot fine-tuning for complex unseen structures
 //!   (Fig. 6 / Fig. 7d).
 
+pub mod datagen;
 pub mod dataset;
 pub mod estimator;
 pub mod explain;
@@ -45,6 +46,7 @@ pub mod optisample;
 pub mod qerror;
 pub mod train;
 
+pub use datagen::{generate_dataset_report, generate_dataset_with, shard_seed, GenPlan, GenReport};
 pub use dataset::{generate_dataset, Dataset, GenConfig, Sample, SampleMeta};
 pub use estimator::{evaluate_estimator, CostEstimator, CostPrediction};
 pub use features::FeatureMask;

@@ -531,6 +531,12 @@ mod tests {
     }
 
     #[test]
+    fn scoped_thread_predict_batch_handles_empty_candidate_list() {
+        let model = ZeroTuneModel::new(ModelConfig::default());
+        assert!(model.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
     fn different_parallelism_different_prediction() {
         let model = ZeroTuneModel::new(ModelConfig::default());
         let g1 = sample_graph(QueryStructure::Linear, 1, 2);

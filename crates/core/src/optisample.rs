@@ -101,6 +101,23 @@ impl EnumerationStrategy {
             }
         }
     }
+
+    /// Factored enumeration: `k` independent assignments for **one**
+    /// `(plan, cluster)` template. Because `P(ω) = ⌈sf · In_ER(ω)⌉` is
+    /// clamped to `[1, n_core]` and the per-query scaling factor only
+    /// spreads log-uniformly, nearby draws frequently collapse to the
+    /// *same* parallelism vector — exactly the repeated
+    /// `(template, cluster, assignment)` tuples that
+    /// [`zt_dspsim::simcache::SimCache`] memoizes during labeling.
+    pub fn enumerate<R: Rng + ?Sized>(
+        &self,
+        plan: &LogicalPlan,
+        cluster: &Cluster,
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<u32>> {
+        (0..k).map(|_| self.assign(plan, cluster, rng)).collect()
+    }
 }
 
 /// Estimated input rates per operator (Definition 3 applied with noisy
@@ -311,6 +328,29 @@ mod tests {
         let noisy = estimate_input_rates(&plan, 0.5, &mut StdRng::seed_from_u64(5));
         // downstream rates (after a selectivity) differ under noise
         assert_ne!(exact[2], noisy[2]);
+    }
+
+    #[test]
+    fn factored_enumeration_recurs_on_assignments() {
+        // Low input rates clamp most OptiSample draws to all-ones
+        // parallelism, so a factored enumeration over one template must
+        // revisit assignments — the recurrence the label cache exploits.
+        let plan = plan_with_rate(1); // seen ranges, moderate rate
+        let mut rng = StdRng::seed_from_u64(10);
+        let strategy = EnumerationStrategy::opti_sample();
+        let cands = strategy.enumerate(&plan, &cluster(), 64, &mut rng);
+        assert_eq!(cands.len(), 64);
+        let mut unique: Vec<&Vec<u32>> = Vec::new();
+        for c in &cands {
+            if !unique.contains(&c) {
+                unique.push(c);
+            }
+        }
+        assert!(
+            unique.len() < cands.len(),
+            "64 draws produced {} distinct assignments — no recurrence",
+            unique.len()
+        );
     }
 
     #[test]

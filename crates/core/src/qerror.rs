@@ -8,8 +8,13 @@ use zt_dspsim::metrics::percentile;
 
 /// Q-error of a prediction against the true value. Values are clamped to
 /// a tiny positive floor so degenerate zero costs do not produce
-/// infinities.
+/// infinities; a non-finite prediction or truth (NaN, ±∞ — e.g. a
+/// diverged model) is the worst possible estimate and reports `+∞`
+/// rather than silently clamping NaN to the floor.
 pub fn q_error(predicted: f64, truth: f64) -> f64 {
+    if !predicted.is_finite() || !truth.is_finite() {
+        return f64::INFINITY;
+    }
     let p = predicted.max(1e-9);
     let t = truth.max(1e-9);
     (p / t).max(t / p)
@@ -104,6 +109,43 @@ mod tests {
     fn empty_stats_are_nan() {
         let s = QErrorStats::from_qerrors(&[]);
         assert!(s.median.is_nan());
+        assert!(s.p95.is_nan());
+        assert!(s.mean.is_nan());
         assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn empty_pairs_match_empty_qerrors() {
+        let s = QErrorStats::from_pairs(Vec::<(f64, f64)>::new());
+        assert_eq!(s.count, 0);
+        assert!(s.median.is_nan());
+    }
+
+    #[test]
+    fn zero_and_near_zero_predictions_are_floored() {
+        // Both sides at/below the floor collapse to a perfect score
+        // instead of 0/0 noise.
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert_eq!(q_error(1e-300, 1e-300), 1.0);
+        assert_eq!(q_error(-4.0, 0.0), 1.0); // negative costs clamp too
+        let q = q_error(1e-12, 1.0);
+        assert!((q - 1e9).abs() / 1e9 < 1e-9, "floored q {q}");
+    }
+
+    #[test]
+    fn non_finite_inputs_are_worst_case_not_clamped() {
+        assert_eq!(q_error(f64::NAN, 5.0), f64::INFINITY);
+        assert_eq!(q_error(5.0, f64::NAN), f64::INFINITY);
+        assert_eq!(q_error(f64::INFINITY, 5.0), f64::INFINITY);
+        assert_eq!(q_error(f64::NEG_INFINITY, 5.0), f64::INFINITY);
+        assert_eq!(q_error(f64::NAN, f64::NAN), f64::INFINITY);
+    }
+
+    #[test]
+    fn nan_prediction_poisons_mean_but_is_never_nan() {
+        let s = QErrorStats::from_pairs(vec![(1.0, 1.0), (f64::NAN, 1.0)]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, f64::INFINITY);
+        assert!(!s.mean.is_nan());
     }
 }

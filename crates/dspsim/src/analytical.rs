@@ -299,6 +299,25 @@ pub fn simulate<R: Rng + ?Sized>(
     cfg: &SimConfig,
     rng: &mut R,
 ) -> QueryMetrics {
+    let mut metrics = simulate_core(pqp, cluster, cfg);
+    apply_noise(&mut metrics, &cfg.noise, rng);
+    metrics
+}
+
+/// Multiply the two headline metrics by lognormal measurement-noise
+/// factors. Draws nothing from `rng` when both σ are zero, so noiseless
+/// runs leave the RNG stream untouched (the contract the label cache and
+/// the sharded data generator rely on).
+pub fn apply_noise<R: Rng + ?Sized>(metrics: &mut QueryMetrics, noise: &NoiseConfig, rng: &mut R) {
+    metrics.latency_ms *= noise.latency_factor(rng);
+    metrics.throughput *= noise.throughput_factor(rng);
+}
+
+/// The deterministic part of [`simulate`]: everything except measurement
+/// noise. Two calls with the same `(pqp, cluster, cfg)` return identical
+/// metrics, which makes the result memoizable — see
+/// [`crate::simcache::SimCache`].
+pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig) -> QueryMetrics {
     debug_assert!(pqp.validate().is_ok(), "simulate() requires a valid PQP");
     let plan = &pqp.plan;
     let dep = place(pqp, cluster, cfg.chaining);
@@ -448,11 +467,7 @@ pub fn simulate<R: Rng + ?Sized>(
     if scale < 1.0 {
         latency_ms += cfg.backpressure_ingest_ms * (1.0 / scale - 1.0);
     }
-    let mut throughput = offered * scale;
-
-    // --- Measurement noise --------------------------------------------
-    latency_ms *= cfg.noise.latency_factor(rng);
-    throughput *= cfg.noise.throughput_factor(rng);
+    let throughput = offered * scale;
 
     QueryMetrics {
         latency_ms,

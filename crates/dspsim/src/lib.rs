@@ -28,6 +28,8 @@
 //! * [`costmodel`] — per-tuple CPU service costs, serialization and network
 //!   costs.
 //! * [`analytical`] — the queueing solver.
+//! * [`simcache`] — memoization of the deterministic solver core for
+//!   repeated `(plan, cluster, parallelism)` evaluations.
 //! * [`noise`] — multiplicative lognormal measurement noise.
 //! * [`engine`] — the discrete-event engine.
 //! * [`metrics`] — summary statistics helpers.
@@ -40,8 +42,10 @@ pub mod explain;
 pub mod metrics;
 pub mod noise;
 pub mod placement;
+pub mod simcache;
 
-pub use analytical::{simulate, OpMetrics, QueryMetrics, SimConfig};
+pub use analytical::{simulate, simulate_core, OpMetrics, QueryMetrics, SimConfig};
 pub use cluster::{Cluster, ClusterType, NodeSpec};
 pub use noise::NoiseConfig;
 pub use placement::{ChainingMode, Deployment, EdgeExchange};
+pub use simcache::{CacheStats, SimCache};

@@ -1,0 +1,279 @@
+//! Memoization of the deterministic simulator core.
+//!
+//! OptiSample's factored enumeration revisits identical
+//! `(template, cluster, parallelism-assignment)` tuples: the per-query
+//! scaling-factor draws frequently clamp to the same parallelism vector,
+//! and the experiment harness executes the same chosen deployment under
+//! several tuners. [`SimCache`] memoizes [`simulate_core`] results behind
+//! an exact key so those repeats cost one hash-map lookup instead of a
+//! full fixed-point solve.
+//!
+//! Two properties make the cache safe for label generation:
+//!
+//! * **Exact keys** — the key is the serialized `(plan, parallelism,
+//!   cluster, noise-free config)` tuple, so a hit can only ever return the
+//!   metrics the solver itself would have produced. There is no hashing
+//!   collision risk because the full key string is compared.
+//! * **Noise outside the cache** — measurement noise is applied *after*
+//!   lookup via [`apply_noise`], drawing from the caller's RNG exactly as
+//!   the uncached path would. Labels are therefore bitwise identical
+//!   whether a call hits or misses, which keeps sharded generation
+//!   deterministic regardless of cache state.
+//!
+//! The cache is `Send + Sync` (internally sharded behind mutexes) so one
+//! instance can be shared by all data-generation workers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rand::Rng;
+use zt_query::ParallelQueryPlan;
+
+use crate::analytical::{apply_noise, simulate_core, QueryMetrics, SimConfig};
+use crate::cluster::Cluster;
+use crate::noise::NoiseConfig;
+
+/// Number of independently locked shards; keeps workers from serializing
+/// on one mutex during parallel generation.
+const LOCK_SHARDS: usize = 16;
+
+/// Hit/miss counters of a [`SimCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe memo table for [`simulate_core`] results.
+pub struct SimCache {
+    shards: Vec<Mutex<HashMap<String, QueryMetrics>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Total entry budget; when one lock shard exceeds its slice of the
+    /// budget it is cleared wholesale (coarse but O(1) bookkeeping).
+    capacity: usize,
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        SimCache::new(64 * 1024)
+    }
+}
+
+impl std::fmt::Debug for SimCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "SimCache {{ entries: {}, hits: {}, misses: {} }}",
+            s.entries, s.hits, s.misses
+        )
+    }
+}
+
+/// The exact memo key for one deployment: the serialized plan,
+/// parallelism assignment, cluster and *noise-free* simulator
+/// configuration (noise never enters the deterministic core).
+pub fn cache_key(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig) -> String {
+    let key_cfg = SimConfig {
+        noise: NoiseConfig::none(),
+        ..cfg.clone()
+    };
+    serde_json::to_string(&(pqp, cluster, &key_cfg)).expect("simulator inputs serialize")
+}
+
+impl SimCache {
+    /// A cache holding at most ~`capacity` deployments.
+    pub fn new(capacity: usize) -> Self {
+        SimCache {
+            shards: (0..LOCK_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity: capacity.max(LOCK_SHARDS),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<HashMap<String, QueryMetrics>> {
+        // FNV-1a over the key bytes picks the lock shard.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        &self.shards[(h as usize) % LOCK_SHARDS]
+    }
+
+    /// Noise-free metrics for a deployment, memoized. Equivalent to
+    /// [`simulate_core`] — identical output on hit and miss.
+    pub fn core(
+        &self,
+        pqp: &ParallelQueryPlan,
+        cluster: &Cluster,
+        cfg: &SimConfig,
+    ) -> QueryMetrics {
+        let key = cache_key(pqp, cluster, cfg);
+        let shard = self.shard_of(&key);
+        if let Some(m) = shard.lock().expect("simcache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return m.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let metrics = simulate_core(pqp, cluster, cfg);
+        let mut map = shard.lock().expect("simcache lock");
+        if map.len() >= self.capacity / LOCK_SHARDS {
+            map.clear();
+        }
+        map.insert(key, metrics.clone());
+        metrics
+    }
+
+    /// Drop-in replacement for [`crate::analytical::simulate`]: memoized
+    /// deterministic core plus fresh measurement noise from `rng`. The RNG
+    /// stream advances identically on hit and miss.
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        pqp: &ParallelQueryPlan,
+        cluster: &Cluster,
+        cfg: &SimConfig,
+        rng: &mut R,
+    ) -> QueryMetrics {
+        let mut metrics = self.core(pqp, cluster, cfg);
+        apply_noise(&mut metrics, &cfg.noise, rng);
+        metrics
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("simcache lock").len())
+                .sum(),
+        }
+    }
+
+    /// Forget all memoized deployments (counters are kept).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("simcache lock").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytical::simulate;
+    use crate::cluster::ClusterType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zt_query::operators::*;
+    use zt_query::{DataType, LogicalPlan, OperatorKind, TupleSchema};
+
+    fn pqp(rate: f64, p: u32) -> ParallelQueryPlan {
+        let mut plan = LogicalPlan::new("t");
+        let s = plan.add(OperatorKind::Source(SourceOp {
+            event_rate: rate,
+            schema: TupleSchema::uniform(DataType::Int, 3),
+        }));
+        let f = plan.add(OperatorKind::Filter(FilterOp {
+            function: FilterFunction::Gt,
+            literal_class: DataType::Int,
+            selectivity: 0.5,
+        }));
+        let k = plan.add(OperatorKind::Sink(SinkOp));
+        plan.connect(s, f);
+        plan.connect(f, k);
+        ParallelQueryPlan::with_parallelism(plan, vec![p, p, p])
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::homogeneous(ClusterType::M510, 2, 10.0)
+    }
+
+    #[test]
+    fn hit_returns_exactly_the_solver_result() {
+        let cache = SimCache::default();
+        let cfg = SimConfig::noiseless();
+        let plan = pqp(10_000.0, 4);
+        let direct = simulate_core(&plan, &cluster(), &cfg);
+        let miss = cache.core(&plan, &cluster(), &cfg);
+        let hit = cache.core(&plan, &cluster(), &cfg);
+        assert_eq!(direct.latency_ms, miss.latency_ms);
+        assert_eq!(miss.latency_ms, hit.latency_ms);
+        assert_eq!(miss.throughput, hit.throughput);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_labels_identical_on_hit_and_miss() {
+        let cache = SimCache::default();
+        let cfg = SimConfig::default(); // noise on
+        let plan = pqp(10_000.0, 2);
+        let uncached = simulate(&plan, &cluster(), &cfg, &mut StdRng::seed_from_u64(9));
+        let miss = cache.simulate(&plan, &cluster(), &cfg, &mut StdRng::seed_from_u64(9));
+        let hit = cache.simulate(&plan, &cluster(), &cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(uncached.latency_ms, miss.latency_ms);
+        assert_eq!(miss.latency_ms, hit.latency_ms);
+        assert_eq!(uncached.throughput, hit.throughput);
+    }
+
+    #[test]
+    fn different_deployments_do_not_collide() {
+        let cache = SimCache::default();
+        let cfg = SimConfig::noiseless();
+        let a = cache.core(&pqp(10_000.0, 1), &cluster(), &cfg);
+        let b = cache.core(&pqp(10_000.0, 8), &cluster(), &cfg);
+        assert_ne!(a.latency_ms, b.latency_ms);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn noise_config_does_not_split_the_key() {
+        let cache = SimCache::default();
+        let plan = pqp(5_000.0, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        cache.simulate(&plan, &cluster(), &SimConfig::noiseless(), &mut rng);
+        cache.simulate(&plan, &cluster(), &SimConfig::default(), &mut rng);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn clear_and_capacity_bound() {
+        let cache = SimCache::new(LOCK_SHARDS); // one entry per lock shard
+        let cfg = SimConfig::noiseless();
+        for p in 1..=40u32 {
+            cache.core(&pqp(1_000.0, p), &cluster(), &cfg);
+        }
+        assert!(cache.stats().entries <= 40);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn cache_is_send_and_sync() {
+        fn takes<T: Send + Sync>() {}
+        takes::<SimCache>();
+    }
+}

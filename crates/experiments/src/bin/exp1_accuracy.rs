@@ -1,10 +1,11 @@
 //! Exp. 1 runner: Table IV and the Fig. 1/5 architecture comparison.
 //!
-//! Usage: `cargo run --release --bin exp1_accuracy -- [--scale smoke|standard|full]`
+//! Usage: `cargo run --release --bin exp1_accuracy -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]]`
 
 use zt_experiments::{exp1, report, Scale};
 
 fn main() {
+    zt_experiments::apply_datagen_cli();
     let scale = Scale::from_args();
     eprintln!(
         "exp1 (accuracy on seen/unseen workloads), scale = {}",

@@ -1,10 +1,11 @@
 //! Exp. 2 runner: Fig. 7a–d parallelism categories and Fig. 6 few-shot.
 //!
-//! Usage: `cargo run --release --bin exp2_parallelism -- [--scale smoke|standard|full]`
+//! Usage: `cargo run --release --bin exp2_parallelism -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]]`
 
 use zt_experiments::{exp2, report, Scale};
 
 fn main() {
+    zt_experiments::apply_datagen_cli();
     let scale = Scale::from_args();
     eprintln!(
         "exp2 (fine-grained parallelism analysis), scale = {}",

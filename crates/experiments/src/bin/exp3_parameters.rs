@@ -1,10 +1,11 @@
 //! Exp. 3 runner: Fig. 8a–e generalization over unseen parameters.
 //!
-//! Usage: `cargo run --release --bin exp3_parameters -- [--scale smoke|standard|full]`
+//! Usage: `cargo run --release --bin exp3_parameters -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]]`
 
 use zt_experiments::{exp3, report, Scale};
 
 fn main() {
+    zt_experiments::apply_datagen_cli();
     let scale = Scale::from_args();
     eprintln!(
         "exp3 (unseen parameter generalization), scale = {}",

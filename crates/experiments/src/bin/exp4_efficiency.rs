@@ -1,10 +1,11 @@
 //! Exp. 4 runner: Fig. 9a–b data-efficient training.
 //!
-//! Usage: `cargo run --release --bin exp4_efficiency -- [--scale smoke|standard|full]`
+//! Usage: `cargo run --release --bin exp4_efficiency -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]]`
 
 use zt_experiments::{exp4, report, Scale};
 
 fn main() {
+    zt_experiments::apply_datagen_cli();
     let scale = Scale::from_args();
     eprintln!(
         "exp4 (OptiSample vs random data efficiency), scale = {}",

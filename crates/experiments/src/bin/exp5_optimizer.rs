@@ -1,10 +1,11 @@
 //! Exp. 5 runner: Fig. 10a–b optimizer comparison (greedy, Dhalion).
 //!
-//! Usage: `cargo run --release --bin exp5_optimizer -- [--scale smoke|standard|full]`
+//! Usage: `cargo run --release --bin exp5_optimizer -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]]`
 
 use zt_experiments::{exp5, report, Scale};
 
 fn main() {
+    zt_experiments::apply_datagen_cli();
     let scale = Scale::from_args();
     eprintln!(
         "exp5 (parallelism tuning vs greedy/Dhalion), scale = {}",

@@ -1,10 +1,11 @@
 //! Exp. 6 runner: Fig. 11 feature ablation.
 //!
-//! Usage: `cargo run --release --bin exp6_ablation -- [--scale smoke|standard|full]`
+//! Usage: `cargo run --release --bin exp6_ablation -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]]`
 
 use zt_experiments::{exp6, report, Scale};
 
 fn main() {
+    zt_experiments::apply_datagen_cli();
     let scale = Scale::from_args();
     eprintln!(
         "exp6 (transferable-feature ablation), scale = {}",

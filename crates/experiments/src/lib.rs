@@ -117,6 +117,52 @@ impl Scale {
     }
 }
 
+/// Data-generation flags shared by every experiment binary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DatagenArgs {
+    /// `--workers N` / `--workers=N`.
+    pub workers: Option<String>,
+    /// `--resume` (defaults to `results/shards`) / `--resume=DIR`.
+    pub resume_dir: Option<String>,
+}
+
+impl DatagenArgs {
+    /// Parse `--workers` / `--resume` from an argument list.
+    pub fn parse(args: &[String]) -> Self {
+        let mut out = DatagenArgs::default();
+        for (i, a) in args.iter().enumerate() {
+            if a == "--workers" {
+                out.workers = args.get(i + 1).cloned();
+            } else if let Some(v) = a.strip_prefix("--workers=") {
+                out.workers = Some(v.to_string());
+            } else if a == "--resume" {
+                out.resume_dir = Some("results/shards".to_string());
+            } else if let Some(v) = a.strip_prefix("--resume=") {
+                out.resume_dir = Some(v.to_string());
+            }
+        }
+        out
+    }
+}
+
+/// Map the shared `--workers N` / `--resume[=DIR]` CLI flags onto the
+/// `ZT_DATAGEN_WORKERS` / `ZT_DATAGEN_RESUME` environment variables read
+/// by [`zt_core::datagen::GenPlan::from_env`], so every
+/// `generate_dataset` call inside the experiment — including nested ones
+/// in the exp modules — inherits the worker count and the resumable
+/// shard directory. Call this first thing in an experiment `main`.
+pub fn apply_datagen_cli() {
+    let args: Vec<String> = std::env::args().collect();
+    let parsed = DatagenArgs::parse(&args);
+    if let Some(w) = parsed.workers {
+        std::env::set_var("ZT_DATAGEN_WORKERS", w);
+    }
+    if let Some(dir) = parsed.resume_dir {
+        std::env::set_var("ZT_DATAGEN_RESUME", &dir);
+        eprintln!("datagen: resumable shards under {dir}");
+    }
+}
+
 /// A trained ZeroTune model together with the datasets used to produce it.
 pub struct TrainedPipeline {
     pub model: ZeroTuneModel,
@@ -157,6 +203,18 @@ mod tests {
         assert_eq!(Scale::by_name("smoke").name, "smoke");
         assert_eq!(Scale::by_name("full").name, "full");
         assert_eq!(Scale::by_name("anything").name, "standard");
+    }
+
+    #[test]
+    fn datagen_args_parsing() {
+        let args = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(DatagenArgs::parse(&args(&[])), DatagenArgs::default());
+        let a = DatagenArgs::parse(&args(&["exp", "--workers", "4", "--resume"]));
+        assert_eq!(a.workers.as_deref(), Some("4"));
+        assert_eq!(a.resume_dir.as_deref(), Some("results/shards"));
+        let b = DatagenArgs::parse(&args(&["--workers=8", "--resume=/tmp/shards"]));
+        assert_eq!(b.workers.as_deref(), Some("8"));
+        assert_eq!(b.resume_dir.as_deref(), Some("/tmp/shards"));
     }
 
     #[test]

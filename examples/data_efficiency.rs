@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example data_efficiency`
 
+use zerotune::core::datagen::{generate_dataset_report, GenPlan};
 use zerotune::core::dataset::{generate_dataset, GenConfig};
 use zerotune::core::model::{ModelConfig, ZeroTuneModel};
 use zerotune::core::optisample::EnumerationStrategy;
@@ -12,6 +13,15 @@ use zerotune::core::train::{evaluate, train, TrainConfig};
 fn main() {
     // one fixed evaluation set for all sweep points
     let eval = generate_dataset(&GenConfig::seen(), 200, 77);
+
+    // training sweeps go through the sharded pipeline (ZT_DATAGEN_WORKERS /
+    // ZT_DATAGEN_SHARD_SIZE / ZT_DATAGEN_RESUME override the defaults);
+    // output is bitwise identical at any worker count.
+    let plan = GenPlan::from_env();
+    println!(
+        "datagen: {} worker(s), shard size {}\n",
+        plan.workers, plan.shard_size
+    );
 
     println!(
         "{:>12} | {:>10} | {:>14} | {:>14} | {:>9}",
@@ -23,7 +33,9 @@ fn main() {
     ] {
         for n in [200usize, 400, 800, 1600] {
             let start = std::time::Instant::now();
-            let data = generate_dataset(&GenConfig::seen().with_strategy(strategy), n, 7);
+            let (data, report) =
+                generate_dataset_report(&GenConfig::seen().with_strategy(strategy), n, 7, &plan);
+            debug_assert_eq!(report.shards, n.div_ceil(plan.shard_size.max(1)));
             let mut model = ZeroTuneModel::new(ModelConfig {
                 hidden: 32,
                 seed: 1,

@@ -1,0 +1,169 @@
+//! Determinism of the sharded data-generation pipeline: the merged
+//! dataset must be *bitwise* identical no matter how many worker threads
+//! labeled the shards, whether the simulator memo was attached, and
+//! whether a run was resumed from shard files on disk.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use zerotune::core::datagen::{generate_dataset_report, GenPlan};
+use zerotune::core::dataset::{Dataset, GenConfig};
+use zerotune::dspsim::SimCache;
+
+const N: usize = 40;
+const SEED: u64 = 0xDE7E;
+const SHARD: usize = 8;
+
+fn cfg() -> GenConfig {
+    GenConfig::seen()
+}
+
+/// Canonical byte representation of a dataset — what "bitwise identical"
+/// is asserted against.
+fn bytes(data: &Dataset) -> String {
+    serde_json::to_string(data).expect("dataset serializes")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zt-datagen-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn worker_count_never_changes_the_bytes() {
+    let baseline = {
+        let (data, report) =
+            generate_dataset_report(&cfg(), N, SEED, &GenPlan::serial().with_shard_size(SHARD));
+        assert_eq!(report.workers_used, 1);
+        assert_eq!(report.shards, N.div_ceil(SHARD));
+        bytes(&data)
+    };
+    for workers in [2usize, 8] {
+        let (data, report) = generate_dataset_report(
+            &cfg(),
+            N,
+            SEED,
+            &GenPlan::serial()
+                .with_workers(workers)
+                .with_shard_size(SHARD),
+        );
+        // workers are capped by the number of shards, never below 1
+        assert!(report.workers_used >= 1 && report.workers_used <= workers);
+        assert_eq!(
+            bytes(&data),
+            baseline,
+            "dataset differs at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn simulator_memo_never_changes_the_bytes() {
+    let plain =
+        generate_dataset_report(&cfg(), N, SEED, &GenPlan::serial().with_shard_size(SHARD)).0;
+    let cache = Arc::new(SimCache::default());
+    let cached = generate_dataset_report(
+        &cfg().with_cache(cache),
+        N,
+        SEED,
+        &GenPlan::serial().with_workers(4).with_shard_size(SHARD),
+    )
+    .0;
+    assert_eq!(bytes(&plain), bytes(&cached));
+}
+
+#[test]
+fn shard_files_are_identical_at_any_worker_count() {
+    let read_all = |dir: &PathBuf| {
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .expect("shard dir exists")
+            .map(|e| {
+                let e = e.expect("dir entry");
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).expect("shard readable"),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    };
+
+    let dir_a = temp_dir("shards-w1");
+    let dir_b = temp_dir("shards-w8");
+    let (data_a, _) = generate_dataset_report(
+        &cfg(),
+        N,
+        SEED,
+        &GenPlan::serial()
+            .with_shard_size(SHARD)
+            .with_shard_dir(dir_a.clone()),
+    );
+    let (data_b, _) = generate_dataset_report(
+        &cfg(),
+        N,
+        SEED,
+        &GenPlan::serial()
+            .with_workers(8)
+            .with_shard_size(SHARD)
+            .with_shard_dir(dir_b.clone()),
+    );
+
+    let files_a = read_all(&dir_a);
+    let files_b = read_all(&dir_b);
+    assert_eq!(files_a.len(), N.div_ceil(SHARD));
+    assert_eq!(files_a, files_b, "shard files differ between worker counts");
+    assert_eq!(bytes(&data_a), bytes(&data_b));
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn resumed_generation_reuses_shards_and_matches_a_fresh_run() {
+    let fresh =
+        generate_dataset_report(&cfg(), N, SEED, &GenPlan::serial().with_shard_size(SHARD)).0;
+
+    let dir = temp_dir("resume");
+    let plan = GenPlan::serial()
+        .with_shard_size(SHARD)
+        .with_shard_dir(dir.clone());
+    let (_, first) = generate_dataset_report(&cfg(), N, SEED, &plan);
+    let total = N.div_ceil(SHARD);
+    assert_eq!(first.shards_generated, total);
+    assert_eq!(first.shards_resumed, 0);
+
+    // knock out two shards, then resume at a different worker count
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("shard dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    names.sort();
+    assert_eq!(names.len(), total);
+    std::fs::remove_file(&names[1]).unwrap();
+    std::fs::remove_file(&names[3]).unwrap();
+
+    let (data, second) = generate_dataset_report(&cfg(), N, SEED, &plan.clone().with_workers(4));
+    assert_eq!(second.shards_resumed, total - 2);
+    assert_eq!(second.shards_generated, 2);
+    assert_eq!(bytes(&data), bytes(&fresh), "resumed run diverged");
+
+    // a config change (different seed) must invalidate the cache, not
+    // silently reuse stale shards
+    let (other, report) = generate_dataset_report(&cfg(), N, SEED + 1, &plan.with_workers(2));
+    assert_eq!(report.shards_resumed, 0);
+    assert_ne!(bytes(&other), bytes(&fresh));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_entry_point_honors_worker_env_var() {
+    // generate_dataset reads ZT_DATAGEN_WORKERS via GenPlan::from_env();
+    // the output must not depend on it.
+    let baseline = bytes(&zerotune::core::dataset::generate_dataset(&cfg(), N, SEED));
+    std::env::set_var("ZT_DATAGEN_WORKERS", "3");
+    let with_env = bytes(&zerotune::core::dataset::generate_dataset(&cfg(), N, SEED));
+    std::env::remove_var("ZT_DATAGEN_WORKERS");
+    assert_eq!(baseline, with_env);
+}

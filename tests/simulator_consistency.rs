@@ -36,8 +36,36 @@ fn linear(rate: f64, sel: f64, window: f64) -> LogicalPlan {
     plan
 }
 
+/// Two sources feeding a windowed equi-join: `s1, s2 → join(window) → sink`.
+fn windowed_join(rate: f64, window: f64, sel: f64) -> LogicalPlan {
+    let mut plan = LogicalPlan::new("windowed-join");
+    let s1 = plan.add(OperatorKind::Source(SourceOp {
+        event_rate: rate,
+        schema: TupleSchema::uniform(DataType::Double, 3),
+    }));
+    let s2 = plan.add(OperatorKind::Source(SourceOp {
+        event_rate: rate,
+        schema: TupleSchema::uniform(DataType::Double, 3),
+    }));
+    let j = plan.add(OperatorKind::Join(JoinOp {
+        window: WindowSpec::tumbling(WindowPolicy::Count, window),
+        key_class: DataType::Int,
+        selectivity: sel,
+    }));
+    let k = plan.add(OperatorKind::Sink(SinkOp));
+    plan.connect(s1, j);
+    plan.connect(s2, j);
+    plan.connect(j, k);
+    plan
+}
+
 fn cluster() -> Cluster {
     Cluster::homogeneous(ClusterType::M510, 2, 10.0)
+}
+
+/// Relative agreement helper: `|a - b| / b < tol`.
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() / b.abs().max(1e-12) < tol
 }
 
 #[test]
@@ -46,10 +74,15 @@ fn sustained_rates_agree_without_backpressure() {
     let mut rng = StdRng::seed_from_u64(1);
     let a = simulate(&pqp, &cluster(), &SimConfig::noiseless(), &mut rng);
     let e = run(&pqp, &cluster(), &EngineConfig::default(), &mut rng);
-    // both report the full offered rate
-    assert!((a.throughput - 4_000.0).abs() < 1.0);
+    // both report the full offered rate (relative tolerance: the engine
+    // counts tuples over a finite measured interval)
     assert!(
-        (e.source_throughput - 4_000.0).abs() / 4_000.0 < 0.2,
+        rel_close(a.throughput, 4_000.0, 1e-6),
+        "analytical sustained {} ev/s",
+        a.throughput
+    );
+    assert!(
+        rel_close(e.source_throughput, 4_000.0, 0.2),
         "engine sustained {} ev/s",
         e.source_throughput
     );
@@ -92,6 +125,98 @@ fn both_paths_agree_on_selectivity_driven_sink_rates() {
         (e.sink_rate - expected).abs() / expected < 0.5,
         "engine sink rate {} vs expected {expected}",
         e.sink_rate
+    );
+}
+
+#[test]
+fn windowed_join_source_rates_agree_without_backpressure() {
+    let pqp = ParallelQueryPlan::with_parallelism(windowed_join(1_500.0, 20.0, 0.05), vec![2; 4]);
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = simulate(&pqp, &cluster(), &SimConfig::noiseless(), &mut rng);
+    let e = run(&pqp, &cluster(), &EngineConfig::default(), &mut rng);
+    // two sources at 1500 ev/s each, neither path may throttle them
+    assert!(
+        rel_close(a.throughput, 3_000.0, 1e-6),
+        "analytical sustained {} ev/s",
+        a.throughput
+    );
+    assert!(
+        rel_close(e.source_throughput, 3_000.0, 0.2),
+        "engine sustained {} ev/s",
+        e.source_throughput
+    );
+    // and both must see sink traffic: the join emits matches
+    let analytic_sink = a.per_op.last().expect("sink").input_rate;
+    assert!(analytic_sink > 0.0, "analytical join produced nothing");
+    assert!(e.sink_rate > 0.0, "engine join produced nothing");
+}
+
+#[test]
+fn both_paths_rank_join_selectivities_identically() {
+    // A more selective join emits fewer matches — both simulator paths
+    // must order the sink rates the same way, and agree within a factor
+    // (relative, not absolute: absolute join rates depend on window
+    // modeling details the two paths implement differently).
+    let mut rng = StdRng::seed_from_u64(6);
+    let sparse =
+        ParallelQueryPlan::with_parallelism(windowed_join(1_500.0, 20.0, 0.02), vec![2; 4]);
+    let dense = ParallelQueryPlan::with_parallelism(windowed_join(1_500.0, 20.0, 0.2), vec![2; 4]);
+
+    let a_sparse = simulate(&sparse, &cluster(), &SimConfig::noiseless(), &mut rng);
+    let a_dense = simulate(&dense, &cluster(), &SimConfig::noiseless(), &mut rng);
+    let a_rate = |m: &zerotune::dspsim::QueryMetrics| m.per_op.last().expect("sink").input_rate;
+    assert!(
+        a_rate(&a_dense) > a_rate(&a_sparse),
+        "analytical ranks selectivities wrong: {} vs {}",
+        a_rate(&a_sparse),
+        a_rate(&a_dense)
+    );
+
+    let e_sparse = run(&sparse, &cluster(), &EngineConfig::default(), &mut rng);
+    let e_dense = run(&dense, &cluster(), &EngineConfig::default(), &mut rng);
+    assert!(
+        e_dense.sink_rate > e_sparse.sink_rate,
+        "engine ranks selectivities wrong: {} vs {}",
+        e_sparse.sink_rate,
+        e_dense.sink_rate
+    );
+
+    // cross-path agreement on the dense case, relative tolerance
+    assert!(
+        rel_close(e_dense.sink_rate, a_rate(&a_dense), 0.9),
+        "join sink rates diverge: engine {} vs analytical {}",
+        e_dense.sink_rate,
+        a_rate(&a_dense)
+    );
+}
+
+#[test]
+fn both_paths_rank_join_window_sizes_identically_for_latency() {
+    // Absolute join latencies are incomparable across the two paths (the
+    // engine timestamps tuples at window emission; the analytical model
+    // charges the full expected residence), but a larger join window must
+    // mean higher latency in *both*.
+    let mut rng = StdRng::seed_from_u64(7);
+    let small = ParallelQueryPlan::with_parallelism(windowed_join(2_000.0, 50.0, 0.1), vec![2; 4]);
+    let large =
+        ParallelQueryPlan::with_parallelism(windowed_join(2_000.0, 1_000.0, 0.1), vec![2; 4]);
+
+    let a_small = simulate(&small, &cluster(), &SimConfig::noiseless(), &mut rng);
+    let a_large = simulate(&large, &cluster(), &SimConfig::noiseless(), &mut rng);
+    assert!(
+        a_large.latency_ms > a_small.latency_ms,
+        "analytical disagreed: {} vs {}",
+        a_large.latency_ms,
+        a_small.latency_ms
+    );
+
+    let e_small = run(&small, &cluster(), &EngineConfig::default(), &mut rng);
+    let e_large = run(&large, &cluster(), &EngineConfig::default(), &mut rng);
+    assert!(
+        e_large.latency_p50_ms > e_small.latency_p50_ms,
+        "engine disagreed: {} vs {}",
+        e_large.latency_p50_ms,
+        e_small.latency_p50_ms
     );
 }
 

@@ -1,0 +1,265 @@
+//! Property/metamorphic tests for the analytical simulator's physics.
+//!
+//! Each property states a monotonicity the queueing model must obey for
+//! *any* workload in the sampled ranges — more parallelism never loses
+//! throughput, higher offered rates never relieve backpressure, extra
+//! operators never make a pipeline faster, and the noiseless solver is a
+//! pure function of its inputs. Count-window plans are deliberately
+//! excluded from the latency properties: a count window's residence time
+//! *grows* with parallelism (each instance fills its window slower), so
+//! latency is only monotone for window-free and time-window pipelines.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerotune::dspsim::analytical::{simulate, simulate_core, SimConfig};
+use zerotune::dspsim::cluster::{Cluster, ClusterType};
+use zerotune::query::operators::*;
+use zerotune::query::{DataType, LogicalPlan, OperatorKind, ParallelQueryPlan, TupleSchema};
+
+fn source(rate: f64) -> OperatorKind {
+    OperatorKind::Source(SourceOp {
+        event_rate: rate,
+        schema: TupleSchema::uniform(DataType::Double, 3),
+    })
+}
+
+fn filter(sel: f64) -> OperatorKind {
+    OperatorKind::Filter(FilterOp {
+        function: FilterFunction::Gt,
+        literal_class: DataType::Double,
+        selectivity: sel,
+    })
+}
+
+fn time_agg(window_ms: f64) -> OperatorKind {
+    OperatorKind::Aggregate(AggregateOp {
+        window: WindowSpec::tumbling(WindowPolicy::Time, window_ms),
+        function: AggFunction::Avg,
+        agg_class: DataType::Double,
+        key_class: Some(DataType::Int),
+        selectivity: 0.3,
+    })
+}
+
+/// source → filter → time-window agg → sink.
+fn time_window_plan(rate: f64, sel: f64, window_ms: f64) -> LogicalPlan {
+    let mut plan = LogicalPlan::new("prop-time-window");
+    let s = plan.add(source(rate));
+    let f = plan.add(filter(sel));
+    let a = plan.add(time_agg(window_ms));
+    let k = plan.add(OperatorKind::Sink(SinkOp));
+    plan.connect(s, f);
+    plan.connect(f, a);
+    plan.connect(a, k);
+    plan
+}
+
+/// source → `n_filters` filters → sink (window-free pipeline).
+fn filter_chain(rate: f64, sels: &[f64]) -> LogicalPlan {
+    let mut plan = LogicalPlan::new("prop-filter-chain");
+    let mut prev = plan.add(source(rate));
+    for &sel in sels {
+        let f = plan.add(filter(sel));
+        plan.connect(prev, f);
+        prev = f;
+    }
+    let k = plan.add(OperatorKind::Sink(SinkOp));
+    plan.connect(prev, k);
+    plan
+}
+
+fn solve(plan: &LogicalPlan, p: u32, workers: usize) -> zerotune::dspsim::QueryMetrics {
+    let n = plan.num_ops();
+    let pqp = ParallelQueryPlan::with_parallelism(plan.clone(), vec![p; n]);
+    let cluster = Cluster::homogeneous(ClusterType::M510, workers, 10.0);
+    simulate_core(&pqp, &cluster, &SimConfig::noiseless())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Scaling out never loses throughput: for a saturating workload,
+    /// sustained throughput is non-decreasing in the (uniform)
+    /// parallelism degree, and backpressure relief is monotone too.
+    #[test]
+    fn throughput_is_monotone_in_parallelism(
+        rate in 50_000.0f64..2_000_000.0,
+        sel in 0.1f64..1.0,
+        window_ms in 50.0f64..2_000.0,
+    ) {
+        let plan = time_window_plan(rate, sel, window_ms);
+        let mut prev_tpt = 0.0f64;
+        let mut prev_scale = 0.0f64;
+        for p in 1u32..=8 {
+            let m = solve(&plan, p, 4);
+            prop_assert!(m.throughput.is_finite() && m.throughput > 0.0);
+            prop_assert!(
+                m.throughput >= prev_tpt * (1.0 - 1e-9),
+                "throughput dropped at p={}: {} -> {}", p, prev_tpt, m.throughput
+            );
+            prop_assert!(
+                m.backpressure_scale >= prev_scale * (1.0 - 1e-9),
+                "backpressure worsened at p={}: {} -> {}", p, prev_scale, m.backpressure_scale
+            );
+            prev_tpt = m.throughput;
+            prev_scale = m.backpressure_scale;
+        }
+    }
+
+    /// Backpressure onset is monotone in the offered rate: raising the
+    /// source rate never *increases* the throttle factor, and the factor
+    /// always stays in (0, 1].
+    #[test]
+    fn backpressure_onset_is_monotone_in_source_rate(
+        base_rate in 1_000.0f64..50_000.0,
+        sel in 0.1f64..1.0,
+        p in 1u32..6,
+    ) {
+        let mut prev_scale = f64::INFINITY;
+        for mult in [1.0, 4.0, 16.0, 64.0, 256.0] {
+            let plan = filter_chain(base_rate * mult, &[sel, 0.8]);
+            let n = plan.num_ops();
+            let pqp = ParallelQueryPlan::with_parallelism(plan, vec![p; n]);
+            let cluster = Cluster::homogeneous(ClusterType::M510, 2, 10.0);
+            let m = simulate_core(&pqp, &cluster, &SimConfig::noiseless());
+            prop_assert!(m.backpressure_scale > 0.0 && m.backpressure_scale <= 1.0);
+            prop_assert!(
+                m.backpressure_scale <= prev_scale * (1.0 + 1e-9),
+                "throttle relaxed as rate grew: {} -> {}", prev_scale, m.backpressure_scale
+            );
+            prev_scale = m.backpressure_scale;
+        }
+    }
+
+    /// Appending a pass-through (selectivity 1.0) filter to a pipeline
+    /// adds work and a network hop, so it can never *reduce* end-to-end
+    /// latency or *increase* sustained throughput. Chaining is pinned to
+    /// `Never`: under `Auto` the extra operator can flip the chaining
+    /// decision and legitimately *remove* hops, which is exactly the
+    /// effect this property must not conflate with the physics.
+    #[test]
+    fn extra_operator_never_makes_the_pipeline_faster(
+        rate in 1_000.0f64..200_000.0,
+        sel in 0.1f64..1.0,
+        p in 1u32..6,
+    ) {
+        let short = filter_chain(rate, &[sel]);
+        let long = filter_chain(rate, &[sel, 1.0]);
+        let cluster = Cluster::homogeneous(ClusterType::M510, 2, 10.0);
+        let cfg = SimConfig {
+            chaining: zerotune::dspsim::ChainingMode::Never,
+            ..SimConfig::noiseless()
+        };
+        let m_short = simulate_core(
+            &ParallelQueryPlan::with_parallelism(short.clone(), vec![p; short.num_ops()]),
+            &cluster, &cfg,
+        );
+        let m_long = simulate_core(
+            &ParallelQueryPlan::with_parallelism(long.clone(), vec![p; long.num_ops()]),
+            &cluster, &cfg,
+        );
+        prop_assert!(
+            m_long.latency_ms >= m_short.latency_ms * (1.0 - 1e-9),
+            "extra operator reduced latency: {} -> {}", m_short.latency_ms, m_long.latency_ms
+        );
+        prop_assert!(
+            m_long.throughput <= m_short.throughput * (1.0 + 1e-9),
+            "extra operator increased throughput: {} -> {}", m_short.throughput, m_long.throughput
+        );
+    }
+
+    /// Without backpressure, the sink's input rate is monotone in the
+    /// filter's selectivity (more tuples pass → more tuples arrive).
+    #[test]
+    fn sink_rate_is_monotone_in_selectivity(
+        rate in 200.0f64..2_000.0,
+        sel_lo in 0.05f64..0.5,
+        delta in 0.0f64..0.5,
+    ) {
+        let sel_hi = sel_lo + delta;
+        let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+        let cfg = SimConfig::noiseless();
+        let sink_rate = |sel: f64| {
+            let plan = filter_chain(rate, &[sel]);
+            let n = plan.num_ops();
+            let m = simulate_core(
+                &ParallelQueryPlan::with_parallelism(plan, vec![2; n]),
+                &cluster, &cfg,
+            );
+            prop_assert!(!m.backpressured(), "workload unexpectedly saturated");
+            Ok(m.per_op.last().expect("sink").input_rate)
+        };
+        let lo = sink_rate(sel_lo)?;
+        let hi = sink_rate(sel_hi)?;
+        prop_assert!(
+            hi >= lo * (1.0 - 1e-9),
+            "sink rate fell as selectivity rose: {} -> {}", lo, hi
+        );
+    }
+
+    /// The noiseless solver is a pure function of the deployment: the
+    /// caller's RNG state is irrelevant (σ = 0 draws nothing), and
+    /// `simulate` ≡ `simulate_core` exactly.
+    #[test]
+    fn noiseless_simulation_is_a_pure_function(
+        rate in 1_000.0f64..100_000.0,
+        sel in 0.1f64..1.0,
+        window_ms in 50.0f64..1_000.0,
+        p in 1u32..8,
+        seed_a in 0u64..1_000,
+        seed_b in 0u64..1_000,
+    ) {
+        let plan = time_window_plan(rate, sel, window_ms);
+        let n = plan.num_ops();
+        let pqp = ParallelQueryPlan::with_parallelism(plan, vec![p; n]);
+        let cluster = Cluster::homogeneous(ClusterType::M510, 2, 10.0);
+        let cfg = SimConfig::noiseless();
+        let mut rng_a = StdRng::seed_from_u64(seed_a);
+        let mut rng_b = StdRng::seed_from_u64(seed_b);
+        let a = simulate(&pqp, &cluster, &cfg, &mut rng_a);
+        let b = simulate(&pqp, &cluster, &cfg, &mut rng_b);
+        let core = simulate_core(&pqp, &cluster, &cfg);
+        prop_assert_eq!(a.latency_ms.to_bits(), b.latency_ms.to_bits());
+        prop_assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        prop_assert_eq!(a.latency_ms.to_bits(), core.latency_ms.to_bits());
+        prop_assert_eq!(a.throughput.to_bits(), core.throughput.to_bits());
+    }
+}
+
+/// Not a proptest: documents the count-window caveat that shapes the
+/// latency properties above. With a count window, each of the `p`
+/// instances sees `1/p` of the stream, so its window fills `p`× slower
+/// and the residence time *grows* with parallelism.
+#[test]
+fn count_window_residence_grows_with_parallelism() {
+    let mut plan = LogicalPlan::new("count-window");
+    let s = plan.add(source(10_000.0));
+    let a = plan.add(OperatorKind::Aggregate(AggregateOp {
+        window: WindowSpec::tumbling(WindowPolicy::Count, 1_000.0),
+        function: AggFunction::Avg,
+        agg_class: DataType::Double,
+        key_class: Some(DataType::Int),
+        selectivity: 0.2,
+    }));
+    let k = plan.add(OperatorKind::Sink(SinkOp));
+    plan.connect(s, a);
+    plan.connect(a, k);
+
+    let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+    let cfg = SimConfig::noiseless();
+    let lat = |p: u32| {
+        simulate_core(
+            &ParallelQueryPlan::with_parallelism(plan.clone(), vec![p; 3]),
+            &cluster,
+            &cfg,
+        )
+        .latency_ms
+    };
+    assert!(
+        lat(8) > lat(1),
+        "count-window latency should grow with parallelism: p=1 {} ms, p=8 {} ms",
+        lat(1),
+        lat(8)
+    );
+}
