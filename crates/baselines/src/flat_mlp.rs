@@ -139,7 +139,7 @@ mod tests {
     use zt_core::qerror::QErrorStats;
 
     fn qerr(pairs: impl Iterator<Item = (f64, f64)>) -> QErrorStats {
-        QErrorStats::from_pairs(pairs.collect::<Vec<_>>())
+        QErrorStats::from_pairs(pairs)
     }
 
     #[test]

@@ -158,7 +158,7 @@ fn build_node(
                 continue;
             }
             let gain = parent_sse - sse(ys, &left) - sse(ys, &right);
-            if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
+            if best.map_or(gain > 1e-12, |(_, _, g)| gain > g) {
                 best = Some((f, t, gain));
             }
         }
@@ -252,8 +252,7 @@ mod tests {
         let q = QErrorStats::from_pairs(
             test.samples
                 .iter()
-                .map(|s| (forest.predict(&s.graph).0, s.latency_ms))
-                .collect::<Vec<_>>(),
+                .map(|s| (forest.predict(&s.graph).0, s.latency_ms)),
         );
         assert!(q.median < 6.0, "forest median q-error {}", q.median);
     }
@@ -277,8 +276,7 @@ mod tests {
             QErrorStats::from_pairs(
                 data.samples
                     .iter()
-                    .map(|s| (m.predict(&s.graph).0, s.latency_ms))
-                    .collect::<Vec<_>>(),
+                    .map(|s| (m.predict(&s.graph).0, s.latency_ms)),
             )
             .median
         };

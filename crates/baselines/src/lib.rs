@@ -13,6 +13,8 @@
 //!   autopipelining-style heuristic \[20\] in [`greedy`] and a
 //!   Dhalion-style symptom-driven scaling controller \[19\] in [`dhalion`].
 
+#![deny(unsafe_code)]
+
 pub mod dhalion;
 pub mod flat;
 pub mod flat_mlp;

@@ -30,22 +30,21 @@ fn bench_serial(c: &mut Criterion) {
             let (data, _) =
                 generate_dataset_report(&cfg, N, SEED, &GenPlan::serial().with_shard_size(64));
             std::hint::black_box(data.len())
-        })
+        });
     });
 }
 
 fn bench_sharded(c: &mut Criterion) {
     let cfg = GenConfig::seen();
     let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZero::get)
         .clamp(1, 8);
     let plan = GenPlan::serial().with_workers(workers).with_shard_size(64);
     c.bench_function("datagen_sharded_256", |b| {
         b.iter(|| {
             let (data, _) = generate_dataset_report(&cfg, N, SEED, &plan);
             std::hint::black_box(data.len())
-        })
+        });
     });
 }
 
@@ -59,7 +58,7 @@ fn bench_cached(c: &mut Criterion) {
             let (data, _) =
                 generate_dataset_report(&cfg, N, SEED, &GenPlan::serial().with_shard_size(64));
             std::hint::black_box(data.len())
-        })
+        });
     });
 }
 

@@ -101,10 +101,10 @@ fn bench_single(c: &mut Criterion) {
     let graph = encode(&pqp, &cluster, ChainingMode::Auto, &FeatureMask::all());
     let model = ZeroTuneModel::new(ModelConfig::default());
     c.bench_function("tape_forward_single", |b| {
-        b.iter(|| tape_predict(&model, std::hint::black_box(&graph)))
+        b.iter(|| tape_predict(&model, std::hint::black_box(&graph)));
     });
     c.bench_function("tapeless_forward_single", |b| {
-        b.iter(|| model.predict(std::hint::black_box(&graph)))
+        b.iter(|| model.predict(std::hint::black_box(&graph)));
     });
 }
 
@@ -123,7 +123,7 @@ fn bench_batch(c: &mut Criterion) {
         .collect();
     let model = ZeroTuneModel::new(ModelConfig::default());
     c.bench_function("tapeless_predict_batch64", |b| {
-        b.iter(|| model.predict_batch(std::hint::black_box(&graphs)))
+        b.iter(|| model.predict_batch(std::hint::black_box(&graphs)));
     });
 }
 
@@ -132,10 +132,10 @@ fn bench_candidate_scoring(c: &mut Criterion) {
     let cands = candidates(&plan, 48);
     let model = ZeroTuneModel::new(ModelConfig::default());
     c.bench_function("candidate_scoring_reencode_tape", |b| {
-        b.iter(|| score_reencode_tape(&model, &plan, &cluster, std::hint::black_box(&cands)))
+        b.iter(|| score_reencode_tape(&model, &plan, &cluster, std::hint::black_box(&cands)));
     });
     c.bench_function("candidate_scoring_ctx_batched", |b| {
-        b.iter(|| score_ctx_batched(&model, &plan, &cluster, std::hint::black_box(&cands)))
+        b.iter(|| score_ctx_batched(&model, &plan, &cluster, std::hint::black_box(&cands)));
     });
 }
 

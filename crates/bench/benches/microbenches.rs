@@ -39,7 +39,7 @@ fn bench_simulate(c: &mut Criterion) {
     let cfg = SimConfig::default();
     let mut rng = StdRng::seed_from_u64(1);
     c.bench_function("analytical_simulate", |b| {
-        b.iter(|| simulate(std::hint::black_box(&pqp), &cluster, &cfg, &mut rng))
+        b.iter(|| simulate(std::hint::black_box(&pqp), &cluster, &cfg, &mut rng));
     });
 }
 
@@ -54,7 +54,7 @@ fn bench_encode(c: &mut Criterion) {
                 ChainingMode::Auto,
                 &mask,
             )
-        })
+        });
     });
 }
 
@@ -63,7 +63,7 @@ fn bench_inference(c: &mut Criterion) {
     let graph = encode(&pqp, &cluster, ChainingMode::Auto, &FeatureMask::all());
     let model = ZeroTuneModel::new(ModelConfig::default());
     c.bench_function("gnn_inference", |b| {
-        b.iter(|| model.predict(std::hint::black_box(&graph)))
+        b.iter(|| model.predict(std::hint::black_box(&graph)));
     });
 }
 
@@ -81,7 +81,7 @@ fn bench_train_step(c: &mut Criterion) {
             model.store.zero_grad();
             tape.backward(loss, &mut model.store);
             opt.step(&mut model.store);
-        })
+        });
     });
 }
 
@@ -103,7 +103,7 @@ fn bench_tune(c: &mut Criterion) {
     let (pqp, cluster) = fixture();
     let cfg = OptimizerConfig::default();
     c.bench_function("optimizer_tune", |b| {
-        b.iter(|| tune(&model, std::hint::black_box(&pqp.plan), &cluster, &cfg))
+        b.iter(|| tune(&model, std::hint::black_box(&pqp.plan), &cluster, &cfg));
     });
 }
 
@@ -118,7 +118,7 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
             engine_run(std::hint::black_box(&pqp), &cluster, &cfg, &mut rng)
-        })
+        });
     });
 }
 

@@ -98,8 +98,7 @@ impl GenPlan {
             .filter(|&w| w >= 1)
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
-                    .map(|t| t.get())
-                    .unwrap_or(1)
+                    .map_or(1, std::num::NonZero::get)
                     .clamp(1, 8)
             });
         let shard_size = std::env::var("ZT_DATAGEN_SHARD_SIZE")

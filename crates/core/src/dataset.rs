@@ -129,6 +129,11 @@ pub struct GenConfig {
     /// and without the cache (noise is drawn outside it); enable it for
     /// repeat-heavy workloads such as factored candidate enumeration.
     pub cache: Option<Arc<SimCache>>,
+    /// Run the diagnostics pre-flight on every generated sample (deployed
+    /// plan, encoding, labels) and abort on `Error`-severity findings.
+    /// Lints draw no randomness, so the dataset stays bitwise identical
+    /// either way. Defaults to the `ZT_STRICT` environment variable.
+    pub strict: bool,
 }
 
 impl GenConfig {
@@ -144,6 +149,7 @@ impl GenConfig {
             mask: FeatureMask::all(),
             max_latency_ms: 300_000.0,
             cache: None,
+            strict: crate::diagnostics::strict_from_env(),
         }
     }
 
@@ -276,6 +282,10 @@ pub fn generate_sample<R: Rng + ?Sized>(
             meta,
         };
         if sample.latency_ms <= cfg.max_latency_ms {
+            if cfg.strict {
+                crate::diagnostics::preflight_sample(&pqp, &cluster, &sample)
+                    .enforce("generate_sample");
+            }
             return sample;
         }
         last = Some(sample);

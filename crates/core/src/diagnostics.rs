@@ -1,0 +1,1103 @@
+//! Static diagnostics: lint plans, features, datasets and models before
+//! anything runs.
+//!
+//! ZeroTune predicts costs *before deployment*, which means every consumer
+//! — data generation, training, the optimizer — trusts that plans, feature
+//! encodings and model weights are well-formed at the moment they are
+//! handed over. Zero-shot cost models are acutely sensitive to silent
+//! corruption: a NaN label poisons the target normalization, an
+//! out-of-range feature silently degrades predictions without any runtime
+//! error, and a sliding window with `slide > length` is a plan the paper's
+//! feature space cannot even express. This module is the correctness layer
+//! that catches such problems *statically*.
+//!
+//! Every finding is a [`Diagnostic`] with a stable code, a
+//! [`Severity`], a human-readable message and an optional anchor (operator
+//! id, graph node, sample index or parameter name). The code registry:
+//!
+//! | Family | Codes | Subject |
+//! |---|---|---|
+//! | ZT1xx | ZT101–ZT107 | [`LogicalPlan`] / [`ParallelQueryPlan`] |
+//! | ZT2xx | ZT201–ZT205 | [`GraphEncoding`] feature vectors |
+//! | ZT3xx | ZT301–ZT305 | [`Dataset`] labels and structure |
+//! | ZT4xx | ZT401–ZT406 | [`ZeroTuneModel`] weights and normalization |
+//!
+//! The passes run **without executing anything** — no simulation, no
+//! forward pass (the one exception is
+//! [`ZeroTuneModel::predict_checked`](crate::model::ZeroTuneModel::predict_checked),
+//! which surfaces ZT406 from an actual inference). They are wired into
+//! `train` / `tune` / `generate_sample` as pre-flight checks behind the
+//! `strict` flag (`--strict` on the experiment binaries, or `ZT_STRICT=1`
+//! in the environment): in strict mode an `Error`-severity finding aborts
+//! the run with the rendered report, warnings go to stderr. The `zt-lint`
+//! binary runs all passes over serialized artifacts and prints a
+//! rustc-style report.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+use zt_dspsim::cluster::Cluster;
+use zt_query::plan::PlanError;
+use zt_query::{LogicalPlan, OpId, OperatorKind, ParallelQueryPlan, Partitioning, WindowSpec};
+
+use crate::dataset::{Dataset, Sample};
+use crate::features::{
+    AGG_EXTRA_DIM, FEATURE_MAX, FEATURE_MIN, FILTER_EXTRA_DIM, JOIN_EXTRA_DIM, OP_COMMON_DIM,
+    RESOURCE_DIM, SINK_EXTRA_DIM, SOURCE_EXTRA_DIM,
+};
+use crate::graph::{GraphEncoding, NodeKind};
+use crate::model::{TargetNorm, ZeroTuneModel};
+
+// --- Core types ----------------------------------------------------------
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Anchor {
+    /// An operator of the linted plan.
+    Op(OpId),
+    /// A node index of a [`GraphEncoding`].
+    Node(usize),
+    /// A sample index of a [`Dataset`].
+    Sample(usize),
+    /// A named model parameter or module.
+    Param(String),
+}
+
+impl std::fmt::Display for Anchor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Anchor::Op(id) => write!(f, "{id}"),
+            Anchor::Node(i) => write!(f, "node {i}"),
+            Anchor::Sample(i) => write!(f, "sample {i}"),
+            Anchor::Param(name) => write!(f, "param {name}"),
+        }
+    }
+}
+
+/// One finding of a diagnostics pass.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    /// Stable registry code, e.g. `"ZT101"`.
+    pub code: &'static str,
+    pub severity: Severity,
+    pub message: String,
+    pub anchor: Option<Anchor>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            anchor: None,
+        }
+    }
+
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            anchor: None,
+        }
+    }
+
+    pub fn info(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Info,
+            message: message.into(),
+            anchor: None,
+        }
+    }
+
+    pub fn at(mut self, anchor: Anchor) -> Self {
+        self.anchor = Some(anchor);
+        self
+    }
+
+    pub fn at_op(self, id: OpId) -> Self {
+        self.at(Anchor::Op(id))
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.code,
+            self.message
+        )?;
+        if let Some(a) = &self.anchor {
+            write!(f, "\n  --> {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A collected set of diagnostics with rustc-style rendering.
+#[derive(Clone, Default, Debug)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        Report { diagnostics }
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Distinct codes present, sorted.
+    pub fn codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self.diagnostics.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    pub fn extend(&mut self, more: Vec<Diagnostic>) {
+        self.diagnostics.extend(more);
+    }
+
+    /// One-line `N errors, M warnings` summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} error(s), {} warning(s), {} note(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        )
+    }
+
+    /// Abort (panic) with the rendered report when it contains errors;
+    /// print warnings to stderr otherwise. This is the strict-mode
+    /// enforcement entry used by `train`, `tune` and `generate_sample`.
+    pub fn enforce(&self, stage: &str) {
+        if self.has_errors() {
+            panic!("strict {stage} pre-flight failed:\n{self}");
+        }
+        for d in &self.diagnostics {
+            eprintln!("{stage}: {d}");
+        }
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(f, "{}", self.summary())
+    }
+}
+
+// --- Code registry -------------------------------------------------------
+
+/// A registry entry: code, default severity, one-line summary.
+pub struct CodeInfo {
+    pub code: &'static str,
+    pub severity: Severity,
+    pub summary: &'static str,
+}
+
+/// The full lint-code registry (ZT1xx plan, ZT2xx features, ZT3xx dataset,
+/// ZT4xx model).
+pub const REGISTRY: &[CodeInfo] = &[
+    CodeInfo {
+        code: "ZT101",
+        severity: Severity::Error,
+        summary: "plan fails structural validation",
+    },
+    CodeInfo {
+        code: "ZT102",
+        severity: Severity::Warning,
+        summary: "operator unreachable between sources and sink",
+    },
+    CodeInfo {
+        code: "ZT103",
+        severity: Severity::Error,
+        summary: "invalid window geometry (length/slide)",
+    },
+    CodeInfo {
+        code: "ZT104",
+        severity: Severity::Error,
+        summary: "selectivity outside (0, 1]",
+    },
+    CodeInfo {
+        code: "ZT105",
+        severity: Severity::Error,
+        summary: "parallelism exceeds total cluster slots",
+    },
+    CodeInfo {
+        code: "ZT106",
+        severity: Severity::Warning,
+        summary: "hash partitioning into a parallelism-1 operator",
+    },
+    CodeInfo {
+        code: "ZT107",
+        severity: Severity::Warning,
+        summary: "cluster oversubscribed (instances > slots)",
+    },
+    CodeInfo {
+        code: "ZT201",
+        severity: Severity::Error,
+        summary: "non-finite feature value",
+    },
+    CodeInfo {
+        code: "ZT202",
+        severity: Severity::Warning,
+        summary: "feature outside its normalization range",
+    },
+    CodeInfo {
+        code: "ZT203",
+        severity: Severity::Warning,
+        summary: "constant feature columns across a batch",
+    },
+    CodeInfo {
+        code: "ZT204",
+        severity: Severity::Error,
+        summary: "malformed graph encoding structure",
+    },
+    CodeInfo {
+        code: "ZT205",
+        severity: Severity::Error,
+        summary: "feature dimension mismatch for node kind",
+    },
+    CodeInfo {
+        code: "ZT301",
+        severity: Severity::Error,
+        summary: "non-finite or non-positive label",
+    },
+    CodeInfo {
+        code: "ZT302",
+        severity: Severity::Warning,
+        summary: "duplicate samples",
+    },
+    CodeInfo {
+        code: "ZT303",
+        severity: Severity::Warning,
+        summary: "train/test structure leakage",
+    },
+    CodeInfo {
+        code: "ZT304",
+        severity: Severity::Warning,
+        summary: "label-distribution outlier",
+    },
+    CodeInfo {
+        code: "ZT305",
+        severity: Severity::Warning,
+        summary: "degenerate (constant) label distribution",
+    },
+    CodeInfo {
+        code: "ZT401",
+        severity: Severity::Error,
+        summary: "non-finite model weight",
+    },
+    CodeInfo {
+        code: "ZT402",
+        severity: Severity::Warning,
+        summary: "dead ReLU unit (all-nonpositive incoming row)",
+    },
+    CodeInfo {
+        code: "ZT403",
+        severity: Severity::Warning,
+        summary: "target normalization drifts from dataset labels",
+    },
+    CodeInfo {
+        code: "ZT404",
+        severity: Severity::Info,
+        summary: "target normalization is the default (model unfitted)",
+    },
+    CodeInfo {
+        code: "ZT405",
+        severity: Severity::Warning,
+        summary: "exploding weight magnitude",
+    },
+    CodeInfo {
+        code: "ZT406",
+        severity: Severity::Error,
+        summary: "model produced a non-finite prediction",
+    },
+];
+
+/// Look up a registry entry by code.
+pub fn describe(code: &str) -> Option<&'static CodeInfo> {
+    REGISTRY.iter().find(|c| c.code == code)
+}
+
+// --- Strict mode ---------------------------------------------------------
+
+/// Whether strict pre-flight mode is enabled via `ZT_STRICT` (`1`, `true`,
+/// `yes`; anything else — including unset — is off). The experiment
+/// binaries map `--strict` onto this variable.
+pub fn strict_from_env() -> bool {
+    matches!(
+        std::env::var("ZT_STRICT").as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    )
+}
+
+// --- Plan lints (ZT1xx) --------------------------------------------------
+
+fn lint_window(id: OpId, w: &WindowSpec, out: &mut Vec<Diagnostic>) {
+    if !(w.length > 0.0 && w.length.is_finite()) {
+        out.push(
+            Diagnostic::error(
+                "ZT103",
+                format!("window length {} must be positive and finite", w.length),
+            )
+            .at_op(id),
+        );
+    }
+    if let Some(s) = w.slide {
+        if !(s > 0.0 && s.is_finite()) {
+            out.push(
+                Diagnostic::error(
+                    "ZT103",
+                    format!("window slide {s} must be positive and finite"),
+                )
+                .at_op(id),
+            );
+        } else if s > w.length {
+            out.push(
+                Diagnostic::error(
+                    "ZT103",
+                    format!(
+                        "sliding window slide {s} exceeds window length {} (tuples would be dropped)",
+                        w.length
+                    ),
+                )
+                .at_op(id),
+            );
+        }
+    }
+}
+
+/// Lint a logical plan: structural validity (ZT101), reachability
+/// (ZT102), window geometry (ZT103) and selectivity domains (ZT104).
+///
+/// Unlike [`LogicalPlan::validate`] this does not stop at the first
+/// problem, works on arbitrary (even invalid) plans, and is stricter
+/// about selectivity — `validate` accepts `0.0`, but a zero-selectivity
+/// operator statically kills the stream, so the lint flags it.
+pub fn lint_plan(plan: &LogicalPlan) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Per-operator parameter lints over *all* operators (validate() stops
+    // at the first offender).
+    for op in plan.ops() {
+        if let Some(w) = op.kind.window() {
+            lint_window(op.id, w, &mut out);
+        }
+        match &op.kind {
+            OperatorKind::Source(_) | OperatorKind::Sink(_) => {}
+            kind => {
+                let s = kind.selectivity();
+                if !(s.is_finite() && s > 0.0 && s <= 1.0) {
+                    out.push(
+                        Diagnostic::error(
+                            "ZT104",
+                            format!("selectivity {s} outside (0, 1] — the operator statically drops or multiplies the stream"),
+                        )
+                        .at_op(op.id),
+                    );
+                }
+            }
+        }
+    }
+
+    // Structural validation, mapped onto ZT101 unless a dedicated code
+    // above already covers the same operator parameter.
+    match plan.validate() {
+        Ok(()) => {}
+        Err(PlanError::InvalidParameter(id, what)) => {
+            let covered = out.iter().any(|d| {
+                d.anchor == Some(Anchor::Op(id)) && (d.code == "ZT103" || d.code == "ZT104")
+            });
+            if !covered {
+                out.push(
+                    Diagnostic::error("ZT101", format!("invalid parameter: {what}")).at_op(id),
+                );
+            }
+        }
+        Err(e) => out.push(Diagnostic::error("ZT101", e.to_string())),
+    }
+
+    // Reachability: every operator must lie on some source → sink path.
+    // Needs an acyclic graph with in-bounds edges; ZT101 covers the rest.
+    let n = plan.num_ops();
+    let edges_ok = plan
+        .edges()
+        .iter()
+        .all(|&(u, d)| u.idx() < n && d.idx() < n);
+    if n > 0 && edges_ok && plan.topo_order().is_some() {
+        let mut from_source = vec![false; n];
+        let mut stack: Vec<OpId> = plan.sources();
+        for s in &stack {
+            from_source[s.idx()] = true;
+        }
+        while let Some(u) = stack.pop() {
+            for d in plan.downstream(u) {
+                if !from_source[d.idx()] {
+                    from_source[d.idx()] = true;
+                    stack.push(d);
+                }
+            }
+        }
+        let sinks: Vec<OpId> = plan
+            .ops()
+            .iter()
+            .filter(|o| o.kind.is_sink())
+            .map(|o| o.id)
+            .collect();
+        let mut to_sink = vec![false; n];
+        let mut stack = sinks;
+        for s in &stack {
+            to_sink[s.idx()] = true;
+        }
+        while let Some(d) = stack.pop() {
+            for u in plan.upstream(d) {
+                if !to_sink[u.idx()] {
+                    to_sink[u.idx()] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        for op in plan.ops() {
+            let i = op.id.idx();
+            if !(from_source[i] && to_sink[i]) {
+                out.push(
+                    Diagnostic::warning(
+                        "ZT102",
+                        format!(
+                            "{} operator is not on any source → sink path (unreachable work)",
+                            op.kind.label()
+                        ),
+                    )
+                    .at_op(op.id),
+                );
+            }
+        }
+    }
+
+    out
+}
+
+/// Lint a parallel query plan (includes [`lint_plan`] on the underlying
+/// logical plan): parallel-configuration validity (ZT101), wasted hash
+/// shuffles (ZT106), and — when a cluster is given — slot-capacity checks
+/// (ZT105 error per operator, ZT107 oversubscription warning).
+pub fn lint_pqp(pqp: &ParallelQueryPlan, cluster: Option<&Cluster>) -> Vec<Diagnostic> {
+    let mut out = lint_plan(&pqp.plan);
+    let n = pqp.plan.num_ops();
+
+    if pqp.parallelism.len() != n {
+        out.push(Diagnostic::error(
+            "ZT101",
+            format!(
+                "parallelism vector has {} entries for {n} operators",
+                pqp.parallelism.len()
+            ),
+        ));
+        return out; // everything below indexes parallelism per operator
+    }
+
+    for op in pqp.plan.ops() {
+        if pqp.parallelism_of(op.id) == 0 {
+            out.push(
+                Diagnostic::error("ZT101", "operator has parallelism 0 (Eq. 1 requires P ≥ 1)")
+                    .at_op(op.id),
+            );
+        }
+    }
+
+    // Parallel-configuration errors beyond the logical plan (forward
+    // mismatch, missing hash). Only when the logical plan itself is sound
+    // — pqp.validate() would just repeat the plan error otherwise.
+    if pqp.plan.validate().is_ok() && pqp.partitioning.len() == pqp.plan.edges().len() {
+        if let Err(e) = pqp.validate() {
+            out.push(Diagnostic::error("ZT101", e.to_string()));
+        }
+    }
+
+    // ZT106: hash partitioning into a parallelism-1 operator. The shuffle
+    // pays serialization + network for a downstream that has exactly one
+    // instance anyway.
+    for (i, &(u, d)) in pqp.plan.edges().iter().enumerate() {
+        if d.idx() >= n || u.idx() >= n {
+            continue;
+        }
+        if pqp.partitioning.get(i) == Some(&Partitioning::Hash) && pqp.parallelism[d.idx()] == 1 {
+            out.push(
+                Diagnostic::warning(
+                    "ZT106",
+                    format!("hash partitioning {u} -> {d} into a parallelism-1 operator wastes a shuffle"),
+                )
+                .at_op(d),
+            );
+        }
+    }
+
+    if let Some(cluster) = cluster {
+        let slots = cluster.total_cores() as u64;
+        if slots == 0 {
+            out.push(Diagnostic::error("ZT105", "cluster has no task slots"));
+        } else {
+            for op in pqp.plan.ops() {
+                let p = pqp.parallelism_of(op.id) as u64;
+                if p > slots {
+                    out.push(
+                        Diagnostic::error(
+                            "ZT105",
+                            format!("parallelism {p} exceeds the cluster's {slots} task slots"),
+                        )
+                        .at_op(op.id),
+                    );
+                }
+            }
+            let total = pqp.total_instances();
+            if total > slots {
+                out.push(Diagnostic::warning(
+                    "ZT107",
+                    format!(
+                        "{total} parallel instances oversubscribe the cluster's {slots} task slots"
+                    ),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+// --- Feature lints (ZT2xx) -----------------------------------------------
+
+fn node_feature_dim(kind: NodeKind) -> usize {
+    match kind {
+        NodeKind::Source => OP_COMMON_DIM + SOURCE_EXTRA_DIM,
+        NodeKind::Filter => OP_COMMON_DIM + FILTER_EXTRA_DIM,
+        NodeKind::Aggregate => OP_COMMON_DIM + AGG_EXTRA_DIM,
+        NodeKind::Join => OP_COMMON_DIM + JOIN_EXTRA_DIM,
+        NodeKind::Sink => OP_COMMON_DIM + SINK_EXTRA_DIM,
+        NodeKind::Resource => RESOURCE_DIM,
+    }
+}
+
+/// Lint one graph encoding: non-finite features (ZT201), features outside
+/// the normalization ranges implied by `features.rs` (ZT202), structural
+/// encoding defects (ZT204) and per-kind dimension mismatches (ZT205).
+pub fn lint_graph(graph: &GraphEncoding) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = graph.nodes.len();
+    let n_ops = graph.num_operator_nodes();
+
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.features.len() != node_feature_dim(node.kind) {
+            out.push(
+                Diagnostic::error(
+                    "ZT205",
+                    format!(
+                        "{:?} node has {} features, its encoder expects {}",
+                        node.kind,
+                        node.features.len(),
+                        node_feature_dim(node.kind)
+                    ),
+                )
+                .at(Anchor::Node(i)),
+            );
+        }
+        for (j, &v) in node.features.iter().enumerate() {
+            if !v.is_finite() {
+                out.push(
+                    Diagnostic::error(
+                        "ZT201",
+                        format!("{:?} feature {j} is non-finite ({v})", node.kind),
+                    )
+                    .at(Anchor::Node(i)),
+                );
+            } else if !(FEATURE_MIN..=FEATURE_MAX).contains(&v) {
+                out.push(
+                    Diagnostic::warning(
+                        "ZT202",
+                        format!(
+                            "{:?} feature {j} = {v} outside the normalized range [{FEATURE_MIN}, {FEATURE_MAX}]",
+                            node.kind
+                        ),
+                    )
+                    .at(Anchor::Node(i)),
+                );
+            }
+        }
+    }
+
+    // Structural checks mirroring (and exceeding) the encoder's
+    // debug-asserts: out-of-bounds indices, sink not an operator node,
+    // mapping weights outside [0, 1] or not summing to ~1 per operator.
+    if graph.sink >= n_ops {
+        out.push(Diagnostic::error(
+            "ZT204",
+            format!(
+                "sink index {} is not an operator node (have {n_ops})",
+                graph.sink
+            ),
+        ));
+    }
+    for &(u, d) in &graph.data_flow {
+        if u >= n_ops || d >= n_ops {
+            out.push(Diagnostic::error(
+                "ZT204",
+                format!("data-flow edge ({u}, {d}) references a non-operator node"),
+            ));
+        }
+    }
+    let mut op_weight = vec![0.0f64; n_ops];
+    let mut mapping_ok = true;
+    for &(r, o, w) in &graph.mapping {
+        if r < n_ops || r >= n || o >= n_ops {
+            out.push(Diagnostic::error(
+                "ZT204",
+                format!("mapping edge ({r}, {o}) must go resource -> operator"),
+            ));
+            mapping_ok = false;
+            continue;
+        }
+        if !w.is_finite() || !(0.0..=1.0001).contains(&w) {
+            out.push(
+                Diagnostic::error("ZT204", format!("mapping weight {w} outside [0, 1]"))
+                    .at(Anchor::Node(o)),
+            );
+            mapping_ok = false;
+        }
+        op_weight[o] += f64::from(w);
+    }
+    if mapping_ok && !graph.mapping.is_empty() {
+        for (o, &total) in op_weight.iter().enumerate() {
+            if total > 0.0 && (total - 1.0).abs() > 1e-3 {
+                out.push(
+                    Diagnostic::error(
+                        "ZT204",
+                        format!("operator's mapping weights sum to {total:.4}, expected 1"),
+                    )
+                    .at(Anchor::Node(o)),
+                );
+            }
+        }
+    }
+
+    out
+}
+
+/// Batch-level feature lint (ZT203): a node kind whose *entire* feature
+/// matrix is constant across the batch gives the encoder nothing to learn
+/// from — the classic symptom of a featurization wired to the wrong
+/// input. Needs at least [`ZT203_MIN_ROWS`] nodes of the kind to fire.
+pub fn lint_graph_batch<'a, I>(graphs: I) -> Vec<Diagnostic>
+where
+    I: IntoIterator<Item = &'a GraphEncoding>,
+{
+    let mut rows: HashMap<NodeKind, Vec<&[f32]>> = HashMap::new();
+    for g in graphs {
+        for node in &g.nodes {
+            rows.entry(node.kind).or_default().push(&node.features);
+        }
+    }
+    let mut out = Vec::new();
+    let mut kinds: Vec<NodeKind> = rows.keys().copied().collect();
+    kinds.sort_by_key(|k| format!("{k:?}"));
+    for kind in kinds {
+        let rs = &rows[&kind];
+        if rs.len() < ZT203_MIN_ROWS || rs[0].is_empty() {
+            continue;
+        }
+        let dim = rs[0].len();
+        if rs.iter().any(|r| r.len() != dim) {
+            continue; // ZT205 territory, reported per graph
+        }
+        let all_constant =
+            (0..dim).all(|c| rs.iter().all(|r| r[c].to_bits() == rs[0][c].to_bits()));
+        if all_constant {
+            out.push(Diagnostic::warning(
+                "ZT203",
+                format!(
+                    "all {dim} features of {kind:?} nodes are constant across {} batch rows — the encoder cannot learn from them",
+                    rs.len()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Minimum per-kind node count before ZT203 (constant batch columns) can
+/// fire.
+pub const ZT203_MIN_ROWS: usize = 8;
+
+// --- Dataset lints (ZT3xx) -----------------------------------------------
+
+/// Z-score threshold (in log space) for the ZT304 label-outlier lint.
+pub const ZT304_Z_THRESHOLD: f64 = 4.5;
+/// Minimum sample count before ZT304 can fire.
+pub const ZT304_MIN_SAMPLES: usize = 16;
+
+fn sample_key(s: &Sample) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.latency_ms.to_bits().hash(&mut h);
+    s.throughput.to_bits().hash(&mut h);
+    s.graph.data_flow.hash(&mut h);
+    s.graph.sink.hash(&mut h);
+    for node in &s.graph.nodes {
+        std::mem::discriminant(&node.kind).hash(&mut h);
+        for v in &node.features {
+            v.to_bits().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Lint a dataset: label validity (ZT301), duplicates (ZT302), label
+/// outliers (ZT304), degenerate label distributions (ZT305), plus the
+/// per-graph feature lints (ZT201/202/204/205) and the batch-level
+/// constant-column lint (ZT203) over all sample encodings.
+pub fn lint_dataset(data: &Dataset) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    for (i, s) in data.samples.iter().enumerate() {
+        for (label, value) in [("latency", s.latency_ms), ("throughput", s.throughput)] {
+            if !value.is_finite() || value <= 0.0 {
+                out.push(
+                    Diagnostic::error(
+                        "ZT301",
+                        format!("{label} label {value} must be positive and finite"),
+                    )
+                    .at(Anchor::Sample(i)),
+                );
+            }
+        }
+        for d in lint_graph(&s.graph) {
+            // re-anchor graph findings to the offending sample
+            out.push(Diagnostic {
+                message: match &d.anchor {
+                    Some(a) => format!("{} ({a})", d.message),
+                    None => d.message.clone(),
+                },
+                anchor: Some(Anchor::Sample(i)),
+                ..d
+            });
+        }
+    }
+
+    // ZT302: duplicates (identical encoding and labels).
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for (i, s) in data.samples.iter().enumerate() {
+        match seen.entry(sample_key(s)) {
+            std::collections::hash_map::Entry::Occupied(first) => {
+                out.push(
+                    Diagnostic::warning(
+                        "ZT302",
+                        format!(
+                            "duplicate of sample {} (identical encoding and labels)",
+                            first.get()
+                        ),
+                    )
+                    .at(Anchor::Sample(i)),
+                );
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(i);
+            }
+        }
+    }
+
+    // Label-distribution lints on the finite positive labels only.
+    let finite: Vec<(usize, f64, f64)> = data
+        .samples
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            s.latency_ms.is_finite()
+                && s.latency_ms > 0.0
+                && s.throughput.is_finite()
+                && s.throughput > 0.0
+        })
+        .map(|(i, s)| (i, s.latency_ms.ln(), s.throughput.ln()))
+        .collect();
+
+    for (name, pick) in [("latency", 1usize), ("throughput", 2usize)] {
+        let values: Vec<f64> = finite
+            .iter()
+            .map(|t| if pick == 1 { t.1 } else { t.2 })
+            .collect();
+        if values.len() >= 2 {
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            let std = var.sqrt();
+            if std == 0.0 {
+                out.push(Diagnostic::warning(
+                    "ZT305",
+                    format!(
+                        "all {} {name} labels are identical ({:.4}) — nothing to learn",
+                        values.len(),
+                        values[0].exp()
+                    ),
+                ));
+            } else if values.len() >= ZT304_MIN_SAMPLES {
+                for (k, v) in values.iter().enumerate() {
+                    let z = (v - mean) / std;
+                    if z.abs() > ZT304_Z_THRESHOLD {
+                        out.push(
+                            Diagnostic::warning(
+                                "ZT304",
+                                format!(
+                                    "{name} label {:.4} is a log-space outlier (z = {z:.1})",
+                                    v.exp()
+                                ),
+                            )
+                            .at(Anchor::Sample(finite[k].0)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    out.extend(lint_graph_batch(data.samples.iter().map(|s| &s.graph)));
+    out
+}
+
+/// Lint a train/test split for zero-shot structure leakage (ZT303): a
+/// test sample marked `seen_structure == false` whose
+/// [`SampleMeta::structure`](crate::dataset::SampleMeta) also appears in
+/// the training set is not an unseen structure at all — the headline
+/// zero-shot numbers would be inflated.
+pub fn lint_split(train: &Dataset, test: &Dataset) -> Vec<Diagnostic> {
+    let train_structures: HashSet<&str> = train
+        .samples
+        .iter()
+        .map(|s| s.meta.structure.as_str())
+        .collect();
+    let mut reported: HashSet<&str> = HashSet::new();
+    let mut out = Vec::new();
+    for s in &test.samples {
+        if !s.meta.seen_structure
+            && train_structures.contains(s.meta.structure.as_str())
+            && reported.insert(s.meta.structure.as_str())
+        {
+            let n = train
+                .samples
+                .iter()
+                .filter(|t| t.meta.structure == s.meta.structure)
+                .count();
+            out.push(Diagnostic::warning(
+                "ZT303",
+                format!(
+                    "test structure `{}` is marked unseen but appears {n} time(s) in the training set (zero-shot evaluation is leaked)",
+                    s.meta.structure
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// --- Model lints (ZT4xx) -------------------------------------------------
+
+/// Absolute-weight threshold for the ZT405 exploding-weight lint.
+pub const ZT405_MAX_ABS_WEIGHT: f32 = 100.0;
+
+/// Lint a model's weights and normalization: non-finite weights (ZT401),
+/// dead ReLU units (ZT402), default normalization (ZT404) and exploding
+/// weights (ZT405).
+pub fn lint_model(model: &ZeroTuneModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    for id in model.store.ids() {
+        let m = model.store.value(id);
+        let non_finite = m.data.iter().filter(|v| !v.is_finite()).count();
+        if non_finite > 0 {
+            out.push(
+                Diagnostic::error(
+                    "ZT401",
+                    format!("{non_finite} of {} weights are non-finite", m.data.len()),
+                )
+                .at(Anchor::Param(model.store.name(id).to_string())),
+            );
+            continue;
+        }
+        let max_abs = m.data.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        if max_abs > ZT405_MAX_ABS_WEIGHT {
+            out.push(
+                Diagnostic::warning(
+                    "ZT405",
+                    format!("max |weight| = {max_abs:.1} exceeds {ZT405_MAX_ABS_WEIGHT} (exploding weights)"),
+                )
+                .at(Anchor::Param(model.store.name(id).to_string())),
+            );
+        }
+    }
+
+    // ZT402: dead ReLU units. For every hidden layer (ReLU follows), a
+    // unit whose incoming column is all-nonpositive with a nonpositive
+    // bias can only output 0 on the nonnegative activations that feed it.
+    for (name, mlp) in model.modules() {
+        let last = mlp.layers.len().saturating_sub(1);
+        let mut dead = 0usize;
+        let mut total = 0usize;
+        for layer in &mlp.layers[..last] {
+            let w = model.store.value(layer.w);
+            let b = model.store.value(layer.b);
+            if w.data.iter().any(|v| !v.is_finite()) {
+                continue; // ZT401 already fired
+            }
+            total += layer.out_dim;
+            for j in 0..layer.out_dim {
+                let col_dead = (0..layer.in_dim).all(|r| w.data[r * layer.out_dim + j] <= 0.0);
+                if col_dead && b.data[j] <= 0.0 {
+                    dead += 1;
+                }
+            }
+        }
+        if dead > 0 {
+            out.push(
+                Diagnostic::warning(
+                    "ZT402",
+                    format!("{dead} of {total} hidden units have all-nonpositive incoming weights and bias (dead ReLU)"),
+                )
+                .at(Anchor::Param(name)),
+            );
+        }
+    }
+
+    let default = TargetNorm::default();
+    if model.norm.mean == default.mean && model.norm.std == default.std {
+        out.push(Diagnostic::info(
+            "ZT404",
+            "target normalization is the default identity — the model looks unfitted",
+        ));
+    }
+
+    out
+}
+
+/// Ratio bound on fitted-vs-model std for the ZT403 drift lint.
+pub const ZT403_STD_RATIO: f32 = 2.0;
+/// Mean-shift bound (in label log units) for the ZT403 drift lint.
+pub const ZT403_MEAN_SHIFT: f32 = 1.0;
+
+/// Lint a model *against* a dataset: everything [`lint_model`] reports,
+/// plus ZT403 when the model's [`TargetNorm`] drifts from the dataset's
+/// label statistics (predictions would be denormalized into the wrong
+/// decade).
+pub fn lint_model_against(model: &ZeroTuneModel, data: &Dataset) -> Vec<Diagnostic> {
+    let mut out = lint_model(model);
+    if data.is_empty() {
+        return out;
+    }
+    let fitted = TargetNorm::fit(data.labels());
+    for (k, name) in [(0usize, "latency"), (1usize, "throughput")] {
+        let mean_shift = (model.norm.mean[k] - fitted.mean[k]).abs();
+        let ratio = {
+            let a = model.norm.std[k].max(1e-6);
+            let b = fitted.std[k].max(1e-6);
+            (a / b).max(b / a)
+        };
+        if mean_shift > ZT403_MEAN_SHIFT || ratio > ZT403_STD_RATIO {
+            out.push(Diagnostic::warning(
+                "ZT403",
+                format!(
+                    "{name} normalization (mean {:.2}, std {:.2}) drifts from this dataset's label statistics (mean {:.2}, std {:.2})",
+                    model.norm.mean[k], model.norm.std[k], fitted.mean[k], fitted.std[k]
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// --- Pre-flight bundles --------------------------------------------------
+
+/// Pre-flight for `train`: dataset lints plus model lints (normalization
+/// drift is skipped when the trainer is about to refit the norm anyway).
+pub fn preflight_train(model: &ZeroTuneModel, data: &Dataset, refit_norm: bool) -> Report {
+    let mut diags = lint_dataset(data);
+    if refit_norm {
+        diags.extend(lint_model(model));
+        // ZT404 is expected before a first fit — drop the noise.
+        diags.retain(|d| d.code != "ZT404");
+    } else {
+        diags.extend(lint_model_against(model, data));
+    }
+    Report::new(diags)
+}
+
+/// Pre-flight for `tune`: plan lints plus cluster-capacity sanity on the
+/// trivial all-ones deployment (candidate enumeration clamps to the slot
+/// count, so only the plan and the cluster itself can be wrong).
+pub fn preflight_tune(plan: &LogicalPlan, cluster: &Cluster) -> Report {
+    let mut diags = lint_plan(plan);
+    if cluster.total_cores() == 0 {
+        diags.push(Diagnostic::error("ZT105", "cluster has no task slots"));
+    }
+    Report::new(diags)
+}
+
+/// Pre-flight for one generated sample: the deployed plan against its
+/// cluster, the encoding, and the labels it was assigned.
+pub fn preflight_sample(pqp: &ParallelQueryPlan, cluster: &Cluster, sample: &Sample) -> Report {
+    let mut diags = lint_pqp(pqp, Some(cluster));
+    diags.extend(lint_graph(&sample.graph));
+    for (label, value) in [
+        ("latency", sample.latency_ms),
+        ("throughput", sample.throughput),
+    ] {
+        if !value.is_finite() || value <= 0.0 {
+            diags.push(Diagnostic::error(
+                "ZT301",
+                format!("simulated {label} label {value} must be positive and finite"),
+            ));
+        }
+    }
+    Report::new(diags)
+}

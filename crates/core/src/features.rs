@@ -85,6 +85,13 @@ const LOG_WINDOW_NORM: f32 = 9.22; // ln(10001)
 const WIDTH_NORM: f32 = 15.0;
 const GROUPING_NORM: f32 = 4.0;
 
+/// Bounds every well-formed feature value falls into: one-hots and
+/// fractions live in `[0, 1]`, `log_norm` caps at 2.0, and resource
+/// features stay below ~2.5. The diagnostics ZT202 lint flags anything
+/// outside this envelope.
+pub const FEATURE_MIN: f32 = -1e-3;
+pub const FEATURE_MAX: f32 = 2.5;
+
 /// Dimensions of the per-kind feature vectors.
 pub const OP_COMMON_DIM: usize = 11;
 pub const SOURCE_EXTRA_DIM: usize = 1;
@@ -275,7 +282,7 @@ mod tests {
             );
             for (i, v) in f.iter().enumerate() {
                 assert!(
-                    (-0.001..=2.5).contains(v),
+                    (FEATURE_MIN..=FEATURE_MAX).contains(v),
                     "{} feature {i} out of range: {v}",
                     op.kind.label()
                 );

@@ -157,7 +157,7 @@ impl EncodeContext {
                 .topo_order()
                 .expect("validated plan")
                 .into_iter()
-                .map(|id| id.idx())
+                .map(zt_query::OpId::idx)
                 .collect(),
             sink: plan.sink().idx(),
             resource_feats: cluster

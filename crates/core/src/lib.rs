@@ -32,9 +32,15 @@
 //!   weighted cost objective of Eq. 1.
 //! * [`fewshot`] — few-shot fine-tuning for complex unseen structures
 //!   (Fig. 6 / Fig. 7d).
+//! * [`diagnostics`] — static lints over plans, feature encodings,
+//!   datasets and model weights (stable `ZTxxx` codes, rustc-style
+//!   reports, strict-mode pre-flight hooks in `train`/`tune`/datagen).
+
+#![deny(unsafe_code)]
 
 pub mod datagen;
 pub mod dataset;
+pub mod diagnostics;
 pub mod estimator;
 pub mod explain;
 pub mod features;
@@ -48,6 +54,10 @@ pub mod train;
 
 pub use datagen::{generate_dataset_report, generate_dataset_with, shard_seed, GenPlan, GenReport};
 pub use dataset::{generate_dataset, Dataset, GenConfig, Sample, SampleMeta};
+pub use diagnostics::{
+    lint_dataset, lint_graph, lint_graph_batch, lint_model, lint_model_against, lint_plan,
+    lint_pqp, lint_split, strict_from_env, Anchor, Diagnostic, Report, Severity,
+};
 pub use estimator::{evaluate_estimator, CostEstimator, CostPrediction};
 pub use features::FeatureMask;
 pub use graph::{encode, EncodeContext, GraphEncoding, GraphNode, NodeKind};

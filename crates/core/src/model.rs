@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 use zt_nn::infer::{concat_pair, mean_of, relu_inplace, weighted_sum_of};
 use zt_nn::{Matrix, Mlp, ParamStore, Scratch, Tape, Var};
 
+use crate::diagnostics::Diagnostic;
 use crate::estimator::{CostEstimator, CostPrediction};
 use crate::features::{
     AGG_EXTRA_DIM, FILTER_EXTRA_DIM, JOIN_EXTRA_DIM, OP_COMMON_DIM, RESOURCE_DIM, SINK_EXTRA_DIM,
@@ -197,6 +198,24 @@ impl ZeroTuneModel {
         ids.extend(self.upd_dataflow.param_ids());
         ids.extend(self.upd_mapping.param_ids());
         ids
+    }
+
+    /// All named MLP modules — per-kind encoders, the three
+    /// message-combine networks and the two read-out heads. This is the
+    /// traversal surface for the diagnostics weight lints (dead-ReLU
+    /// detection needs layer structure, not just the flat parameter
+    /// store).
+    pub fn modules(&self) -> Vec<(String, &Mlp)> {
+        let mut out: Vec<(String, &Mlp)> = NodeKind::ALL
+            .iter()
+            .map(|&k| (format!("enc.{k:?}"), &self.encoders[kind_index(k)]))
+            .collect();
+        out.push(("upd.physical".to_string(), &self.upd_physical));
+        out.push(("upd.mapping".to_string(), &self.upd_mapping));
+        out.push(("upd.dataflow".to_string(), &self.upd_dataflow));
+        out.push(("readout.latency".to_string(), &self.readout_latency));
+        out.push(("readout.throughput".to_string(), &self.readout_throughput));
+        out
     }
 
     /// Build the forward graph on `tape`; returns the 1×2 normalized
@@ -425,9 +444,30 @@ impl ZeroTuneModel {
     /// Predict with an explicit scratch arena (the batched/threaded entry
     /// points each own one so repeated calls never allocate).
     pub fn predict_with(&self, graph: &GraphEncoding, scratch: &mut Scratch) -> CostPrediction {
-        self.norm
-            .denormalize(self.forward_infer(graph, scratch))
-            .into()
+        let raw = self.forward_infer(graph, scratch);
+        debug_assert!(
+            raw.iter().all(|v| v.is_finite()),
+            "non-finite model prediction {raw:?}; run diagnostics::lint_model"
+        );
+        self.norm.denormalize(raw).into()
+    }
+
+    /// Like [`ZeroTuneModel::predict_with`], but surfaces a non-finite
+    /// prediction as a ZT406 [`Diagnostic`] instead of silently
+    /// propagating NaN costs into the optimizer's Eq. 1 objective.
+    pub fn predict_checked(&self, graph: &GraphEncoding) -> Result<CostPrediction, Diagnostic> {
+        let raw = SCRATCH.with(|s| self.forward_infer(graph, &mut s.borrow_mut()));
+        if raw.iter().all(|v| v.is_finite()) {
+            Ok(self.norm.denormalize(raw).into())
+        } else {
+            Err(Diagnostic::error(
+                "ZT406",
+                format!(
+                    "model produced a non-finite prediction [{}, {}] — weights are likely corrupted (run lint_model)",
+                    raw[0], raw[1]
+                ),
+            ))
+        }
     }
 
     /// Serialize the model (weights + normalization) to JSON.
@@ -463,8 +503,7 @@ impl CostEstimator for ZeroTuneModel {
     /// loop on single-core hosts or tiny batches.
     fn predict_batch(&self, graphs: &[GraphEncoding]) -> Vec<CostPrediction> {
         let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+            .map_or(1, std::num::NonZero::get)
             .min(graphs.len());
         if workers <= 1 {
             let mut scratch = Scratch::new();

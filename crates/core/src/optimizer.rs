@@ -41,6 +41,10 @@ pub struct OptimizerConfig {
     pub chaining: ChainingMode,
     pub mask: FeatureMask,
     pub seed: u64,
+    /// Run the diagnostics pre-flight (plan + cluster lints) and abort on
+    /// `Error`-severity findings. Defaults to the `ZT_STRICT` environment
+    /// variable.
+    pub strict: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -53,6 +57,7 @@ impl Default for OptimizerConfig {
             chaining: ChainingMode::Auto,
             mask: FeatureMask::all(),
             seed: 0x0471,
+            strict: crate::diagnostics::strict_from_env(),
         }
     }
 }
@@ -166,6 +171,9 @@ pub fn tune<E: CostEstimator + ?Sized>(
     cluster: &Cluster,
     cfg: &OptimizerConfig,
 ) -> TuningOutcome {
+    if cfg.strict {
+        crate::diagnostics::preflight_tune(plan, cluster).enforce("tune");
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let candidates = enumerate_candidates(plan, cluster, cfg, &mut rng);
     assert!(!candidates.is_empty());

@@ -33,6 +33,10 @@ pub struct TrainConfig {
     /// Restrict updates to these parameters (used by few-shot
     /// fine-tuning).
     pub param_mask: Option<Vec<zt_nn::ParamId>>,
+    /// Run the diagnostics pre-flight (dataset + model lints) and abort
+    /// on `Error`-severity findings. Defaults to the `ZT_STRICT`
+    /// environment variable.
+    pub strict: bool,
 }
 
 impl Default for TrainConfig {
@@ -47,6 +51,7 @@ impl Default for TrainConfig {
             seed: 0xBEEF,
             refit_norm: true,
             param_mask: None,
+            strict: crate::diagnostics::strict_from_env(),
         }
     }
 }
@@ -85,6 +90,9 @@ fn eval_loss(model: &ZeroTuneModel, samples: &[&Sample]) -> f64 {
 /// Train `model` on `data` in place.
 pub fn train(model: &mut ZeroTuneModel, data: &Dataset, cfg: &TrainConfig) -> TrainReport {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
+    if cfg.strict {
+        crate::diagnostics::preflight_train(model, data, cfg.refit_norm).enforce("train");
+    }
     let start = std::time::Instant::now();
     if cfg.refit_norm {
         model.norm = TargetNorm::fit(data.labels());

@@ -149,8 +149,8 @@ fn propagate(pqp: &ParallelQueryPlan, scale: f64) -> Rates {
                 output[i] = in_rate * a.selectivity * a.window.overlap_factor();
             }
             OperatorKind::Join(j) => {
-                let in_l = up.first().map(|u| output[u.idx()]).unwrap_or(0.0);
-                let in_r = up.get(1).map(|u| output[u.idx()]).unwrap_or(0.0);
+                let in_l = up.first().map_or(0.0, |u| output[u.idx()]);
+                let in_r = up.get(1).map_or(0.0, |u| output[u.idx()]);
                 input[i] = in_l + in_r;
                 // Stream-join output: every arriving tuple matches
                 // `sel × |W_other|` partners (Def. 5). Window contents are
@@ -180,8 +180,8 @@ fn join_other_window(pqp: &ParallelQueryPlan, rates: &Rates, id: OpId) -> f64 {
     if let OperatorKind::Join(j) = &plan.op(id).kind {
         let p = pqp.parallelism_of(id).max(1) as f64;
         let up = plan.upstream(id);
-        let in_l = up.first().map(|u| rates.output[u.idx()]).unwrap_or(0.0);
-        let in_r = up.get(1).map(|u| rates.output[u.idx()]).unwrap_or(0.0);
+        let in_l = up.first().map_or(0.0, |u| rates.output[u.idx()]);
+        let in_r = up.get(1).map_or(0.0, |u| rates.output[u.idx()]);
         let wl = j.window.tuples_per_window(in_l / p);
         let wr = j.window.tuples_per_window(in_r / p);
         let total = (in_l + in_r).max(1e-9);
@@ -386,8 +386,7 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
             / cluster
                 .nodes
                 .get(dep.instance_nodes(op.id)[0])
-                .map(|nsp| nsp.cpu_ghz)
-                .unwrap_or(1.0);
+                .map_or(1.0, |nsp| nsp.cpu_ghz);
         // Queueing acts on processing batches (network buffers), not on
         // single tuples: a batch only fills as fast as tuples arrive, and
         // is handed over after the flush timeout at the latest.

@@ -129,8 +129,7 @@ impl CostModel {
                 let overlap = self.effective_overlap(&a.window);
                 let key_cost = a
                     .key_class
-                    .map(|k| self.agg_key_us * k.cost_factor())
-                    .unwrap_or(0.0);
+                    .map_or(0.0, |k| self.agg_key_us * k.cost_factor());
                 let update =
                     (self.agg_update_us + self.agg_per_field_us * w_in + key_cost) * overlap;
                 // Emission: `sel × |W|` groups fire per window instance;

@@ -34,6 +34,8 @@
 //! * [`engine`] — the discrete-event engine.
 //! * [`metrics`] — summary statistics helpers.
 
+#![deny(unsafe_code)]
+
 pub mod analytical;
 pub mod cluster;
 pub mod costmodel;

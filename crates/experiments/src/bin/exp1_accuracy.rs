@@ -1,6 +1,6 @@
 //! Exp. 1 runner: Table IV and the Fig. 1/5 architecture comparison.
 //!
-//! Usage: `cargo run --release --bin exp1_accuracy -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]]`
+//! Usage: `cargo run --release --bin exp1_accuracy -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict]`
 
 use zt_experiments::{exp1, report, Scale};
 

@@ -1,6 +1,6 @@
 //! Exp. 2 runner: Fig. 7a–d parallelism categories and Fig. 6 few-shot.
 //!
-//! Usage: `cargo run --release --bin exp2_parallelism -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]]`
+//! Usage: `cargo run --release --bin exp2_parallelism -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict]`
 
 use zt_experiments::{exp2, report, Scale};
 

@@ -1,6 +1,6 @@
 //! Exp. 3 runner: Fig. 8a–e generalization over unseen parameters.
 //!
-//! Usage: `cargo run --release --bin exp3_parameters -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]]`
+//! Usage: `cargo run --release --bin exp3_parameters -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict]`
 
 use zt_experiments::{exp3, report, Scale};
 

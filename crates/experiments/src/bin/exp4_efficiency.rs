@@ -1,6 +1,6 @@
 //! Exp. 4 runner: Fig. 9a–b data-efficient training.
 //!
-//! Usage: `cargo run --release --bin exp4_efficiency -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]]`
+//! Usage: `cargo run --release --bin exp4_efficiency -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict]`
 
 use zt_experiments::{exp4, report, Scale};
 

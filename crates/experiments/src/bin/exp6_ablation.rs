@@ -1,6 +1,6 @@
 //! Exp. 6 runner: Fig. 11 feature ablation.
 //!
-//! Usage: `cargo run --release --bin exp6_ablation -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]]`
+//! Usage: `cargo run --release --bin exp6_ablation -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict]`
 
 use zt_experiments::{exp6, report, Scale};
 

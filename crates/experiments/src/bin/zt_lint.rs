@@ -1,0 +1,236 @@
+//! `zt-lint` — run every static diagnostics pass and print a rustc-style
+//! report.
+//!
+//! Usage: `cargo run --release -p zt-experiments --bin zt-lint -- [TARGETS]`
+//!
+//! Targets (combine freely; no arguments runs `--benchmarks
+//! --gen-dataset 24` plus a fresh-model lint):
+//!
+//! * `--benchmarks` — lint the three benchmark queries (spike detection,
+//!   local/global smart grid) as parallelism-1 deployments on a 4-node
+//!   m510 cluster.
+//! * `--gen-dataset N` — generate an N-sample seen-workload dataset
+//!   (fixed seed) and lint its labels, encodings and batch statistics.
+//! * `--plan FILE` — lint a serialized `ParallelQueryPlan` (or bare
+//!   `LogicalPlan`) JSON file.
+//! * `--dataset FILE` — lint a serialized `Dataset` JSON file.
+//! * `--model FILE` — lint a serialized `ZeroTuneModel` JSON file; when a
+//!   `--dataset` target is also given, additionally checks the model's
+//!   target normalization against that dataset's labels.
+//! * `--codes` — print the lint-code registry and exit.
+//!
+//! Exit status: 0 when no `Error`-severity findings were produced
+//! (warnings are fine), 1 when at least one error was found, 2 on usage
+//! errors.
+
+use std::process::ExitCode;
+
+use zt_core::diagnostics::{
+    lint_dataset, lint_model, lint_model_against, lint_plan, lint_pqp, Report, Severity, REGISTRY,
+};
+use zt_core::{generate_dataset, Dataset, GenConfig, ZeroTuneModel};
+use zt_dspsim::cluster::{Cluster, ClusterType};
+use zt_query::benchmarks;
+use zt_query::{LogicalPlan, ParallelQueryPlan};
+
+/// One lint target: a heading plus the diagnostics found under it.
+struct Section {
+    heading: String,
+    report: Report,
+}
+
+fn section(heading: impl Into<String>, report: Report) -> Section {
+    Section {
+        heading: heading.into(),
+        report,
+    }
+}
+
+fn lint_benchmarks(sections: &mut Vec<Section>) {
+    let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+    let queries: [(&str, LogicalPlan); 3] = [
+        ("spike_detection", benchmarks::spike_detection(10_000.0)),
+        ("smart_grid_local", benchmarks::smart_grid_local(10_000.0)),
+        ("smart_grid_global", benchmarks::smart_grid_global(10_000.0)),
+    ];
+    for (name, plan) in queries {
+        let pqp = ParallelQueryPlan::new(plan);
+        let report = Report::new(lint_pqp(&pqp, Some(&cluster)));
+        sections.push(section(format!("benchmark query `{name}`"), report));
+    }
+}
+
+fn lint_generated(n: usize, sections: &mut Vec<Section>) {
+    let data = generate_dataset(&GenConfig::seen(), n, 7);
+    let report = Report::new(lint_dataset(&data));
+    sections.push(section(
+        format!("generated dataset ({n} samples, seed 7)"),
+        report,
+    ));
+}
+
+fn lint_fresh_model(sections: &mut Vec<Section>) {
+    let model = ZeroTuneModel::new(zt_core::ModelConfig {
+        hidden: 32,
+        seed: 42,
+    });
+    let report = Report::new(lint_model(&model));
+    sections.push(section(
+        "freshly initialized model (hidden 32, seed 42)",
+        report,
+    ));
+}
+
+fn read_json(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn lint_plan_file(path: &str, sections: &mut Vec<Section>) -> Result<(), String> {
+    let json = read_json(path)?;
+    // A PQP file carries the parallel configuration; fall back to a bare
+    // logical plan so both serializations are accepted.
+    if let Ok(pqp) = serde_json::from_str::<ParallelQueryPlan>(&json) {
+        sections.push(section(
+            format!("parallel query plan `{path}`"),
+            Report::new(lint_pqp(&pqp, None)),
+        ));
+        return Ok(());
+    }
+    let plan = serde_json::from_str::<LogicalPlan>(&json)
+        .map_err(|e| format!("`{path}` is neither a ParallelQueryPlan nor a LogicalPlan: {e}"))?;
+    sections.push(section(
+        format!("logical plan `{path}`"),
+        Report::new(lint_plan(&plan)),
+    ));
+    Ok(())
+}
+
+fn print_codes() {
+    println!("zt-lint code registry ({} codes):", REGISTRY.len());
+    for info in REGISTRY {
+        println!(
+            "  {} [{:>7}] {}",
+            info.code,
+            info.severity.label(),
+            info.summary
+        );
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: zt-lint [--benchmarks] [--gen-dataset N] [--plan FILE] [--dataset FILE] [--model FILE] [--codes]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sections: Vec<Section> = Vec::new();
+    let mut model_file: Option<String> = None;
+    let mut dataset_for_drift: Option<(String, Dataset)> = None;
+
+    let run = |sections: &mut Vec<Section>,
+               model_file: &mut Option<String>,
+               dataset_for_drift: &mut Option<(String, Dataset)>|
+     -> Result<(), String> {
+        if args.is_empty() {
+            lint_benchmarks(sections);
+            lint_generated(24, sections);
+            lint_fresh_model(sections);
+            return Ok(());
+        }
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--benchmarks" => lint_benchmarks(sections),
+                "--gen-dataset" => {
+                    i += 1;
+                    let n: usize = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--gen-dataset needs a sample count")?;
+                    lint_generated(n, sections);
+                }
+                "--plan" => {
+                    i += 1;
+                    let path = args.get(i).ok_or("--plan needs a file")?;
+                    lint_plan_file(path, sections)?;
+                }
+                "--dataset" => {
+                    i += 1;
+                    let path = args.get(i).ok_or("--dataset needs a file")?;
+                    let data: Dataset = serde_json::from_str(&read_json(path)?)
+                        .map_err(|e| format!("`{path}` is not a Dataset: {e}"))?;
+                    sections.push(section(
+                        format!("dataset `{path}`"),
+                        Report::new(lint_dataset(&data)),
+                    ));
+                    *dataset_for_drift = Some((path.clone(), data));
+                }
+                "--model" => {
+                    i += 1;
+                    let path = args.get(i).ok_or("--model needs a file")?;
+                    *model_file = Some(path.clone());
+                }
+                "--codes" => {
+                    print_codes();
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+            i += 1;
+        }
+        Ok(())
+    };
+
+    if let Err(e) = run(&mut sections, &mut model_file, &mut dataset_for_drift) {
+        eprintln!("zt-lint: {e}");
+        return usage();
+    }
+
+    // Model lints run last so a `--dataset` given in any position can
+    // feed the normalization-drift check.
+    if let Some(path) = model_file {
+        let result = read_json(&path).and_then(|json| {
+            ZeroTuneModel::from_json(&json).map_err(|e| format!("`{path}` is not a model: {e}"))
+        });
+        match result {
+            Ok(model) => {
+                let diags = match &dataset_for_drift {
+                    Some((_, data)) => lint_model_against(&model, data),
+                    None => lint_model(&model),
+                };
+                sections.push(section(format!("model `{path}`"), Report::new(diags)));
+            }
+            Err(e) => {
+                eprintln!("zt-lint: {e}");
+                return usage();
+            }
+        }
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for s in &sections {
+        println!("── {} ──", s.heading);
+        if s.report.is_clean() {
+            println!("clean");
+        } else {
+            for d in &s.report.diagnostics {
+                println!("{d}");
+            }
+        }
+        println!("{}\n", s.report.summary());
+        errors += s.report.count(Severity::Error);
+        warnings += s.report.count(Severity::Warning);
+    }
+    println!(
+        "zt-lint: {} target(s), {errors} error(s), {warnings} warning(s)",
+        sections.len()
+    );
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -16,6 +16,8 @@
 //! Every runner accepts a [`Scale`] so the same code serves quick smoke
 //! runs (`cargo bench`), the default CLI runs, and paper-scale runs.
 
+#![deny(unsafe_code)]
+
 pub mod exp1;
 pub mod exp2;
 pub mod exp3;
@@ -124,10 +126,13 @@ pub struct DatagenArgs {
     pub workers: Option<String>,
     /// `--resume` (defaults to `results/shards`) / `--resume=DIR`.
     pub resume_dir: Option<String>,
+    /// `--strict`: run the diagnostics pre-flight in datagen / training /
+    /// tuning and abort on `Error`-severity findings.
+    pub strict: bool,
 }
 
 impl DatagenArgs {
-    /// Parse `--workers` / `--resume` from an argument list.
+    /// Parse `--workers` / `--resume` / `--strict` from an argument list.
     pub fn parse(args: &[String]) -> Self {
         let mut out = DatagenArgs::default();
         for (i, a) in args.iter().enumerate() {
@@ -139,18 +144,23 @@ impl DatagenArgs {
                 out.resume_dir = Some("results/shards".to_string());
             } else if let Some(v) = a.strip_prefix("--resume=") {
                 out.resume_dir = Some(v.to_string());
+            } else if a == "--strict" {
+                out.strict = true;
             }
         }
         out
     }
 }
 
-/// Map the shared `--workers N` / `--resume[=DIR]` CLI flags onto the
-/// `ZT_DATAGEN_WORKERS` / `ZT_DATAGEN_RESUME` environment variables read
-/// by [`zt_core::datagen::GenPlan::from_env`], so every
-/// `generate_dataset` call inside the experiment — including nested ones
-/// in the exp modules — inherits the worker count and the resumable
-/// shard directory. Call this first thing in an experiment `main`.
+/// Map the shared `--workers N` / `--resume[=DIR]` / `--strict` CLI
+/// flags onto the `ZT_DATAGEN_WORKERS` / `ZT_DATAGEN_RESUME` /
+/// `ZT_STRICT` environment variables read by
+/// [`zt_core::datagen::GenPlan::from_env`] and
+/// [`zt_core::diagnostics::strict_from_env`], so every
+/// `generate_dataset` / `train` / `tune` call inside the experiment —
+/// including nested ones in the exp modules — inherits the worker count,
+/// the resumable shard directory and the strict pre-flight mode. Call
+/// this first thing in an experiment `main`.
 pub fn apply_datagen_cli() {
     let args: Vec<String> = std::env::args().collect();
     let parsed = DatagenArgs::parse(&args);
@@ -160,6 +170,10 @@ pub fn apply_datagen_cli() {
     if let Some(dir) = parsed.resume_dir {
         std::env::set_var("ZT_DATAGEN_RESUME", &dir);
         eprintln!("datagen: resumable shards under {dir}");
+    }
+    if parsed.strict {
+        std::env::set_var("ZT_STRICT", "1");
+        eprintln!("diagnostics: strict pre-flight enabled");
     }
 }
 
@@ -207,7 +221,11 @@ mod tests {
 
     #[test]
     fn datagen_args_parsing() {
-        let args = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let args = |xs: &[&str]| {
+            xs.iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+        };
         assert_eq!(DatagenArgs::parse(&args(&[])), DatagenArgs::default());
         let a = DatagenArgs::parse(&args(&["exp", "--workers", "4", "--resume"]));
         assert_eq!(a.workers.as_deref(), Some("4"));
@@ -215,6 +233,9 @@ mod tests {
         let b = DatagenArgs::parse(&args(&["--workers=8", "--resume=/tmp/shards"]));
         assert_eq!(b.workers.as_deref(), Some("8"));
         assert_eq!(b.resume_dir.as_deref(), Some("/tmp/shards"));
+        assert!(!b.strict);
+        let c = DatagenArgs::parse(&args(&["exp", "--strict"]));
+        assert!(c.strict);
     }
 
     #[test]

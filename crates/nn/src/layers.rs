@@ -266,6 +266,10 @@ impl Mlp {
     /// and are recycled layer by layer; the returned matrix can be
     /// recycled by the caller once read.
     pub fn infer(&self, store: &ParamStore, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        debug_assert!(
+            x.data.iter().all(|v| v.is_finite()),
+            "non-finite input to Mlp::infer — upstream features or activations are corrupted"
+        );
         let last = self.layers.len() - 1;
         let mut cur: Option<Matrix> = None;
         for (i, layer) in self.layers.iter().enumerate() {

@@ -21,6 +21,8 @@
 //! * [`linalg`] — `f64` Cholesky solver used by the ridge-regression
 //!   baseline.
 
+#![deny(unsafe_code)]
+
 pub mod gradcheck;
 pub mod infer;
 pub mod layers;

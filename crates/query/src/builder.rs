@@ -50,6 +50,14 @@ impl StreamBuilder {
 
     /// Append a comparison filter.
     pub fn filter(mut self, function: FilterFunction, literal: DataType, selectivity: f64) -> Self {
+        debug_assert!(
+            selectivity.is_finite(),
+            "filter selectivity must be finite, got {selectivity}"
+        );
+        // Selectivity is a pass-through probability: clamp into (0, 1] so
+        // a mis-measured value cannot statically kill or multiply the
+        // stream (the diagnostics ZT104 lint flags anything outside).
+        let selectivity = selectivity.clamp(f64::MIN_POSITIVE, 1.0);
         let f = self.plan.add(OperatorKind::Filter(FilterOp {
             function,
             literal_class: literal,
@@ -187,6 +195,23 @@ mod tests {
             .sink("three-way");
         assert!(plan.validate().is_ok());
         assert_eq!(plan.sources().len(), 3);
+    }
+
+    #[test]
+    fn filter_clamps_selectivity_into_unit_interval() {
+        let plan = StreamBuilder::source(100.0, DataType::Int, 2)
+            .filter(FilterFunction::Gt, DataType::Double, 0.0)
+            .filter(FilterFunction::Lt, DataType::Double, 1.7)
+            .sink("clamped");
+        let sels: Vec<f64> = plan
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, crate::OperatorKind::Filter(_)))
+            .map(|o| o.kind.selectivity())
+            .collect();
+        assert!(sels[0] > 0.0, "zero selectivity must be clamped positive");
+        assert_eq!(sels[1], 1.0, "selectivity above 1 must be clamped to 1");
+        assert!(plan.validate().is_ok());
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! * [`benchmarks`] — the public benchmark queries used in the paper's
 //!   Exp. 1 (spike detection, smart-grid local/global).
 
+#![deny(unsafe_code)]
+
 pub mod benchmarks;
 pub mod builder;
 pub mod generator;

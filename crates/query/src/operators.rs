@@ -151,6 +151,10 @@ impl WindowSpec {
     }
 
     pub fn sliding(policy: WindowPolicy, length: f64, slide: f64) -> Self {
+        debug_assert!(
+            slide > 0.0 && slide <= length,
+            "sliding window needs 0 < slide <= length, got slide {slide} for length {length}"
+        );
         WindowSpec {
             policy,
             length,

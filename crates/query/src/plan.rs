@@ -207,8 +207,7 @@ impl LogicalPlan {
                 OperatorKind::Source(s) => s.schema.clone(),
                 OperatorKind::Filter(_) | OperatorKind::Sink(_) => up
                     .first()
-                    .map(|u| schemas[u.idx()].clone())
-                    .unwrap_or_else(|| TupleSchema::new(vec![])),
+                    .map_or_else(|| TupleSchema::new(vec![]), |u| schemas[u.idx()].clone()),
                 OperatorKind::Aggregate(a) => {
                     let mut fields = Vec::with_capacity(3);
                     if let Some(k) = a.key_class {
@@ -221,12 +220,10 @@ impl LogicalPlan {
                 OperatorKind::Join(_) => {
                     let left = up
                         .first()
-                        .map(|u| schemas[u.idx()].clone())
-                        .unwrap_or_else(|| TupleSchema::new(vec![]));
+                        .map_or_else(|| TupleSchema::new(vec![]), |u| schemas[u.idx()].clone());
                     let right = up
                         .get(1)
-                        .map(|u| schemas[u.idx()].clone())
-                        .unwrap_or_else(|| TupleSchema::new(vec![]));
+                        .map_or_else(|| TupleSchema::new(vec![]), |u| schemas[u.idx()].clone());
                     left.concat(&right)
                 }
             };
@@ -246,8 +243,7 @@ impl LogicalPlan {
                     OperatorKind::Source(s) => s.schema.clone(),
                     _ => up
                         .first()
-                        .map(|u| out[u.idx()].clone())
-                        .unwrap_or_else(|| TupleSchema::new(vec![])),
+                        .map_or_else(|| TupleSchema::new(vec![]), |u| out[u.idx()].clone()),
                 }
             })
             .collect()
@@ -377,7 +373,7 @@ impl std::fmt::Display for LogicalPlan {
             let down: Vec<String> = self
                 .downstream(op.id)
                 .iter()
-                .map(|d| d.to_string())
+                .map(ToString::to_string)
                 .collect();
             writeln!(
                 f,
@@ -525,7 +521,13 @@ mod tests {
         let mut p = LogicalPlan::new("bad-window");
         let s = p.add(source(100.0));
         let a = p.add(OperatorKind::Aggregate(AggregateOp {
-            window: WindowSpec::sliding(WindowPolicy::Time, 100.0, 200.0),
+            // Struct literal: `WindowSpec::sliding` debug-asserts
+            // `slide <= length`, and this test needs the invalid spec.
+            window: WindowSpec {
+                policy: WindowPolicy::Time,
+                length: 100.0,
+                slide: Some(200.0),
+            },
             function: AggFunction::Sum,
             agg_class: DataType::Double,
             key_class: None,

@@ -174,8 +174,7 @@ impl ParallelQueryPlan {
             .edges()
             .iter()
             .position(|&(_, d)| d == id)
-            .map(|i| self.partitioning[i])
-            .unwrap_or(Partitioning::Forward)
+            .map_or(Partitioning::Forward, |i| self.partitioning[i])
     }
 
     /// Total number of parallel operator instances (the deployment's task

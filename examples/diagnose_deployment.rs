@@ -1,5 +1,6 @@
-//! Deployment diagnosis: build a query with the fluent builder, simulate
-//! a deliberately under-provisioned deployment, print the per-operator
+//! Deployment diagnosis: build a query with the fluent builder, run the
+//! static diagnostics lints over the candidate deployments, simulate a
+//! deliberately under-provisioned deployment, print the per-operator
 //! cost breakdown, and use occlusion attribution to see which feature
 //! group drives the model's what-if prediction.
 //!
@@ -8,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zerotune::core::dataset::{generate_dataset, GenConfig};
+use zerotune::core::diagnostics::{lint_pqp, Report};
 use zerotune::core::explain::{attribute, Attribution};
 use zerotune::core::features::FeatureMask;
 use zerotune::core::graph::encode;
@@ -51,6 +53,15 @@ fn main() {
 
     // Under-provisioned deployment: everything at parallelism 1.
     let bad = ParallelQueryPlan::new(plan.clone());
+
+    // Static lints run before any simulation: here the P=1 deployment
+    // draws a ZT106 wasted-shuffle warning for the hash-partitioned
+    // keyed aggregation.
+    println!("--- static diagnostics (zt-lint passes, no execution) ---");
+    let report = Report::new(lint_pqp(&bad, Some(&cluster)));
+    print!("{report}");
+    println!("\n");
+
     let m_bad = simulate(&bad, &cluster, &sim, &mut rng);
     println!("--- under-provisioned deployment (P = 1 everywhere) ---");
     print!("{}", diagnose(&bad, &m_bad));

@@ -1,4 +1,6 @@
 //! Facade crate re-exporting the ZeroTune workspace public API.
+#![deny(unsafe_code)]
+
 pub use zt_baselines as baselines;
 pub use zt_core as core;
 pub use zt_dspsim as dspsim;

@@ -105,7 +105,7 @@ impl Bencher {
             return;
         }
         let mut s = self.samples_ns.clone();
-        s.sort_by(|a, b| a.total_cmp(b));
+        s.sort_by(f64::total_cmp);
         let median = s[s.len() / 2];
         let min = s[0];
         let max = s[s.len() - 1];

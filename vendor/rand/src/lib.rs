@@ -250,7 +250,7 @@ pub mod seq {
         }
 
         fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-            self.as_mut_slice().shuffle(rng)
+            self.as_mut_slice().shuffle(rng);
         }
     }
 }

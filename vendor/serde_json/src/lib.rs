@@ -88,7 +88,7 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         Value::Num(n) => write_number(out, *n),
         Value::Str(s) => write_string(out, s),
         Value::Seq(items) => write_block(out, indent, depth, '[', ']', items.len(), |out, i| {
-            write_value(out, &items[i], indent, depth + 1)
+            write_value(out, &items[i], indent, depth + 1);
         }),
         Value::Map(entries) => {
             write_block(out, indent, depth, '{', '}', entries.len(), |out, i| {
@@ -98,8 +98,8 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
                 if indent.is_some() {
                     out.push(' ');
                 }
-                write_value(out, item, indent, depth + 1)
-            })
+                write_value(out, item, indent, depth + 1);
+            });
         }
     }
 }
