@@ -1,0 +1,86 @@
+//! Telemetry overhead microbenches.
+//!
+//! * `telemetry_span_off` / `telemetry_counter_off` — the disabled-mode
+//!   fast path. This is the number that matters: instrumented hot loops
+//!   run with telemetry off by default, so a guard must cost no more
+//!   than an atomic load and a branch (single-digit nanoseconds).
+//! * `telemetry_span_summary_1k` / `telemetry_span_trace_1k` — 1000
+//!   spans plus one registry reset per iteration (reset keeps the
+//!   recording state bounded during the bench); divide by 1000 for the
+//!   per-span cost of the enabled modes.
+//! * `telemetry_off_vs_instrumented_datagen` — end-to-end check that an
+//!   instrumented `generate_dataset_report` with telemetry off performs
+//!   like the uninstrumented baseline did (spans sit outside the
+//!   per-sample loop, so the overhead is per shard, not per sample).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zt_core::datagen::{generate_dataset_report, GenPlan};
+use zt_core::dataset::GenConfig;
+use zt_core::telemetry::{self, Mode};
+
+fn bench_span_off(c: &mut Criterion) {
+    telemetry::set_mode(Mode::Off);
+    c.bench_function("telemetry_span_off", |b| {
+        b.iter(|| {
+            let _g = telemetry::span("bench.overhead");
+            black_box(());
+        });
+    });
+}
+
+fn bench_counter_off(c: &mut Criterion) {
+    telemetry::set_mode(Mode::Off);
+    c.bench_function("telemetry_counter_off", |b| {
+        b.iter(|| telemetry::counter_add("bench.counter", 1));
+    });
+}
+
+fn bench_span_summary(c: &mut Criterion) {
+    telemetry::set_mode(Mode::Summary);
+    c.bench_function("telemetry_span_summary_1k", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _g = telemetry::span("bench.overhead");
+            }
+            telemetry::reset();
+        });
+    });
+    telemetry::set_mode(Mode::Off);
+    telemetry::reset();
+}
+
+fn bench_span_trace(c: &mut Criterion) {
+    telemetry::set_mode(Mode::Trace);
+    c.bench_function("telemetry_span_trace_1k", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _g = telemetry::span("bench.overhead");
+            }
+            telemetry::reset();
+        });
+    });
+    telemetry::set_mode(Mode::Off);
+    telemetry::reset();
+}
+
+fn bench_datagen_off(c: &mut Criterion) {
+    telemetry::set_mode(Mode::Off);
+    let cfg = GenConfig::seen();
+    c.bench_function("telemetry_off_vs_instrumented_datagen", |b| {
+        b.iter(|| {
+            let (data, _) =
+                generate_dataset_report(&cfg, 64, 0xBE7C, &GenPlan::serial().with_shard_size(32));
+            black_box(data.len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_span_off,
+    bench_counter_off,
+    bench_span_summary,
+    bench_span_trace,
+    bench_datagen_off
+);
+criterion_main!(benches);

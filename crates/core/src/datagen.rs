@@ -263,6 +263,7 @@ pub fn generate_dataset_report(
     plan: &GenPlan,
 ) -> (Dataset, GenReport) {
     assert!(!cfg.structures.is_empty(), "no structures configured");
+    let _span = zt_telemetry::span("datagen");
     let shard_size = plan.shard_size.max(1);
     let num_shards = n.div_ceil(shard_size);
     let fingerprint = config_fingerprint(cfg, n, seed, shard_size);
@@ -309,7 +310,11 @@ pub fn generate_dataset_report(
                             let Some(&index) = pending.get(k) else {
                                 break;
                             };
-                            let samples = generate_shard(cfg, n, seed, shard_size, index);
+                            let samples = {
+                                let _shard_span =
+                                    zt_telemetry::span_arg("datagen.shard", || index.to_string());
+                                generate_shard(cfg, n, seed, shard_size, index)
+                            };
                             if let Some(dir) = dir {
                                 store_shard(dir, fingerprint, seed, index, &samples);
                             }
@@ -331,10 +336,13 @@ pub fn generate_dataset_report(
 
     // Merge in shard order — the layout, not the completion order,
     // defines the dataset.
-    let samples = slots
+    let samples: Vec<Sample> = slots
         .into_iter()
         .flat_map(|s| s.expect("every shard resolved"))
         .collect();
+    zt_telemetry::counter_add("datagen.samples", samples.len() as u64);
+    zt_telemetry::counter_add("datagen.shards_generated", report.shards_generated as u64);
+    zt_telemetry::counter_add("datagen.shards_resumed", report.shards_resumed as u64);
     (Dataset::new(samples), report)
 }
 

@@ -35,6 +35,10 @@
 //! * [`diagnostics`] — static lints over plans, feature encodings,
 //!   datasets and model weights (stable `ZTxxx` codes, rustc-style
 //!   reports, strict-mode pre-flight hooks in `train`/`tune`/datagen).
+//! * [`telemetry`] — runtime observability (RAII spans, counters,
+//!   histograms; `ZT_TELEMETRY=off|summary|trace`; Chrome-trace and
+//!   summary-report exporters), instrumented through datagen, training,
+//!   inference, tuning and both simulators.
 
 #![deny(unsafe_code)]
 
@@ -51,6 +55,13 @@ pub mod optimizer;
 pub mod optisample;
 pub mod qerror;
 pub mod train;
+
+/// Runtime telemetry: re-export of the low-level [`zt_telemetry`] crate
+/// (which sits below `zt_dspsim` in the dependency order so the
+/// simulator's hot paths can report into the same registry).
+pub mod telemetry {
+    pub use zt_telemetry::*;
+}
 
 pub use datagen::{generate_dataset_report, generate_dataset_with, shard_seed, GenPlan, GenReport};
 pub use dataset::{generate_dataset, Dataset, GenConfig, Sample, SampleMeta};

@@ -502,34 +502,47 @@ impl CostEstimator for ZeroTuneModel {
     /// threads (each with its own scratch arena). Falls back to a serial
     /// loop on single-core hosts or tiny batches.
     fn predict_batch(&self, graphs: &[GraphEncoding]) -> Vec<CostPrediction> {
+        let _span = zt_telemetry::span_arg("predict.batch", || graphs.len().to_string());
+        zt_telemetry::counter_add("predict.graphs", graphs.len() as u64);
+        let batch_start = std::time::Instant::now();
         let workers = std::thread::available_parallelism()
             .map_or(1, std::num::NonZero::get)
             .min(graphs.len());
-        if workers <= 1 {
+        let out: Vec<CostPrediction> = if workers <= 1 {
             let mut scratch = Scratch::new();
-            return graphs
+            graphs
                 .iter()
                 .map(|g| self.predict_with(g, &mut scratch))
-                .collect();
-        }
-        let chunk = graphs.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = graphs
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || {
-                        let mut scratch = Scratch::new();
-                        part.iter()
-                            .map(|g| self.predict_with(g, &mut scratch))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|hdl| hdl.join().expect("prediction worker panicked"))
                 .collect()
-        })
+        } else {
+            let chunk = graphs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = graphs
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            let _chunk_span =
+                                zt_telemetry::span_arg("predict.chunk", || part.len().to_string());
+                            let mut scratch = Scratch::new();
+                            part.iter()
+                                .map(|g| self.predict_with(g, &mut scratch))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|hdl| hdl.join().expect("prediction worker panicked"))
+                    .collect()
+            })
+        };
+        if !graphs.is_empty() {
+            zt_telemetry::observe(
+                "predict.batch_ms",
+                batch_start.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+        out
     }
 }
 

@@ -174,27 +174,39 @@ pub fn tune<E: CostEstimator + ?Sized>(
     if cfg.strict {
         crate::diagnostics::preflight_tune(plan, cluster).enforce("tune");
     }
+    let _span = zt_telemetry::span("tune");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let candidates = enumerate_candidates(plan, cluster, cfg, &mut rng);
+    let candidates = {
+        let _s = zt_telemetry::span("tune.enumerate");
+        enumerate_candidates(plan, cluster, cfg, &mut rng)
+    };
     assert!(!candidates.is_empty());
+    zt_telemetry::counter_add("tune.candidates", candidates.len() as u64);
 
     // Encode every candidate against the shared context, reusing one
     // mutable PQP (partitioning depends on the parallelism vector, so it
     // must be re-derived after each mutation).
     let ctx = EncodeContext::new(plan, cluster, &cfg.mask);
     let mut pqp = ParallelQueryPlan::new(plan.clone());
-    let graphs: Vec<_> = candidates
-        .iter()
-        .map(|cand| {
-            pqp.parallelism.clone_from(cand);
-            pqp.reset_partitioning();
-            ctx.encode(&pqp, cluster, cfg.chaining)
-        })
-        .collect();
+    let graphs: Vec<_> = {
+        let _s = zt_telemetry::span("tune.encode");
+        candidates
+            .iter()
+            .map(|cand| {
+                pqp.parallelism.clone_from(cand);
+                pqp.reset_partitioning();
+                ctx.encode(&pqp, cluster, cfg.chaining)
+            })
+            .collect()
+    };
 
-    let predictions = est.predict_batch(&graphs);
+    let predictions = {
+        let _s = zt_telemetry::span("tune.score");
+        est.predict_batch(&graphs)
+    };
     debug_assert_eq!(predictions.len(), candidates.len());
 
+    let argmin_span = zt_telemetry::span("tune.argmin");
     let lat_range = predictions
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
@@ -215,6 +227,7 @@ pub fn tune<E: CostEstimator + ?Sized>(
             best = i;
         }
     }
+    drop(argmin_span);
 
     TuningOutcome {
         parallelism: candidates[best].clone(),

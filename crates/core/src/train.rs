@@ -93,6 +93,7 @@ pub fn train(model: &mut ZeroTuneModel, data: &Dataset, cfg: &TrainConfig) -> Tr
     if cfg.strict {
         crate::diagnostics::preflight_train(model, data, cfg.refit_norm).enforce("train");
     }
+    let _span = zt_telemetry::span("train");
     let start = std::time::Instant::now();
     if cfg.refit_norm {
         model.norm = TargetNorm::fit(data.labels());
@@ -123,7 +124,8 @@ pub fn train(model: &mut ZeroTuneModel, data: &Dataset, cfg: &TrainConfig) -> Tr
     let mut best_weights = model.store.clone();
     let mut since_best = 0usize;
 
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let _epoch_span = zt_telemetry::span_arg("train.epoch", || epoch.to_string());
         // Shuffle the epoch order.
         for i in (1..train_order.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -143,7 +145,8 @@ pub fn train(model: &mut ZeroTuneModel, data: &Dataset, cfg: &TrainConfig) -> Tr
                 tape.backward(loss, &mut model.store);
             }
             model.store.scale_grads(1.0 / batch.len() as f32);
-            clip_grad_norm(&mut model.store, cfg.clip);
+            let grad_norm = clip_grad_norm(&mut model.store, cfg.clip);
+            zt_telemetry::observe("train.grad_norm", f64::from(grad_norm));
             opt.step(&mut model.store);
             epoch_loss += batch_loss / batch.len() as f64;
             batch_count += 1;
@@ -151,6 +154,10 @@ pub fn train(model: &mut ZeroTuneModel, data: &Dataset, cfg: &TrainConfig) -> Tr
         report
             .train_loss
             .push(epoch_loss / batch_count.max(1) as f64);
+        zt_telemetry::observe(
+            "train.epoch_loss",
+            *report.train_loss.last().expect("one epoch ran"),
+        );
 
         let vl = if val.is_empty() {
             *report.train_loss.last().expect("one epoch ran")
@@ -158,7 +165,9 @@ pub fn train(model: &mut ZeroTuneModel, data: &Dataset, cfg: &TrainConfig) -> Tr
             eval_loss(model, &val)
         };
         report.val_loss.push(vl);
+        zt_telemetry::observe("train.val_loss", vl);
         report.epochs_run += 1;
+        zt_telemetry::counter_add("train.epochs", 1);
 
         if vl < report.best_val_loss {
             report.best_val_loss = vl;

@@ -319,6 +319,8 @@ pub fn apply_noise<R: Rng + ?Sized>(metrics: &mut QueryMetrics, noise: &NoiseCon
 /// [`crate::simcache::SimCache`].
 pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig) -> QueryMetrics {
     debug_assert!(pqp.validate().is_ok(), "simulate() requires a valid PQP");
+    let _span = zt_telemetry::span("sim.solve");
+    zt_telemetry::counter_add("sim.solves", 1);
     let plan = &pqp.plan;
     let dep = place(pqp, cluster, cfg.chaining);
     let in_schemas = plan.input_schemas();

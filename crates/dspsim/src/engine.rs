@@ -191,6 +191,7 @@ pub fn run<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> EngineMetrics {
     debug_assert!(pqp.validate().is_ok());
+    let _span = zt_telemetry::span("engine.run");
     let plan = &pqp.plan;
     let dep = place(pqp, cluster, cfg.chaining);
     let in_schemas = plan.input_schemas();
@@ -652,6 +653,8 @@ pub fn run<R: Rng + ?Sized>(
     }
 
     let measured = (now.min(cfg.horizon_secs) - warmup).max(1e-9);
+    zt_telemetry::counter_add("engine.source_tuples", source_tuples as u64);
+    zt_telemetry::counter_add("engine.sink_tuples", sink_tuples as u64);
     EngineMetrics {
         latency_mean_ms: sink_latencies.mean(),
         latency_p50_ms: sink_latencies.median(),

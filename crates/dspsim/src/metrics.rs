@@ -1,144 +1,11 @@
 //! Summary-statistics helpers shared by the simulator, the trainer and the
 //! experiment harness.
+//!
+//! The implementation lives in [`zt_telemetry::summary`] so the telemetry
+//! registry's histograms and the simulator share one statistics type
+//! without a dependency cycle; this module re-exports it under the
+//! historical `zt_dspsim::metrics` paths. See the source module for the
+//! pinned edge-case semantics (NaN on empty, 0.0 spread on single-sample
+//! and constant series) and the property tests backing them.
 
-/// Online accumulator for a stream of f64 samples.
-#[derive(Clone, Debug, Default)]
-pub struct Summary {
-    values: Vec<f64>,
-}
-
-impl Summary {
-    pub fn new() -> Self {
-        Summary { values: Vec::new() }
-    }
-
-    pub fn add(&mut self, v: f64) {
-        self.values.push(v);
-    }
-
-    pub fn len(&self) -> usize {
-        self.values.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
-    }
-
-    pub fn mean(&self) -> f64 {
-        if self.values.is_empty() {
-            return f64::NAN;
-        }
-        self.values.iter().sum::<f64>() / self.values.len() as f64
-    }
-
-    pub fn min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::INFINITY, f64::min)
-    }
-
-    pub fn max(&self) -> f64 {
-        self.values
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max)
-    }
-
-    /// Percentile via linear interpolation on the sorted sample
-    /// (`q ∈ [0, 100]`).
-    pub fn percentile(&self, q: f64) -> f64 {
-        percentile(&self.values, q)
-    }
-
-    pub fn median(&self) -> f64 {
-        self.percentile(50.0)
-    }
-
-    pub fn std(&self) -> f64 {
-        if self.values.len() < 2 {
-            return 0.0;
-        }
-        let m = self.mean();
-        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
-            / (self.values.len() - 1) as f64;
-        var.sqrt()
-    }
-
-    pub fn values(&self) -> &[f64] {
-        &self.values
-    }
-}
-
-impl FromIterator<f64> for Summary {
-    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
-        Summary {
-            values: iter.into_iter().collect(),
-        }
-    }
-}
-
-/// Percentile of a sample with linear interpolation (`q ∈ [0, 100]`).
-/// Returns NaN on an empty slice.
-pub fn percentile(values: &[f64], q: f64) -> f64 {
-    if values.is_empty() {
-        return f64::NAN;
-    }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
-    let q = q.clamp(0.0, 100.0) / 100.0;
-    let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    if lo == hi {
-        sorted[lo]
-    } else {
-        let frac = pos - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn basic_stats() {
-        let s: Summary = [1.0, 2.0, 3.0, 4.0, 5.0].into_iter().collect();
-        assert_eq!(s.len(), 5);
-        assert_eq!(s.mean(), 3.0);
-        assert_eq!(s.median(), 3.0);
-        assert_eq!(s.min(), 1.0);
-        assert_eq!(s.max(), 5.0);
-        assert!((s.std() - (2.5f64).sqrt()).abs() < 1e-12);
-    }
-
-    #[test]
-    fn percentile_interpolates() {
-        let v = [10.0, 20.0, 30.0, 40.0];
-        assert_eq!(percentile(&v, 0.0), 10.0);
-        assert_eq!(percentile(&v, 100.0), 40.0);
-        assert_eq!(percentile(&v, 50.0), 25.0);
-        assert!((percentile(&v, 95.0) - 38.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn empty_summary_is_nan() {
-        let s = Summary::new();
-        assert!(s.is_empty());
-        assert!(s.mean().is_nan());
-        assert!(s.percentile(50.0).is_nan());
-    }
-
-    #[test]
-    fn single_value() {
-        let s: Summary = [7.0].into_iter().collect();
-        assert_eq!(s.median(), 7.0);
-        assert_eq!(s.std(), 0.0);
-        assert_eq!(s.percentile(95.0), 7.0);
-    }
-
-    #[test]
-    fn percentile_clamps_out_of_range() {
-        let v = [1.0, 2.0];
-        assert_eq!(percentile(&v, -5.0), 1.0);
-        assert_eq!(percentile(&v, 150.0), 2.0);
-    }
-}
+pub use zt_telemetry::summary::{percentile, Summary};

@@ -131,9 +131,11 @@ impl SimCache {
         let shard = self.shard_of(&key);
         if let Some(m) = shard.lock().expect("simcache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            zt_telemetry::counter_add("sim.cache.hit", 1);
             return m.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        zt_telemetry::counter_add("sim.cache.miss", 1);
         let metrics = simulate_core(pqp, cluster, cfg);
         let mut map = shard.lock().expect("simcache lock");
         if map.len() >= self.capacity / LOCK_SHARDS {

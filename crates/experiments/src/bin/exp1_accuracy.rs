@@ -1,6 +1,6 @@
 //! Exp. 1 runner: Table IV and the Fig. 1/5 architecture comparison.
 //!
-//! Usage: `cargo run --release --bin exp1_accuracy -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict]`
+//! Usage: `cargo run --release --bin exp1_accuracy -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict] [--telemetry[=PATH]]`
 
 use zt_experiments::{exp1, report, Scale};
 
@@ -16,4 +16,5 @@ fn main() {
     if let Ok(path) = report::save_json("exp1_accuracy", &result) {
         eprintln!("saved {}", path.display());
     }
+    zt_experiments::finish_telemetry("exp1_accuracy");
 }

@@ -1,6 +1,6 @@
 //! Exp. 2 runner: Fig. 7a–d parallelism categories and Fig. 6 few-shot.
 //!
-//! Usage: `cargo run --release --bin exp2_parallelism -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict]`
+//! Usage: `cargo run --release --bin exp2_parallelism -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict] [--telemetry[=PATH]]`
 
 use zt_experiments::{exp2, report, Scale};
 
@@ -16,4 +16,5 @@ fn main() {
     if let Ok(path) = report::save_json("exp2_parallelism", &result) {
         eprintln!("saved {}", path.display());
     }
+    zt_experiments::finish_telemetry("exp2_parallelism");
 }

@@ -1,6 +1,6 @@
 //! Exp. 3 runner: Fig. 8a–e generalization over unseen parameters.
 //!
-//! Usage: `cargo run --release --bin exp3_parameters -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict]`
+//! Usage: `cargo run --release --bin exp3_parameters -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict] [--telemetry[=PATH]]`
 
 use zt_experiments::{exp3, report, Scale};
 
@@ -16,4 +16,5 @@ fn main() {
     if let Ok(path) = report::save_json("exp3_parameters", &result) {
         eprintln!("saved {}", path.display());
     }
+    zt_experiments::finish_telemetry("exp3_parameters");
 }

@@ -1,6 +1,6 @@
 //! Exp. 4 runner: Fig. 9a–b data-efficient training.
 //!
-//! Usage: `cargo run --release --bin exp4_efficiency -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict]`
+//! Usage: `cargo run --release --bin exp4_efficiency -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict] [--telemetry[=PATH]]`
 
 use zt_experiments::{exp4, report, Scale};
 
@@ -21,4 +21,5 @@ fn main() {
     if let Ok(path) = report::save_json("exp4_efficiency", &result) {
         eprintln!("saved {}", path.display());
     }
+    zt_experiments::finish_telemetry("exp4_efficiency");
 }

@@ -1,6 +1,6 @@
 //! Exp. 5 runner: Fig. 10a–b optimizer comparison (greedy, Dhalion).
 //!
-//! Usage: `cargo run --release --bin exp5_optimizer -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict]`
+//! Usage: `cargo run --release --bin exp5_optimizer -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict] [--telemetry[=PATH]]`
 
 use zt_experiments::{exp5, report, Scale};
 
@@ -16,4 +16,5 @@ fn main() {
     if let Ok(path) = report::save_json("exp5_optimizer", &result) {
         eprintln!("saved {}", path.display());
     }
+    zt_experiments::finish_telemetry("exp5_optimizer");
 }

@@ -1,6 +1,6 @@
 //! Exp. 6 runner: Fig. 11 feature ablation.
 //!
-//! Usage: `cargo run --release --bin exp6_ablation -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict]`
+//! Usage: `cargo run --release --bin exp6_ablation -- [--scale smoke|standard|full] [--workers N] [--resume[=DIR]] [--strict] [--telemetry[=PATH]]`
 
 use zt_experiments::{exp6, report, Scale};
 
@@ -16,4 +16,5 @@ fn main() {
     if let Ok(path) = report::save_json("exp6_ablation", &result) {
         eprintln!("saved {}", path.display());
     }
+    zt_experiments::finish_telemetry("exp6_ablation");
 }

@@ -1,10 +1,11 @@
 //! Fig. 3 runner: parallelism/operator-grouping micro-benchmark.
 //!
-//! Usage: `cargo run --release --bin fig3_microbench [-- rate workers]`
+//! Usage: `cargo run --release --bin fig3_microbench [-- rate workers] [--telemetry[=PATH]]`
 
 use zt_experiments::{fig3, report};
 
 fn main() {
+    zt_experiments::apply_datagen_cli();
     let args: Vec<String> = std::env::args().collect();
     let rate: f64 = args
         .get(1)
@@ -16,4 +17,5 @@ fn main() {
     if let Ok(path) = report::save_json("fig3_microbench", &result) {
         eprintln!("saved {}", path.display());
     }
+    zt_experiments::finish_telemetry("fig3_microbench");
 }

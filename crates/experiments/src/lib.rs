@@ -129,10 +129,14 @@ pub struct DatagenArgs {
     /// `--strict`: run the diagnostics pre-flight in datagen / training /
     /// tuning and abort on `Error`-severity findings.
     pub strict: bool,
+    /// `--telemetry` (trace to the default path) / `--telemetry=PATH`.
+    /// `None` leaves the `ZT_TELEMETRY` environment variable in charge.
+    pub telemetry: Option<Option<String>>,
 }
 
 impl DatagenArgs {
-    /// Parse `--workers` / `--resume` / `--strict` from an argument list.
+    /// Parse `--workers` / `--resume` / `--strict` / `--telemetry` from
+    /// an argument list.
     pub fn parse(args: &[String]) -> Self {
         let mut out = DatagenArgs::default();
         for (i, a) in args.iter().enumerate() {
@@ -146,21 +150,28 @@ impl DatagenArgs {
                 out.resume_dir = Some(v.to_string());
             } else if a == "--strict" {
                 out.strict = true;
+            } else if a == "--telemetry" {
+                out.telemetry = Some(None);
+            } else if let Some(v) = a.strip_prefix("--telemetry=") {
+                out.telemetry = Some(Some(v.to_string()));
             }
         }
         out
     }
 }
 
-/// Map the shared `--workers N` / `--resume[=DIR]` / `--strict` CLI
-/// flags onto the `ZT_DATAGEN_WORKERS` / `ZT_DATAGEN_RESUME` /
-/// `ZT_STRICT` environment variables read by
-/// [`zt_core::datagen::GenPlan::from_env`] and
-/// [`zt_core::diagnostics::strict_from_env`], so every
-/// `generate_dataset` / `train` / `tune` call inside the experiment —
-/// including nested ones in the exp modules — inherits the worker count,
-/// the resumable shard directory and the strict pre-flight mode. Call
-/// this first thing in an experiment `main`.
+/// Map the shared `--workers N` / `--resume[=DIR]` / `--strict` /
+/// `--telemetry[=PATH]` CLI flags onto the `ZT_DATAGEN_WORKERS` /
+/// `ZT_DATAGEN_RESUME` / `ZT_STRICT` / `ZT_TELEMETRY`(`_PATH`)
+/// environment variables read by
+/// [`zt_core::datagen::GenPlan::from_env`],
+/// [`zt_core::diagnostics::strict_from_env`] and
+/// [`zt_core::telemetry::init_from_env`], so every `generate_dataset` /
+/// `train` / `tune` call inside the experiment — including nested ones
+/// in the exp modules — inherits the worker count, the resumable shard
+/// directory, the strict pre-flight mode and the telemetry level. Call
+/// this first thing in an experiment `main`; pair with
+/// [`finish_telemetry`] last thing.
 pub fn apply_datagen_cli() {
     let args: Vec<String> = std::env::args().collect();
     let parsed = DatagenArgs::parse(&args);
@@ -174,6 +185,49 @@ pub fn apply_datagen_cli() {
     if parsed.strict {
         std::env::set_var("ZT_STRICT", "1");
         eprintln!("diagnostics: strict pre-flight enabled");
+    }
+    if let Some(path) = parsed.telemetry {
+        std::env::set_var("ZT_TELEMETRY", "trace");
+        if let Some(p) = path {
+            std::env::set_var("ZT_TELEMETRY_PATH", p);
+        }
+        eprintln!("telemetry: trace mode enabled");
+    }
+    // Telemetry may already have self-initialized from a pre-existing
+    // ZT_TELEMETRY value; re-read so the flags above take effect.
+    zt_core::telemetry::init_from_env();
+}
+
+/// End-of-run telemetry flush for the experiment binaries: print the
+/// summary report and, in trace mode, write the Chrome-trace JSON to
+/// `ZT_TELEMETRY_PATH` (default `results/<bin>-trace.json`). Call last
+/// thing in an experiment `main`. No-op when telemetry is off.
+pub fn finish_telemetry(bin: &str) {
+    use zt_core::telemetry as tel;
+    match tel::mode() {
+        tel::Mode::Off => {}
+        tel::Mode::Summary => eprint!("{}", tel::snapshot().summary_report()),
+        tel::Mode::Trace => {
+            let snap = tel::snapshot();
+            eprint!("{}", snap.summary_report());
+            let path = std::env::var("ZT_TELEMETRY_PATH")
+                .ok()
+                .filter(|p| !p.trim().is_empty())
+                .map_or_else(
+                    || std::path::PathBuf::from("results").join(format!("{bin}-trace.json")),
+                    std::path::PathBuf::from,
+                );
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(&path, snap.chrome_trace_json()) {
+                Ok(()) => eprintln!(
+                    "telemetry: Chrome trace written to {} (load in chrome://tracing or https://ui.perfetto.dev)",
+                    path.display()
+                ),
+                Err(e) => eprintln!("telemetry: could not write {}: {e}", path.display()),
+            }
+        }
     }
 }
 
@@ -236,6 +290,11 @@ mod tests {
         assert!(!b.strict);
         let c = DatagenArgs::parse(&args(&["exp", "--strict"]));
         assert!(c.strict);
+        assert_eq!(c.telemetry, None);
+        let d = DatagenArgs::parse(&args(&["exp", "--telemetry"]));
+        assert_eq!(d.telemetry, Some(None));
+        let e = DatagenArgs::parse(&args(&["exp", "--telemetry=/tmp/t.json"]));
+        assert_eq!(e.telemetry, Some(Some("/tmp/t.json".to_string())));
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Chrome-trace-format exporter.
+//!
+//! Produces the JSON-object flavor of the [Trace Event Format] — a
+//! `traceEvents` array of duration (`B`/`E`) and counter (`C`) events —
+//! which loads directly in `chrome://tracing` and
+//! <https://ui.perfetto.dev>.
+//!
+//! The vendored serde shim has no field-rename attribute and its `Value`
+//! tree does not implement `Serialize` itself, so the event structs
+//! (de)serialize manually into `serde::Value` maps; that also keeps the
+//! short lowercase keys (`ph`, `ts`, `pid`, `tid`) the format requires.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use serde::{field, DeError, Deserialize, Serialize, Value};
+
+use crate::Snapshot;
+#[cfg(test)]
+use crate::TraceEvent;
+
+/// Argument value attached to an event's `args` object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    Str(String),
+    Num(f64),
+}
+
+impl Serialize for ArgValue {
+    fn to_value(&self) -> Value {
+        match self {
+            ArgValue::Str(s) => Value::Str(s.clone()),
+            ArgValue::Num(n) => Value::Num(*n),
+        }
+    }
+}
+
+impl Deserialize for ArgValue {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(ArgValue::Str(s.clone())),
+            Value::Num(n) => Ok(ArgValue::Num(*n)),
+            _ => Err(DeError::custom("expected string or number arg")),
+        }
+    }
+}
+
+/// One Chrome trace event (`ph` ∈ {`B`, `E`, `C`}).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChromeEvent {
+    pub name: String,
+    /// Event category (always `"zt"` here).
+    pub cat: String,
+    /// Phase: `B` begin, `E` end, `C` counter.
+    pub ph: char,
+    /// Timestamp in microseconds since the trace epoch.
+    pub ts: u64,
+    pub pid: u64,
+    pub tid: u64,
+    /// `args` object entries; empty means the key is omitted.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl Serialize for ChromeEvent {
+    fn to_value(&self) -> Value {
+        let mut m = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("cat".to_string(), Value::Str(self.cat.clone())),
+            ("ph".to_string(), Value::Str(self.ph.to_string())),
+            ("ts".to_string(), Value::Num(self.ts as f64)),
+            ("pid".to_string(), Value::Num(self.pid as f64)),
+            ("tid".to_string(), Value::Num(self.tid as f64)),
+        ];
+        if !self.args.is_empty() {
+            m.push((
+                "args".to_string(),
+                Value::Map(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_value()))
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for ChromeEvent {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map().ok_or_else(|| DeError::custom("expected map"))?;
+        let ph: String = field(m, "ph")?;
+        let mut args = Vec::new();
+        if let Some(a) = v.get("args") {
+            for (k, av) in a
+                .as_map()
+                .ok_or_else(|| DeError::custom("args must be a map"))?
+            {
+                args.push((k.clone(), ArgValue::from_value(av)?));
+            }
+        }
+        Ok(ChromeEvent {
+            name: field(m, "name")?,
+            cat: field(m, "cat")?,
+            ph: ph
+                .chars()
+                .next()
+                .ok_or_else(|| DeError::custom("empty ph"))?,
+            ts: field(m, "ts")?,
+            pid: field(m, "pid")?,
+            tid: field(m, "tid")?,
+            args,
+        })
+    }
+}
+
+/// A whole trace: the `traceEvents` wrapper object.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChromeTrace {
+    pub events: Vec<ChromeEvent>,
+}
+
+impl Serialize for ChromeTrace {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "traceEvents".to_string(),
+                Value::Seq(self.events.iter().map(Serialize::to_value).collect()),
+            ),
+            ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        ])
+    }
+}
+
+impl Deserialize for ChromeTrace {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let seq = v
+            .get("traceEvents")
+            .and_then(Value::as_seq)
+            .ok_or_else(|| DeError::custom("missing traceEvents array"))?;
+        Ok(ChromeTrace {
+            events: seq
+                .iter()
+                .map(ChromeEvent::from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl ChromeTrace {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("chrome trace serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl Snapshot {
+    /// Build the Chrome trace: begin/end events in recorded order (end
+    /// events get their span's name back by replaying each thread's
+    /// stack), plus one final `C` event per counter.
+    pub fn chrome_trace(&self) -> ChromeTrace {
+        let mut stacks: std::collections::BTreeMap<usize, Vec<&str>> =
+            std::collections::BTreeMap::new();
+        let mut events = Vec::with_capacity(self.events.len() + self.counters.len());
+        let mut max_ts = 0u64;
+        for e in &self.events {
+            max_ts = max_ts.max(e.ts_us);
+            let stack = stacks.entry(e.tid).or_default();
+            let name = if e.begin {
+                stack.push(e.name);
+                e.name
+            } else {
+                // An end without a begin (reset mid-span) is dropped.
+                match stack.pop() {
+                    Some(n) => n,
+                    None => continue,
+                }
+            };
+            let args = match (&e.arg, e.begin) {
+                (Some(a), true) => vec![("arg".to_string(), ArgValue::Str(a.clone()))],
+                _ => Vec::new(),
+            };
+            events.push(ChromeEvent {
+                name: name.to_string(),
+                cat: "zt".to_string(),
+                ph: if e.begin { 'B' } else { 'E' },
+                ts: e.ts_us,
+                pid: 1,
+                tid: e.tid as u64,
+                args,
+            });
+        }
+        // Dangling begins (spans still open at snapshot time) get a
+        // closing end at the trace horizon so viewers can render them.
+        for (tid, stack) in &stacks {
+            for name in stack.iter().rev() {
+                events.push(ChromeEvent {
+                    name: (*name).to_string(),
+                    cat: "zt".to_string(),
+                    ph: 'E',
+                    ts: max_ts,
+                    pid: 1,
+                    tid: *tid as u64,
+                    args: Vec::new(),
+                });
+            }
+        }
+        for (name, value) in &self.counters {
+            events.push(ChromeEvent {
+                name: name.clone(),
+                cat: "zt".to_string(),
+                ph: 'C',
+                ts: max_ts,
+                pid: 1,
+                tid: 0,
+                args: vec![("value".to_string(), ArgValue::Num(*value as f64))],
+            });
+        }
+        ChromeTrace { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        // Two threads: tid 0 nests a/b, tid 1 runs c; one counter.
+        let ev = |name: &'static str, tid: usize, ts_us: u64, begin: bool| TraceEvent {
+            name,
+            arg: (name == "b" && begin).then(|| "42".to_string()),
+            tid,
+            ts_us,
+            begin,
+        };
+        Snapshot {
+            events: vec![
+                ev("a", 0, 10, true),
+                ev("c", 1, 12, true),
+                ev("b", 0, 20, true),
+                ev("", 0, 30, false),
+                ev("", 1, 35, false),
+                ev("", 0, 40, false),
+            ],
+            counters: [("n.things".to_string(), 7u64)].into_iter().collect(),
+            ..Snapshot::default()
+        }
+    }
+
+    #[test]
+    fn json_round_trips_and_is_non_empty() {
+        let trace = sample_snapshot().chrome_trace();
+        let json = trace.to_json();
+        assert!(json.contains("traceEvents"));
+        let back = ChromeTrace::from_json(&json).expect("round trip");
+        assert_eq!(back, trace);
+        assert!(!back.events.is_empty());
+    }
+
+    #[test]
+    fn ts_is_monotone_per_thread() {
+        let trace = sample_snapshot().chrome_trace();
+        let mut last: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for e in trace.events.iter().filter(|e| e.ph != 'C') {
+            let prev = last.insert(e.tid, e.ts);
+            if let Some(p) = prev {
+                assert!(e.ts >= p, "ts went backwards on tid {}", e.tid);
+            }
+        }
+    }
+
+    #[test]
+    fn every_begin_has_a_matching_end() {
+        let trace = sample_snapshot().chrome_trace();
+        let mut stacks: std::collections::BTreeMap<u64, Vec<String>> =
+            std::collections::BTreeMap::new();
+        for e in &trace.events {
+            match e.ph {
+                'B' => stacks.entry(e.tid).or_default().push(e.name.clone()),
+                'E' => {
+                    let open = stacks.get_mut(&e.tid).and_then(Vec::pop);
+                    assert_eq!(open.as_deref(), Some(e.name.as_str()), "unbalanced E");
+                }
+                _ => {}
+            }
+        }
+        assert!(stacks.values().all(Vec::is_empty), "unclosed B events");
+    }
+
+    #[test]
+    fn dangling_begins_are_closed_at_the_horizon() {
+        let mut snap = sample_snapshot();
+        snap.events.truncate(3); // three begins, no ends
+        let trace = snap.chrome_trace();
+        let ends: Vec<_> = trace.events.iter().filter(|e| e.ph == 'E').collect();
+        assert_eq!(ends.len(), 3);
+        assert!(ends.iter().all(|e| e.ts == 20));
+    }
+
+    #[test]
+    fn counter_events_carry_values() {
+        let trace = sample_snapshot().chrome_trace();
+        let c = trace
+            .events
+            .iter()
+            .find(|e| e.ph == 'C')
+            .expect("counter event");
+        assert_eq!(c.name, "n.things");
+        assert_eq!(c.args, vec![("value".to_string(), ArgValue::Num(7.0))]);
+    }
+
+    #[test]
+    fn end_without_begin_is_dropped() {
+        let snap = Snapshot {
+            events: vec![TraceEvent {
+                name: "",
+                arg: None,
+                tid: 0,
+                ts_us: 5,
+                begin: false,
+            }],
+            ..Snapshot::default()
+        };
+        assert!(snap.chrome_trace().events.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Smoke tests for the six experiment binaries' library entry points:
+//! run each on a tiny [`Scale`] with telemetry in trace mode, then
+//! assert the run succeeded and the recorded trace exports to parseable
+//! Chrome-trace JSON (written to a temp file and read back, mirroring
+//! the `--telemetry=PATH` flow of the binaries).
+//!
+//! The telemetry registry is process-global, so the tests serialize
+//! behind one mutex and always restore `Mode::Off`.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use zerotune::core::telemetry::{self, ChromeTrace, Mode};
+use zerotune::experiments::Scale;
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tiny(seed: u64) -> Scale {
+    Scale {
+        name: "tiny",
+        train_queries: 120,
+        test_per_group: 8,
+        epochs: 4,
+        hidden: 16,
+        seed,
+    }
+}
+
+fn trace_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("zt-smoke-{}-{}.json", tag, std::process::id()))
+}
+
+/// Run `body` with telemetry tracing, then round-trip the snapshot
+/// through a trace file on disk and return the parsed trace.
+fn smoke<T>(tag: &str, body: impl FnOnce() -> T) -> (T, ChromeTrace, telemetry::Snapshot) {
+    let _l = lock();
+    telemetry::set_mode(Mode::Trace);
+    telemetry::reset();
+    let out = body();
+    let snap = telemetry::snapshot();
+    telemetry::set_mode(Mode::Off);
+    telemetry::reset();
+
+    let path = trace_path(tag);
+    std::fs::write(&path, snap.chrome_trace_json()).expect("trace file writes");
+    let json = std::fs::read_to_string(&path).expect("trace file reads");
+    let _ = std::fs::remove_file(&path);
+    let trace = ChromeTrace::from_json(&json).expect("trace JSON parses");
+    assert!(!trace.events.is_empty(), "{tag}: empty trace");
+    (out, trace, snap)
+}
+
+#[test]
+fn exp1_accuracy_smoke_traces() {
+    let (res, _, snap) = smoke("exp1", || zerotune::experiments::exp1::run(&tiny(0xE1)));
+    assert!(!res.table4.is_empty());
+    assert!(snap.counters["train.epochs"] >= 4);
+}
+
+#[test]
+fn exp2_parallelism_smoke_traces() {
+    let (res, _, _) = smoke("exp2", || zerotune::experiments::exp2::run(&tiny(0xE2)));
+    assert!(!res.categories.is_empty());
+}
+
+#[test]
+fn exp3_parameters_smoke_traces() {
+    let (res, _, _) = smoke("exp3", || zerotune::experiments::exp3::run(&tiny(0xE3)));
+    assert!(!res.rows.is_empty());
+}
+
+#[test]
+fn exp4_efficiency_smoke_traces() {
+    let (res, _, snap) = smoke("exp4", || zerotune::experiments::exp4::run(&tiny(0xE4)));
+    assert!(!res.rows.is_empty());
+    assert!(snap.counters["datagen.samples"] > 0);
+}
+
+#[test]
+fn exp5_optimizer_smoke_traces() {
+    // Mirrors the PR acceptance criterion: the exp5 trace must contain
+    // spans for datagen shards, training epochs, and candidate scoring.
+    let (res, trace, snap) = smoke("exp5", || zerotune::experiments::exp5::run(&tiny(0xE5)));
+    assert!(!res.rows.is_empty());
+    let paths = snap.span_paths();
+    for needle in ["datagen.shard", "train/train.epoch", "tune/tune.score"] {
+        assert!(
+            paths.iter().any(|p| p.contains(needle)),
+            "exp5 trace lacks `{needle}` spans; got {} paths",
+            paths.len()
+        );
+    }
+    assert!(snap.counters["tune.candidates"] > 0);
+    assert!(trace.events.iter().any(|e| e.ph == 'C'));
+}
+
+#[test]
+fn exp6_ablation_smoke_traces() {
+    let (res, _, _) = smoke("exp6", || zerotune::experiments::exp6::run(&tiny(0xE6)));
+    assert!(!res.rows.is_empty());
+}
+
+#[test]
+fn fig3_microbench_smoke_traces() {
+    let (res, _, snap) = smoke("fig3", || zerotune::experiments::fig3::run(1000.0, 2));
+    assert!(!res.points.is_empty());
+    assert!(snap.counters["sim.solves"] > 0);
+}

@@ -1,0 +1,214 @@
+//! Telemetry golden-trace and overhead tests.
+//!
+//! * **Golden trace** — the same seeded mini train+tune pipeline run
+//!   twice with telemetry on must produce the identical canonical form
+//!   (span tree structure, span/counter names, counter values — never
+//!   durations), and the canonical form must not depend on the datagen
+//!   worker count (PR 2's determinism contract lifted to telemetry).
+//! * **Overhead / non-interference** — with `ZT_TELEMETRY=off` (and in
+//!   fact in *any* mode) the generated datasets and trained model
+//!   weights are bitwise identical: telemetry never touches an RNG
+//!   stream or a label.
+//!
+//! The registry is process-global, so every test here serializes behind
+//! one mutex and resets at quiescent points.
+
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerotune::core::datagen::{generate_dataset_with, GenPlan};
+use zerotune::core::dataset::GenConfig;
+use zerotune::core::model::{ModelConfig, ZeroTuneModel};
+use zerotune::core::optimizer::{tune, OptimizerConfig};
+use zerotune::core::telemetry::{self, Mode};
+use zerotune::core::train::{train, TrainConfig};
+use zerotune::dspsim::cluster::{Cluster, ClusterType};
+use zerotune::query::{QueryGenerator, QueryStructure};
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn mini_train_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        patience: 0,
+        seed: 7,
+        ..TrainConfig::default()
+    }
+}
+
+/// One seeded mini pipeline: sharded datagen → train → tune.
+fn run_pipeline(datagen_workers: usize) -> (String, telemetry::Snapshot) {
+    telemetry::reset();
+    let cfg = GenConfig::seen();
+    let plan = GenPlan::serial()
+        .with_workers(datagen_workers)
+        .with_shard_size(8);
+    let data = generate_dataset_with(&cfg, 24, 0x90_1D, &plan);
+
+    let mut model = ZeroTuneModel::new(ModelConfig {
+        hidden: 16,
+        seed: 1,
+    });
+    train(&mut model, &data, &mini_train_cfg());
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let query = QueryGenerator::seen().generate(QueryStructure::Linear, &mut rng);
+    let cluster = Cluster::homogeneous(ClusterType::M510, 2, 10.0);
+    tune(&model, &query, &cluster, &OptimizerConfig::default());
+
+    let snap = telemetry::snapshot();
+    (snap.canonical(), snap)
+}
+
+#[test]
+fn golden_trace_is_identical_across_runs() {
+    let _l = lock();
+    telemetry::set_mode(Mode::Trace);
+    let (first, snap) = run_pipeline(1);
+    let (second, _) = run_pipeline(1);
+    telemetry::set_mode(Mode::Off);
+    telemetry::reset();
+    assert!(!first.is_empty(), "canonical form is empty");
+    assert_eq!(first, second, "same seeded run produced different traces");
+    // The canonical form names every instrumented layer.
+    for needle in [
+        "span datagen",
+        "span datagen.shard[0]",
+        "span datagen.shard/sim.solve",
+        "span train",
+        "span train/train.epoch[0]",
+        "span tune",
+        "span tune/tune.enumerate",
+        "span tune/tune.score",
+        "counter datagen.samples = 24",
+        "counter train.epochs = 3",
+        "counter tune.candidates = ",
+        "hist train.grad_norm",
+    ] {
+        assert!(
+            first.contains(needle),
+            "canonical form lacks `{needle}`:\n{first}"
+        );
+    }
+    assert_eq!(snap.counters["datagen.shards_generated"], 3);
+    assert_eq!(snap.counters["datagen.shards_resumed"], 0);
+    assert!(snap.counters["sim.solves"] >= 24);
+    assert!(snap.counters["tune.candidates"] > 10);
+    // histograms carry one sample per epoch
+    assert_eq!(snap.histograms["train.epoch_loss"].len(), 3);
+    assert_eq!(snap.histograms["train.val_loss"].len(), 3);
+}
+
+#[test]
+fn golden_trace_is_identical_across_datagen_worker_counts() {
+    let _l = lock();
+    telemetry::set_mode(Mode::Trace);
+    let (serial, _) = run_pipeline(1);
+    let (parallel, _) = run_pipeline(4);
+    telemetry::set_mode(Mode::Off);
+    telemetry::reset();
+    assert_eq!(
+        serial, parallel,
+        "datagen worker count leaked into the span tree / counters"
+    );
+}
+
+/// Datasets and model weights must be bitwise identical whatever the
+/// telemetry mode — recording must never perturb RNG streams or labels.
+#[test]
+fn telemetry_mode_never_changes_datasets_or_models() {
+    let _l = lock();
+    let run = |mode: Mode| {
+        telemetry::set_mode(mode);
+        telemetry::reset();
+        let data = generate_dataset_with(
+            &GenConfig::seen(),
+            16,
+            0xB17,
+            &GenPlan::serial().with_shard_size(8).with_workers(2),
+        );
+        let mut model = ZeroTuneModel::new(ModelConfig {
+            hidden: 16,
+            seed: 2,
+        });
+        train(&mut model, &data, &mini_train_cfg());
+        (
+            serde_json::to_string(&data).expect("dataset serializes"),
+            model.to_json(),
+        )
+    };
+    let (data_off, model_off) = run(Mode::Off);
+    let (data_summary, model_summary) = run(Mode::Summary);
+    let (data_trace, model_trace) = run(Mode::Trace);
+    telemetry::set_mode(Mode::Off);
+    telemetry::reset();
+    assert_eq!(data_off, data_summary, "summary mode changed the dataset");
+    assert_eq!(data_off, data_trace, "trace mode changed the dataset");
+    assert_eq!(model_off, model_summary, "summary mode changed the model");
+    assert_eq!(model_off, model_trace, "trace mode changed the model");
+}
+
+/// Off mode really records nothing, even across threads.
+#[test]
+fn off_mode_snapshot_stays_empty_through_a_pipeline() {
+    let _l = lock();
+    telemetry::set_mode(Mode::Off);
+    telemetry::reset();
+    let data = generate_dataset_with(
+        &GenConfig::seen(),
+        8,
+        0x0FF,
+        &GenPlan::serial().with_shard_size(4).with_workers(2),
+    );
+    assert_eq!(data.len(), 8);
+    assert!(telemetry::snapshot().is_empty());
+}
+
+/// The Chrome trace of a real run parses back, is non-empty, keeps
+/// per-thread timestamps monotone and balances every B with an E.
+#[test]
+fn chrome_trace_of_real_run_is_well_formed() {
+    let _l = lock();
+    telemetry::set_mode(Mode::Trace);
+    let (_, snap) = run_pipeline(2);
+    telemetry::set_mode(Mode::Off);
+    telemetry::reset();
+
+    let json = snap.chrome_trace_json();
+    let trace = telemetry::ChromeTrace::from_json(&json).expect("trace JSON parses");
+    assert!(!trace.events.is_empty());
+
+    let mut last_ts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> =
+        std::collections::BTreeMap::new();
+    for e in &trace.events {
+        if e.ph != 'C' {
+            if let Some(prev) = last_ts.insert(e.tid, e.ts) {
+                assert!(prev <= e.ts, "ts regressed on tid {}", e.tid);
+            }
+        }
+        match e.ph {
+            'B' => stacks.entry(e.tid).or_default().push(e.name.clone()),
+            'E' => {
+                let open = stacks.get_mut(&e.tid).and_then(Vec::pop);
+                assert_eq!(
+                    open.as_deref(),
+                    Some(e.name.as_str()),
+                    "E without matching B"
+                );
+            }
+            'C' => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert!(
+        stacks.values().all(Vec::is_empty),
+        "unclosed spans in trace"
+    );
+}
