@@ -21,6 +21,7 @@
 //! | ZT2xx | ZT201–ZT205 | [`GraphEncoding`] feature vectors |
 //! | ZT3xx | ZT301–ZT305 | [`Dataset`] labels and structure |
 //! | ZT4xx | ZT401–ZT406 | [`ZeroTuneModel`] weights and normalization |
+//! | ZT5xx | ZT501–ZT504 | [`BoundsReport`](crate::bounds::BoundsReport) interval cross-checks |
 //!
 //! The passes run **without executing anything** — no simulation, no
 //! forward pass (the one exception is
@@ -158,6 +159,7 @@ impl std::fmt::Display for Diagnostic {
 }
 
 /// A collected set of diagnostics with rustc-style rendering.
+#[must_use = "a diagnostics report is inert until rendered, inspected or enforce()d"]
 #[derive(Clone, Default, Debug)]
 pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
@@ -359,6 +361,26 @@ pub const REGISTRY: &[CodeInfo] = &[
         code: "ZT406",
         severity: Severity::Error,
         summary: "model produced a non-finite prediction",
+    },
+    CodeInfo {
+        code: "ZT501",
+        severity: Severity::Warning,
+        summary: "prediction below the provable latency lower bound",
+    },
+    CodeInfo {
+        code: "ZT502",
+        severity: Severity::Warning,
+        summary: "prediction above the provable throughput upper bound",
+    },
+    CodeInfo {
+        code: "ZT503",
+        severity: Severity::Error,
+        summary: "deployed plan is provably infeasible (utilization lower bound >= 1)",
+    },
+    CodeInfo {
+        code: "ZT504",
+        severity: Severity::Error,
+        summary: "vacuous or inverted bounds interval",
     },
 ];
 
@@ -1052,6 +1074,106 @@ pub fn lint_model_against(model: &ZeroTuneModel, data: &Dataset) -> Vec<Diagnost
                 ),
             ));
         }
+    }
+    out
+}
+
+// --- Bounds lints (ZT5xx) ------------------------------------------------
+
+/// Multiplicative slack applied before flagging a prediction against a
+/// provable bound (ZT501/ZT502). The simulator labels carry lognormal
+/// measurement noise (σ ≈ 0.08–0.11 in log space), so a prediction can
+/// legitimately sit a little outside the *noiseless* bracket; 1.5× is
+/// ≈ 4σ — anything beyond it contradicts queueing physics, not noise.
+pub const BOUNDS_PREDICTION_SLACK: f64 = 1.5;
+
+/// Lint a [`BoundsReport`](crate::bounds::BoundsReport) on its own:
+/// interval well-formedness (ZT504) and provable infeasibility of the
+/// analyzed deployment (ZT503).
+///
+/// ZT503 is an `Error` here — deploying a plan whose utilization *lower*
+/// bound is ≥ 1 guarantees backpressure collapse. The optimizer's strict
+/// cross-check downgrades it to a warning when every candidate is
+/// infeasible (the tuner still has to pick the least-bad deployment).
+pub fn lint_bounds_report(report: &crate::bounds::BoundsReport) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut bad_interval = |what: String, iv: crate::bounds::Interval, anchor: Option<Anchor>| {
+        if !iv.is_wellformed() {
+            let mut d = Diagnostic::error(
+                "ZT504",
+                format!(
+                    "{what} interval [{}, {}] is vacuous or inverted",
+                    iv.lo, iv.hi
+                ),
+            );
+            if let Some(a) = anchor {
+                d = d.at(a);
+            }
+            out.push(d);
+        }
+    };
+    for (name, iv) in report.headline_intervals() {
+        bad_interval(name.to_string(), iv, None);
+    }
+    for (i, op) in report.per_op.iter().enumerate() {
+        let anchor = Anchor::Op(OpId(u32::try_from(i).unwrap_or(u32::MAX)));
+        for (name, iv) in [
+            ("input_rate", op.input_rate),
+            ("output_rate", op.output_rate),
+            ("work_us", op.work_us),
+            ("utilization", op.utilization),
+            ("sojourn_ms", op.sojourn_ms),
+            ("residence_ms", op.residence_ms),
+        ] {
+            bad_interval(format!("per-op {name}"), iv, Some(anchor.clone()));
+        }
+    }
+    if report.infeasible() {
+        out.push(Diagnostic::error(
+            "ZT503",
+            format!(
+                "deployed plan is provably infeasible: utilization lower bound {:.3} >= 1 at \
+                 offered rate {:.0}/s — guaranteed backpressure collapse",
+                report.utilization.lo, report.offered_rate
+            ),
+        ));
+    }
+    out
+}
+
+/// Cross-check a model prediction against the provable brackets: ZT501
+/// when the predicted latency sits below the latency lower bound and
+/// ZT502 when the predicted throughput exceeds the throughput upper
+/// bound, each beyond [`BOUNDS_PREDICTION_SLACK`].
+///
+/// Both are warnings: the model is wrong, but the tuner can still rank
+/// candidates with it — the findings tell the operator the model is
+/// extrapolating outside its trained envelope.
+pub fn lint_prediction_bounds(
+    report: &crate::bounds::BoundsReport,
+    prediction: &crate::estimator::CostPrediction,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if prediction.latency_ms * BOUNDS_PREDICTION_SLACK < report.latency_ms.lo {
+        out.push(Diagnostic::warning(
+            "ZT501",
+            format!(
+                "predicted latency {:.3} ms is below the provable lower bound {:.3} ms \
+                 (beyond the {BOUNDS_PREDICTION_SLACK}x noise slack) — the model contradicts \
+                 queueing physics",
+                prediction.latency_ms, report.latency_ms.lo
+            ),
+        ));
+    }
+    if prediction.throughput > report.throughput.hi * BOUNDS_PREDICTION_SLACK {
+        out.push(Diagnostic::warning(
+            "ZT502",
+            format!(
+                "predicted throughput {:.0}/s exceeds the provable upper bound {:.0}/s \
+                 (the offered source rate, beyond the {BOUNDS_PREDICTION_SLACK}x noise slack)",
+                prediction.throughput, report.throughput.hi
+            ),
+        ));
     }
     out
 }

@@ -1,13 +1,17 @@
-//! Prediction attribution by feature-group occlusion.
+//! Prediction attribution by feature-group occlusion, and rendering of
+//! provable-bounds reports.
 //!
-//! Complements the training-time ablation of Exp. 6 with an
-//! *inference-time* tool: for a single prediction, each transferable
-//! feature group (parallelism-, operator- and resource-related) is zeroed
-//! in turn and the prediction delta is measured. Large deltas identify
-//! which feature group drives a particular cost estimate — useful when
-//! debugging surprising what-if predictions.
+//! Complements the training-time ablation of Exp. 6 with two
+//! *inference-time* tools: [`attribute`] occludes each transferable
+//! feature group (parallelism-, operator- and resource-related) in turn
+//! and measures the prediction delta — large deltas identify which group
+//! drives a particular cost estimate; [`explain_bounds`] renders a
+//! [`BoundsReport`](crate::bounds::BoundsReport) as a per-operator
+//! interval table with the model's prediction placed next to the provable
+//! brackets — useful when debugging surprising what-if predictions.
 
-use crate::estimator::CostEstimator;
+use crate::bounds::{BoundsReport, Interval};
+use crate::estimator::{CostEstimator, CostPrediction};
 use crate::features::{OP_COMMON_DIM, RESOURCE_DIM};
 use crate::graph::{GraphEncoding, NodeKind};
 use crate::model::ZeroTuneModel;
@@ -89,6 +93,119 @@ pub fn attribute(model: &ZeroTuneModel, graph: &GraphEncoding) -> Attribution {
     }
 }
 
+// --- Bounds rendering ----------------------------------------------------
+
+/// Format one interval compactly, with engineering-style precision.
+fn fmt_interval(iv: Interval) -> String {
+    let f = |v: f64| -> String {
+        if v.is_infinite() {
+            "inf".to_string()
+        } else if v == 0.0 {
+            "0".to_string()
+        } else if v.abs() >= 10_000.0 {
+            format!("{v:.3e}")
+        } else if v.abs() >= 1.0 {
+            format!("{v:.2}")
+        } else {
+            format!("{v:.4}")
+        }
+    };
+    format!("[{}, {}]", f(iv.lo), f(iv.hi))
+}
+
+/// Whether a point prediction sits inside the provable bracket, rendered
+/// as a marker column.
+fn containment_marker(iv: Interval, v: f64) -> &'static str {
+    if iv.contains(v) {
+        "ok"
+    } else if v < iv.lo {
+        "BELOW LOWER BOUND"
+    } else {
+        "ABOVE UPPER BOUND"
+    }
+}
+
+/// Render a [`BoundsReport`] for `pqp` as a human-readable table: one row
+/// per operator (rates, work, utilization, sojourn, residence intervals)
+/// followed by the headline brackets, each compared against the model
+/// prediction when one is supplied.
+pub fn explain_bounds(
+    pqp: &zt_query::ParallelQueryPlan,
+    report: &BoundsReport,
+    prediction: Option<&CostPrediction>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bounds: offered {:.0}/s · target utilization {:.2} · {}",
+        report.offered_rate,
+        report.utilization_target,
+        if report.infeasible() {
+            "PROVABLY INFEASIBLE"
+        } else if report.definitely_feasible() {
+            "provably feasible"
+        } else if report.definitely_backpressured() {
+            "backpressured (not collapsing)"
+        } else {
+            "feasibility depends on skew"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{:<4} {:<12} {:>3} {:<22} {:<22} {:<18} {:<18} {:<20}",
+        "op", "kind", "p", "input/s", "output/s", "util", "work µs", "sojourn ms"
+    );
+    for (op, b) in pqp.plan.ops().iter().zip(&report.per_op) {
+        let _ = writeln!(
+            out,
+            "{:<4} {:<12} {:>3} {:<22} {:<22} {:<18} {:<18} {:<20}",
+            op.id.idx(),
+            op.kind.label(),
+            pqp.parallelism_of(op.id),
+            fmt_interval(b.input_rate),
+            fmt_interval(b.output_rate),
+            fmt_interval(b.utilization),
+            fmt_interval(b.work_us),
+            fmt_interval(b.sojourn_ms),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "headline: utilization {} · backpressure scale {} · pipeline {} ms",
+        fmt_interval(report.utilization),
+        fmt_interval(report.backpressure_scale),
+        fmt_interval(report.pipeline_ms),
+    );
+    match prediction {
+        Some(p) => {
+            let _ = writeln!(
+                out,
+                "latency    ms: bounds {} · predicted {:.3} ({})",
+                fmt_interval(report.latency_ms),
+                p.latency_ms,
+                containment_marker(report.latency_ms, p.latency_ms),
+            );
+            let _ = writeln!(
+                out,
+                "throughput /s: bounds {} · predicted {:.0} ({})",
+                fmt_interval(report.throughput),
+                p.throughput,
+                containment_marker(report.throughput, p.throughput),
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "latency    ms: bounds {} · throughput /s: bounds {}",
+                fmt_interval(report.latency_ms),
+                fmt_interval(report.throughput),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +255,33 @@ mod tests {
                 assert_eq!(a.features.len(), b.features.len());
             }
         }
+    }
+
+    #[test]
+    fn bounds_table_renders_every_operator_and_the_prediction() {
+        use zt_dspsim::cluster::{Cluster, ClusterType};
+        let plan = zt_query::benchmarks::spike_detection(10_000.0);
+        let pqp = zt_query::ParallelQueryPlan::new(plan);
+        let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+        let report =
+            crate::bounds::analyze(&pqp, &cluster, &crate::bounds::BoundsConfig::default());
+        let no_pred = explain_bounds(&pqp, &report, None);
+        assert!(no_pred.contains("bounds:"));
+        for op in pqp.plan.ops() {
+            assert!(no_pred.contains(op.kind.label()));
+        }
+        let inside = CostPrediction {
+            latency_ms: (report.latency_ms.lo + report.latency_ms.hi).min(1e12) / 2.0,
+            throughput: report.throughput.lo,
+        };
+        assert!(explain_bounds(&pqp, &report, Some(&inside)).contains("(ok)"));
+        let below = CostPrediction {
+            latency_ms: report.latency_ms.lo / 10.0,
+            throughput: report.throughput.hi * 10.0,
+        };
+        let rendered = explain_bounds(&pqp, &report, Some(&below));
+        assert!(rendered.contains("BELOW LOWER BOUND"));
+        assert!(rendered.contains("ABOVE UPPER BOUND"));
     }
 
     #[test]

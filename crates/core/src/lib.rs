@@ -35,6 +35,10 @@
 //! * [`diagnostics`] — static lints over plans, feature encodings,
 //!   datasets and model weights (stable `ZTxxx` codes, rustc-style
 //!   reports, strict-mode pre-flight hooks in `train`/`tune`/datagen).
+//! * [`bounds`] — interval abstract interpretation over deployed plans:
+//!   sound lower/upper brackets on rates, utilization, latency and
+//!   throughput derived without running the simulator; powers the
+//!   optimizer's pruning pre-pass and the ZT5xx prediction cross-checks.
 //! * [`telemetry`] — runtime observability (RAII spans, counters,
 //!   histograms; `ZT_TELEMETRY=off|summary|trace`; Chrome-trace and
 //!   summary-report exporters), instrumented through datagen, training,
@@ -42,6 +46,7 @@
 
 #![deny(unsafe_code)]
 
+pub mod bounds;
 pub mod datagen;
 pub mod dataset;
 pub mod diagnostics;
@@ -63,17 +68,19 @@ pub mod telemetry {
     pub use zt_telemetry::*;
 }
 
+pub use bounds::{analyze, prune_mask, BoundsConfig, BoundsReport, Interval, OpBounds};
 pub use datagen::{generate_dataset_report, generate_dataset_with, shard_seed, GenPlan, GenReport};
 pub use dataset::{generate_dataset, Dataset, GenConfig, Sample, SampleMeta};
 pub use diagnostics::{
-    lint_dataset, lint_graph, lint_graph_batch, lint_model, lint_model_against, lint_plan,
-    lint_pqp, lint_split, strict_from_env, Anchor, Diagnostic, Report, Severity,
+    lint_bounds_report, lint_dataset, lint_graph, lint_graph_batch, lint_model, lint_model_against,
+    lint_plan, lint_pqp, lint_prediction_bounds, lint_split, strict_from_env, Anchor, Diagnostic,
+    Report, Severity,
 };
 pub use estimator::{evaluate_estimator, CostEstimator, CostPrediction};
 pub use features::FeatureMask;
 pub use graph::{encode, EncodeContext, GraphEncoding, GraphNode, NodeKind};
 pub use model::{ModelConfig, TargetNorm, ZeroTuneModel};
-pub use optimizer::{tune, OptimizerConfig, TuningOutcome};
+pub use optimizer::{prune_from_env, tune, OptimizerConfig, TuningOutcome};
 pub use optisample::{EnumerationStrategy, OptiSampleConfig, RandomConfig};
 pub use qerror::{q_error, QErrorStats};
 pub use train::{evaluate, train, TrainConfig, TrainReport};

@@ -43,8 +43,29 @@ pub struct OptimizerConfig {
     pub seed: u64,
     /// Run the diagnostics pre-flight (plan + cluster lints) and abort on
     /// `Error`-severity findings. Defaults to the `ZT_STRICT` environment
-    /// variable.
+    /// variable. Also enables the post-tune bounds cross-check (ZT5xx).
     pub strict: bool,
+    /// Drop provably-useless candidates before scoring: the bounds
+    /// pre-pass marks candidates that are provably infeasible
+    /// (utilization lower bound ≥ 1) or provably dominated (some other
+    /// candidate is better on both metrics with non-overlapping
+    /// intervals). Marked candidates never win the argmin and never feed
+    /// Eq. 1's normalization envelope either way, so the chosen plan is
+    /// identical with pruning on or off; the knob only decides whether
+    /// their model inference is skipped (on, the default) or still run
+    /// (`ZT_NO_PRUNE=1`, the `--no-prune` flag on the experiment
+    /// binaries).
+    pub prune: bool,
+}
+
+/// Whether the bounds pruning pre-pass is enabled: on unless `ZT_NO_PRUNE`
+/// is set to `1`, `true` or `yes`. The experiment binaries map
+/// `--no-prune` onto this variable.
+pub fn prune_from_env() -> bool {
+    !matches!(
+        std::env::var("ZT_NO_PRUNE").as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    )
 }
 
 impl Default for OptimizerConfig {
@@ -58,11 +79,13 @@ impl Default for OptimizerConfig {
             mask: FeatureMask::all(),
             seed: 0x0471,
             strict: crate::diagnostics::strict_from_env(),
+            prune: prune_from_env(),
         }
     }
 }
 
 /// Result of a tuning run.
+#[must_use = "a tuning outcome carries the chosen parallelism — dropping it wastes the tuning run"]
 #[derive(Clone, Debug)]
 pub struct TuningOutcome {
     /// Chosen parallelism degree per operator.
@@ -71,7 +94,11 @@ pub struct TuningOutcome {
     pub predicted_throughput: f64,
     /// Weighted cost (Eq. 1) of the chosen candidate.
     pub weighted_cost: f64,
+    /// Candidates actually scored by the model (post-pruning).
     pub candidates_evaluated: usize,
+    /// Candidates discarded by the bounds pruning pre-pass before any
+    /// model inference ran (0 when pruning is off).
+    pub candidates_pruned: usize,
 }
 
 /// Enumerate candidate parallelism vectors for `plan` on `cluster`.
@@ -176,12 +203,57 @@ pub fn tune<E: CostEstimator + ?Sized>(
     }
     let _span = zt_telemetry::span("tune");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let candidates = {
+    let mut candidates = {
         let _s = zt_telemetry::span("tune.enumerate");
         enumerate_candidates(plan, cluster, cfg, &mut rng)
     };
     assert!(!candidates.is_empty());
     zt_telemetry::counter_add("tune.candidates", candidates.len() as u64);
+
+    // Bounds pre-pass: the interval analysis marks candidates that are
+    // provably infeasible or dominated. Marked candidates never win the
+    // argmin and never contribute to Eq. 1's normalization envelope —
+    // regardless of `cfg.prune` — so the verdict below is *identical*
+    // with pruning on or off, for any estimator. The knob only decides
+    // whether marked candidates are dropped before encoding/inference
+    // (the default, saving the model evaluations) or still scored
+    // (useful when inspecting predictions for the full candidate set).
+    let mut candidates_pruned = 0usize;
+    let keep: Vec<bool> = if candidates.len() > 1 {
+        let _s = zt_telemetry::span("tune.bounds");
+        let bound_start = std::time::Instant::now();
+        let bcfg = crate::bounds::BoundsConfig {
+            chaining: cfg.chaining,
+            ..crate::bounds::BoundsConfig::default()
+        };
+        let mut probe = ParallelQueryPlan::new(plan.clone());
+        let reports: Vec<_> = candidates
+            .iter()
+            .map(|cand| {
+                probe.parallelism.clone_from(cand);
+                probe.reset_partitioning();
+                crate::bounds::analyze(&probe, cluster, &bcfg)
+            })
+            .collect();
+        let keep = crate::bounds::prune_mask(&reports);
+        if cfg.prune {
+            let mut it = keep.iter();
+            candidates.retain(|_| *it.next().expect("mask aligned with candidates"));
+            candidates_pruned = keep.iter().filter(|&&k| !k).count();
+            zt_telemetry::counter_add("tune.pruned", candidates_pruned as u64);
+        }
+        zt_telemetry::counter_add(
+            "tune.bound_ms",
+            u64::try_from(bound_start.elapsed().as_millis()).unwrap_or(u64::MAX),
+        );
+        if cfg.prune {
+            vec![true; candidates.len()]
+        } else {
+            keep
+        }
+    } else {
+        vec![true; candidates.len()]
+    };
 
     // Encode every candidate against the shared context, reusing one
     // mutable PQP (partitioning depends on the parallelism vector, so it
@@ -207,27 +279,62 @@ pub fn tune<E: CostEstimator + ?Sized>(
     debug_assert_eq!(predictions.len(), candidates.len());
 
     let argmin_span = zt_telemetry::span("tune.argmin");
-    let lat_range = predictions
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
-            (acc.0.min(p.latency_ms), acc.1.max(p.latency_ms))
-        });
-    let tpt_range = predictions
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
-            (acc.0.min(p.throughput), acc.1.max(p.throughput))
-        });
+    // Eq. 1's min-max envelope spans the *selectable* candidates only:
+    // a provably-degenerate plan must not stretch the normalization and
+    // thereby reshuffle the cost ordering of the real contenders.
+    let selectable = || {
+        predictions
+            .iter()
+            .zip(&keep)
+            .filter_map(|(p, &k)| k.then_some(p))
+    };
+    let lat_range = selectable().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
+        (acc.0.min(p.latency_ms), acc.1.max(p.latency_ms))
+    });
+    let tpt_range = selectable().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
+        (acc.0.min(p.throughput), acc.1.max(p.throughput))
+    });
 
-    let mut best = 0usize;
+    let mut best = usize::MAX;
     let mut best_cost = f64::INFINITY;
     for (i, p) in predictions.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
         let c = weighted_cost(cfg.wt, p.latency_ms, p.throughput, lat_range, tpt_range);
-        if c < best_cost {
+        if best == usize::MAX || c < best_cost {
             best_cost = c;
             best = i;
         }
     }
     drop(argmin_span);
+
+    // Strict mode: cross-check the chosen candidate's prediction against
+    // its provable brackets (ZT501/ZT502/ZT504). ZT503 (the query is
+    // infeasible at its offered rate even for the best deployment) is a
+    // property of the workload, not a tuner bug, so it is downgraded to a
+    // warning here — with pruning on, the chosen candidate can only be
+    // infeasible when *every* candidate is.
+    if cfg.strict {
+        let _s = zt_telemetry::span("tune.crosscheck");
+        let bcfg = crate::bounds::BoundsConfig {
+            chaining: cfg.chaining,
+            ..crate::bounds::BoundsConfig::default()
+        };
+        let chosen = ParallelQueryPlan::with_parallelism(plan.clone(), candidates[best].clone());
+        let report = crate::bounds::analyze(&chosen, cluster, &bcfg);
+        let mut diags = crate::diagnostics::lint_bounds_report(&report);
+        for d in &mut diags {
+            if d.code == "ZT503" {
+                d.severity = crate::diagnostics::Severity::Warning;
+            }
+        }
+        diags.extend(crate::diagnostics::lint_prediction_bounds(
+            &report,
+            &predictions[best],
+        ));
+        crate::diagnostics::Report::new(diags).enforce("tune bounds cross-check");
+    }
 
     TuningOutcome {
         parallelism: candidates[best].clone(),
@@ -235,6 +342,7 @@ pub fn tune<E: CostEstimator + ?Sized>(
         predicted_throughput: predictions[best].throughput,
         weighted_cost: best_cost,
         candidates_evaluated: candidates.len(),
+        candidates_pruned,
     }
 }
 
@@ -305,6 +413,50 @@ mod tests {
         let b = |wt: f64| weighted_cost(wt, 100.0, 10_000.0, lat_range, tpt_range);
         assert!(a(1.0) < b(1.0), "wt=1 must pick the low-latency plan");
         assert!(b(0.0) < a(0.0), "wt=0 must pick the high-throughput plan");
+    }
+
+    #[test]
+    fn pruning_drops_infeasible_candidates_and_reports_counts() {
+        // A very high-rate benchmark query: the low-parallelism candidates
+        // are provably infeasible, so the bounds pre-pass must discard
+        // some of them before scoring.
+        let model = ZeroTuneModel::new(ModelConfig { hidden: 8, seed: 7 });
+        let plan = zt_query::benchmarks::spike_detection(2_000_000.0);
+        let cluster = cluster();
+        let pruned_on = tune(
+            &model,
+            &plan,
+            &cluster,
+            &OptimizerConfig {
+                prune: true,
+                ..OptimizerConfig::default()
+            },
+        );
+        let pruned_off = tune(
+            &model,
+            &plan,
+            &cluster,
+            &OptimizerConfig {
+                prune: false,
+                ..OptimizerConfig::default()
+            },
+        );
+        assert!(pruned_on.candidates_pruned > 0, "nothing was pruned");
+        assert_eq!(pruned_off.candidates_pruned, 0);
+        assert_eq!(
+            pruned_on.candidates_evaluated + pruned_on.candidates_pruned,
+            pruned_off.candidates_evaluated,
+            "pruning must partition the exhaustive candidate set"
+        );
+        assert!(pruned_on.candidates_evaluated < pruned_off.candidates_evaluated);
+    }
+
+    #[test]
+    fn prune_env_knob_parses() {
+        // Read-only check of the default: the test harness does not set
+        // ZT_NO_PRUNE, so pruning defaults on.
+        assert!(prune_from_env());
+        assert!(OptimizerConfig::default().prune);
     }
 
     #[test]

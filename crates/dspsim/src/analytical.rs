@@ -27,6 +27,27 @@ use crate::costmodel::CostModel;
 use crate::noise::NoiseConfig;
 use crate::placement::{place, ChainingMode, Deployment, EdgeExchange};
 
+// --- Shared solver constants ---------------------------------------------
+//
+// These constants parameterize the latency composition of the solver and
+// are also consumed by the static interval analysis in `zt_core::bounds`,
+// which must bracket the solver exactly. Keeping them as named `pub const`s
+// (instead of inline literals) guarantees the two cannot drift.
+
+/// In-process hand-off latency of a chained (operator-fused) edge, ms.
+pub const CHAINED_HOP_MS: f64 = 0.002;
+/// Fixed per-exchange overhead (queue hand-off, task wake-up), ms.
+pub const EXCHANGE_OVERHEAD_MS: f64 = 0.01;
+/// Cap on the in-flight-buffer wait added to exchanges under
+/// backpressure, ms (credit-based flow control bounds the buffered data).
+pub const INFLIGHT_WAIT_CAP_MS: f64 = 250.0;
+/// Cap on the utilization entering the M/M/1 `1/(1 − ρ)` sojourn factor,
+/// so throttled-but-saturated operators keep a finite sojourn time.
+pub const RHO_CAP: f64 = 0.98;
+/// Cap on the aggregate network utilization entering the congestion
+/// factor `1/(1 − u_net)`.
+pub const NET_UTIL_CAP: f64 = 0.95;
+
 /// Configuration of the analytical simulator.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -112,17 +133,20 @@ impl QueryMetrics {
     }
 }
 
-struct Rates {
+/// Steady-state rates of a plan at one source throttle factor. Public so
+/// the interval analysis in `zt_core::bounds` can evaluate the solver's
+/// rate transfer function at the endpoints of a throttle interval.
+pub struct Rates {
     /// Total input rate per operator.
-    input: Vec<f64>,
+    pub input: Vec<f64>,
     /// Total output rate per operator.
-    output: Vec<f64>,
+    pub output: Vec<f64>,
     /// Rate flowing over each plan edge.
-    edge: Vec<f64>,
+    pub edge: Vec<f64>,
 }
 
 /// Propagate rates through the plan at a given source throttle factor.
-fn propagate(pqp: &ParallelQueryPlan, scale: f64) -> Rates {
+pub fn propagate(pqp: &ParallelQueryPlan, scale: f64) -> Rates {
     let plan = &pqp.plan;
     let n = plan.num_ops();
     let mut input = vec![0f64; n];
@@ -191,14 +215,31 @@ fn join_other_window(pqp: &ParallelQueryPlan, rates: &Rates, id: OpId) -> f64 {
     }
 }
 
-struct WorkProfile {
-    hottest_util: Vec<f64>, // [op] utilization of the hottest instance
-    node_util: Vec<f64>,    // [node] demand / cores
-    work_us: Vec<f64>,      // [op] mean per-tuple work µs at 1 GHz
+/// Whether [`work_profile`] applies the cost model's hash-skew multiplier
+/// to hash-partitioned operators. [`SkewMode::None`] models a perfectly
+/// balanced partitioner — the lower envelope used by `zt_core::bounds`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SkewMode {
+    Model,
+    None,
+}
+
+/// Per-instance and per-node utilization profile at one set of rates.
+/// Public (like [`Rates`]) for the interval analysis in `zt_core::bounds`.
+pub struct WorkProfile {
+    /// \[op\] utilization of the hottest instance.
+    pub hottest_util: Vec<f64>,
+    /// \[node\] demand / cores.
+    pub node_util: Vec<f64>,
+    /// \[op\] mean per-tuple work µs at 1 GHz.
+    pub work_us: Vec<f64>,
 }
 
 /// Compute per-instance and per-node utilization for given rates.
-fn work_profile(
+// The argument list is the solver's full evaluation context; bundling it
+// into a struct would obscure that this *is* the transfer function.
+#[allow(clippy::too_many_arguments)]
+pub fn work_profile(
     pqp: &ParallelQueryPlan,
     cluster: &Cluster,
     dep: &Deployment,
@@ -206,6 +247,7 @@ fn work_profile(
     rates: &Rates,
     in_schemas: &[TupleSchema],
     out_schemas: &[TupleSchema],
+    skew_mode: SkewMode,
 ) -> WorkProfile {
     let plan = &pqp.plan;
     let n = plan.num_ops();
@@ -221,11 +263,12 @@ fn work_profile(
         let other_w = join_other_window(pqp, rates, id);
         // Skew: hash-partitioned input concentrates load on the hottest
         // instance.
-        let skew = if pqp.input_partitioning(id) == Partitioning::Hash {
-            cm.hash_skew
-        } else {
-            1.0
-        };
+        let skew =
+            if skew_mode == SkewMode::Model && pqp.input_partitioning(id) == Partitioning::Hash {
+                cm.hash_skew
+            } else {
+                1.0
+            };
 
         // Per-tuple exchange work (serialization both directions, hash
         // routing), in µs at 1 GHz, per *input* tuple and *output* tuple.
@@ -340,7 +383,16 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
     let mut scale = 1.0f64;
     let mut bottleneck_at_offered = 0.0f64;
     let mut rates = propagate(pqp, scale);
-    let mut profile = work_profile(pqp, cluster, &dep, cm, &rates, &in_schemas, &out_schemas);
+    let mut profile = work_profile(
+        pqp,
+        cluster,
+        &dep,
+        cm,
+        &rates,
+        &in_schemas,
+        &out_schemas,
+        SkewMode::Model,
+    );
     for iter in 0..6 {
         let u_inst = profile.hottest_util.iter().copied().fold(0.0f64, f64::max);
         let u_node = profile.node_util.iter().copied().fold(0.0f64, f64::max);
@@ -351,7 +403,16 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
         if u > cfg.utilization_target {
             scale *= cfg.utilization_target / u;
             rates = propagate(pqp, scale);
-            profile = work_profile(pqp, cluster, &dep, cm, &rates, &in_schemas, &out_schemas);
+            profile = work_profile(
+                pqp,
+                cluster,
+                &dep,
+                cm,
+                &rates,
+                &in_schemas,
+                &out_schemas,
+                SkewMode::Model,
+            );
         } else {
             break;
         }
@@ -368,7 +429,7 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
         .iter()
         .map(|n| n.network_gbps * 1e9 / 8.0)
         .sum();
-    let net_util = (remote_bytes_per_s / agg_link_bytes.max(1.0)).min(0.95);
+    let net_util = (remote_bytes_per_s / agg_link_bytes.max(1.0)).min(NET_UTIL_CAP);
     let net_congestion = 1.0 / (1.0 - net_util);
 
     // --- Per-operator latency contributions --------------------------
@@ -377,7 +438,7 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
     for op in plan.ops() {
         let i = op.id.idx();
         let p = pqp.parallelism_of(op.id).max(1) as f64;
-        let rho = profile.hottest_util[i].min(0.98);
+        let rho = profile.hottest_util[i].min(RHO_CAP);
         // Oversubscribed nodes stretch service times (processor sharing).
         let stretch = dep
             .instance_nodes(op.id)
@@ -416,7 +477,7 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
     let mut edge_ms = vec![0f64; plan.edges().len()];
     for (e, &(u, d)) in plan.edges().iter().enumerate() {
         edge_ms[e] = match dep.edge_exchange[e] {
-            EdgeExchange::Chained => 0.002,
+            EdgeExchange::Chained => CHAINED_HOP_MS,
             EdgeExchange::Exchange { local_fraction } => {
                 let schema = &out_schemas[u.idx()];
                 let ghz = cluster.mean_ghz().max(0.1);
@@ -440,9 +501,9 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
                 if backpressured {
                     // Credit-based flow control: in-flight buffers sit
                     // full and drain at the (throttled) channel rate.
-                    buffer_ms += (cm.inflight_buffers * fill_ms).min(250.0);
+                    buffer_ms += (cm.inflight_buffers * fill_ms).min(INFLIGHT_WAIT_CAP_MS);
                 }
-                serde_ms + net_ms + buffer_ms + 0.01
+                serde_ms + net_ms + buffer_ms + EXCHANGE_OVERHEAD_MS
             }
         };
     }

@@ -46,7 +46,10 @@ pub mod noise;
 pub mod placement;
 pub mod simcache;
 
-pub use analytical::{simulate, simulate_core, OpMetrics, QueryMetrics, SimConfig};
+pub use analytical::{
+    simulate, simulate_core, OpMetrics, QueryMetrics, SimConfig, CHAINED_HOP_MS,
+    EXCHANGE_OVERHEAD_MS, INFLIGHT_WAIT_CAP_MS, NET_UTIL_CAP, RHO_CAP,
+};
 pub use cluster::{Cluster, ClusterType, NodeSpec};
 pub use noise::NoiseConfig;
 pub use placement::{ChainingMode, Deployment, EdgeExchange};

@@ -17,6 +17,13 @@
 //! * `--model FILE` — lint a serialized `ZeroTuneModel` JSON file; when a
 //!   `--dataset` target is also given, additionally checks the model's
 //!   target normalization against that dataset's labels.
+//! * `--bounds` — additionally run the interval-bounds pass (ZT5xx) over
+//!   every linted deployment: benchmark queries and `--plan`/`--results`
+//!   files that deserialize as a `ParallelQueryPlan` get a provable
+//!   lower/upper-bound report rendered next to their diagnostics.
+//! * `--results[=DIR]` — sniff every `*.json` under DIR (default
+//!   `results`) and lint whatever it deserializes as (plan, dataset or
+//!   model); unrecognized artifacts are skipped with a note.
 //! * `--codes` — print the lint-code registry and exit.
 //!
 //! Exit status: 0 when no `Error`-severity findings were produced
@@ -26,28 +33,49 @@
 use std::process::ExitCode;
 
 use zt_core::diagnostics::{
-    lint_dataset, lint_model, lint_model_against, lint_plan, lint_pqp, Report, Severity, REGISTRY,
+    lint_bounds_report, lint_dataset, lint_model, lint_model_against, lint_plan, lint_pqp, Report,
+    Severity, REGISTRY,
 };
-use zt_core::{generate_dataset, Dataset, GenConfig, ZeroTuneModel};
+use zt_core::{generate_dataset, BoundsConfig, Dataset, GenConfig, ZeroTuneModel};
 use zt_dspsim::cluster::{Cluster, ClusterType};
 use zt_query::benchmarks;
 use zt_query::{LogicalPlan, ParallelQueryPlan};
 
-/// One lint target: a heading plus the diagnostics found under it.
+/// One lint target: a heading, the diagnostics found under it, and an
+/// optional pre-rendered detail block (the bounds table).
 struct Section {
     heading: String,
     report: Report,
+    detail: Option<String>,
 }
 
 fn section(heading: impl Into<String>, report: Report) -> Section {
     Section {
         heading: heading.into(),
         report,
+        detail: None,
     }
 }
 
-fn lint_benchmarks(sections: &mut Vec<Section>) {
-    let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+/// The reference cluster deployments are linted against (4× m510,
+/// 10 Gbps — the benchmark setup of the paper's evaluation).
+fn reference_cluster() -> Cluster {
+    Cluster::homogeneous(ClusterType::M510, 4, 10.0)
+}
+
+/// Run the interval-bounds pass over one deployment: ZT5xx lints plus the
+/// rendered per-operator interval table.
+fn bounds_section(name: &str, pqp: &ParallelQueryPlan, cluster: &Cluster) -> Section {
+    let report = zt_core::bounds::analyze(pqp, cluster, &BoundsConfig::default());
+    Section {
+        heading: format!("bounds `{name}` (reference 4-node m510 cluster)"),
+        report: Report::new(lint_bounds_report(&report)),
+        detail: Some(zt_core::explain::explain_bounds(pqp, &report, None)),
+    }
+}
+
+fn lint_benchmarks(bounds: bool, sections: &mut Vec<Section>) {
+    let cluster = reference_cluster();
     let queries: [(&str, LogicalPlan); 3] = [
         ("spike_detection", benchmarks::spike_detection(10_000.0)),
         ("smart_grid_local", benchmarks::smart_grid_local(10_000.0)),
@@ -57,6 +85,9 @@ fn lint_benchmarks(sections: &mut Vec<Section>) {
         let pqp = ParallelQueryPlan::new(plan);
         let report = Report::new(lint_pqp(&pqp, Some(&cluster)));
         sections.push(section(format!("benchmark query `{name}`"), report));
+        if bounds {
+            sections.push(bounds_section(name, &pqp, &cluster));
+        }
     }
 }
 
@@ -85,7 +116,7 @@ fn read_json(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
 
-fn lint_plan_file(path: &str, sections: &mut Vec<Section>) -> Result<(), String> {
+fn lint_plan_file(path: &str, bounds: bool, sections: &mut Vec<Section>) -> Result<(), String> {
     let json = read_json(path)?;
     // A PQP file carries the parallel configuration; fall back to a bare
     // logical plan so both serializations are accepted.
@@ -94,6 +125,9 @@ fn lint_plan_file(path: &str, sections: &mut Vec<Section>) -> Result<(), String>
             format!("parallel query plan `{path}`"),
             Report::new(lint_pqp(&pqp, None)),
         ));
+        if bounds && pqp.validate().is_ok() {
+            sections.push(bounds_section(path, &pqp, &reference_cluster()));
+        }
         return Ok(());
     }
     let plan = serde_json::from_str::<LogicalPlan>(&json)
@@ -103,6 +137,71 @@ fn lint_plan_file(path: &str, sections: &mut Vec<Section>) -> Result<(), String>
         Report::new(lint_plan(&plan)),
     ));
     Ok(())
+}
+
+/// Sniff every `*.json` under `dir` and lint whatever each file
+/// deserializes as. Experiment result files (and anything else
+/// unrecognized) are skipped with a note; a missing directory is a note,
+/// not an error, so CI can run this before any experiment has executed.
+fn lint_results_dir(dir: &str, bounds: bool, sections: &mut Vec<Section>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            let mut s = section(format!("results directory `{dir}`"), Report::default());
+            s.detail = Some(format!("skipped: cannot read directory ({e})\n"));
+            sections.push(s);
+            return;
+        }
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        let mut s = section(format!("results directory `{dir}`"), Report::default());
+        s.detail = Some("skipped: no *.json files\n".to_string());
+        sections.push(s);
+        return;
+    }
+    for p in paths {
+        let path = p.display().to_string();
+        let Ok(json) = std::fs::read_to_string(&p) else {
+            let mut s = section(format!("result `{path}`"), Report::default());
+            s.detail = Some("skipped: unreadable\n".to_string());
+            sections.push(s);
+            continue;
+        };
+        if let Ok(pqp) = serde_json::from_str::<ParallelQueryPlan>(&json) {
+            sections.push(section(
+                format!("parallel query plan `{path}`"),
+                Report::new(lint_pqp(&pqp, None)),
+            ));
+            if bounds && pqp.validate().is_ok() {
+                sections.push(bounds_section(&path, &pqp, &reference_cluster()));
+            }
+        } else if let Ok(plan) = serde_json::from_str::<LogicalPlan>(&json) {
+            sections.push(section(
+                format!("logical plan `{path}`"),
+                Report::new(lint_plan(&plan)),
+            ));
+        } else if let Ok(data) = serde_json::from_str::<Dataset>(&json) {
+            sections.push(section(
+                format!("dataset `{path}`"),
+                Report::new(lint_dataset(&data)),
+            ));
+        } else if let Ok(model) = ZeroTuneModel::from_json(&json) {
+            sections.push(section(
+                format!("model `{path}`"),
+                Report::new(lint_model(&model)),
+            ));
+        } else {
+            let mut s = section(format!("result `{path}`"), Report::default());
+            s.detail = Some("skipped: not a lintable artifact (plan/dataset/model)\n".to_string());
+            sections.push(s);
+        }
+    }
 }
 
 fn print_codes() {
@@ -119,7 +218,7 @@ fn print_codes() {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: zt-lint [--benchmarks] [--gen-dataset N] [--plan FILE] [--dataset FILE] [--model FILE] [--codes]"
+        "usage: zt-lint [--benchmarks] [--gen-dataset N] [--plan FILE] [--dataset FILE] [--model FILE] [--bounds] [--results[=DIR]] [--codes]"
     );
     ExitCode::from(2)
 }
@@ -129,13 +228,16 @@ fn main() -> ExitCode {
     let mut sections: Vec<Section> = Vec::new();
     let mut model_file: Option<String> = None;
     let mut dataset_for_drift: Option<(String, Dataset)> = None;
+    // Pre-scanned: `--bounds` modifies every plan target regardless of
+    // argument order.
+    let bounds = args.iter().any(|a| a == "--bounds");
 
     let run = |sections: &mut Vec<Section>,
                model_file: &mut Option<String>,
                dataset_for_drift: &mut Option<(String, Dataset)>|
      -> Result<(), String> {
         if args.is_empty() {
-            lint_benchmarks(sections);
+            lint_benchmarks(bounds, sections);
             lint_generated(24, sections);
             lint_fresh_model(sections);
             return Ok(());
@@ -143,7 +245,9 @@ fn main() -> ExitCode {
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
-                "--benchmarks" => lint_benchmarks(sections),
+                "--benchmarks" => lint_benchmarks(bounds, sections),
+                "--bounds" => {} // pre-scanned above
+                "--results" => lint_results_dir("results", bounds, sections),
                 "--gen-dataset" => {
                     i += 1;
                     let n: usize = args
@@ -155,7 +259,7 @@ fn main() -> ExitCode {
                 "--plan" => {
                     i += 1;
                     let path = args.get(i).ok_or("--plan needs a file")?;
-                    lint_plan_file(path, sections)?;
+                    lint_plan_file(path, bounds, sections)?;
                 }
                 "--dataset" => {
                     i += 1;
@@ -176,7 +280,13 @@ fn main() -> ExitCode {
                 "--codes" => {
                     print_codes();
                 }
-                other => return Err(format!("unknown argument `{other}`")),
+                other => {
+                    if let Some(dir) = other.strip_prefix("--results=") {
+                        lint_results_dir(dir, bounds, sections);
+                    } else {
+                        return Err(format!("unknown argument `{other}`"));
+                    }
+                }
             }
             i += 1;
         }
@@ -219,6 +329,9 @@ fn main() -> ExitCode {
             for d in &s.report.diagnostics {
                 println!("{d}");
             }
+        }
+        if let Some(detail) = &s.detail {
+            print!("{detail}");
         }
         println!("{}\n", s.report.summary());
         errors += s.report.count(Severity::Error);

@@ -50,6 +50,12 @@ pub struct Exp5Result {
     /// Hit rate of the simulator memo across the tuner executions (the
     /// three tuners frequently choose identical deployments).
     pub sim_cache_hit_rate: f64,
+    /// Candidates actually scored by the ZeroTune model across all
+    /// tuning runs (post-pruning).
+    pub candidates_scored: usize,
+    /// Candidates discarded by the interval-bounds pruning pre-pass
+    /// before any model inference ran (0 with `--no-prune`).
+    pub candidates_pruned: usize,
 }
 
 fn geo_mean(values: &[f64]) -> f64 {
@@ -80,6 +86,8 @@ pub fn run_with(pipeline: &TrainedPipeline) -> Exp5Result {
     let mut rows = Vec::new();
     let mut all_lat_speedups = Vec::new();
     let mut all_tpt_speedups = Vec::new();
+    let mut candidates_scored = 0usize;
+    let mut candidates_pruned = 0usize;
     // Memoize the noiseless solver: when two tuners pick the same
     // parallelism vector for a query, its execution is solved once.
     let cache = zt_dspsim::SimCache::default();
@@ -110,6 +118,8 @@ pub fn run_with(pipeline: &TrainedPipeline) -> Exp5Result {
 
             // --- the three tuners ------------------------------------
             let zt = tune(&pipeline.model, &plan, &cluster, &opt_cfg);
+            candidates_scored += zt.candidates_evaluated;
+            candidates_pruned += zt.candidates_pruned;
             let greedy = greedy_tune(&plan, &cluster, &GreedyConfig::default());
             let dhalion = dhalion_tune(&plan, &cluster, &DhalionConfig::default(), &sim, &mut rng);
 
@@ -171,6 +181,8 @@ pub fn run_with(pipeline: &TrainedPipeline) -> Exp5Result {
         mean_speedup_latency: geo_mean(&all_lat_speedups),
         mean_speedup_throughput: geo_mean(&all_tpt_speedups),
         sim_cache_hit_rate: cache.stats().hit_rate(),
+        candidates_scored,
+        candidates_pruned,
         rows,
     }
 }
@@ -217,6 +229,17 @@ pub fn print(result: &Exp5Result) {
         f2(result.mean_speedup_throughput),
         result.sim_cache_hit_rate * 100.0
     );
+    let enumerated = result.candidates_scored + result.candidates_pruned;
+    println!(
+        "bounds pruning: {} of {} candidate(s) pruned before scoring ({:.0}%)",
+        result.candidates_pruned,
+        enumerated,
+        if enumerated == 0 {
+            0.0
+        } else {
+            result.candidates_pruned as f64 / enumerated as f64 * 100.0
+        }
+    );
 }
 
 #[cfg(test)]
@@ -243,5 +266,15 @@ mod tests {
         }
         assert!(result.mean_speedup_latency.is_finite());
         assert!((0.0..=1.0).contains(&result.sim_cache_hit_rate));
+        // The bounds pre-pass must have discarded at least one provably
+        // infeasible/dominated candidate somewhere across the sampled
+        // rates (the seen range goes up to 500k events/s, where P=1
+        // deployments collapse), while still scoring the survivors.
+        assert!(result.candidates_scored > 0);
+        assert!(
+            result.candidates_pruned > 0,
+            "expected the pruning pre-pass to fire across {} scored candidates",
+            result.candidates_scored
+        );
     }
 }

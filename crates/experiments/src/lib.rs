@@ -132,11 +132,14 @@ pub struct DatagenArgs {
     /// `--telemetry` (trace to the default path) / `--telemetry=PATH`.
     /// `None` leaves the `ZT_TELEMETRY` environment variable in charge.
     pub telemetry: Option<Option<String>>,
+    /// `--no-prune`: disable the optimizer's interval-bounds pruning
+    /// pre-pass (exhaustive candidate scoring).
+    pub no_prune: bool,
 }
 
 impl DatagenArgs {
-    /// Parse `--workers` / `--resume` / `--strict` / `--telemetry` from
-    /// an argument list.
+    /// Parse `--workers` / `--resume` / `--strict` / `--telemetry` /
+    /// `--no-prune` from an argument list.
     pub fn parse(args: &[String]) -> Self {
         let mut out = DatagenArgs::default();
         for (i, a) in args.iter().enumerate() {
@@ -154,6 +157,8 @@ impl DatagenArgs {
                 out.telemetry = Some(None);
             } else if let Some(v) = a.strip_prefix("--telemetry=") {
                 out.telemetry = Some(Some(v.to_string()));
+            } else if a == "--no-prune" {
+                out.no_prune = true;
             }
         }
         out
@@ -161,17 +166,18 @@ impl DatagenArgs {
 }
 
 /// Map the shared `--workers N` / `--resume[=DIR]` / `--strict` /
-/// `--telemetry[=PATH]` CLI flags onto the `ZT_DATAGEN_WORKERS` /
-/// `ZT_DATAGEN_RESUME` / `ZT_STRICT` / `ZT_TELEMETRY`(`_PATH`)
-/// environment variables read by
+/// `--telemetry[=PATH]` / `--no-prune` CLI flags onto the
+/// `ZT_DATAGEN_WORKERS` / `ZT_DATAGEN_RESUME` / `ZT_STRICT` /
+/// `ZT_TELEMETRY`(`_PATH`) / `ZT_NO_PRUNE` environment variables read by
 /// [`zt_core::datagen::GenPlan::from_env`],
-/// [`zt_core::diagnostics::strict_from_env`] and
-/// [`zt_core::telemetry::init_from_env`], so every `generate_dataset` /
+/// [`zt_core::diagnostics::strict_from_env`],
+/// [`zt_core::telemetry::init_from_env`] and
+/// [`zt_core::optimizer::prune_from_env`], so every `generate_dataset` /
 /// `train` / `tune` call inside the experiment — including nested ones
 /// in the exp modules — inherits the worker count, the resumable shard
-/// directory, the strict pre-flight mode and the telemetry level. Call
-/// this first thing in an experiment `main`; pair with
-/// [`finish_telemetry`] last thing.
+/// directory, the strict pre-flight mode, the telemetry level and the
+/// pruning knob. Call this first thing in an experiment `main`; pair
+/// with [`finish_telemetry`] last thing.
 pub fn apply_datagen_cli() {
     let args: Vec<String> = std::env::args().collect();
     let parsed = DatagenArgs::parse(&args);
@@ -192,6 +198,10 @@ pub fn apply_datagen_cli() {
             std::env::set_var("ZT_TELEMETRY_PATH", p);
         }
         eprintln!("telemetry: trace mode enabled");
+    }
+    if parsed.no_prune {
+        std::env::set_var("ZT_NO_PRUNE", "1");
+        eprintln!("optimizer: bounds pruning pre-pass disabled (exhaustive scoring)");
     }
     // Telemetry may already have self-initialized from a pre-existing
     // ZT_TELEMETRY value; re-read so the flags above take effect.
@@ -295,6 +305,9 @@ mod tests {
         assert_eq!(d.telemetry, Some(None));
         let e = DatagenArgs::parse(&args(&["exp", "--telemetry=/tmp/t.json"]));
         assert_eq!(e.telemetry, Some(Some("/tmp/t.json".to_string())));
+        assert!(!e.no_prune);
+        let f = DatagenArgs::parse(&args(&["exp", "--no-prune"]));
+        assert!(f.no_prune);
     }
 
     #[test]

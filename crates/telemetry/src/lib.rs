@@ -391,7 +391,9 @@ impl Snapshot {
 
     /// Deterministic text form for golden-trace comparisons: sorted span
     /// paths, counter values, and histogram names with sample *counts* —
-    /// everything except wall-clock durations/timestamps.
+    /// everything except wall-clock durations/timestamps. Counters that
+    /// *are* durations (`_ms`-suffixed names, e.g. `tune.bound_ms`)
+    /// appear by name only, their wall-clock value elided.
     pub fn canonical(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -399,6 +401,10 @@ impl Snapshot {
             let _ = writeln!(out, "span {p}");
         }
         for (k, v) in &self.counters {
+            if k.ends_with("_ms") {
+                let _ = writeln!(out, "counter {k}");
+                continue;
+            }
             let _ = writeln!(out, "counter {k} = {v}");
         }
         for (k, s) in &self.histograms {
@@ -525,13 +531,14 @@ mod tests {
         {
             let _s = span("c.span");
             counter_add("c.counter", 5);
+            counter_add("c.elapsed_ms", 17);
             observe("c.hist", 123.456);
         }
         let canon = snapshot().canonical();
         set_mode(Mode::Off);
         assert_eq!(
             canon,
-            "span c.span\ncounter c.counter = 5\nhist c.hist n=1\n"
+            "span c.span\ncounter c.counter = 5\ncounter c.elapsed_ms\nhist c.hist n=1\n"
         );
     }
 

@@ -487,7 +487,7 @@ fn strict_tune_rejects_slide_beyond_length() {
         strict: true,
         ..OptimizerConfig::default()
     };
-    tune(&model, &p, &cluster(), &cfg);
+    let _ = tune(&model, &p, &cluster(), &cfg);
 }
 
 #[test]
@@ -579,4 +579,90 @@ proptest! {
             prop_assert!(errors.is_empty(), "{errors:?}");
         }
     }
+}
+
+// --- ZT5xx: bounds cross-check lints -------------------------------------
+
+fn bounds_report(rate: f64, p: u32) -> zerotune::core::BoundsReport {
+    let pqp = ParallelQueryPlan::with_parallelism(spike_detection(rate), vec![p; 4]);
+    zerotune::core::analyze(&pqp, &cluster(), &zerotune::core::BoundsConfig::default())
+}
+
+#[test]
+fn zt503_triggers_on_provably_infeasible_deployment() {
+    let report = bounds_report(80_000_000.0, 1);
+    assert!(report.infeasible());
+    let diags = zerotune::core::lint_bounds_report(&report);
+    assert!(has(&diags, "ZT503"), "{diags:?}");
+    assert!(errors_of(&diags) > 0, "ZT503 must be an error: {diags:?}");
+}
+
+#[test]
+fn zt504_triggers_on_inverted_interval() {
+    let mut report = bounds_report(10_000.0, 2);
+    report.latency_ms = zerotune::core::Interval { lo: 2.0, hi: 1.0 };
+    let diags = zerotune::core::lint_bounds_report(&report);
+    assert!(has(&diags, "ZT504"), "{diags:?}");
+    assert!(errors_of(&diags) > 0, "ZT504 must be an error: {diags:?}");
+}
+
+#[test]
+#[should_panic(expected = "ZT504")]
+fn enforce_aborts_on_corrupt_bounds() {
+    let mut report = bounds_report(10_000.0, 2);
+    report.throughput = zerotune::core::Interval {
+        lo: f64::NAN,
+        hi: 1.0,
+    };
+    Report::new(zerotune::core::lint_bounds_report(&report)).enforce("bounds test");
+}
+
+#[test]
+fn zt501_triggers_on_prediction_below_latency_lower_bound() {
+    let report = bounds_report(10_000.0, 2);
+    let pred = zerotune::core::CostPrediction {
+        // Far enough under the lower bound to clear the 1.5× noise slack.
+        latency_ms: report.latency_ms.lo / 10.0,
+        throughput: report.throughput.lo,
+    };
+    let diags = zerotune::core::lint_prediction_bounds(&report, &pred);
+    assert!(has(&diags, "ZT501"), "{diags:?}");
+    assert_eq!(errors_of(&diags), 0, "ZT501 is a warning: {diags:?}");
+}
+
+#[test]
+fn zt502_triggers_on_prediction_above_throughput_upper_bound() {
+    let report = bounds_report(10_000.0, 2);
+    let pred = zerotune::core::CostPrediction {
+        latency_ms: report.latency_ms.hi,
+        throughput: report.throughput.hi * 10.0,
+    };
+    let diags = zerotune::core::lint_prediction_bounds(&report, &pred);
+    assert!(has(&diags, "ZT502"), "{diags:?}");
+    assert_eq!(errors_of(&diags), 0, "ZT502 is a warning: {diags:?}");
+}
+
+#[test]
+fn bounds_family_clean_on_sane_report_and_prediction() {
+    let report = bounds_report(10_000.0, 2);
+    assert!(zerotune::core::lint_bounds_report(&report).is_empty());
+    let pred = zerotune::core::CostPrediction {
+        latency_ms: report.latency_ms.hi.min(report.latency_ms.lo * 1.2),
+        throughput: report.throughput.lo,
+    };
+    assert!(zerotune::core::lint_prediction_bounds(&report, &pred).is_empty());
+}
+
+/// ZT503 is a property of the workload, not a tuner bug: strict tuning on
+/// a query that is provably infeasible at *every* candidate parallelism
+/// must warn, not abort.
+#[test]
+fn strict_tune_survives_provably_infeasible_query() {
+    let model = mini_model();
+    let cfg = OptimizerConfig {
+        strict: true,
+        ..OptimizerConfig::default()
+    };
+    let outcome = tune(&model, &spike_detection(80_000_000.0), &cluster(), &cfg);
+    assert!(!outcome.parallelism.is_empty());
 }
