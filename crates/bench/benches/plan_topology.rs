@@ -1,0 +1,103 @@
+//! Criterion microbenches for the sealed plan IR's topology hot paths.
+//!
+//! The solver, bounds analysis and optimizer all hammer `upstream` /
+//! `downstream` / `topo_order` in their inner loops. Before the IR these
+//! were `O(E)` edge-list scans (and a full Kahn run per `topo_order`
+//! call) that allocated a fresh `Vec` per query; on a sealed [`PlanIr`]
+//! they are zero-allocation CSR slice lookups. The `slow_*` / `ir_*`
+//! pairs below measure exactly that before/after on a deep (depth-12
+//! chain) and a wide (32-branch fan-out) plan; see
+//! `results/BENCH_tune_scale.json` for the tune-candidates/sec impact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zt_query::operators::SinkOp;
+use zt_query::{
+    DataType, FilterFunction, FilterOp, LogicalPlan, OperatorKind, SourceOp, TupleSchema,
+};
+
+/// A linear chain: source → (depth-2 filters) → sink.
+fn deep_plan(depth: usize) -> LogicalPlan {
+    let mut p = LogicalPlan::new("deep");
+    let mut prev = p.add(OperatorKind::Source(SourceOp {
+        event_rate: 10_000.0,
+        schema: TupleSchema::uniform(DataType::Double, 3),
+    }));
+    for _ in 0..depth.saturating_sub(2) {
+        let f = p.add(OperatorKind::Filter(FilterOp {
+            function: FilterFunction::Gt,
+            literal_class: DataType::Double,
+            selectivity: 0.9,
+        }));
+        p.connect(prev, f);
+        prev = f;
+    }
+    let k = p.add(OperatorKind::Sink(SinkOp));
+    p.connect(prev, k);
+    p
+}
+
+/// A multi-sink fan-out: source → `width` parallel filter branches, each
+/// terminating in its own sink (sinks accept exactly one input).
+fn wide_plan(width: usize) -> LogicalPlan {
+    let mut p = LogicalPlan::new("wide");
+    let s = p.add(OperatorKind::Source(SourceOp {
+        event_rate: 10_000.0,
+        schema: TupleSchema::uniform(DataType::Double, 3),
+    }));
+    for _ in 0..width {
+        let f = p.add(OperatorKind::Filter(FilterOp {
+            function: FilterFunction::Gt,
+            literal_class: DataType::Double,
+            selectivity: 0.9,
+        }));
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(s, f);
+        p.connect(f, k);
+    }
+    p
+}
+
+fn bench_neighbors(c: &mut Criterion) {
+    for (label, plan) in [("deep12", deep_plan(12)), ("wide32", wide_plan(32))] {
+        let ir = plan.validate().expect("valid bench plan");
+        let ids: Vec<_> = plan.ops().iter().map(|o| o.id).collect();
+
+        c.bench_function(&format!("{label}/slow_upstream_downstream"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &id in &ids {
+                    acc += plan.upstream(std::hint::black_box(id)).len();
+                    acc += plan.downstream(std::hint::black_box(id)).len();
+                }
+                acc
+            });
+        });
+        c.bench_function(&format!("{label}/ir_upstream_downstream"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &id in &ids {
+                    acc += ir.upstream(std::hint::black_box(id)).len();
+                    acc += ir.downstream(std::hint::black_box(id)).len();
+                }
+                acc
+            });
+        });
+
+        c.bench_function(&format!("{label}/slow_topo_order"), |b| {
+            b.iter(|| plan.topo_order().expect("acyclic").len());
+        });
+        c.bench_function(&format!("{label}/ir_topo_order"), |b| {
+            b.iter(|| ir.topo_order().len());
+        });
+
+        c.bench_function(&format!("{label}/seal"), |b| {
+            b.iter(|| plan.validate().expect("valid bench plan").num_ops());
+        });
+        c.bench_function(&format!("{label}/fingerprint"), |b| {
+            b.iter(|| plan.validate().expect("valid bench plan").fingerprint());
+        });
+    }
+}
+
+criterion_group!(benches, bench_neighbors);
+criterion_main!(benches);

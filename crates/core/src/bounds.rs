@@ -52,13 +52,13 @@
 
 use serde::{Deserialize, Serialize};
 use zt_dspsim::analytical::{
-    propagate, work_profile, Rates, SimConfig, SkewMode, CHAINED_HOP_MS, EXCHANGE_OVERHEAD_MS,
-    INFLIGHT_WAIT_CAP_MS, NET_UTIL_CAP, RHO_CAP,
+    propagate_with, work_profile_with, Rates, SimConfig, SkewMode, CHAINED_HOP_MS,
+    EXCHANGE_OVERHEAD_MS, INFLIGHT_WAIT_CAP_MS, NET_UTIL_CAP, RHO_CAP,
 };
 use zt_dspsim::cluster::Cluster;
 use zt_dspsim::costmodel::CostModel;
-use zt_dspsim::placement::{place, ChainingMode, Deployment, EdgeExchange};
-use zt_query::{OperatorKind, ParallelQueryPlan, Partitioning};
+use zt_dspsim::placement::{place_with, ChainingMode, Deployment, EdgeExchange};
+use zt_query::{OperatorKind, ParallelQueryPlan, Partitioning, PlanIr};
 
 impl std::ops::Add for Interval {
     type Output = Interval;
@@ -211,8 +211,14 @@ pub struct BoundsReport {
     /// no executor can ingest more than the sources produce.
     pub throughput: Interval,
     /// End-to-end latency, Definition 1 semantics (pipeline + external
-    /// I/O + ingest penalty), ms.
+    /// I/O + ingest penalty), ms. For multi-sink plans this is the
+    /// endpoint-wise maximum over [`BoundsReport::latency_per_sink_ms`].
     pub latency_ms: Interval,
+    /// Per-sink Definition-1 latency brackets, one per plan sink in
+    /// sink-id order (a one-element vector equal to `[latency_ms]` for
+    /// single-sink plans).
+    #[serde(default)]
+    pub latency_per_sink_ms: Vec<Interval>,
     /// Source→sink pipeline latency alone (engine-comparable), ms.
     pub pipeline_ms: Interval,
     pub per_op: Vec<OpBounds>,
@@ -246,6 +252,7 @@ impl BoundsReport {
                 .headline_intervals()
                 .iter()
                 .all(|(_, iv)| iv.is_wellformed())
+            && self.latency_per_sink_ms.iter().all(|iv| iv.is_wellformed())
             && self.per_op.iter().all(|op| {
                 op.input_rate.is_wellformed()
                     && op.output_rate.is_wellformed()
@@ -284,6 +291,7 @@ struct IntervalProfile {
 #[allow(clippy::too_many_lines)]
 fn interval_profile(
     pqp: &ParallelQueryPlan,
+    ir: &PlanIr,
     cluster: &Cluster,
     dep: &Deployment,
     cm: &CostModel,
@@ -292,8 +300,8 @@ fn interval_profile(
 ) -> IntervalProfile {
     let plan = &pqp.plan;
     let n = plan.num_ops();
-    let in_schemas = plan.input_schemas();
-    let out_schemas = plan.output_schemas();
+    let in_schemas = ir.input_schemas();
+    let out_schemas = ir.output_schemas();
     let mut hottest = vec![Interval::ZERO; n];
     let mut work_us = vec![Interval::ZERO; n];
     let mut inst_work = vec![Interval::ZERO; n];
@@ -317,7 +325,7 @@ fn interval_profile(
         // monotone in its (monotone) input rate.
         let other_w = match &plan.op(id).kind {
             OperatorKind::Join(j) => {
-                let up = plan.upstream(id);
+                let up = ir.upstream(id);
                 let l = up.first().map_or(0, |u| u.idx());
                 let r = up.get(1).map_or(0, |u| u.idx());
                 let wl_lo = j.window.tuples_per_window(rates_lo.output[l] / p);
@@ -357,25 +365,31 @@ fn interval_profile(
         );
 
         // Exchange work: positive linear combination of edge rates, so the
-        // interval sum over per-edge rate envelopes is sound.
+        // interval sum over per-edge rate envelopes is sound. CSR
+        // neighbor lists preserve edge-insertion order, so each interval
+        // accumulator sums its edge subset in the same order as the old
+        // whole-edge-list scan.
         let mut deser = Interval::ZERO;
         let mut ser = Interval::ZERO;
-        for (e, &(u, d)) in plan.edges().iter().enumerate() {
+        for (&u, &e) in ir.upstream(id).iter().zip(ir.upstream_edges(id)) {
+            let e = e as usize;
             if dep.edge_exchange[e].is_chained() {
                 continue;
             }
             let edge_iv = Interval::new(rates_lo.edge[e], rates_hi.edge[e]);
-            let schema = &out_schemas[u.idx()];
-            if d == id {
-                deser = deser + edge_iv.scale(cm.serialization_us(schema));
+            deser = deser + edge_iv.scale(cm.serialization_us(&out_schemas[u.idx()]));
+        }
+        for &e in ir.downstream_edges(id) {
+            let e = e as usize;
+            if dep.edge_exchange[e].is_chained() {
+                continue;
             }
-            if u == id {
-                let mut s = cm.serialization_us(schema);
-                if pqp.partitioning[e] == Partitioning::Hash {
-                    s += cm.hash_route_us;
-                }
-                ser = ser + edge_iv.scale(s);
+            let edge_iv = Interval::new(rates_lo.edge[e], rates_hi.edge[e]);
+            let mut s = cm.serialization_us(&out_schemas[i]);
+            if pqp.partitioning[e] == Partitioning::Hash {
+                s += cm.hash_route_us;
             }
+            ser = ser + edge_iv.scale(s);
         }
 
         // Work per second of one instance at 1 GHz (µs/s). The product
@@ -437,20 +451,37 @@ fn scale_for(bottleneck: f64, target: f64) -> f64 {
 /// Statically derive sound metric brackets for one deployment.
 ///
 /// Purely analytical — no simulator execution, no RNG; cost is a handful
-/// of `O(ops × edges)` profile evaluations.
-#[allow(clippy::too_many_lines)]
+/// of `O(ops × edges)` profile evaluations. Seals the plan into a
+/// [`PlanIr`]; hot loops that evaluate many candidates over the same
+/// logical plan should seal once and call [`analyze_with`].
 pub fn analyze(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &BoundsConfig) -> BoundsReport {
+    let ir = pqp
+        .plan
+        .validate()
+        .expect("analyze() requires a valid plan");
+    analyze_with(pqp, &ir, cluster, cfg)
+}
+
+/// [`analyze`] over a pre-sealed [`PlanIr`] (no re-validation, zero-alloc
+/// topology lookups in the transfer functions).
+#[allow(clippy::too_many_lines)]
+pub fn analyze_with(
+    pqp: &ParallelQueryPlan,
+    ir: &PlanIr,
+    cluster: &Cluster,
+    cfg: &BoundsConfig,
+) -> BoundsReport {
     debug_assert!(pqp.validate().is_ok(), "analyze() requires a valid PQP");
     let _span = zt_telemetry::span("bounds.analyze");
     zt_telemetry::counter_add("bounds.analyses", 1);
     let plan = &pqp.plan;
-    let dep = place(pqp, cluster, cfg.chaining);
-    let in_schemas = plan.input_schemas();
-    let out_schemas = plan.output_schemas();
+    let dep = place_with(pqp, ir, cluster, cfg.chaining);
+    let in_schemas = ir.input_schemas();
+    let out_schemas = ir.output_schemas();
     let cm = &cfg.cost;
     let target = cfg.utilization_target;
 
-    let offered: f64 = plan
+    let offered: f64 = ir
         .sources()
         .iter()
         .map(|&s| match &plan.op(s).kind {
@@ -463,16 +494,17 @@ pub fn analyze(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &BoundsConfig) -
     // Point evaluations of the *solver's own* transfer functions, with
     // and without the skew model; the skewed value is bitwise the
     // solver's first-iteration bottleneck.
-    let rates_hi = propagate(pqp, 1.0);
+    let rates_hi = propagate_with(pqp, ir, 1.0);
     let bottleneck = |rates: &Rates, skew: SkewMode| -> f64 {
-        let prof = work_profile(
+        let prof = work_profile_with(
             pqp,
+            ir,
             cluster,
             &dep,
             cm,
             rates,
-            &in_schemas,
-            &out_schemas,
+            in_schemas,
+            out_schemas,
             skew,
         );
         let u_inst = prof.hottest_util.iter().copied().fold(0.0f64, f64::max);
@@ -491,12 +523,12 @@ pub fn analyze(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &BoundsConfig) -
     // in the throttle, so the solver occasionally takes a second
     // micro-adjustment that lands one ULP below the one-shot value.
     let mut scale_lo = 1.0f64;
-    let mut rates_lo = propagate(pqp, 1.0);
+    let mut rates_lo = propagate_with(pqp, ir, 1.0);
     for _ in 0..6 {
         let u = bottleneck(&rates_lo, SkewMode::Model);
         if u > target {
             scale_lo *= target / u;
-            rates_lo = propagate(pqp, scale_lo);
+            rates_lo = propagate_with(pqp, ir, scale_lo);
         } else {
             break;
         }
@@ -504,7 +536,7 @@ pub fn analyze(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &BoundsConfig) -
     let scale = Interval::new(scale_lo, scale_for(utilization.lo, target));
     let backpressured = scale.lo < 1.0; // exact: mirrors the solver's branch
     let definitely_bp = scale.hi < 1.0;
-    let profile = interval_profile(pqp, cluster, &dep, cm, &rates_lo, &rates_hi);
+    let profile = interval_profile(pqp, ir, cluster, &dep, cm, &rates_lo, &rates_hi);
 
     // --- Network congestion envelope ----------------------------------
     let agg_link_bytes: f64 = cluster
@@ -639,26 +671,36 @@ pub fn analyze(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &BoundsConfig) -
     // --- Longest source→sink path over intervals ----------------------
     // Interval DP: the max over incoming alternatives brackets the max
     // over any point choice inside the brackets.
-    let order = plan.topo_order().expect("validated plan");
     let mut path = vec![Interval::ZERO; n];
     let mut floor_path = vec![0f64; n];
-    for id in order {
+    for &id in ir.topo_order() {
         let i = id.idx();
         let own = per_op[i].sojourn_ms + per_op[i].residence_ms;
         let mut best = Interval::ZERO;
         let mut best_floor = 0.0f64;
-        for (e, &(up, d)) in plan.edges().iter().enumerate() {
-            if d == id {
-                let via = path[up.idx()] + edge_sim[e];
-                best = Interval::new(best.lo.max(via.lo), best.hi.max(via.hi));
-                best_floor = best_floor.max(floor_path[up.idx()] + edge_floor[e]);
-            }
+        for (&up, &e) in ir.upstream(id).iter().zip(ir.upstream_edges(id)) {
+            let e = e as usize;
+            let via = path[up.idx()] + edge_sim[e];
+            best = Interval::new(best.lo.max(via.lo), best.hi.max(via.hi));
+            best_floor = best_floor.max(floor_path[up.idx()] + edge_floor[e]);
         }
         path[i] = best + own;
         floor_path[i] = best_floor;
     }
-    let sink = plan.sink().idx();
-    let pipeline_ms = Interval::new(floor_path[sink].min(path[sink].hi), path[sink].hi);
+    // Headline brackets take the endpoint-wise maximum over the per-sink
+    // intervals — exactly the solver's `max` over per-sink point values,
+    // and bitwise the old single-sink expressions when there is one sink.
+    let pipeline_ms = ir
+        .sinks()
+        .iter()
+        .map(|s| {
+            let si = s.idx();
+            Interval::new(floor_path[si].min(path[si].hi), path[si].hi)
+        })
+        .fold(
+            Interval::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            |acc, iv| Interval::new(acc.lo.max(iv.lo), acc.hi.max(iv.hi)),
+        );
 
     // --- Definition 1 assembly -----------------------------------------
     let ingest = Interval::new(
@@ -673,9 +715,20 @@ pub fn analyze(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &BoundsConfig) -
             0.0
         },
     );
-    let latency_ms = Interval::new(
-        path[sink].lo + cfg.external_io_ms + ingest.lo,
-        path[sink].hi + cfg.external_io_ms + ingest.hi,
+    let latency_per_sink_ms: Vec<Interval> = ir
+        .sinks()
+        .iter()
+        .map(|s| {
+            let si = s.idx();
+            Interval::new(
+                path[si].lo + cfg.external_io_ms + ingest.lo,
+                path[si].hi + cfg.external_io_ms + ingest.hi,
+            )
+        })
+        .collect();
+    let latency_ms = latency_per_sink_ms.iter().copied().fold(
+        Interval::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        |acc, iv| Interval::new(acc.lo.max(iv.lo), acc.hi.max(iv.hi)),
     );
     let throughput = Interval::new(offered * scale.lo, offered);
 
@@ -686,6 +739,7 @@ pub fn analyze(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &BoundsConfig) -
         backpressure_scale: scale,
         throughput,
         latency_ms,
+        latency_per_sink_ms,
         pipeline_ms,
         per_op,
     }
@@ -858,6 +912,45 @@ mod tests {
         ];
         assert!(reports.iter().all(BoundsReport::infeasible));
         assert_eq!(prune_mask(&reports), vec![true, true]);
+    }
+
+    #[test]
+    fn single_sink_per_sink_bracket_equals_headline() {
+        let q = pqp(10_000.0, 2);
+        let report = analyze(&q, &cluster(), &BoundsConfig::default());
+        assert_eq!(report.latency_per_sink_ms, vec![report.latency_ms]);
+    }
+
+    #[test]
+    fn multi_sink_bounds_bracket_the_solver_per_sink() {
+        let plan = zt_query::benchmarks::smart_grid_combined(5_000.0);
+        let n = plan.num_ops();
+        let q = ParallelQueryPlan::with_parallelism(plan, vec![2; n]);
+        let report = analyze(&q, &cluster(), &BoundsConfig::default());
+        let m = simulate_core(&q, &cluster(), &SimConfig::noiseless());
+        assert!(report.is_wellformed(), "{report:?}");
+        assert_eq!(report.latency_per_sink_ms.len(), 2);
+        assert!(report.latency_ms.contains(m.latency_ms));
+        assert!(report.throughput.contains(m.throughput));
+        for (iv, &l) in report
+            .latency_per_sink_ms
+            .iter()
+            .zip(&m.latency_per_sink_ms)
+        {
+            assert!(iv.contains(l), "per-sink latency {l} outside {iv:?}");
+        }
+    }
+
+    #[test]
+    fn analyze_with_matches_sealing_wrapper() {
+        let q = pqp(5_000_000.0, 2);
+        let ir = q.plan.validate().unwrap();
+        let a = analyze(&q, &cluster(), &BoundsConfig::default());
+        let b = analyze_with(&q, &ir, &cluster(), &BoundsConfig::default());
+        assert_eq!(a.utilization, b.utilization);
+        assert_eq!(a.backpressure_scale, b.backpressure_scale);
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(a.pipeline_ms, b.pipeline_ms);
     }
 
     #[test]

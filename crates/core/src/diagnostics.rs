@@ -283,6 +283,11 @@ pub const REGISTRY: &[CodeInfo] = &[
         summary: "cluster oversubscribed (instances > slots)",
     },
     CodeInfo {
+        code: "ZT108",
+        severity: Severity::Warning,
+        summary: "dangling branch: operator reaches no sink in a multi-sink plan",
+    },
+    CodeInfo {
         code: "ZT201",
         severity: Severity::Error,
         summary: "non-finite feature value",
@@ -473,7 +478,7 @@ pub fn lint_plan(plan: &LogicalPlan) -> Vec<Diagnostic> {
     // Structural validation, mapped onto ZT101 unless a dedicated code
     // above already covers the same operator parameter.
     match plan.validate() {
-        Ok(()) => {}
+        Ok(_) => {}
         Err(PlanError::InvalidParameter(id, what)) => {
             let covered = out.iter().any(|d| {
                 d.anchor == Some(Anchor::Op(id)) && (d.code == "ZT103" || d.code == "ZT104")
@@ -527,19 +532,37 @@ pub fn lint_plan(plan: &LogicalPlan) -> Vec<Diagnostic> {
                 }
             }
         }
+        let num_sinks = plan.ops().iter().filter(|o| o.kind.is_sink()).count();
         for op in plan.ops() {
             let i = op.id.idx();
             if !(from_source[i] && to_sink[i]) {
-                out.push(
-                    Diagnostic::warning(
-                        "ZT102",
-                        format!(
-                            "{} operator is not on any source → sink path (unreachable work)",
-                            op.kind.label()
-                        ),
-                    )
-                    .at_op(op.id),
-                );
+                // In a multi-sink plan an operator fed by a source but
+                // draining into no sink is a distinct (and easier to hit)
+                // mistake: a branch was forked but never terminated. Give
+                // it its own code so fixes don't chase the generic ZT102.
+                if num_sinks >= 2 && from_source[i] && !to_sink[i] {
+                    out.push(
+                        Diagnostic::warning(
+                            "ZT108",
+                            format!(
+                                "{} operator is fed by a source but reaches none of the plan's {num_sinks} sinks (dangling branch)",
+                                op.kind.label()
+                            ),
+                        )
+                        .at_op(op.id),
+                    );
+                } else {
+                    out.push(
+                        Diagnostic::warning(
+                            "ZT102",
+                            format!(
+                                "{} operator is not on any source → sink path (unreachable work)",
+                                op.kind.label()
+                            ),
+                        )
+                        .at_op(op.id),
+                    );
+                }
             }
         }
     }

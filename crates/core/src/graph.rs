@@ -23,8 +23,8 @@
 
 use serde::{Deserialize, Serialize};
 use zt_dspsim::cluster::Cluster;
-use zt_dspsim::placement::{place, ChainingMode, Deployment};
-use zt_query::{LogicalPlan, OperatorKind, ParallelQueryPlan, TupleSchema};
+use zt_dspsim::placement::{place, place_with, ChainingMode, Deployment};
+use zt_query::{LogicalPlan, OperatorKind, ParallelQueryPlan, PlanIr, TupleSchema};
 
 use crate::features::{operator_features, resource_features, FeatureMask};
 
@@ -144,22 +144,26 @@ pub struct EncodeContext {
 }
 
 impl EncodeContext {
+    /// Seal `plan` into a [`PlanIr`] and build the context. Callers that
+    /// already hold a sealed IR should use [`EncodeContext::with_ir`].
     pub fn new(plan: &LogicalPlan, cluster: &Cluster, mask: &FeatureMask) -> Self {
+        let ir = plan.validate().expect("validated plan");
+        Self::with_ir(plan, &ir, cluster, mask)
+    }
+
+    /// Build the context from a pre-sealed [`PlanIr`] (schemas, topo order
+    /// and sink are copied out of the IR instead of being recomputed).
+    pub fn with_ir(plan: &LogicalPlan, ir: &PlanIr, cluster: &Cluster, mask: &FeatureMask) -> Self {
         EncodeContext {
-            in_schemas: plan.input_schemas(),
-            out_schemas: plan.output_schemas(),
+            in_schemas: ir.input_schemas().to_vec(),
+            out_schemas: ir.output_schemas().to_vec(),
             data_flow: plan
                 .edges()
                 .iter()
                 .map(|&(u, d)| (u.idx(), d.idx()))
                 .collect(),
-            topo: plan
-                .topo_order()
-                .expect("validated plan")
-                .into_iter()
-                .map(zt_query::OpId::idx)
-                .collect(),
-            sink: plan.sink().idx(),
+            topo: ir.topo_order().iter().map(|id| id.idx()).collect(),
+            sink: ir.sink().idx(),
             resource_feats: cluster
                 .nodes
                 .iter()
@@ -179,6 +183,19 @@ impl EncodeContext {
         chaining: ChainingMode,
     ) -> GraphEncoding {
         let dep = place(pqp, cluster, chaining);
+        self.encode_with_deployment(pqp, cluster, &dep)
+    }
+
+    /// [`EncodeContext::encode`] over a pre-sealed [`PlanIr`]: placement
+    /// skips re-validating the plan for every candidate.
+    pub fn encode_sealed(
+        &self,
+        pqp: &ParallelQueryPlan,
+        ir: &PlanIr,
+        cluster: &Cluster,
+        chaining: ChainingMode,
+    ) -> GraphEncoding {
+        let dep = place_with(pqp, ir, cluster, chaining);
         self.encode_with_deployment(pqp, cluster, &dep)
     }
 

@@ -68,7 +68,9 @@ pub mod telemetry {
     pub use zt_telemetry::*;
 }
 
-pub use bounds::{analyze, prune_mask, BoundsConfig, BoundsReport, Interval, OpBounds};
+pub use bounds::{
+    analyze, analyze_with, prune_mask, BoundsConfig, BoundsReport, Interval, OpBounds,
+};
 pub use datagen::{generate_dataset_report, generate_dataset_with, shard_seed, GenPlan, GenReport};
 pub use dataset::{generate_dataset, Dataset, GenConfig, Sample, SampleMeta};
 pub use diagnostics::{

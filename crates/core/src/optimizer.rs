@@ -202,6 +202,10 @@ pub fn tune<E: CostEstimator + ?Sized>(
         crate::diagnostics::preflight_tune(plan, cluster).enforce("tune");
     }
     let _span = zt_telemetry::span("tune");
+    // Seal the logical plan once; every candidate below shares its
+    // topology, so the bounds pre-pass, encoding and cross-check all run
+    // on the same IR without re-validating per candidate.
+    let ir = plan.validate().expect("tune() requires a valid plan");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut candidates = {
         let _s = zt_telemetry::span("tune.enumerate");
@@ -232,7 +236,7 @@ pub fn tune<E: CostEstimator + ?Sized>(
             .map(|cand| {
                 probe.parallelism.clone_from(cand);
                 probe.reset_partitioning();
-                crate::bounds::analyze(&probe, cluster, &bcfg)
+                crate::bounds::analyze_with(&probe, &ir, cluster, &bcfg)
             })
             .collect();
         let keep = crate::bounds::prune_mask(&reports);
@@ -258,7 +262,7 @@ pub fn tune<E: CostEstimator + ?Sized>(
     // Encode every candidate against the shared context, reusing one
     // mutable PQP (partitioning depends on the parallelism vector, so it
     // must be re-derived after each mutation).
-    let ctx = EncodeContext::new(plan, cluster, &cfg.mask);
+    let ctx = EncodeContext::with_ir(plan, &ir, cluster, &cfg.mask);
     let mut pqp = ParallelQueryPlan::new(plan.clone());
     let graphs: Vec<_> = {
         let _s = zt_telemetry::span("tune.encode");
@@ -267,7 +271,7 @@ pub fn tune<E: CostEstimator + ?Sized>(
             .map(|cand| {
                 pqp.parallelism.clone_from(cand);
                 pqp.reset_partitioning();
-                ctx.encode(&pqp, cluster, cfg.chaining)
+                ctx.encode_sealed(&pqp, &ir, cluster, cfg.chaining)
             })
             .collect()
     };
@@ -322,7 +326,7 @@ pub fn tune<E: CostEstimator + ?Sized>(
             ..crate::bounds::BoundsConfig::default()
         };
         let chosen = ParallelQueryPlan::with_parallelism(plan.clone(), candidates[best].clone());
-        let report = crate::bounds::analyze(&chosen, cluster, &bcfg);
+        let report = crate::bounds::analyze_with(&chosen, &ir, cluster, &bcfg);
         let mut diags = crate::diagnostics::lint_bounds_report(&report);
         for d in &mut diags {
             if d.code == "ZT503" {

@@ -128,13 +128,13 @@ pub fn estimate_input_rates<R: Rng + ?Sized>(
     estimate_noise: f64,
     rng: &mut R,
 ) -> Vec<f64> {
-    let order = plan.topo_order().expect("validated plan");
+    let ir = plan.validate().expect("validated plan");
     let n = plan.num_ops();
     let mut input = vec![0f64; n];
     let mut output = vec![0f64; n];
-    for id in order {
+    for &id in ir.topo_order() {
         let i = id.idx();
-        let up = plan.upstream(id);
+        let up = ir.upstream(id);
         let in_rate: f64 = up.iter().map(|u| output[u.idx()]).sum();
         let noise = if estimate_noise > 0.0 {
             let u1: f64 = rng.gen_range(1e-9..1.0f64);

@@ -20,12 +20,12 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use zt_query::{OpId, OperatorKind, ParallelQueryPlan, Partitioning, TupleSchema};
+use zt_query::{OpId, OperatorKind, ParallelQueryPlan, Partitioning, PlanIr, TupleSchema};
 
 use crate::cluster::Cluster;
 use crate::costmodel::CostModel;
 use crate::noise::NoiseConfig;
-use crate::placement::{place, ChainingMode, Deployment, EdgeExchange};
+use crate::placement::{place_with, ChainingMode, Deployment, EdgeExchange};
 
 // --- Shared solver constants ---------------------------------------------
 //
@@ -113,8 +113,14 @@ pub struct OpMetrics {
 /// The solver's result for one deployment.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct QueryMetrics {
-    /// End-to-end latency (Definition 1), ms.
+    /// End-to-end latency (Definition 1), ms. For multi-sink plans this
+    /// is the *maximum* over [`QueryMetrics::latency_per_sink_ms`].
     pub latency_ms: f64,
+    /// Definition-1 latency per sink, in sink-id order (one entry per
+    /// sink of the plan; single-sink plans have exactly one, equal to
+    /// `latency_ms`).
+    #[serde(default)]
+    pub latency_per_sink_ms: Vec<f64>,
     /// Sustained throughput (Definition 2), tuples/s.
     pub throughput: f64,
     /// Total offered source rate, tuples/s.
@@ -146,16 +152,25 @@ pub struct Rates {
 }
 
 /// Propagate rates through the plan at a given source throttle factor.
+///
+/// Seals the plan on every call; hot loops should seal once and use
+/// [`propagate_with`].
 pub fn propagate(pqp: &ParallelQueryPlan, scale: f64) -> Rates {
+    let ir = pqp.plan.validate().expect("validated plan");
+    propagate_with(pqp, &ir, scale)
+}
+
+/// [`propagate`] over a pre-sealed [`PlanIr`] (no per-call validation or
+/// adjacency allocation).
+pub fn propagate_with(pqp: &ParallelQueryPlan, ir: &PlanIr, scale: f64) -> Rates {
     let plan = &pqp.plan;
     let n = plan.num_ops();
     let mut input = vec![0f64; n];
     let mut output = vec![0f64; n];
-    let order = plan.topo_order().expect("validated plan");
-    for id in order {
+    for &id in ir.topo_order() {
         let i = id.idx();
         let p = pqp.parallelism_of(id).max(1) as f64;
-        let up = plan.upstream(id);
+        let up = ir.upstream(id);
         let in_rate: f64 = up.iter().map(|u| output[u.idx()]).sum();
         match &plan.op(id).kind {
             OperatorKind::Source(s) => {
@@ -199,11 +214,11 @@ pub fn propagate(pqp: &ParallelQueryPlan, scale: f64) -> Rates {
 
 /// Expected tuples in the *opposite* window of one join instance, averaged
 /// over arrival sides; 0 for non-joins.
-fn join_other_window(pqp: &ParallelQueryPlan, rates: &Rates, id: OpId) -> f64 {
+fn join_other_window(pqp: &ParallelQueryPlan, ir: &PlanIr, rates: &Rates, id: OpId) -> f64 {
     let plan = &pqp.plan;
     if let OperatorKind::Join(j) = &plan.op(id).kind {
         let p = pqp.parallelism_of(id).max(1) as f64;
-        let up = plan.upstream(id);
+        let up = ir.upstream(id);
         let in_l = up.first().map_or(0.0, |u| rates.output[u.idx()]);
         let in_r = up.get(1).map_or(0.0, |u| rates.output[u.idx()]);
         let wl = j.window.tuples_per_window(in_l / p);
@@ -236,11 +251,43 @@ pub struct WorkProfile {
 }
 
 /// Compute per-instance and per-node utilization for given rates.
-// The argument list is the solver's full evaluation context; bundling it
-// into a struct would obscure that this *is* the transfer function.
+///
+/// Seals the plan on every call; hot loops should seal once and use
+/// [`work_profile_with`].
 #[allow(clippy::too_many_arguments)]
 pub fn work_profile(
     pqp: &ParallelQueryPlan,
+    cluster: &Cluster,
+    dep: &Deployment,
+    cm: &CostModel,
+    rates: &Rates,
+    in_schemas: &[TupleSchema],
+    out_schemas: &[TupleSchema],
+    skew_mode: SkewMode,
+) -> WorkProfile {
+    let ir = pqp.plan.validate().expect("validated plan");
+    work_profile_with(
+        pqp,
+        &ir,
+        cluster,
+        dep,
+        cm,
+        rates,
+        in_schemas,
+        out_schemas,
+        skew_mode,
+    )
+}
+
+/// [`work_profile`] over a pre-sealed [`PlanIr`]: per-operator exchange
+/// work comes from the IR's O(degree) edge slices instead of scanning the
+/// whole edge list once per operator.
+// The argument list is the solver's full evaluation context; bundling it
+// into a struct would obscure that this *is* the transfer function.
+#[allow(clippy::too_many_arguments)]
+pub fn work_profile_with(
+    pqp: &ParallelQueryPlan,
+    ir: &PlanIr,
     cluster: &Cluster,
     dep: &Deployment,
     cm: &CostModel,
@@ -260,39 +307,44 @@ pub fn work_profile(
         let i = id.idx();
         let p = pqp.parallelism_of(id).max(1) as f64;
         let nodes = dep.instance_nodes(id);
-        let other_w = join_other_window(pqp, rates, id);
+        let other_w = join_other_window(pqp, ir, rates, id);
         // Skew: hash-partitioned input concentrates load on the hottest
-        // instance.
-        let skew =
-            if skew_mode == SkewMode::Model && pqp.input_partitioning(id) == Partitioning::Hash {
-                cm.hash_skew
-            } else {
-                1.0
-            };
+        // instance. The first input edge defines the partitioning, as in
+        // `ParallelQueryPlan::input_partitioning`.
+        let input_part = ir
+            .first_input_edge(id)
+            .map_or(Partitioning::Forward, |e| pqp.partitioning[e as usize]);
+        let skew = if skew_mode == SkewMode::Model && input_part == Partitioning::Hash {
+            cm.hash_skew
+        } else {
+            1.0
+        };
 
         // Per-tuple exchange work (serialization both directions, hash
         // routing), in µs at 1 GHz, per *input* tuple and *output* tuple.
+        // Each accumulator sums its edge subset in insertion order — the
+        // same order (and therefore bitwise the same f64 sum) as the old
+        // whole-edge-list scan.
         let mut deser_us = 0.0;
-        let mut deser_rate = 0.0;
         let mut ser_us_total = 0.0;
-        for (e, &(u, d)) in plan.edges().iter().enumerate() {
+        for (&u, &e) in ir.upstream(id).iter().zip(ir.upstream_edges(id)) {
+            let e = e as usize;
             if dep.edge_exchange[e].is_chained() {
                 continue;
             }
-            let schema = &out_schemas[u.idx()];
-            if d == id {
-                deser_us += cm.serialization_us(schema) * rates.edge[e];
-                deser_rate += rates.edge[e];
-            }
-            if u == id {
-                let mut s = cm.serialization_us(schema);
-                if pqp.partitioning[e] == Partitioning::Hash {
-                    s += cm.hash_route_us;
-                }
-                ser_us_total += s * rates.edge[e];
-            }
+            deser_us += cm.serialization_us(&out_schemas[u.idx()]) * rates.edge[e];
         }
-        let _ = deser_rate;
+        for &e in ir.downstream_edges(id) {
+            let e = e as usize;
+            if dep.edge_exchange[e].is_chained() {
+                continue;
+            }
+            let mut s = cm.serialization_us(&out_schemas[i]);
+            if pqp.partitioning[e] == Partitioning::Hash {
+                s += cm.hash_route_us;
+            }
+            ser_us_total += s * rates.edge[e];
+        }
 
         let srv_us = cm.service_us(
             &op.kind,
@@ -352,7 +404,11 @@ pub fn simulate<R: Rng + ?Sized>(
 /// runs leave the RNG stream untouched (the contract the label cache and
 /// the sharded data generator rely on).
 pub fn apply_noise<R: Rng + ?Sized>(metrics: &mut QueryMetrics, noise: &NoiseConfig, rng: &mut R) {
-    metrics.latency_ms *= noise.latency_factor(rng);
+    let lf = noise.latency_factor(rng);
+    metrics.latency_ms *= lf;
+    for l in &mut metrics.latency_per_sink_ms {
+        *l *= lf;
+    }
     metrics.throughput *= noise.throughput_factor(rng);
 }
 
@@ -365,12 +421,15 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
     let _span = zt_telemetry::span("sim.solve");
     zt_telemetry::counter_add("sim.solves", 1);
     let plan = &pqp.plan;
-    let dep = place(pqp, cluster, cfg.chaining);
-    let in_schemas = plan.input_schemas();
-    let out_schemas = plan.output_schemas();
+    // Seal the topology once; every traversal below is an O(degree)
+    // slice lookup on the IR.
+    let ir = plan.validate().expect("simulate() requires a valid plan");
+    let dep = place_with(pqp, &ir, cluster, cfg.chaining);
+    let in_schemas = ir.input_schemas();
+    let out_schemas = ir.output_schemas();
     let cm = &cfg.cost;
 
-    let offered: f64 = plan
+    let offered: f64 = ir
         .sources()
         .iter()
         .map(|&s| match &plan.op(s).kind {
@@ -382,15 +441,16 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
     // --- Backpressure fixed point -----------------------------------
     let mut scale = 1.0f64;
     let mut bottleneck_at_offered = 0.0f64;
-    let mut rates = propagate(pqp, scale);
-    let mut profile = work_profile(
+    let mut rates = propagate_with(pqp, &ir, scale);
+    let mut profile = work_profile_with(
         pqp,
+        &ir,
         cluster,
         &dep,
         cm,
         &rates,
-        &in_schemas,
-        &out_schemas,
+        in_schemas,
+        out_schemas,
         SkewMode::Model,
     );
     for iter in 0..6 {
@@ -402,15 +462,16 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
         }
         if u > cfg.utilization_target {
             scale *= cfg.utilization_target / u;
-            rates = propagate(pqp, scale);
-            profile = work_profile(
+            rates = propagate_with(pqp, &ir, scale);
+            profile = work_profile_with(
                 pqp,
+                &ir,
                 cluster,
                 &dep,
                 cm,
                 &rates,
-                &in_schemas,
-                &out_schemas,
+                in_schemas,
+                out_schemas,
                 SkewMode::Model,
             );
         } else {
@@ -509,30 +570,40 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
     }
 
     // --- Longest path (joins wait for the slower input) --------------
-    let order = plan.topo_order().expect("validated plan");
     let mut path_ms = vec![0f64; n];
-    for id in order {
+    for &id in ir.topo_order() {
         let i = id.idx();
         let own = per_op[i].sojourn_ms + per_op[i].residence_ms;
         let mut best_in = 0.0f64;
-        for (e, &(up, d)) in plan.edges().iter().enumerate() {
-            if d == id {
-                best_in = best_in.max(path_ms[up.idx()] + edge_ms[e]);
-            }
+        for (&up, &e) in ir.upstream(id).iter().zip(ir.upstream_edges(id)) {
+            best_in = best_in.max(path_ms[up.idx()] + edge_ms[e as usize]);
         }
         path_ms[i] = best_in + own;
     }
-    let sink = plan.sink();
-    let mut latency_ms = path_ms[sink.idx()] + cfg.external_io_ms;
+    // Definition-1 latency per sink; the headline is the slowest sink
+    // (identical to the single value for single-sink plans).
+    let mut latency_per_sink_ms: Vec<f64> = ir
+        .sinks()
+        .iter()
+        .map(|s| path_ms[s.idx()] + cfg.external_io_ms)
+        .collect();
     // Event-time queueing in front of the sources when the offered rate
     // exceeds the sustainable rate (see SimConfig::backpressure_ingest_ms).
     if scale < 1.0 {
-        latency_ms += cfg.backpressure_ingest_ms * (1.0 / scale - 1.0);
+        let ingest_ms = cfg.backpressure_ingest_ms * (1.0 / scale - 1.0);
+        for l in &mut latency_per_sink_ms {
+            *l += ingest_ms;
+        }
     }
+    let latency_ms = latency_per_sink_ms
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let throughput = offered * scale;
 
     QueryMetrics {
         latency_ms,
+        latency_per_sink_ms,
         throughput,
         offered_rate: offered,
         backpressure_scale: scale,
@@ -759,5 +830,49 @@ mod tests {
                 assert!(m.backpressure_scale > 0.0 && m.backpressure_scale <= 1.0);
             }
         }
+    }
+
+    #[test]
+    fn single_sink_per_sink_vector_equals_headline() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = simulate(
+            &pqp(10_000.0, 2),
+            &cluster(),
+            &SimConfig::noiseless(),
+            &mut rng,
+        );
+        assert_eq!(m.latency_per_sink_ms, vec![m.latency_ms]);
+    }
+
+    #[test]
+    fn multi_sink_plan_reports_per_sink_latencies() {
+        let plan = zt_query::benchmarks::smart_grid_combined(5_000.0);
+        let pqp = ParallelQueryPlan::new(plan);
+        let mut rng = StdRng::seed_from_u64(14);
+        let m = simulate(&pqp, &cluster(), &SimConfig::noiseless(), &mut rng);
+        assert_eq!(m.latency_per_sink_ms.len(), 2);
+        // headline = max over the per-sink Definition-1 latencies
+        let max = m
+            .latency_per_sink_ms
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(m.latency_ms, max);
+        assert!(m
+            .latency_per_sink_ms
+            .iter()
+            .all(|l| l.is_finite() && *l > 0.0));
+        assert!(m.throughput > 0.0);
+    }
+
+    #[test]
+    fn propagate_with_matches_sealing_wrapper() {
+        let pqp = pqp(2_000.0, 2);
+        let ir = pqp.plan.validate().unwrap();
+        let a = propagate(&pqp, 1.0);
+        let b = propagate_with(&pqp, &ir, 1.0);
+        assert_eq!(a.input, b.input);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.edge, b.edge);
     }
 }

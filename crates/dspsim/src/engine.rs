@@ -18,12 +18,12 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use rand::Rng;
-use zt_query::{OpId, OperatorKind, ParallelQueryPlan, Partitioning};
+use zt_query::{OpId, OperatorKind, ParallelQueryPlan, Partitioning, PlanIr};
 
 use crate::cluster::Cluster;
 use crate::costmodel::CostModel;
 use crate::metrics::Summary;
-use crate::placement::{place, ChainingMode, Deployment};
+use crate::placement::{place_with, ChainingMode, Deployment};
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -55,7 +55,7 @@ impl Default for EngineConfig {
 /// Empirical measurement produced by [`run`].
 #[derive(Clone, Debug)]
 pub struct EngineMetrics {
-    /// Mean end-to-end latency of tuples reaching the sink, ms.
+    /// Mean end-to-end latency of tuples reaching any sink, ms.
     pub latency_mean_ms: f64,
     /// Median end-to-end latency, ms.
     pub latency_p50_ms: f64,
@@ -63,9 +63,26 @@ pub struct EngineMetrics {
     pub latency_p95_ms: f64,
     /// Tuples/s ingested by the sources during the measured interval.
     pub source_throughput: f64,
-    /// Tuples/s arriving at the sink during the measured interval.
+    /// Tuples/s arriving at all sinks during the measured interval.
     pub sink_rate: f64,
-    /// Number of sink-side latency samples.
+    /// Number of sink-side latency samples (all sinks pooled).
+    pub samples: usize,
+    /// Per-sink breakdown, one entry per [`PlanIr::sinks`] element in
+    /// sink-id order. Single-sink plans get a one-element vector whose
+    /// aggregates match the headline fields.
+    pub per_sink: Vec<SinkMetrics>,
+}
+
+/// Per-sink slice of the engine measurement.
+#[derive(Clone, Debug)]
+pub struct SinkMetrics {
+    /// The sink operator.
+    pub op: OpId,
+    /// Mean end-to-end latency of tuples reaching this sink, ms.
+    pub latency_mean_ms: f64,
+    /// Tuples/s arriving at this sink during the measured interval.
+    pub sink_rate: f64,
+    /// Latency samples recorded at this sink.
     pub samples: usize,
 }
 
@@ -193,9 +210,10 @@ pub fn run<R: Rng + ?Sized>(
     debug_assert!(pqp.validate().is_ok());
     let _span = zt_telemetry::span("engine.run");
     let plan = &pqp.plan;
-    let dep = place(pqp, cluster, cfg.chaining);
-    let in_schemas = plan.input_schemas();
-    let out_schemas = plan.output_schemas();
+    let ir = plan.validate().expect("run() requires a valid plan");
+    let dep = place_with(pqp, &ir, cluster, cfg.chaining);
+    let in_schemas = ir.input_schemas();
+    let out_schemas = ir.output_schemas();
     let n_ops = plan.num_ops();
 
     // Per-op instance states.
@@ -220,7 +238,7 @@ pub fn run<R: Rng + ?Sized>(
 
     // Source emission setup: batch sizes bound the event count.
     let mut batch_of: Vec<f64> = vec![1.0; n_ops];
-    for &s in &plan.sources() {
+    for &s in ir.sources() {
         if let OperatorKind::Source(src) = &plan.op(s).kind {
             let p = pqp.parallelism_of(s).max(1) as f64;
             let per_inst = src.event_rate / p;
@@ -262,13 +280,23 @@ pub fn run<R: Rng + ?Sized>(
     let mut sink_latencies = Summary::new();
     let mut sink_tuples = 0f64;
     let mut source_tuples = 0f64;
+    // Per-sink accumulators, indexed by position in `ir.sinks()`.
+    let mut sink_index = vec![usize::MAX; n_ops];
+    for (k, &s) in ir.sinks().iter().enumerate() {
+        sink_index[s.idx()] = k;
+    }
+    let mut per_sink_latencies: Vec<Summary> = ir.sinks().iter().map(|_| Summary::new()).collect();
+    let mut per_sink_tuples = vec![0f64; ir.sinks().len()];
 
-    // Helper: route a batch over an edge.
+    // Helper: route a batch over each out-edge of `from`. CSR out-lists
+    // preserve edge-insertion order, so the event sequence (and therefore
+    // the seeded RNG stream) is identical to the old whole-edge-list scan.
     #[allow(clippy::too_many_arguments)]
     fn route<R2: Rng + ?Sized>(
         heap: &mut BinaryHeap<Event>,
         seq: &mut u64,
         pqp: &ParallelQueryPlan,
+        ir: &PlanIr,
         dep: &Deployment,
         cluster: &Cluster,
         cm: &CostModel,
@@ -280,11 +308,8 @@ pub fn run<R: Rng + ?Sized>(
         batch: Batch,
         rng: &mut R2,
     ) {
-        let plan = &pqp.plan;
-        for (e, &(u, d)) in plan.edges().iter().enumerate() {
-            if u != from {
-                continue;
-            }
+        for (&d, &e) in ir.downstream(from).iter().zip(ir.downstream_edges(from)) {
+            let e = e as usize;
             let pd = pqp.parallelism_of(d) as usize;
             let target = match pqp.partitioning[e] {
                 Partitioning::Forward => from_instance % pd,
@@ -424,6 +449,7 @@ pub fn run<R: Rng + ?Sized>(
                         &mut heap,
                         &mut seq,
                         pqp,
+                        &ir,
                         &dep,
                         cluster,
                         cm,
@@ -453,6 +479,9 @@ pub fn run<R: Rng + ?Sized>(
                     if now >= warmup {
                         sink_tuples += batch.count;
                         sink_latencies.add((now - batch.created) * 1e3);
+                        let k = sink_index[i];
+                        per_sink_tuples[k] += batch.count;
+                        per_sink_latencies[k].add((now - batch.created) * 1e3);
                     }
                     continue;
                 }
@@ -558,6 +587,7 @@ pub fn run<R: Rng + ?Sized>(
                         &mut heap,
                         &mut seq,
                         pqp,
+                        &ir,
                         &dep,
                         cluster,
                         cm,
@@ -627,6 +657,7 @@ pub fn run<R: Rng + ?Sized>(
                             &mut heap,
                             &mut seq,
                             pqp,
+                            &ir,
                             &dep,
                             cluster,
                             cm,
@@ -655,6 +686,17 @@ pub fn run<R: Rng + ?Sized>(
     let measured = (now.min(cfg.horizon_secs) - warmup).max(1e-9);
     zt_telemetry::counter_add("engine.source_tuples", source_tuples as u64);
     zt_telemetry::counter_add("engine.sink_tuples", sink_tuples as u64);
+    let per_sink = ir
+        .sinks()
+        .iter()
+        .enumerate()
+        .map(|(k, &s)| SinkMetrics {
+            op: s,
+            latency_mean_ms: per_sink_latencies[k].mean(),
+            sink_rate: per_sink_tuples[k] / measured,
+            samples: per_sink_latencies[k].len(),
+        })
+        .collect();
     EngineMetrics {
         latency_mean_ms: sink_latencies.mean(),
         latency_p50_ms: sink_latencies.median(),
@@ -662,6 +704,7 @@ pub fn run<R: Rng + ?Sized>(
         source_throughput: source_tuples / measured,
         sink_rate: sink_tuples / measured,
         samples: sink_latencies.len(),
+        per_sink,
     }
 }
 
@@ -826,6 +869,39 @@ mod tests {
         let m = run(&pqp, &cluster(), &EngineConfig::default(), &mut rng);
         assert!(m.sink_rate > 0.0, "join produced nothing");
         assert!(m.samples > 0);
+    }
+
+    #[test]
+    fn multi_sink_plan_executes_and_reports_per_sink() {
+        let plan = zt_query::benchmarks::smart_grid_combined(2_000.0);
+        let n = plan.num_ops();
+        let pqp = ParallelQueryPlan::with_parallelism(plan, vec![1; n]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = run(&pqp, &cluster(), &EngineConfig::default(), &mut rng);
+        assert_eq!(m.per_sink.len(), 2);
+        assert!(m.samples > 0);
+        // pooled counts are the sum of the per-sink slices
+        let pooled: usize = m.per_sink.iter().map(|s| s.samples).sum();
+        assert_eq!(pooled, m.samples);
+        let rate: f64 = m.per_sink.iter().map(|s| s.sink_rate).sum();
+        assert!((rate - m.sink_rate).abs() < 1e-9);
+        // at least one branch delivered tuples
+        assert!(m.per_sink.iter().any(|s| s.samples > 0));
+    }
+
+    #[test]
+    fn single_sink_per_sink_slice_matches_headline() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = run(
+            &linear_pqp(2_000.0, 2, 10.0),
+            &cluster(),
+            &EngineConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(m.per_sink.len(), 1);
+        assert_eq!(m.per_sink[0].samples, m.samples);
+        assert_eq!(m.per_sink[0].latency_mean_ms, m.latency_mean_ms);
+        assert_eq!(m.per_sink[0].sink_rate, m.sink_rate);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub use analytical::{
     EXCHANGE_OVERHEAD_MS, INFLIGHT_WAIT_CAP_MS, NET_UTIL_CAP, RHO_CAP,
 };
 pub use cluster::{Cluster, ClusterType, NodeSpec};
+pub use engine::{EngineConfig, EngineMetrics, SinkMetrics};
 pub use noise::NoiseConfig;
-pub use placement::{ChainingMode, Deployment, EdgeExchange};
+pub use placement::{place, place_with, ChainingMode, Deployment, EdgeExchange};
 pub use simcache::{CacheStats, SimCache};

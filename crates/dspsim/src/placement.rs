@@ -22,7 +22,7 @@
 //!    traffic that stays on the same node (no NIC crossing).
 
 use serde::{Deserialize, Serialize};
-use zt_query::{OpId, ParallelQueryPlan, Partitioning};
+use zt_query::{OpId, ParallelQueryPlan, Partitioning, PlanIr};
 
 use crate::cluster::Cluster;
 
@@ -128,8 +128,21 @@ impl Deployment {
 pub const AUTO_CHAIN_SLOT_PRESSURE: f64 = 0.9;
 
 /// Compute the deployment of `pqp` on `cluster` under the given chaining
-/// policy.
+/// policy. Seals the plan into a [`PlanIr`]; hot loops that already hold a
+/// sealed IR should call [`place_with`] instead.
 pub fn place(pqp: &ParallelQueryPlan, cluster: &Cluster, mode: ChainingMode) -> Deployment {
+    let ir = pqp.plan.validate().expect("validated plan");
+    place_with(pqp, &ir, cluster, mode)
+}
+
+/// [`place`] over a pre-sealed [`PlanIr`] (no re-validation, zero-alloc
+/// topology lookups).
+pub fn place_with(
+    pqp: &ParallelQueryPlan,
+    ir: &PlanIr,
+    cluster: &Cluster,
+    mode: ChainingMode,
+) -> Deployment {
     let plan = &pqp.plan;
     let n_ops = plan.num_ops();
     let total_slots: usize = cluster.total_cores() as usize;
@@ -140,7 +153,7 @@ pub fn place(pqp: &ParallelQueryPlan, cluster: &Cluster, mode: ChainingMode) -> 
         let (u, d) = plan.edges()[i];
         pqp.partitioning[i] == Partitioning::Forward
             && pqp.parallelism_of(u) == pqp.parallelism_of(d)
-            && plan.upstream(d).len() == 1
+            && ir.upstream(d).len() == 1
     };
 
     // 2. Policy: chain or not.
@@ -182,12 +195,11 @@ pub fn place(pqp: &ParallelQueryPlan, cluster: &Cluster, mode: ChainingMode) -> 
     }
 
     // Group ids in topological order for stable output.
-    let topo = plan.topo_order().expect("validated plan");
     let mut group_of_root: std::collections::HashMap<usize, usize> =
         std::collections::HashMap::new();
     let mut groups: Vec<ChainGroup> = Vec::new();
     let mut op_group = vec![usize::MAX; n_ops];
-    for &id in &topo {
+    for &id in ir.topo_order() {
         let root = find(&mut parent, id.idx());
         let g = *group_of_root.entry(root).or_insert_with(|| {
             groups.push(ChainGroup {

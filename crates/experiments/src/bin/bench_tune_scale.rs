@@ -1,0 +1,110 @@
+//! Tune-throughput runner: candidates scored per second by `tune`.
+//!
+//! The optimizer's enumeration loop seals the plan once and then reuses
+//! the IR's CSR topology for every candidate (placement, bounds pre-pass,
+//! feature encoding), so per-candidate cost no longer includes edge-list
+//! scans or Kahn re-runs. This runner measures end-to-end candidates/sec
+//! on a linear, a joining and a multi-sink shared-subplan query and seeds
+//! `results/BENCH_tune_scale.json`.
+//!
+//! Usage: `cargo run --release --bin bench_tune_scale [-- reps]`
+
+use serde::Serialize;
+use zt_core::model::{ModelConfig, ZeroTuneModel};
+use zt_core::optimizer::{tune, OptimizerConfig};
+use zt_dspsim::cluster::{Cluster, ClusterType};
+use zt_query::benchmarks::{smart_grid_combined, spike_detection};
+use zt_query::LogicalPlan;
+
+#[derive(Serialize)]
+struct PlanThroughput {
+    plan: String,
+    ops: usize,
+    sinks: usize,
+    candidates_evaluated: usize,
+    candidates_pruned: usize,
+    elapsed_ms: f64,
+    candidates_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct TuneScaleReport {
+    reps: usize,
+    hidden: usize,
+    plans: Vec<PlanThroughput>,
+}
+
+fn measure(name: &str, plan: &LogicalPlan, reps: usize) -> PlanThroughput {
+    let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+    let model = ZeroTuneModel::new(ModelConfig {
+        hidden: 48,
+        seed: 7,
+    });
+    let cfg = OptimizerConfig {
+        strict: false,
+        ..OptimizerConfig::default()
+    };
+    // warm-up run, then timed reps
+    let warm = tune(&model, plan, &cluster, &cfg);
+    let start = std::time::Instant::now();
+    let mut evaluated = 0usize;
+    for _ in 0..reps {
+        let out = tune(&model, plan, &cluster, &cfg);
+        evaluated += out.candidates_evaluated;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let ir = plan.validate().expect("benchmark plans are valid");
+    PlanThroughput {
+        plan: name.to_string(),
+        ops: plan.num_ops(),
+        sinks: ir.sinks().len(),
+        candidates_evaluated: evaluated / reps.max(1),
+        candidates_pruned: warm.candidates_pruned,
+        elapsed_ms: elapsed * 1e3,
+        candidates_per_sec: evaluated as f64 / elapsed.max(f64::MIN_POSITIVE),
+    }
+}
+
+fn linear_plan(rate: f64) -> LogicalPlan {
+    use zt_query::{DataType, FilterFunction, FilterOp, OperatorKind, SourceOp, TupleSchema};
+    let mut p = LogicalPlan::new("linear_filter");
+    let s = p.add(OperatorKind::Source(SourceOp {
+        event_rate: rate,
+        schema: TupleSchema::uniform(DataType::Double, 3),
+    }));
+    let f = p.add(OperatorKind::Filter(FilterOp {
+        function: FilterFunction::Gt,
+        literal_class: DataType::Double,
+        selectivity: 0.5,
+    }));
+    let k = p.add(OperatorKind::Sink(zt_query::operators::SinkOp));
+    p.connect(s, f);
+    p.connect(f, k);
+    p
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let report = TuneScaleReport {
+        reps,
+        hidden: 48,
+        plans: vec![
+            measure("linear_filter", &linear_plan(500_000.0), reps),
+            measure("spike_detection", &spike_detection(500_000.0), reps),
+            measure("smart_grid_combined", &smart_grid_combined(500_000.0), reps),
+        ],
+    };
+    for p in &report.plans {
+        println!(
+            "{:<22} ops={:<2} sinks={} candidates={:<5} {:>10.1} candidates/sec",
+            p.plan, p.ops, p.sinks, p.candidates_evaluated, p.candidates_per_sec
+        );
+    }
+    match zt_experiments::report::save_json("BENCH_tune_scale", &report) {
+        Ok(path) => eprintln!("saved {}", path.display()),
+        Err(e) => eprintln!("failed to save report: {e}"),
+    }
+}

@@ -24,6 +24,14 @@
 //! * `--results[=DIR]` — sniff every `*.json` under DIR (default
 //!   `results`) and lint whatever it deserializes as (plan, dataset or
 //!   model); unrecognized artifacts are skipped with a note.
+//! * `--fuzz N` — seeded random-plan smoke test: generate N plans across
+//!   every `QueryStructure` (fixed per-plan seeds, so runs are
+//!   reproducible), seal each through `validate()`, lint it, derive its
+//!   interval bounds and run the analytical simulator, checking the
+//!   simulated point estimates land inside the provable brackets. Any
+//!   error-severity finding or out-of-bracket estimate fails the run,
+//!   except ZT503 (provably infeasible deployment), which is an expected
+//!   verdict for random workloads pinned at parallelism 1.
 //! * `--codes` — print the lint-code registry and exit.
 //!
 //! Exit status: 0 when no `Error`-severity findings were produced
@@ -204,6 +212,88 @@ fn lint_results_dir(dir: &str, bounds: bool, sections: &mut Vec<Section>) {
     }
 }
 
+/// Seeded random-plan smoke test: generator → seal → lint → bounds →
+/// simulate. Returns the number of plans that failed any stage; their
+/// error diagnostics are collected into one section so the usual exit
+/// logic sees them.
+fn fuzz_smoke(n: usize, sections: &mut Vec<Section>) -> usize {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zt_dspsim::analytical::{simulate, SimConfig};
+    use zt_query::{QueryGenerator, QueryStructure};
+
+    let cluster = reference_cluster();
+    let mut failed = 0usize;
+    let mut lines = String::new();
+    let mut findings = Vec::new();
+    for i in 0..n {
+        let structure = match i % 8 {
+            0 => QueryStructure::Linear,
+            1 => QueryStructure::TwoWayJoin,
+            2 => QueryStructure::ThreeWayJoin,
+            3 => QueryStructure::ChainedFilters(2 + (i % 3) as u8),
+            4 => QueryStructure::NWayJoin(4 + (i % 3) as u8),
+            5 => QueryStructure::SpikeDetection,
+            6 => QueryStructure::SmartGridLocal,
+            _ => QueryStructure::SmartGridGlobal,
+        };
+        let generator = if structure.is_seen() {
+            QueryGenerator::seen()
+        } else {
+            QueryGenerator::unseen()
+        };
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 + i as u64);
+        let plan = generator.generate(structure, &mut rng);
+        if let Err(e) = plan.validate() {
+            failed += 1;
+            lines.push_str(&format!("plan {i} ({structure:?}): seal failed: {e:?}\n"));
+            continue;
+        }
+        let pqp = ParallelQueryPlan::new(plan);
+        let diags = lint_pqp(&pqp, Some(&cluster));
+        let report = zt_core::bounds::analyze(&pqp, &cluster, &BoundsConfig::default());
+        let bounds_diags = lint_bounds_report(&report);
+        let mut sim_rng = StdRng::seed_from_u64(0xD1CE_0000 + i as u64);
+        let m = simulate(&pqp, &cluster, &SimConfig::noiseless(), &mut sim_rng);
+        let sim_ok = m.latency_ms.is_finite()
+            && m.latency_ms > 0.0
+            && m.throughput.is_finite()
+            && m.throughput > 0.0
+            && report.latency_ms.contains(m.latency_ms)
+            && report.throughput.contains(m.throughput);
+        // ZT503 (provably infeasible deployment) is an *expected* verdict
+        // for random workloads deployed at parallelism 1 — the fuzz pass
+        // checks pipeline health, not workload feasibility.
+        let errors: Vec<_> = diags
+            .into_iter()
+            .chain(bounds_diags)
+            .filter(|d| d.severity == Severity::Error && d.code != "ZT503")
+            .collect();
+        if !errors.is_empty() || !sim_ok {
+            failed += 1;
+            lines.push_str(&format!(
+                "plan {i} ({structure:?}): {} error(s), sim_ok={sim_ok} (latency {} ms in {:?}?)\n",
+                errors.len(),
+                m.latency_ms,
+                report.latency_ms
+            ));
+            findings.extend(errors);
+        }
+    }
+    if failed == 0 {
+        lines.push_str(&format!(
+            "all {n} generated plans sealed, linted clean, and simulated inside their bounds\n"
+        ));
+    }
+    let mut s = section(
+        format!("fuzz smoke ({n} seeded random plans)"),
+        Report::new(findings),
+    );
+    s.detail = Some(lines);
+    sections.push(s);
+    failed
+}
+
 fn print_codes() {
     println!("zt-lint code registry ({} codes):", REGISTRY.len());
     for info in REGISTRY {
@@ -218,7 +308,7 @@ fn print_codes() {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: zt-lint [--benchmarks] [--gen-dataset N] [--plan FILE] [--dataset FILE] [--model FILE] [--bounds] [--results[=DIR]] [--codes]"
+        "usage: zt-lint [--benchmarks] [--gen-dataset N] [--plan FILE] [--dataset FILE] [--model FILE] [--bounds] [--results[=DIR]] [--fuzz N] [--codes]"
     );
     ExitCode::from(2)
 }
@@ -228,6 +318,7 @@ fn main() -> ExitCode {
     let mut sections: Vec<Section> = Vec::new();
     let mut model_file: Option<String> = None;
     let mut dataset_for_drift: Option<(String, Dataset)> = None;
+    let fuzz_failures = std::cell::Cell::new(0usize);
     // Pre-scanned: `--bounds` modifies every plan target regardless of
     // argument order.
     let bounds = args.iter().any(|a| a == "--bounds");
@@ -255,6 +346,14 @@ fn main() -> ExitCode {
                         .and_then(|v| v.parse().ok())
                         .ok_or("--gen-dataset needs a sample count")?;
                     lint_generated(n, sections);
+                }
+                "--fuzz" => {
+                    i += 1;
+                    let n: usize = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--fuzz needs a plan count")?;
+                    fuzz_failures.set(fuzz_failures.get() + fuzz_smoke(n, sections));
                 }
                 "--plan" => {
                     i += 1;
@@ -340,6 +439,15 @@ fn main() -> ExitCode {
     println!(
         "zt-lint: {} target(s), {errors} error(s), {warnings} warning(s)",
         sections.len()
+    );
+    // Fuzz failures without an attributable diagnostic (e.g. an estimate
+    // outside its bracket) still fail the run.
+    errors += fuzz_failures.get().saturating_sub(
+        sections
+            .iter()
+            .filter(|s| s.heading.starts_with("fuzz smoke"))
+            .map(|s| s.report.count(Severity::Error))
+            .sum(),
     );
     if errors > 0 {
         ExitCode::from(1)

@@ -121,6 +121,60 @@ pub fn smart_grid_global(event_rate: f64) -> LogicalPlan {
     p
 }
 
+/// Smart-grid *combined* load: both DEBS'14 queries fused into one
+/// multi-sink plan over a shared pre-filter subplan.
+///
+/// A plausibility filter drops malformed plug readings once; its output
+/// fans out into the per-plug (keyed) branch and the global (un-keyed)
+/// branch, each terminating in its own sink. This is the repo's
+/// multi-sink shared-subplan benchmark: one source, one shared filter,
+/// two aggregate branches, two sinks.
+pub fn smart_grid_combined(event_rate: f64) -> LogicalPlan {
+    let mut p = LogicalPlan::new("smart-grid-combined");
+    let s = p.add(OperatorKind::Source(SourceOp {
+        event_rate,
+        schema: TupleSchema::new(vec![
+            DataType::Int,
+            DataType::Int,
+            DataType::Double,
+            DataType::Int,
+            DataType::Int,
+            DataType::Int,
+            DataType::Int,
+        ]),
+    }));
+    // shared plausibility filter: drop out-of-range load readings
+    let valid = p.add(OperatorKind::Filter(FilterOp {
+        function: FilterFunction::Ge,
+        literal_class: DataType::Double,
+        selectivity: 0.9,
+    }));
+    // local branch: per-plug average, as in `smart_grid_local`
+    let local_avg = p.add(OperatorKind::Aggregate(AggregateOp {
+        window: WindowSpec::sliding(WindowPolicy::Time, 10_000.0, 3_000.0),
+        function: AggFunction::Avg,
+        agg_class: DataType::Double,
+        key_class: Some(DataType::Int),
+        selectivity: 0.12,
+    }));
+    let local_sink = p.add(OperatorKind::Sink(SinkOp));
+    // global branch: one un-keyed average, as in `smart_grid_global`
+    let global_avg = p.add(OperatorKind::Aggregate(AggregateOp {
+        window: WindowSpec::sliding(WindowPolicy::Time, 10_000.0, 3_000.0),
+        function: AggFunction::Avg,
+        agg_class: DataType::Double,
+        key_class: None,
+        selectivity: 0.002,
+    }));
+    let global_sink = p.add(OperatorKind::Sink(SinkOp));
+    p.connect(s, valid);
+    p.connect(valid, local_avg);
+    p.connect(local_avg, local_sink);
+    p.connect(valid, global_avg);
+    p.connect(global_avg, global_sink);
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +230,24 @@ mod tests {
         assert!(agg.key_class.is_none());
         // Global aggregate does not require hash partitioning.
         assert!(!OperatorKind::Aggregate(agg.clone()).requires_hash_input());
+    }
+
+    #[test]
+    fn smart_grid_combined_is_multi_sink_with_shared_filter() {
+        let p = smart_grid_combined(5_000.0);
+        let ir = p.validate().expect("combined smart-grid plan is valid");
+        assert_eq!(ir.sinks().len(), 2);
+        assert_eq!(ir.sources().len(), 1);
+        // the shared filter fans out into both aggregate branches
+        let filter = p
+            .ops()
+            .iter()
+            .find(|o| matches!(o.kind, OperatorKind::Filter(_)))
+            .unwrap()
+            .id;
+        assert_eq!(ir.downstream(filter).len(), 2);
+        // every operator is on a source → sink path
+        assert!(p.ops().iter().all(|o| ir.reaches_sink(o.id)));
     }
 
     #[test]

@@ -133,6 +133,19 @@ impl StreamBuilder {
         self.plan
     }
 
+    /// Terminate the *current branch* with a sink and rewind the head to
+    /// `fork` — an operator id captured earlier via
+    /// [`StreamBuilder::head`] — so another branch can be grown from the
+    /// same shared subplan. Finish the last branch with
+    /// [`StreamBuilder::sink`] as usual; the resulting plan has one sink
+    /// per branch.
+    pub fn tee_sink(mut self, fork: OpId) -> Self {
+        let k = self.plan.add(OperatorKind::Sink(SinkOp));
+        self.plan.connect(self.head, k);
+        self.head = fork;
+        self
+    }
+
     /// Current head operator id (for advanced wiring).
     pub fn head(&self) -> OpId {
         self.head
@@ -212,6 +225,31 @@ mod tests {
         assert!(sels[0] > 0.0, "zero selectivity must be clamped positive");
         assert_eq!(sels[1], 1.0, "selectivity above 1 must be clamped to 1");
         assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn tee_sink_builds_multi_sink_plan_with_shared_subplan() {
+        let shared = StreamBuilder::source(1_000.0, DataType::Double, 3).filter(
+            FilterFunction::Gt,
+            DataType::Double,
+            0.5,
+        );
+        let fork = shared.head();
+        let plan = shared
+            .filter(FilterFunction::Le, DataType::Double, 0.4)
+            .tee_sink(fork)
+            .window_aggregate(
+                WindowSpec::tumbling(WindowPolicy::Count, 10.0),
+                AggFunction::Avg,
+                DataType::Double,
+                Some(DataType::Int),
+                0.2,
+            )
+            .sink("teed");
+        let ir = plan.validate().expect("teed plan is valid");
+        assert_eq!(ir.sinks().len(), 2);
+        // the shared filter fans out into both branches
+        assert_eq!(ir.downstream(fork).len(), 2);
     }
 
     #[test]

@@ -2,8 +2,32 @@
 //!
 //! A [`LogicalPlan`] is a directed acyclic graph whose nodes are
 //! [`LogicalOperator`]s and whose edges point *downstream*, i.e. in the
-//! direction of the data flow from sources to the single sink. This is the
+//! direction of the data flow from sources to the sinks. This is the
 //! structure the paper encodes as a graph for the GNN (Section III-C).
+//!
+//! Plans are *mutable while being built* and *sealed on validation*:
+//! [`LogicalPlan::validate`] returns a [`PlanIr`], an immutable arena
+//! snapshot of the topology (CSR adjacency, cached topological order,
+//! per-operator depth, schemas, sink reachability, and a structural
+//! fingerprint). Hot paths — the analytical solver, the bounds
+//! interpreter, the optimizer — traverse the `PlanIr` with O(degree)
+//! slice lookups instead of re-scanning the raw edge list.
+//!
+//! # Determinism contract
+//!
+//! * Per-operator neighbor order (`PlanIr::upstream` / `downstream`) is
+//!   **edge-insertion order**, identical to what the edge-scanning
+//!   `LogicalPlan::upstream`/`downstream` return.
+//! * The cached topological order is the Kahn order with the ready queue
+//!   seeded in operator-id order and successors discovered in
+//!   edge-insertion order — byte-for-byte the order `topo_order()`
+//!   produced before sealing existed.
+//! * Join inputs are ordered: the **left** input is the first-connected
+//!   edge, the **right** input the second. `output_schemas` concatenates
+//!   left-then-right.
+//! * The structural [fingerprint](PlanIr::fingerprint) depends only on
+//!   the operator kinds (in id order) and the edge *set* — it is
+//!   invariant under edge-insertion reordering.
 
 use serde::{Deserialize, Serialize};
 
@@ -34,8 +58,10 @@ pub enum PlanError {
         expected: usize,
         actual: usize,
     },
-    /// The plan must contain exactly one sink; this many were found.
-    SinkCount(usize),
+    /// The plan has no sink operator.
+    NoSink,
+    /// A sink operator has a downstream consumer (sinks are terminal).
+    SinkWithOutput(OpId),
     /// A non-sink operator has no downstream consumer.
     DeadEnd(OpId),
     /// There is no source operator.
@@ -57,7 +83,10 @@ impl std::fmt::Display for PlanError {
                 expected,
                 actual,
             } => write!(f, "{op} expects {expected} input(s) but has {actual}"),
-            PlanError::SinkCount(n) => write!(f, "plan must have exactly one sink, found {n}"),
+            PlanError::NoSink => write!(f, "plan has no sink operator"),
+            PlanError::SinkWithOutput(id) => {
+                write!(f, "sink {id} must not have downstream consumers")
+            }
             PlanError::DeadEnd(id) => write!(f, "operator {id} has no downstream consumer"),
             PlanError::NoSource => write!(f, "plan has no source operator"),
             PlanError::InvalidParameter(id, what) => {
@@ -94,9 +123,28 @@ impl LogicalPlan {
         id
     }
 
-    /// Connect `upstream -> downstream`.
-    pub fn connect(&mut self, upstream: OpId, downstream: OpId) {
+    /// Connect `upstream -> downstream`, rejecting malformed edges at
+    /// insertion time: self-loops and duplicate edges return
+    /// [`PlanError::InvalidEdge`] instead of poisoning the plan until
+    /// `validate()`.
+    pub fn try_connect(&mut self, upstream: OpId, downstream: OpId) -> Result<(), PlanError> {
+        if upstream == downstream || self.edges.contains(&(upstream, downstream)) {
+            return Err(PlanError::InvalidEdge(upstream, downstream));
+        }
         self.edges.push((upstream, downstream));
+        Ok(())
+    }
+
+    /// Connect `upstream -> downstream`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-loop or duplicate edge; use
+    /// [`LogicalPlan::try_connect`] to handle the error instead.
+    pub fn connect(&mut self, upstream: OpId, downstream: OpId) {
+        if let Err(e) = self.try_connect(upstream, downstream) {
+            panic!("{e}");
+        }
     }
 
     #[inline]
@@ -120,6 +168,9 @@ impl LogicalPlan {
     }
 
     /// Ids of the operators feeding `id`, in edge insertion order.
+    ///
+    /// Allocates on every call; sealed hot paths should use
+    /// [`PlanIr::upstream`] instead.
     pub fn upstream(&self, id: OpId) -> Vec<OpId> {
         self.edges
             .iter()
@@ -129,6 +180,9 @@ impl LogicalPlan {
     }
 
     /// Ids of the operators consuming `id`'s output.
+    ///
+    /// Allocates on every call; sealed hot paths should use
+    /// [`PlanIr::downstream`] instead.
     pub fn downstream(&self, id: OpId) -> Vec<OpId> {
         self.edges
             .iter()
@@ -146,7 +200,19 @@ impl LogicalPlan {
             .collect()
     }
 
-    /// The single sink (panics if the plan was not validated).
+    /// All sink operators, in id order.
+    pub fn sinks(&self) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .filter(|o| o.kind.is_sink())
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// The first sink in id order (panics if the plan has none).
+    ///
+    /// Multi-sink plans report per-sink metrics elsewhere; the first sink
+    /// is the canonical readout operator (e.g. for the GNN latency head).
     pub fn sink(&self) -> OpId {
         self.ops
             .iter()
@@ -156,6 +222,9 @@ impl LogicalPlan {
     }
 
     /// Kahn topological order (sources first). Returns `None` on a cycle.
+    ///
+    /// Re-derives the order by scanning the edge list; sealed hot paths
+    /// should use the cached [`PlanIr::topo_order`] (same order).
     pub fn topo_order(&self) -> Option<Vec<OpId>> {
         let n = self.ops.len();
         let mut indeg = vec![0usize; n];
@@ -196,38 +265,14 @@ impl LogicalPlan {
     /// * source: its declared schema
     /// * filter / sink: pass-through
     /// * aggregate: `[key?, aggregate, window-timestamp]`
-    /// * join: concatenation of both input schemas
+    /// * join: concatenation of the left (first-connected) and right
+    ///   (second-connected) input schemas, in that order
     pub fn output_schemas(&self) -> Vec<TupleSchema> {
-        use crate::types::DataType;
         let order = self.topo_order().expect("acyclic plan");
         let mut schemas: Vec<TupleSchema> = vec![TupleSchema::new(vec![]); self.ops.len()];
         for id in order {
             let up = self.upstream(id);
-            let schema = match &self.op(id).kind {
-                OperatorKind::Source(s) => s.schema.clone(),
-                OperatorKind::Filter(_) | OperatorKind::Sink(_) => up
-                    .first()
-                    .map_or_else(|| TupleSchema::new(vec![]), |u| schemas[u.idx()].clone()),
-                OperatorKind::Aggregate(a) => {
-                    let mut fields = Vec::with_capacity(3);
-                    if let Some(k) = a.key_class {
-                        fields.push(k);
-                    }
-                    fields.push(a.agg_class);
-                    fields.push(DataType::Int); // window timestamp
-                    TupleSchema::new(fields)
-                }
-                OperatorKind::Join(_) => {
-                    let left = up
-                        .first()
-                        .map_or_else(|| TupleSchema::new(vec![]), |u| schemas[u.idx()].clone());
-                    let right = up
-                        .get(1)
-                        .map_or_else(|| TupleSchema::new(vec![]), |u| schemas[u.idx()].clone());
-                    left.concat(&right)
-                }
-            };
-            schemas[id.idx()] = schema;
+            schemas[id.idx()] = output_schema_of(&self.op(id).kind, &up, &schemas);
         }
         schemas
     }
@@ -249,8 +294,14 @@ impl LogicalPlan {
             .collect()
     }
 
-    /// Full structural and parameter validation.
-    pub fn validate(&self) -> Result<(), PlanError> {
+    /// Full structural and parameter validation; on success returns the
+    /// sealed [`PlanIr`] topology snapshot.
+    ///
+    /// Checks, in order: non-empty, edge endpoints in bounds, no
+    /// self-loops, no duplicate edges, acyclicity, at least one sink, at
+    /// least one source, per-operator input arity, terminal sinks, no
+    /// dead ends, and parameter domains.
+    pub fn validate(&self) -> Result<PlanIr, PlanError> {
         if self.ops.is_empty() {
             return Err(PlanError::Empty);
         }
@@ -266,25 +317,28 @@ impl LogicalPlan {
                 return Err(PlanError::InvalidEdge(a, b));
             }
         }
-        // duplicate edges
+        // duplicate edges (plans built via `connect` can't contain them,
+        // but deserialized plans bypass the insertion-time check)
         let mut seen = std::collections::HashSet::new();
         for &(a, b) in &self.edges {
             if !seen.insert((a, b)) {
                 return Err(PlanError::InvalidEdge(a, b));
             }
         }
-        if self.topo_order().is_none() {
+        let csr = Csr::build(n, &self.edges);
+        let Some(topo) = csr.kahn_topo() else {
             return Err(PlanError::Cyclic);
+        };
+        let sinks = self.sinks();
+        if sinks.is_empty() {
+            return Err(PlanError::NoSink);
         }
-        let sinks = self.ops.iter().filter(|o| o.kind.is_sink()).count();
-        if sinks != 1 {
-            return Err(PlanError::SinkCount(sinks));
-        }
-        if self.sources().is_empty() {
+        let sources = self.sources();
+        if sources.is_empty() {
             return Err(PlanError::NoSource);
         }
         for op in &self.ops {
-            let inputs = self.upstream(op.id).len();
+            let inputs = csr.upstream(op.id).len();
             let expected = op.kind.expected_inputs();
             if inputs != expected {
                 return Err(PlanError::WrongInputCount {
@@ -293,12 +347,17 @@ impl LogicalPlan {
                     actual: inputs,
                 });
             }
-            if !op.kind.is_sink() && self.downstream(op.id).is_empty() {
+            let outputs = csr.downstream(op.id).len();
+            if op.kind.is_sink() {
+                if outputs != 0 {
+                    return Err(PlanError::SinkWithOutput(op.id));
+                }
+            } else if outputs == 0 {
                 return Err(PlanError::DeadEnd(op.id));
             }
             self.validate_params(op)?;
         }
-        Ok(())
+        Ok(PlanIr::seal(self, csr, topo, sources, sinks))
     }
 
     fn validate_params(&self, op: &LogicalOperator) -> Result<(), PlanError> {
@@ -353,7 +412,7 @@ impl LogicalPlan {
         Ok(())
     }
 
-    /// Longest path length (in operators) from any source to the sink.
+    /// Longest path length (in operators) from any source to a sink.
     pub fn depth(&self) -> usize {
         let order = self.topo_order().expect("acyclic plan");
         let mut depth = vec![1usize; self.ops.len()];
@@ -364,6 +423,374 @@ impl LogicalPlan {
         }
         depth.into_iter().max().unwrap_or(0)
     }
+}
+
+/// Shared schema-derivation rule, used by both the edge-scanning
+/// [`LogicalPlan::output_schemas`] and the sealed [`PlanIr`].
+fn output_schema_of(kind: &OperatorKind, up: &[OpId], schemas: &[TupleSchema]) -> TupleSchema {
+    use crate::types::DataType;
+    match kind {
+        OperatorKind::Source(s) => s.schema.clone(),
+        OperatorKind::Filter(_) | OperatorKind::Sink(_) => up
+            .first()
+            .map_or_else(|| TupleSchema::new(vec![]), |u| schemas[u.idx()].clone()),
+        OperatorKind::Aggregate(a) => {
+            let mut fields = Vec::with_capacity(3);
+            if let Some(k) = a.key_class {
+                fields.push(k);
+            }
+            fields.push(a.agg_class);
+            fields.push(DataType::Int); // window timestamp
+            TupleSchema::new(fields)
+        }
+        OperatorKind::Join(_) => {
+            let left = up
+                .first()
+                .map_or_else(|| TupleSchema::new(vec![]), |u| schemas[u.idx()].clone());
+            let right = up
+                .get(1)
+                .map_or_else(|| TupleSchema::new(vec![]), |u| schemas[u.idx()].clone());
+            left.concat(&right)
+        }
+    }
+}
+
+/// Compressed-sparse-row adjacency of a plan DAG.
+///
+/// Per-operator neighbor slices preserve **edge-insertion order**, and the
+/// parallel `*_edge_indices` slices carry the position of each adjacency
+/// entry in the original `plan.edges()` list, so per-edge attribute
+/// vectors (`pqp.partitioning`, `rates.edge`, `dep.edge_exchange`) can be
+/// indexed without scanning.
+#[derive(Clone, Debug, PartialEq)]
+struct Csr {
+    in_offsets: Vec<u32>,
+    in_ids: Vec<OpId>,
+    in_edge_indices: Vec<u32>,
+    out_offsets: Vec<u32>,
+    out_ids: Vec<OpId>,
+    out_edge_indices: Vec<u32>,
+}
+
+impl Csr {
+    fn build(n: usize, edges: &[(OpId, OpId)]) -> Csr {
+        let m = edges.len();
+        let mut in_offsets = vec![0u32; n + 1];
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, d) in edges {
+            out_offsets[u.idx() + 1] += 1;
+            in_offsets[d.idx() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut in_ids = vec![OpId(0); m];
+        let mut in_edge_indices = vec![0u32; m];
+        let mut out_ids = vec![OpId(0); m];
+        let mut out_edge_indices = vec![0u32; m];
+        let mut in_next = in_offsets.clone();
+        let mut out_next = out_offsets.clone();
+        for (e, &(u, d)) in edges.iter().enumerate() {
+            let oi = out_next[u.idx()] as usize;
+            out_ids[oi] = d;
+            out_edge_indices[oi] = e as u32;
+            out_next[u.idx()] += 1;
+            let ii = in_next[d.idx()] as usize;
+            in_ids[ii] = u;
+            in_edge_indices[ii] = e as u32;
+            in_next[d.idx()] += 1;
+        }
+        Csr {
+            in_offsets,
+            in_ids,
+            in_edge_indices,
+            out_offsets,
+            out_ids,
+            out_edge_indices,
+        }
+    }
+
+    #[inline]
+    fn upstream(&self, id: OpId) -> &[OpId] {
+        &self.in_ids[self.in_offsets[id.idx()] as usize..self.in_offsets[id.idx() + 1] as usize]
+    }
+
+    #[inline]
+    fn downstream(&self, id: OpId) -> &[OpId] {
+        &self.out_ids[self.out_offsets[id.idx()] as usize..self.out_offsets[id.idx() + 1] as usize]
+    }
+
+    #[inline]
+    fn upstream_edges(&self, id: OpId) -> &[u32] {
+        &self.in_edge_indices
+            [self.in_offsets[id.idx()] as usize..self.in_offsets[id.idx() + 1] as usize]
+    }
+
+    #[inline]
+    fn downstream_edges(&self, id: OpId) -> &[u32] {
+        &self.out_edge_indices
+            [self.out_offsets[id.idx()] as usize..self.out_offsets[id.idx() + 1] as usize]
+    }
+
+    /// Kahn order with the ready queue seeded in id order and successors
+    /// discovered in edge-insertion order — identical to the sequence
+    /// [`LogicalPlan::topo_order`] produces.
+    fn kahn_topo(&self) -> Option<Vec<OpId>> {
+        let n = self.in_offsets.len() - 1;
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|i| self.in_offsets[i + 1] - self.in_offsets[i])
+            .collect();
+        let mut order: Vec<OpId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| OpId(i as u32))
+            .collect();
+        let mut head = 0;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            for &b in self.downstream(u) {
+                indeg[b.idx()] -= 1;
+                if indeg[b.idx()] == 0 {
+                    order.push(b);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+}
+
+/// Sealed, immutable topology snapshot of a validated [`LogicalPlan`].
+///
+/// Produced by [`LogicalPlan::validate`]. Everything the downstream
+/// layers repeatedly need — adjacency, topological order, depths,
+/// schemas, sink reachability — is computed once at sealing time;
+/// every accessor is an O(degree) or O(1) slice lookup with **zero
+/// per-call allocation**.
+///
+/// The snapshot is decoupled from the plan it was sealed from: mutating
+/// the plan afterwards does not invalidate an existing `PlanIr`, it
+/// simply describes the plan as it was at `validate()` time (re-validate
+/// to re-seal).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanIr {
+    num_ops: usize,
+    num_edges: usize,
+    csr: Csr,
+    topo: Vec<OpId>,
+    /// Longest-path depth per operator (sources are 1), in id order.
+    depths: Vec<u32>,
+    max_depth: usize,
+    sources: Vec<OpId>,
+    sinks: Vec<OpId>,
+    /// `true` iff the operator can reach at least one sink.
+    reaches_sink: Vec<bool>,
+    input_schemas: Vec<TupleSchema>,
+    output_schemas: Vec<TupleSchema>,
+    fingerprint: u64,
+}
+
+impl PlanIr {
+    fn seal(
+        plan: &LogicalPlan,
+        csr: Csr,
+        topo: Vec<OpId>,
+        sources: Vec<OpId>,
+        sinks: Vec<OpId>,
+    ) -> PlanIr {
+        let n = plan.num_ops();
+        // per-op depth (longest path from any source, 1-based)
+        let mut depths = vec![1u32; n];
+        for &id in &topo {
+            for &d in csr.downstream(id) {
+                depths[d.idx()] = depths[d.idx()].max(depths[id.idx()] + 1);
+            }
+        }
+        let max_depth = depths.iter().copied().max().unwrap_or(0) as usize;
+        // reverse reachability: BFS from every sink over in-edges
+        let mut reaches_sink = vec![false; n];
+        let mut stack: Vec<OpId> = sinks.clone();
+        for &s in &sinks {
+            reaches_sink[s.idx()] = true;
+        }
+        while let Some(d) = stack.pop() {
+            for &u in csr.upstream(d) {
+                if !reaches_sink[u.idx()] {
+                    reaches_sink[u.idx()] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        // schemas, computed once in topo order
+        let mut output_schemas: Vec<TupleSchema> = vec![TupleSchema::new(vec![]); n];
+        for &id in &topo {
+            output_schemas[id.idx()] =
+                output_schema_of(&plan.op(id).kind, csr.upstream(id), &output_schemas);
+        }
+        let input_schemas: Vec<TupleSchema> = plan
+            .ops()
+            .iter()
+            .map(|o| match &o.kind {
+                OperatorKind::Source(s) => s.schema.clone(),
+                _ => csr.upstream(o.id).first().map_or_else(
+                    || TupleSchema::new(vec![]),
+                    |u| output_schemas[u.idx()].clone(),
+                ),
+            })
+            .collect();
+        let fingerprint = structural_fingerprint(plan);
+        PlanIr {
+            num_ops: n,
+            num_edges: plan.edges().len(),
+            csr,
+            topo,
+            depths,
+            max_depth,
+            sources,
+            sinks,
+            reaches_sink,
+            input_schemas,
+            output_schemas,
+            fingerprint,
+        }
+    }
+
+    #[inline]
+    pub fn num_ops(&self) -> usize {
+        self.num_ops
+    }
+
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Operators feeding `id`, in edge-insertion order. O(1), no allocation.
+    #[inline]
+    pub fn upstream(&self, id: OpId) -> &[OpId] {
+        self.csr.upstream(id)
+    }
+
+    /// Operators consuming `id`'s output, in edge-insertion order.
+    /// O(1), no allocation.
+    #[inline]
+    pub fn downstream(&self, id: OpId) -> &[OpId] {
+        self.csr.downstream(id)
+    }
+
+    /// Positions in `plan.edges()` of `id`'s input edges, parallel to
+    /// [`PlanIr::upstream`]. Use to index per-edge attribute vectors
+    /// (`pqp.partitioning`, `rates.edge`, `dep.edge_exchange`).
+    #[inline]
+    pub fn upstream_edges(&self, id: OpId) -> &[u32] {
+        self.csr.upstream_edges(id)
+    }
+
+    /// Positions in `plan.edges()` of `id`'s output edges, parallel to
+    /// [`PlanIr::downstream`].
+    #[inline]
+    pub fn downstream_edges(&self, id: OpId) -> &[u32] {
+        self.csr.downstream_edges(id)
+    }
+
+    /// Position in `plan.edges()` of `id`'s first input edge, if any.
+    #[inline]
+    pub fn first_input_edge(&self, id: OpId) -> Option<u32> {
+        self.csr.upstream_edges(id).first().copied()
+    }
+
+    /// Cached Kahn topological order (sources first). O(1), no allocation.
+    #[inline]
+    pub fn topo_order(&self) -> &[OpId] {
+        &self.topo
+    }
+
+    /// All source operators, in id order.
+    #[inline]
+    pub fn sources(&self) -> &[OpId] {
+        &self.sources
+    }
+
+    /// All sink operators, in id order.
+    #[inline]
+    pub fn sinks(&self) -> &[OpId] {
+        &self.sinks
+    }
+
+    /// The first sink in id order — the canonical readout operator for
+    /// single-headline metrics and the GNN latency head.
+    #[inline]
+    pub fn sink(&self) -> OpId {
+        self.sinks[0]
+    }
+
+    /// Longest-path depth of `id` from any source (sources are 1).
+    #[inline]
+    pub fn op_depth(&self, id: OpId) -> usize {
+        self.depths[id.idx()] as usize
+    }
+
+    /// Longest path length (in operators) from any source to a sink.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// `true` iff `id` can reach at least one sink.
+    #[inline]
+    pub fn reaches_sink(&self, id: OpId) -> bool {
+        self.reaches_sink[id.idx()]
+    }
+
+    /// Output schema per operator, in id order (computed at sealing).
+    #[inline]
+    pub fn output_schemas(&self) -> &[TupleSchema] {
+        &self.output_schemas
+    }
+
+    /// Input schema (first input's output schema) per operator, in id
+    /// order (computed at sealing).
+    #[inline]
+    pub fn input_schemas(&self) -> &[TupleSchema] {
+        &self.input_schemas
+    }
+
+    /// Stable structural fingerprint of the sealed topology.
+    ///
+    /// Hashes the operator kinds (in id order) and the canonically
+    /// *sorted* edge set, so it is invariant under edge-insertion
+    /// reordering but distinguishes different shapes. Parameters that
+    /// don't change the structure (rates, selectivities) are excluded.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// FNV-1a over the plan's structural skeleton: operator count, operator
+/// kind labels in id order, and the sorted edge set.
+fn structural_fingerprint(plan: &LogicalPlan) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(&(plan.num_ops() as u64).to_le_bytes());
+    for op in plan.ops() {
+        eat(op.kind.label().as_bytes());
+        eat(&[0xff]);
+    }
+    let mut edges: Vec<(OpId, OpId)> = plan.edges().to_vec();
+    edges.sort_unstable();
+    for (u, d) in edges {
+        eat(&u.0.to_le_bytes());
+        eat(&d.0.to_le_bytes());
+    }
+    h
 }
 
 impl std::fmt::Display for LogicalPlan {
@@ -434,6 +861,19 @@ mod tests {
         p
     }
 
+    /// Source feeding a shared filter that fans out to two sinks.
+    fn two_sink_plan() -> LogicalPlan {
+        let mut p = LogicalPlan::new("two-sink");
+        let s = p.add(source(1000.0));
+        let f = p.add(filter(0.5));
+        let k1 = p.add(OperatorKind::Sink(SinkOp));
+        let k2 = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(s, f);
+        p.connect(f, k1);
+        p.connect(f, k2);
+        p
+    }
+
     #[test]
     fn linear_plan_validates() {
         let p = linear_plan();
@@ -485,12 +925,35 @@ mod tests {
     }
 
     #[test]
-    fn exactly_one_sink_required() {
+    fn a_sink_is_required() {
         let mut p = LogicalPlan::new("no-sink");
         let s = p.add(source(100.0));
         let f = p.add(filter(0.1));
         p.connect(s, f);
-        assert_eq!(p.validate(), Err(PlanError::SinkCount(0)));
+        assert_eq!(p.validate(), Err(PlanError::NoSink));
+    }
+
+    #[test]
+    fn multi_sink_plan_validates() {
+        let p = two_sink_plan();
+        let ir = p.validate().expect("two-sink plan is valid");
+        assert_eq!(p.sinks(), vec![OpId(2), OpId(3)]);
+        assert_eq!(p.sink(), OpId(2)); // first sink is the readout
+        assert_eq!(ir.sinks(), &[OpId(2), OpId(3)]);
+        assert_eq!(ir.downstream(OpId(1)), &[OpId(2), OpId(3)]);
+    }
+
+    #[test]
+    fn sink_with_output_rejected() {
+        let mut p = LogicalPlan::new("sink-out");
+        let s = p.add(source(100.0));
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        let f = p.add(filter(0.1));
+        let k2 = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(s, k);
+        p.connect(k, f);
+        p.connect(f, k2);
+        assert_eq!(p.validate(), Err(PlanError::SinkWithOutput(k)));
     }
 
     #[test]
@@ -555,6 +1018,25 @@ mod tests {
         assert_eq!(schemas[3].width(), 3); // sink passes through
     }
 
+    fn asymmetric_join_plan() -> (LogicalPlan, OpId) {
+        let mut p = LogicalPlan::new("join");
+        let s1 = p.add(source(100.0));
+        let s2 = p.add(OperatorKind::Source(SourceOp {
+            event_rate: 100.0,
+            schema: TupleSchema::uniform(DataType::Text, 2),
+        }));
+        let j = p.add(OperatorKind::Join(JoinOp {
+            window: WindowSpec::tumbling(WindowPolicy::Count, 5.0),
+            key_class: DataType::Int,
+            selectivity: 0.1,
+        }));
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(s1, j); // left
+        p.connect(s2, j); // right
+        p.connect(j, k);
+        (p, j)
+    }
+
     #[test]
     fn join_output_schema_concatenates() {
         let mut p = LogicalPlan::new("join");
@@ -575,10 +1057,113 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_edge_rejected() {
+    fn join_input_order_is_edge_insertion_order() {
+        // Left input = first-connected edge: the 3 Double fields must
+        // precede the 2 Text fields in the concatenated join schema.
+        let (p, j) = asymmetric_join_plan();
+        let ir = p.validate().expect("valid join plan");
+        assert_eq!(ir.upstream(j), &[OpId(0), OpId(1)]);
+        let schema = &ir.output_schemas()[j.idx()];
+        assert_eq!(schema.width(), 5);
+        assert_eq!(schema.fields[..3], [DataType::Double; 3]);
+        assert_eq!(schema.fields[3..], [DataType::Text; 2]);
+        // the slow path agrees
+        assert_eq!(p.output_schemas()[j.idx()], *schema);
+    }
+
+    #[test]
+    fn self_loop_rejected_at_insertion() {
+        let mut p = linear_plan();
+        assert_eq!(
+            p.try_connect(OpId(1), OpId(1)),
+            Err(PlanError::InvalidEdge(OpId(1), OpId(1)))
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_rejected_at_insertion() {
+        let mut p = linear_plan();
+        assert_eq!(
+            p.try_connect(OpId(0), OpId(1)),
+            Err(PlanError::InvalidEdge(OpId(0), OpId(1)))
+        );
+        // the failed insertion leaves the plan intact
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge")]
+    fn connect_panics_on_duplicate_edge() {
         let mut p = linear_plan();
         p.connect(OpId(0), OpId(1));
-        assert!(matches!(p.validate(), Err(PlanError::InvalidEdge(_, _))));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected_by_validate() {
+        // Deserialized plans bypass `try_connect`; validate() still
+        // catches the malformed edge list.
+        let p = linear_plan();
+        let mut json = serde_json::to_string(&p).unwrap();
+        // splice a duplicate of the first edge into the serialized form
+        let needle = "\"edges\":[";
+        let at = json.find(needle).unwrap() + needle.len();
+        json.insert_str(at, "[0,1],");
+        let back: LogicalPlan = serde_json::from_str(&json).unwrap();
+        assert!(matches!(back.validate(), Err(PlanError::InvalidEdge(_, _))));
+    }
+
+    #[test]
+    fn ir_matches_slow_paths() {
+        let p = linear_plan();
+        let ir = p.validate().expect("valid");
+        assert_eq!(ir.topo_order(), p.topo_order().unwrap().as_slice());
+        assert_eq!(ir.depth(), p.depth());
+        assert_eq!(ir.sources(), p.sources().as_slice());
+        assert_eq!(ir.sinks(), p.sinks().as_slice());
+        assert_eq!(ir.sink(), p.sink());
+        assert_eq!(ir.output_schemas(), p.output_schemas().as_slice());
+        assert_eq!(ir.input_schemas(), p.input_schemas().as_slice());
+        for op in p.ops() {
+            assert_eq!(ir.upstream(op.id), p.upstream(op.id).as_slice());
+            assert_eq!(ir.downstream(op.id), p.downstream(op.id).as_slice());
+            assert!(ir.reaches_sink(op.id));
+        }
+    }
+
+    #[test]
+    fn ir_edge_indices_point_into_edge_list() {
+        let p = two_sink_plan();
+        let ir = p.validate().expect("valid");
+        for op in p.ops() {
+            for (&u, &e) in ir.upstream(op.id).iter().zip(ir.upstream_edges(op.id)) {
+                assert_eq!(p.edges()[e as usize], (u, op.id));
+            }
+            for (&d, &e) in ir.downstream(op.id).iter().zip(ir.downstream_edges(op.id)) {
+                assert_eq!(p.edges()[e as usize], (op.id, d));
+            }
+        }
+        assert_eq!(ir.first_input_edge(OpId(0)), None);
+        assert_eq!(ir.first_input_edge(OpId(1)), Some(0));
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_edge_reordering() {
+        let a = linear_plan();
+        // same plan, edges inserted in a different order
+        let mut b = LogicalPlan::new("linear");
+        let s = b.add(source(1000.0));
+        let f = b.add(filter(0.5));
+        let g = b.add(agg());
+        let k = b.add(OperatorKind::Sink(SinkOp));
+        b.connect(g, k);
+        b.connect(s, f);
+        b.connect(f, g);
+        let fa = a.validate().unwrap().fingerprint();
+        let fb = b.validate().unwrap().fingerprint();
+        assert_eq!(fa, fb);
+        // a structurally different plan hashes differently
+        let fc = two_sink_plan().validate().unwrap().fingerprint();
+        assert_ne!(fa, fc);
     }
 
     #[test]

@@ -125,6 +125,39 @@ fn zt102_triggers_on_operator_off_the_sink_path() {
 }
 
 #[test]
+fn zt108_triggers_on_dangling_branch_in_multi_sink_plan() {
+    // Two proper sinks plus one forked branch that never terminates: the
+    // dangling filter gets the multi-sink-specific ZT108, not ZT102.
+    let mut p = LogicalPlan::new("dangling-branch");
+    let s = p.add(OperatorKind::Source(SourceOp {
+        event_rate: 100.0,
+        schema: TupleSchema::uniform(DataType::Int, 2),
+    }));
+    let dangling = p.add(OperatorKind::Filter(FilterOp {
+        function: FilterFunction::Gt,
+        literal_class: DataType::Int,
+        selectivity: 0.5,
+    }));
+    let k1 = p.add(OperatorKind::Sink(zerotune::query::operators::SinkOp));
+    let k2 = p.add(OperatorKind::Sink(zerotune::query::operators::SinkOp));
+    p.connect(s, dangling); // forked but never sunk
+    p.connect(s, k1);
+    p.connect(s, k2);
+    let diags = lint_plan(&p);
+    assert!(has(&diags, "ZT108"), "{diags:?}");
+    assert!(!has(&diags, "ZT102"), "{diags:?}");
+}
+
+#[test]
+fn zt108_clean_on_valid_multi_sink_plan() {
+    let plan = zerotune::query::benchmarks::smart_grid_combined(1_000.0);
+    let diags = lint_plan(&plan);
+    assert!(!has(&diags, "ZT108"), "{diags:?}");
+    assert!(!has(&diags, "ZT102"), "{diags:?}");
+    assert_eq!(errors_of(&diags), 0, "{diags:?}");
+}
+
+#[test]
 fn zt103_triggers_on_slide_exceeding_length() {
     let mut p = LogicalPlan::new("bad-window");
     let s = p.add(OperatorKind::Source(SourceOp {
