@@ -288,6 +288,11 @@ pub const REGISTRY: &[CodeInfo] = &[
         summary: "dangling branch: operator reaches no sink in a multi-sink plan",
     },
     CodeInfo {
+        code: "ZT109",
+        severity: Severity::Error,
+        summary: "wire plan fingerprint mismatch at deserialization",
+    },
+    CodeInfo {
         code: "ZT201",
         severity: Severity::Error,
         summary: "non-finite feature value",
@@ -568,6 +573,36 @@ pub fn lint_plan(plan: &LogicalPlan) -> Vec<Diagnostic> {
     }
 
     out
+}
+
+/// Lint a wire-format sealed plan ([`zt_query::PlanIr::to_json`]
+/// envelope): parse, fully re-seal (structure *and* parameter ranges —
+/// wire plans are untrusted input and never bypass `validate()`), and
+/// cross-check the embedded structural fingerprint.
+///
+/// On success returns the revalidated plan + IR together with the
+/// ordinary [`lint_plan`] findings. On failure the plan is withheld and
+/// the report carries exactly one error: **ZT109** for a fingerprint
+/// mismatch (or a malformed fingerprint field), **ZT101** when the
+/// envelope does not parse or the embedded plan fails revalidation.
+pub fn lint_wire_plan(json: &str) -> (Option<(LogicalPlan, zt_query::PlanIr)>, Report) {
+    match zt_query::PlanIr::from_json(json) {
+        Ok((plan, ir)) => {
+            let report = Report::new(lint_plan(&plan));
+            (Some((plan, ir)), report)
+        }
+        Err(e) => {
+            let code = match &e {
+                zt_query::WireError::FingerprintMismatch { .. }
+                | zt_query::WireError::BadFingerprint(_) => "ZT109",
+                zt_query::WireError::Json(_) | zt_query::WireError::Plan(_) => "ZT101",
+            };
+            (
+                None,
+                Report::new(vec![Diagnostic::error(code, e.to_string())]),
+            )
+        }
+    }
 }
 
 /// Lint a parallel query plan (includes [`lint_plan`] on the underlying

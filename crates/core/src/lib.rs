@@ -75,8 +75,8 @@ pub use datagen::{generate_dataset_report, generate_dataset_with, shard_seed, Ge
 pub use dataset::{generate_dataset, Dataset, GenConfig, Sample, SampleMeta};
 pub use diagnostics::{
     lint_bounds_report, lint_dataset, lint_graph, lint_graph_batch, lint_model, lint_model_against,
-    lint_plan, lint_pqp, lint_prediction_bounds, lint_split, strict_from_env, Anchor, Diagnostic,
-    Report, Severity,
+    lint_plan, lint_pqp, lint_prediction_bounds, lint_split, lint_wire_plan, strict_from_env,
+    Anchor, Diagnostic, Report, Severity,
 };
 pub use estimator::{evaluate_estimator, CostEstimator, CostPrediction};
 pub use features::FeatureMask;

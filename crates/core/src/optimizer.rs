@@ -18,6 +18,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use zt_dspsim::cluster::Cluster;
 use zt_dspsim::ChainingMode;
 use zt_query::{LogicalPlan, ParallelQueryPlan};
@@ -86,7 +87,7 @@ impl Default for OptimizerConfig {
 
 /// Result of a tuning run.
 #[must_use = "a tuning outcome carries the chosen parallelism — dropping it wastes the tuning run"]
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TuningOutcome {
     /// Chosen parallelism degree per operator.
     pub parallelism: Vec<u32>,

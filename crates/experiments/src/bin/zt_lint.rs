@@ -26,7 +26,9 @@
 //!   model); unrecognized artifacts are skipped with a note.
 //! * `--fuzz N` — seeded random-plan smoke test: generate N plans across
 //!   every `QueryStructure` (fixed per-plan seeds, so runs are
-//!   reproducible), seal each through `validate()`, lint it, derive its
+//!   reproducible), seal each through `validate()`, round-trip it
+//!   through the `PlanIr::to_json` wire envelope (fingerprint must
+//!   survive re-sealing — the zt-serve ZT109 check), lint it, derive its
 //!   interval bounds and run the analytical simulator, checking the
 //!   simulated point estimates land inside the provable brackets. Any
 //!   error-severity finding or out-of-bracket estimate fails the run,
@@ -47,7 +49,7 @@ use zt_core::diagnostics::{
 use zt_core::{generate_dataset, BoundsConfig, Dataset, GenConfig, ZeroTuneModel};
 use zt_dspsim::cluster::{Cluster, ClusterType};
 use zt_query::benchmarks;
-use zt_query::{LogicalPlan, ParallelQueryPlan};
+use zt_query::{LogicalPlan, ParallelQueryPlan, PlanIr};
 
 /// One lint target: a heading, the diagnostics found under it, and an
 /// optional pre-rendered detail block (the bounds table).
@@ -244,10 +246,35 @@ fn fuzz_smoke(n: usize, sections: &mut Vec<Section>) -> usize {
         };
         let mut rng = StdRng::seed_from_u64(0x5EED_0000 + i as u64);
         let plan = generator.generate(structure, &mut rng);
-        if let Err(e) = plan.validate() {
-            failed += 1;
-            lines.push_str(&format!("plan {i} ({structure:?}): seal failed: {e:?}\n"));
-            continue;
+        let ir = match plan.validate() {
+            Ok(ir) => ir,
+            Err(e) => {
+                failed += 1;
+                lines.push_str(&format!("plan {i} ({structure:?}): seal failed: {e:?}\n"));
+                continue;
+            }
+        };
+        // Every sealed plan must survive the wire: envelope → re-seal →
+        // identical fingerprint (the ZT109 integrity check zt-serve
+        // applies to every request).
+        match ir.to_json(&plan).and_then(|json| PlanIr::from_json(&json)) {
+            Ok((_, ir2)) if ir2.fingerprint() == ir.fingerprint() => {}
+            Ok((_, ir2)) => {
+                failed += 1;
+                lines.push_str(&format!(
+                    "plan {i} ({structure:?}): wire fingerprint drift {:016x} -> {:016x}\n",
+                    ir.fingerprint(),
+                    ir2.fingerprint()
+                ));
+                continue;
+            }
+            Err(e) => {
+                failed += 1;
+                lines.push_str(&format!(
+                    "plan {i} ({structure:?}): wire round-trip failed: {e}\n"
+                ));
+                continue;
+            }
         }
         let pqp = ParallelQueryPlan::new(plan);
         let diags = lint_pqp(&pqp, Some(&cluster));

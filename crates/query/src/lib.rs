@@ -40,6 +40,6 @@ pub use operators::{
     WindowPolicy, WindowSpec, WindowType,
 };
 pub use params::{ParallelismCategory, ParamRanges};
-pub use plan::{LogicalOperator, LogicalPlan, PlanError, PlanIr};
+pub use plan::{LogicalOperator, LogicalPlan, PlanError, PlanIr, WireError};
 pub use pqp::{ParallelQueryPlan, Partitioning};
 pub use types::{DataType, OpId, TupleSchema};

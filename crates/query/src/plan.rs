@@ -793,6 +793,108 @@ fn structural_fingerprint(plan: &LogicalPlan) -> u64 {
     h
 }
 
+/// Errors produced by the sealed-plan wire format
+/// ([`PlanIr::to_json`] / [`PlanIr::from_json`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The envelope (or the plan inside it) did not parse as JSON.
+    Json(String),
+    /// The embedded plan failed [`LogicalPlan::validate`] on re-sealing —
+    /// wire plans are *never* trusted: structure **and** parameter ranges
+    /// are fully revalidated on receipt.
+    Plan(PlanError),
+    /// The envelope's `fingerprint` field is not a 16-digit hex string.
+    BadFingerprint(String),
+    /// The plan re-sealed fine but its structural fingerprint differs
+    /// from the one the sender claimed (tampered or desynced envelope).
+    FingerprintMismatch {
+        /// Fingerprint claimed by the envelope.
+        claimed: u64,
+        /// Fingerprint actually computed from the embedded plan.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Json(msg) => write!(f, "wire plan is not valid JSON: {msg}"),
+            WireError::Plan(e) => write!(f, "wire plan failed revalidation: {e}"),
+            WireError::BadFingerprint(s) => {
+                write!(f, "wire plan fingerprint `{s}` is not 16 hex digits")
+            }
+            WireError::FingerprintMismatch { claimed, actual } => write!(
+                f,
+                "wire plan fingerprint mismatch: envelope claims {claimed:016x}, \
+                 embedded plan seals to {actual:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The wire envelope: the raw plan plus the structural fingerprint it is
+/// *claimed* to seal to. The fingerprint travels as a 16-digit hex string
+/// because the vendored `serde_json` routes every number through `f64`,
+/// which truncates `u64` values above 2^53.
+#[derive(Serialize, Deserialize)]
+struct WireEnvelope {
+    fingerprint: String,
+    plan: LogicalPlan,
+}
+
+impl PlanIr {
+    /// Serialize `plan` together with this IR's structural fingerprint
+    /// into the wire envelope consumed by [`PlanIr::from_json`].
+    ///
+    /// `plan` must be the plan this IR was sealed from (or a structural
+    /// twin): its fingerprint is recomputed and cross-checked so a caller
+    /// can never ship an envelope whose fingerprint does not describe the
+    /// embedded plan.
+    pub fn to_json(&self, plan: &LogicalPlan) -> Result<String, WireError> {
+        let actual = structural_fingerprint(plan);
+        if actual != self.fingerprint {
+            return Err(WireError::FingerprintMismatch {
+                claimed: self.fingerprint,
+                actual,
+            });
+        }
+        let env = WireEnvelope {
+            fingerprint: format!("{:016x}", self.fingerprint),
+            plan: plan.clone(),
+        };
+        serde_json::to_string(&env).map_err(|e| WireError::Json(e.to_string()))
+    }
+
+    /// Parse a wire envelope back into a plan and a freshly sealed IR.
+    ///
+    /// The embedded plan is treated as untrusted input: it goes through
+    /// the full [`LogicalPlan::validate`] pass (structure, input arities,
+    /// acyclicity *and* parameter domains — wire plans never bypass the
+    /// range checks), and the re-sealed fingerprint must equal the one
+    /// the envelope claims. A mismatch means the envelope was tampered
+    /// with or assembled against a different plan and is rejected
+    /// (surfaced as diagnostic `ZT109` by the lint layer).
+    pub fn from_json(json: &str) -> Result<(LogicalPlan, PlanIr), WireError> {
+        let env: WireEnvelope =
+            serde_json::from_str(json).map_err(|e| WireError::Json(e.to_string()))?;
+        let claimed = u64::from_str_radix(&env.fingerprint, 16)
+            .map_err(|_| WireError::BadFingerprint(env.fingerprint.clone()))?;
+        if env.fingerprint.len() != 16 {
+            return Err(WireError::BadFingerprint(env.fingerprint));
+        }
+        let ir = env.plan.validate().map_err(WireError::Plan)?;
+        if ir.fingerprint != claimed {
+            return Err(WireError::FingerprintMismatch {
+                claimed,
+                actual: ir.fingerprint,
+            });
+        }
+        Ok((env.plan, ir))
+    }
+}
+
 impl std::fmt::Display for LogicalPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "plan `{}`:", self.name)?;
@@ -1174,5 +1276,88 @@ mod tests {
         assert!(back.validate().is_ok());
         assert_eq!(back.num_ops(), p.num_ops());
         assert_eq!(back.edges(), p.edges());
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_fingerprint_and_structure() {
+        for plan in [linear_plan(), two_sink_plan()] {
+            let ir = plan.validate().unwrap();
+            let json = ir.to_json(&plan).unwrap();
+            let (back, back_ir) = PlanIr::from_json(&json).unwrap();
+            assert_eq!(back_ir.fingerprint(), ir.fingerprint());
+            assert_eq!(back.num_ops(), plan.num_ops());
+            assert_eq!(back.edges(), plan.edges());
+            // second hop is byte-identical: the envelope is deterministic
+            assert_eq!(back_ir.to_json(&back).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn wire_rejects_tampered_fingerprint() {
+        let plan = linear_plan();
+        let ir = plan.validate().unwrap();
+        let json = ir.to_json(&plan).unwrap();
+        let real = format!("{:016x}", ir.fingerprint());
+        let fake = format!("{:016x}", ir.fingerprint() ^ 1);
+        let tampered = json.replace(&real, &fake);
+        match PlanIr::from_json(&tampered) {
+            Err(WireError::FingerprintMismatch { claimed, actual }) => {
+                assert_eq!(claimed, ir.fingerprint() ^ 1);
+                assert_eq!(actual, ir.fingerprint());
+            }
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_rejects_mismatched_plan() {
+        // envelope sealed from one plan cannot ship a different plan
+        let plan = linear_plan();
+        let ir = plan.validate().unwrap();
+        let other = two_sink_plan();
+        assert!(matches!(
+            ir.to_json(&other),
+            Err(WireError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_revalidates_parameter_ranges() {
+        // A plan whose structure is fine but whose params are out of
+        // domain must be rejected on receipt even with a correct
+        // fingerprint — deserialization bypasses `try_connect`, so the
+        // wire path re-runs the full validate() pass.
+        let mut p = LogicalPlan::new("bad-sel");
+        let s = p.add(source(1000.0));
+        let f = p.add(filter(2.0)); // selectivity outside (0, 1]
+        let k = p.add(OperatorKind::Sink(SinkOp));
+        p.connect(s, f);
+        p.connect(f, k);
+        let env = format!(
+            "{{\"fingerprint\":\"{:016x}\",\"plan\":{}}}",
+            structural_fingerprint(&p),
+            serde_json::to_string(&p).unwrap()
+        );
+        assert!(matches!(
+            PlanIr::from_json(&env),
+            Err(WireError::Plan(PlanError::InvalidParameter(_, _)))
+        ));
+    }
+
+    #[test]
+    fn wire_rejects_bad_envelopes() {
+        assert!(matches!(
+            PlanIr::from_json("not json"),
+            Err(WireError::Json(_))
+        ));
+        let plan = linear_plan();
+        let env = format!(
+            "{{\"fingerprint\":\"xyz\",\"plan\":{}}}",
+            serde_json::to_string(&plan).unwrap()
+        );
+        assert!(matches!(
+            PlanIr::from_json(&env),
+            Err(WireError::BadFingerprint(_))
+        ));
     }
 }

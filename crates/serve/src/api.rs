@@ -1,0 +1,200 @@
+//! Request/response JSON schema of the zt-serve endpoints.
+//!
+//! Requests are parsed by hand off the vendored-serde [`Value`] tree so
+//! optional fields stay optional (the derive-generated deserializer
+//! requires every field). Responses are `derive(Serialize)` structs
+//! rendered with `serde_json::to_string`, which makes their bodies
+//! deterministic: field order is declaration order and floats print in
+//! shortest round-trip form, so two identical computations produce
+//! byte-identical bodies (the property the prediction cache relies on).
+//!
+//! Every error response has the shape
+//! `{"error":{"code":"...","message":"..."}}`; fingerprint-mismatch
+//! rejections carry the stable diagnostic code `ZT109`.
+
+use serde::{Deserialize, Serialize, Value};
+use zt_dspsim::cluster::Cluster;
+use zt_query::{LogicalPlan, ParallelQueryPlan, PlanIr, WireError};
+
+/// A structured endpoint failure: HTTP status plus machine-readable code.
+#[derive(Debug)]
+pub struct ApiError {
+    pub status: u16,
+    pub code: String,
+    pub message: String,
+}
+
+impl ApiError {
+    pub fn new(status: u16, code: &str, message: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Render the `{"error":{...}}` body.
+    pub fn body(&self) -> String {
+        let v = Value::Map(vec![(
+            "error".to_string(),
+            Value::Map(vec![
+                ("code".to_string(), Value::Str(self.code.clone())),
+                ("message".to_string(), Value::Str(self.message.clone())),
+            ]),
+        )]);
+        serde_json::to_string(&v).expect("error body serializes")
+    }
+}
+
+/// `POST /predict` 200 body.
+#[derive(Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Registry generation whose weights produced this prediction.
+    pub model_version: u64,
+    pub latency_ms: f64,
+    pub throughput: f64,
+}
+
+/// `POST /tune` 200 body: the offline `TuningOutcome`, labeled with the
+/// model version that scored the candidates.
+#[derive(Serialize, Deserialize)]
+pub struct TuneResponse {
+    pub model_version: u64,
+    pub outcome: zt_core::TuningOutcome,
+}
+
+/// `POST /explain` 200 body: point prediction, static bounds brackets and
+/// occlusion attribution, plus the rendered human-readable table.
+#[derive(Serialize, Deserialize)]
+pub struct ExplainResponse {
+    pub model_version: u64,
+    pub latency_ms: f64,
+    pub throughput: f64,
+    /// `[lo, hi]` static latency bracket (ms).
+    pub latency_bounds: [f64; 2],
+    /// `[lo, hi]` static throughput bracket (tuples/s).
+    pub throughput_bounds: [f64; 2],
+    /// Occlusion impact per feature group `[parallelism, operator, resource]`.
+    pub latency_impact: [f64; 3],
+    pub throughput_impact: [f64; 3],
+    /// The `explain_bounds` per-operator interval table, pre-rendered.
+    pub report: String,
+}
+
+/// One diagnostic in a `POST /lint` response.
+#[derive(Serialize, Deserialize)]
+pub struct LintDiagnostic {
+    pub code: String,
+    pub severity: String,
+    pub message: String,
+    pub anchor: Option<String>,
+}
+
+/// `POST /lint` 200 body.
+#[derive(Serialize, Deserialize)]
+pub struct LintResponse {
+    pub errors: usize,
+    pub warnings: usize,
+    pub diagnostics: Vec<LintDiagnostic>,
+}
+
+/// `GET /healthz` 200 body.
+#[derive(Serialize, Deserialize)]
+pub struct HealthResponse {
+    pub status: String,
+    pub model_version: u64,
+    pub requests: u64,
+    pub swaps: u64,
+    pub cache_entries: usize,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+/// `POST /swap` 200 body.
+#[derive(Serialize, Deserialize)]
+pub struct SwapResponse {
+    pub model_version: u64,
+}
+
+/// Parse a request body as a JSON object.
+pub fn parse_body(body: &[u8]) -> Result<Value, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new(400, "bad_json", "request body is not UTF-8"))?;
+    serde_json::from_str::<Value>(text)
+        .map_err(|e| ApiError::new(400, "bad_json", format!("request body is not JSON: {e}")))
+}
+
+/// Extract and revalidate the mandatory wire plan (`"plan"` field, a
+/// `PlanIr::to_json` envelope). Fingerprint mismatches map to the stable
+/// `ZT109` diagnostic code; everything else the re-seal catches maps to
+/// `invalid_plan`.
+pub fn wire_plan(v: &Value) -> Result<(LogicalPlan, PlanIr), ApiError> {
+    let plan_v = v
+        .get("plan")
+        .ok_or_else(|| ApiError::new(400, "missing_field", "request has no `plan` field"))?;
+    let plan_json =
+        serde_json::to_string(plan_v).map_err(|e| ApiError::new(400, "bad_json", e.to_string()))?;
+    PlanIr::from_json(&plan_json).map_err(|e| match e {
+        WireError::FingerprintMismatch { .. } | WireError::BadFingerprint(_) => {
+            ApiError::new(400, "ZT109", e.to_string())
+        }
+        WireError::Json(_) | WireError::Plan(_) => {
+            ApiError::new(400, "invalid_plan", e.to_string())
+        }
+    })
+}
+
+/// The optional `"cluster"` field, falling back to the server default.
+pub fn cluster_of(v: &Value, default: &Cluster) -> Result<Cluster, ApiError> {
+    match v.get("cluster") {
+        None => Ok(default.clone()),
+        Some(cv) => Deserialize::from_value(cv)
+            .map_err(|e| ApiError::new(400, "bad_cluster", e.message().to_string())),
+    }
+}
+
+/// The optional `"parallelism"` field, length-checked against the plan.
+pub fn parallelism_of(v: &Value, num_ops: usize) -> Result<Option<Vec<u32>>, ApiError> {
+    match v.get("parallelism") {
+        None => Ok(None),
+        Some(pv) => {
+            let par: Vec<u32> = Deserialize::from_value(pv)
+                .map_err(|e| ApiError::new(400, "bad_parallelism", e.message().to_string()))?;
+            if par.len() != num_ops {
+                return Err(ApiError::new(
+                    400,
+                    "bad_parallelism",
+                    format!(
+                        "parallelism has {} entries for {num_ops} operators",
+                        par.len()
+                    ),
+                ));
+            }
+            Ok(Some(par))
+        }
+    }
+}
+
+/// Build the deployment a request describes: wire plan + optional
+/// parallelism (default all-1) + Flink-style default partitioning.
+pub fn deployment(v: &Value) -> Result<(ParallelQueryPlan, PlanIr), ApiError> {
+    let (plan, ir) = wire_plan(v)?;
+    let pqp = match parallelism_of(v, plan.num_ops())? {
+        Some(par) => ParallelQueryPlan::with_parallelism(plan, par),
+        None => ParallelQueryPlan::new(plan),
+    };
+    pqp.validate()
+        .map_err(|e| ApiError::new(400, "invalid_deployment", e.to_string()))?;
+    Ok((pqp, ir))
+}
+
+/// Optional numeric field helper (vendored serde_json numbers are `f64`).
+pub fn num_field(v: &Value, key: &str) -> Result<Option<f64>, ApiError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ApiError::new(400, "bad_field", format!("`{key}` must be a number"))),
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-request micro-batching into `predict_batch`.
+//!
+//! Handler threads encode their request into a [`GraphEncoding`] and
+//! submit it here; a single scorer thread drains whatever accumulated —
+//! after a short coalescing window, up to `batch_max` graphs — and runs
+//! **one** `predict_batch` call over the whole batch, amortizing the
+//! per-call setup the same way the offline optimizer does over its
+//! candidate set.
+//!
+//! # Determinism and hot-swap atomicity
+//!
+//! `predict_batch` is contractually `graphs.iter().map(predict)` — same
+//! values, same order — so how requests happen to be grouped into
+//! batches can never change a prediction: every response is bitwise what
+//! the offline `predict_batch` returns for that encoding. The scorer
+//! snapshots the model registry **once per batch**, so all requests in a
+//! batch are scored by a single `(version, weights)` pair and the version
+//! returned alongside each prediction is exactly the one that produced
+//! it — a hot-swap can land between batches, never inside one.
+
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use zt_core::{CostEstimator, CostPrediction, GraphEncoding};
+
+use crate::registry::ModelRegistry;
+
+/// A prediction plus the model version whose weights produced it.
+pub type ScoreResult = (CostPrediction, u64);
+
+struct Item {
+    graph: GraphEncoding,
+    tx: mpsc::Sender<ScoreResult>,
+}
+
+struct State {
+    queue: Vec<Item>,
+    shutdown: bool,
+}
+
+/// Shared submission queue + the scorer loop that drains it.
+pub struct MicroBatcher {
+    state: Mutex<State>,
+    cv: Condvar,
+    batch_max: usize,
+    wait: Duration,
+}
+
+impl MicroBatcher {
+    pub fn new(batch_max: usize, batch_wait_us: u64) -> Self {
+        MicroBatcher {
+            state: Mutex::new(State {
+                queue: Vec::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            batch_max: batch_max.max(1),
+            wait: Duration::from_micros(batch_wait_us),
+        }
+    }
+
+    /// Enqueue one encoding for scoring; the result arrives on the
+    /// returned channel once the scorer processes the batch containing it.
+    pub fn submit(&self, graph: GraphEncoding) -> mpsc::Receiver<ScoreResult> {
+        let (tx, rx) = mpsc::channel();
+        let mut st = self.state.lock().expect("batcher lock");
+        st.queue.push(Item { graph, tx });
+        self.cv.notify_all();
+        rx
+    }
+
+    /// Tell the scorer to finish the remaining queue and exit. Called
+    /// after the request workers have drained, so nothing new can arrive.
+    pub fn shutdown(&self) {
+        self.state.lock().expect("batcher lock").shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// The scorer loop: runs until [`MicroBatcher::shutdown`] *and* an
+    /// empty queue. One `predict_batch` per drained batch.
+    pub fn run_scorer(&self, registry: &ModelRegistry) {
+        loop {
+            let batch: Vec<Item> = {
+                let mut st = self.state.lock().expect("batcher lock");
+                while st.queue.is_empty() && !st.shutdown {
+                    st = self.cv.wait(st).expect("batcher lock");
+                }
+                if st.queue.is_empty() && st.shutdown {
+                    return;
+                }
+                // Coalescing window: give concurrent handlers a beat to
+                // pile on before the batch is cut.
+                if st.queue.len() < self.batch_max && !st.shutdown {
+                    let (guard, _timeout) =
+                        self.cv.wait_timeout(st, self.wait).expect("batcher lock");
+                    st = guard;
+                }
+                let take = st.queue.len().min(self.batch_max);
+                st.queue.drain(..take).collect()
+            };
+
+            let snapshot = registry.current();
+            let graphs: Vec<GraphEncoding> = batch.iter().map(|i| i.graph.clone()).collect();
+            let _g = zt_telemetry::span("serve.batch");
+            zt_telemetry::observe("serve.batch_size", batch.len() as f64);
+            let preds = snapshot.model.predict_batch(&graphs);
+            for (item, pred) in batch.into_iter().zip(preds) {
+                // A dropped receiver just means the handler gave up
+                // (client went away); the scorer carries on.
+                let _ = item.tx.send((pred, snapshot.version));
+            }
+        }
+    }
+}

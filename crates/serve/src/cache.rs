@@ -1,0 +1,169 @@
+//! The LRU prediction cache.
+//!
+//! Keying follows the `SimCache` idiom from `zt_dspsim`: the key is the
+//! **exact** serialized content — here the model version plus the full
+//! JSON of the encoded feature vector — compared as a whole string, so a
+//! hit is only ever possible for a bitwise-identical encoding and the
+//! cached value (the rendered response body) is returned byte-for-byte.
+//! Sixteen mutex shards selected by FNV-1a over the key bytes keep
+//! handler threads from contending on one lock.
+//!
+//! Recency is tracked with a global atomic stamp bumped on every lookup
+//! and insert; when a shard outgrows its share of the capacity the entry
+//! with the smallest stamp (the least recently touched) is evicted. The
+//! scan is O(shard size), which at serving-cache sizes is noise next to a
+//! model inference.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+struct Entry {
+    stamp: u64,
+    body: String,
+}
+
+/// Hit/miss/occupancy counters, mirrored into `serve.cache_*` telemetry
+/// by the request handlers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+/// Sharded exact-key LRU cache from request key to rendered response body.
+pub struct ResponseCache {
+    shards: Vec<Mutex<HashMap<String, Entry>>>,
+    stamp: AtomicU64,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResponseCache {
+    /// A cache holding at most ~`capacity` response bodies.
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            stamp: AtomicU64::new(0),
+            per_shard_cap: (capacity / SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<HashMap<String, Entry>> {
+        // FNV-1a over the key bytes picks the lock shard.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// The cached body for `key`, byte-identical to what was inserted.
+    /// Refreshes the entry's recency stamp.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(key).lock().expect("cache shard lock");
+        match shard.get_mut(key) {
+            Some(e) => {
+                e.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.body.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key → body`, evicting least-recently-touched
+    /// entries while the shard is over its capacity share.
+    pub fn insert(&self, key: String, body: String) {
+        let stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(&key).lock().expect("cache shard lock");
+        shard.insert(key, Entry { stamp, body });
+        while shard.len() > self.per_shard_cap {
+            let oldest = shard
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => shard.remove(&k),
+                None => break,
+            };
+        }
+    }
+
+    /// Drop every entry (hot-swap invalidation). Hit/miss counters are
+    /// preserved — they count lookups, not contents.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard lock").clear();
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard lock").len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_exact_bytes() {
+        let c = ResponseCache::new(64);
+        c.insert("k1".into(), "{\"x\":1}".into());
+        assert_eq!(c.get("k1").as_deref(), Some("{\"x\":1}"));
+        assert_eq!(c.get("k2"), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        // capacity 16 → one slot per shard; keys in the same shard compete
+        let c = ResponseCache::new(16);
+        // find two keys in the same shard
+        let base = "a".to_string();
+        let mut other = None;
+        for i in 0..1000 {
+            let k = format!("key{i}");
+            if std::ptr::eq(c.shard_of(&k), c.shard_of(&base)) {
+                other = Some(k);
+                break;
+            }
+        }
+        let other = other.expect("some key shares shard");
+        c.insert(base.clone(), "old".into());
+        c.insert(other.clone(), "new".into());
+        assert_eq!(c.get(&base), None, "older entry evicted");
+        assert_eq!(c.get(&other).as_deref(), Some("new"));
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let c = ResponseCache::new(64);
+        for i in 0..32 {
+            c.insert(format!("k{i}"), "v".into());
+        }
+        c.clear();
+        assert_eq!(c.stats().entries, 0);
+    }
+}

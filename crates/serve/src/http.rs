@@ -1,0 +1,241 @@
+//! Minimal HTTP/1.1 over `std::net`: just enough protocol for the
+//! zt-serve request/response cycle, plus the blocking client used by the
+//! test harness and the `zt-load` generator.
+//!
+//! Scope is deliberately narrow — `Connection: close` semantics (one
+//! request per TCP connection), `Content-Length` framing only (no chunked
+//! transfer), ASCII header names matched case-insensitively. Requests
+//! whose head exceeds [`MAX_HEAD_BYTES`] or whose declared body exceeds
+//! the server's cap are rejected before the body is read, so an oversized
+//! upload costs the server one head-sized read, not the whole payload.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Cap on the request line + headers, generous for hand-written clients.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given name, ASCII case-insensitive.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read off the socket.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, headers, or framing.
+    Bad(String),
+    /// The declared `Content-Length` exceeds the server's body cap. The
+    /// body was *not* read beyond the `buffered` bytes that arrived in
+    /// the same reads as the head.
+    TooLarge {
+        declared: usize,
+        max: usize,
+        buffered: usize,
+    },
+    /// The socket failed or closed mid-request.
+    Io(std::io::Error),
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Read and parse one request. `max_body` bounds the accepted
+/// `Content-Length`; larger declarations return [`HttpError::TooLarge`]
+/// with the body left unread on the socket.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut tmp = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::Bad("request head too large".into()));
+        }
+        let n = stream.read(&mut tmp).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Bad("connection closed mid-head".into()));
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Bad("non-UTF-8 request head".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad(format!(
+            "malformed request line `{request_line}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((k, v)) = line.split_once(':') else {
+            return Err(HttpError::Bad(format!("malformed header `{line}`")));
+        };
+        headers.push((k.trim().to_string(), v.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Bad(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::TooLarge {
+            declared: content_length,
+            max: max_body,
+            buffered: buf.len() - head_end - 4,
+        });
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut tmp).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Bad("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&tmp[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Canonical reason phrase for the status codes zt-serve emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `Connection: close` JSON response in one syscall.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        out.push_str(k);
+        out.push_str(": ");
+        out.push_str(v);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+/// A response as seen by the blocking client.
+#[derive(Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header with the given name, ASCII case-insensitive.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Blocking one-shot client: connect, send `method path`, read the full
+/// `Connection: close` response. Used by the e2e tests and `zt-load`.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let payload = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = find_head_end(raw).ok_or_else(|| bad("response head not terminated"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+    let body =
+        String::from_utf8(raw[head_end + 4..].to_vec()).map_err(|_| bad("non-UTF-8 body"))?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}

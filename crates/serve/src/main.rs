@@ -1,0 +1,94 @@
+//! `zt-serve` — boot the ZeroTune serving daemon.
+//!
+//! ```text
+//! zt-serve [--addr HOST:PORT] [--model PATH] [--hidden N] [--seed N]
+//!          [--workers N] [--cache N] [--max-body BYTES]
+//! ```
+//!
+//! Without `--model` a deterministically initialized model
+//! (`ModelConfig { hidden, seed }`) is served — untrained but stable
+//! across runs, which is what the e2e harness and `zt-load` rely on.
+//! Telemetry obeys `ZT_TELEMETRY=off|summary|trace` as everywhere else.
+
+use zt_core::{ModelConfig, ZeroTuneModel};
+use zt_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: zt-serve [--addr HOST:PORT] [--model PATH] [--hidden N] [--seed N]\n\
+         \u{20}                [--workers N] [--cache N] [--max-body BYTES]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse::<T>().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("zt-serve: {flag} needs a numeric argument");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    zt_telemetry::init_from_env();
+
+    let mut cfg = ServeConfig::default();
+    let mut model_cfg = ModelConfig::default();
+    let mut model_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => cfg.addr = a,
+                None => usage(),
+            },
+            "--model" => model_path = args.next().or_else(|| usage()),
+            "--hidden" => model_cfg.hidden = parse_num("--hidden", args.next()),
+            "--seed" => model_cfg.seed = parse_num("--seed", args.next()),
+            "--workers" => cfg.workers = parse_num("--workers", args.next()),
+            "--cache" => cfg.cache_capacity = parse_num("--cache", args.next()),
+            "--max-body" => cfg.max_body_bytes = parse_num("--max-body", args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("zt-serve: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+
+    let model = match &model_path {
+        Some(path) => {
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("zt-serve: cannot read model `{path}`: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match ZeroTuneModel::from_json(&json) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("zt-serve: model `{path}` does not parse: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => ZeroTuneModel::new(model_cfg),
+    };
+
+    let bound = match Server::bind(cfg, model) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("zt-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match bound.local_addr() {
+        Ok(addr) => println!("zt-serve listening on {addr}"),
+        Err(e) => eprintln!("zt-serve: local_addr: {e}"),
+    }
+    bound.run();
+}

@@ -7,4 +7,5 @@ pub use zt_dspsim as dspsim;
 pub use zt_experiments as experiments;
 pub use zt_nn as nn;
 pub use zt_query as query;
+pub use zt_serve as serve;
 pub use zt_telemetry as telemetry;

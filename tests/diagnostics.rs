@@ -699,3 +699,66 @@ fn strict_tune_survives_provably_infeasible_query() {
     let outcome = tune(&model, &spike_detection(80_000_000.0), &cluster(), &cfg);
     assert!(!outcome.parallelism.is_empty());
 }
+
+// --- ZT109: wire envelope integrity --------------------------------------
+
+/// Flip the first hex digit of the envelope's fingerprint field.
+fn tamper_fingerprint(envelope: &str) -> String {
+    let key = "\"fingerprint\":\"";
+    let at = envelope.find(key).expect("envelope has a fingerprint") + key.len();
+    let flipped = if envelope.as_bytes()[at] == b'0' {
+        "1"
+    } else {
+        "0"
+    };
+    format!("{}{}{}", &envelope[..at], flipped, &envelope[at + 1..])
+}
+
+#[test]
+fn zt109_is_registered_as_an_error() {
+    let info = zerotune::core::diagnostics::describe("ZT109").expect("ZT109 in the registry");
+    assert_eq!(info.severity, Severity::Error);
+    assert!(info.summary.contains("fingerprint"), "{}", info.summary);
+}
+
+#[test]
+fn zt109_triggers_on_tampered_wire_fingerprint() {
+    let plan = spike_detection(1000.0);
+    let ir = plan.validate().expect("benchmark plan seals");
+    let envelope = ir.to_json(&plan).expect("benchmark plan serializes");
+
+    let (sealed, report) = zerotune::core::lint_wire_plan(&tamper_fingerprint(&envelope));
+    assert!(sealed.is_none(), "tampered envelope must not yield a plan");
+    assert!(report.has_errors());
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == "ZT109"),
+        "{report}"
+    );
+}
+
+#[test]
+fn zt109_clean_on_faithful_wire_round_trip() {
+    let plan = spike_detection(1000.0);
+    let ir = plan.validate().expect("benchmark plan seals");
+    let envelope = ir.to_json(&plan).expect("benchmark plan serializes");
+
+    let (sealed, report) = zerotune::core::lint_wire_plan(&envelope);
+    let (plan2, ir2) = sealed.expect("faithful envelope yields the plan");
+    assert!(!report.has_errors(), "{report}");
+    assert_eq!(ir2.fingerprint(), ir.fingerprint());
+    assert_eq!(plan2.num_ops(), plan.num_ops());
+}
+
+#[test]
+fn wire_garbage_maps_to_zt101_not_zt109() {
+    let (sealed, report) = zerotune::core::lint_wire_plan("{definitely not an envelope");
+    assert!(sealed.is_none());
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == "ZT101"),
+        "{report}"
+    );
+    assert!(
+        report.diagnostics.iter().all(|d| d.code != "ZT109"),
+        "a parse failure is not an integrity failure: {report}"
+    );
+}

@@ -261,6 +261,23 @@ impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
     }
 }
 
+/// `Value` is its own data-model representation, so serializing is a
+/// clone and deserializing always succeeds. This lets callers keep a
+/// sub-tree of a parsed document opaque (e.g. extract one field of a
+/// request envelope, re-render it with `serde_json::to_string`, and
+/// hand the text to a typed parser).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
