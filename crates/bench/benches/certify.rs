@@ -1,0 +1,57 @@
+//! Certification-cost microbenches: how long does interval bound
+//! propagation take as the network grows?
+//!
+//! Two axes:
+//!
+//! * `certify_mlp/h{W}xl{L}` — one MLP certificate (interval matmul +
+//!   ReLU + rounding pads) as hidden width `W` and hidden layer count
+//!   `L` scale. The kernel is O(L · W²) like inference itself, plus the
+//!   O(in · W²) sensitivity products.
+//! * `certify_model/hidden{W}` — the full GNN certificate
+//!   (`zt_core::certify_model` at the default config: all six encoders,
+//!   three update networks, both readout heads unrolled to depth 16,
+//!   plus the fresh-reference propagation that calibrates ZT601).
+//!
+//! This is the cost a `/swap` pays at the certification gate, so the
+//! absolute numbers matter operationally: they bound hot-swap latency.
+//! `bench_certify` (zt-experiments) records the same sweep to
+//! `results/BENCH_certify.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zt_core::certify::{certify_model, CertifyConfig};
+use zt_core::features::{FEATURE_MAX, FEATURE_MIN};
+use zt_core::model::{ModelConfig, ZeroTuneModel};
+use zt_nn::certify::{certify_mlp, IntervalVec};
+use zt_nn::{Mlp, ParamStore};
+
+const IN_DIM: usize = 26;
+
+fn bench_certify_mlp(c: &mut Criterion) {
+    for &(hidden, layers) in &[(8usize, 1usize), (32, 1), (32, 3), (64, 3)] {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut dims = vec![IN_DIM];
+        dims.extend(std::iter::repeat_n(hidden, layers));
+        dims.push(2);
+        let mlp = Mlp::new(&mut store, "m", &dims, &mut rng);
+        let input = IntervalVec::uniform(IN_DIM, f64::from(FEATURE_MIN), f64::from(FEATURE_MAX));
+        c.bench_function(&format!("certify_mlp_h{hidden}xl{layers}"), |b| {
+            b.iter(|| certify_mlp(&store, &mlp, &input));
+        });
+    }
+}
+
+fn bench_certify_model(c: &mut Criterion) {
+    let cfg = CertifyConfig::default();
+    for &hidden in &[16usize, 48] {
+        let model = ZeroTuneModel::new(ModelConfig { hidden, seed: 7 });
+        c.bench_function(&format!("certify_model_hidden{hidden}"), |b| {
+            b.iter(|| certify_model(&model, &cfg).expect("fresh model certifies"));
+        });
+    }
+}
+
+criterion_group!(benches, bench_certify_mlp, bench_certify_model);
+criterion_main!(benches);

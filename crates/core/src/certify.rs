@@ -1,0 +1,934 @@
+//! Domain-wide model certification: interval bound propagation through
+//! the whole ZeroTune GNN.
+//!
+//! PR 5's [`crate::bounds`] applied abstract interpretation to *plans*;
+//! this module applies the same discipline to the *trained network*. The
+//! input abstraction is the feature box `[FEATURE_MIN, FEATURE_MAX]^d` —
+//! by construction of [`crate::features`], every encoded node the model
+//! will ever see at serving time lies inside it — and the analysis pushes
+//! that box through the encoders, the three message-passing phases and
+//! both read-out heads using the interval kernels of [`zt_nn::certify`].
+//! No data, no forward pass: the result is a certificate over *every*
+//! graph the model can encounter, not the sampled handful a test set
+//! covers.
+//!
+//! ## Abstraction of the message-passing phases
+//!
+//! Let `E_k` be the certified post-ReLU output box of kind `k`'s encoder
+//! and `H0` the hull over all kinds — an enclosure of every hidden state
+//! after step ②. Each phase applies a residual update
+//! `h ← h + U(h ‖ msg)` to *some* nodes and leaves the rest untouched, so
+//! a sound post-phase enclosure is `hull(H, H + U(H ‖ MSG))` where `MSG`
+//! encloses the phase's messages:
+//!
+//! * **physical**: the message is a mean of states in `H0`, which stays
+//!   in `H0` (plus `f32` rounding, absorbed by an explicit widening);
+//! * **mapping**: the message is a weighted sum with instance-share
+//!   weights in `[0, 1]` summing to ≤ [`CertifyConfig::mapping_sum_cap`]
+//!   per operator, enclosed by the scaled zero-hull of `H1`;
+//! * **dataflow**: the pass walks nodes in topological order, so a node
+//!   at data-flow depth `d` (longest path from a source) sees messages
+//!   from finals of depth < `d`. Iterating
+//!   `I_d = hull(I_{d-1}, H2 + U(H2 ‖ mean(I_{d-1})))` with `I_0 = H2`
+//!   yields a per-depth enclosure chain; the read-out brackets are
+//!   evaluated at every depth up to [`CertifyConfig::max_depth`].
+//!
+//! The per-depth head brackets are **sound for any plan** whose encoded
+//! features lie in the box, whose per-node fan-in is at most
+//! [`CertifyConfig::max_fanin`], and whose sink sits at data-flow depth ≤
+//! `max_depth` (see [`dataflow_depth`]) — conditions every plan produced
+//! by [`crate::graph::encode`] under the repo's generators satisfies.
+//!
+//! ## What the certificate is for
+//!
+//! IBP enclosures of deep residual message passing are *loose* — widths
+//! grow multiplicatively with depth (roughly the product of layer
+//! `|W|`-norms per iteration), so a healthy 48-wide model certifies to
+//! astronomically wide (but finite and *centered*) normalized brackets at
+//! depth 16. The certificate's power is therefore not tight prediction
+//! ranges but **explosion and degeneracy detection**, which is exactly
+//! what a deploy gate needs:
+//!
+//! * **ZT601** — the bracket is non-finite, or its magnitude exceeds what
+//!   a freshly-initialized model of the same architecture certifies to
+//!   (the self-calibrating reference) by more than
+//!   [`ZT601_REF_FACTOR`]×&nbsp;+&nbsp;[`ZT601_DECADE_SLACK`] decades:
+//!   weight tampering or training divergence.
+//! * **ZT602** — some depth's certified bracket *excludes* the training
+//!   label band `±`[`ZT602_LABEL_BAND`] (z-units): the model provably
+//!   cannot predict any label it was trained on (e.g. a hijacked
+//!   constant-output head).
+//! * **ZT603** — certified-dead hidden units (warning): provably zero
+//!   over the whole domain, strictly stronger than the ZT402 static
+//!   weight-sign check.
+//! * **ZT604** — encoder input features with certified-zero sensitivity
+//!   (warning): the model provably ignores a transferable feature.
+//! * **ZT605** — an actual prediction escapes its depth's certified
+//!   bracket (error): the certificate's premises were violated or the
+//!   serving model differs from the certified one.
+
+use serde::{Deserialize, Serialize};
+use zt_nn::certify::{add_bounds, certify_mlp, mean_of_bounds, IntervalVec, MlpCert};
+use zt_nn::Mlp;
+
+use crate::bounds::{BoundsReport, Interval};
+use crate::diagnostics::{Anchor, Diagnostic, Report};
+use crate::estimator::CostPrediction;
+use crate::features::{FEATURE_MAX, FEATURE_MIN};
+use crate::graph::{GraphEncoding, NodeKind};
+use crate::model::{TargetNorm, ZeroTuneModel};
+
+/// Explosion threshold: certified magnitude (log₁₀ of the normalized
+/// bracket) may exceed the fresh-reference magnitude by this factor…
+pub const ZT601_REF_FACTOR: f64 = 1.5;
+/// …plus this many decades before ZT601 fires. Training moves weights by
+/// small steps, so a healthy trained model stays near its init's
+/// magnitude; multiplying weights by even 100× blows far past this.
+pub const ZT601_DECADE_SLACK: f64 = 12.0;
+/// The training-label band in normalized (z-score) units: every label the
+/// model was fitted on lies within a few σ of the mean, so a certified
+/// bracket disjoint from `[-1, 1]` cannot contain *any* plausible label.
+pub const ZT602_LABEL_BAND: f64 = 1.0;
+/// Slack (normalized z-units) for [`ModelCert::check_prediction_denorm`],
+/// which must invert the `f32` denormalization before comparing.
+pub const ZT605_NORM_SLACK: f64 = 1e-3;
+
+/// Parameters of the certification pass. The defaults match the premises
+/// guaranteed by [`crate::graph::encode`] over the repo's generators.
+#[derive(Clone, Copy, Debug)]
+pub struct CertifyConfig {
+    /// Lower edge of the input box (defaults to [`FEATURE_MIN`]).
+    pub feature_lo: f64,
+    /// Upper edge of the input box (defaults to [`FEATURE_MAX`]).
+    pub feature_hi: f64,
+    /// Deepest data-flow depth the certificate covers (per-depth head
+    /// brackets are produced for `0..=max_depth`).
+    pub max_depth: usize,
+    /// Maximum per-node fan-in (mean/weighted-sum term count) the `f32`
+    /// rounding model is quoted for.
+    pub max_fanin: usize,
+    /// Upper bound on an operator's mapping-weight sum (encode produces
+    /// ≈ 1; the ZT204 lint tolerates 1 + 1e-3).
+    pub mapping_sum_cap: f64,
+}
+
+impl Default for CertifyConfig {
+    fn default() -> Self {
+        CertifyConfig {
+            feature_lo: f64::from(FEATURE_MIN),
+            feature_hi: f64::from(FEATURE_MAX),
+            max_depth: 16,
+            max_fanin: 1024,
+            mapping_sum_cap: 1.002,
+        }
+    }
+}
+
+/// Certified normalized output brackets of the two read-out heads at one
+/// data-flow depth.
+#[derive(Clone, Copy, Debug)]
+pub struct HeadBracket {
+    /// Normalized (z-space) latency head bracket.
+    pub latency: Interval,
+    /// Normalized (z-space) throughput head bracket.
+    pub throughput: Interval,
+}
+
+impl HeadBracket {
+    fn is_finite(&self) -> bool {
+        self.latency.lo.is_finite()
+            && self.latency.hi.is_finite()
+            && self.throughput.lo.is_finite()
+            && self.throughput.hi.is_finite()
+    }
+
+    /// log₁₀ of the largest absolute endpoint (≥ 0).
+    fn magnitude_log10(&self) -> f64 {
+        [
+            self.latency.lo,
+            self.latency.hi,
+            self.throughput.lo,
+            self.throughput.hi,
+        ]
+        .iter()
+        .fold(1.0f64, |a, v| a.max(v.abs()))
+        .log10()
+    }
+}
+
+/// Certified per-module unit facts (aggregated over the module's hidden
+/// layers).
+#[derive(Clone, Debug)]
+pub struct ModuleCert {
+    /// Stable module name (matches [`ZeroTuneModel::modules`]).
+    pub name: String,
+    /// Total hidden (ReLU) units certified.
+    pub hidden_units: usize,
+    /// Units whose pre-activation upper bound is ≤ 0 over the whole
+    /// input box the module sees.
+    pub certified_dead: usize,
+    /// Units whose pre-activation lower bound is ≥ 0 (ReLU provably the
+    /// identity).
+    pub certified_saturated: usize,
+}
+
+impl ModuleCert {
+    fn from_mlp_cert(name: &str, cert: &MlpCert) -> Self {
+        ModuleCert {
+            name: name.to_string(),
+            hidden_units: cert.hidden.iter().map(|l| l.dead.len()).sum(),
+            certified_dead: cert.hidden.iter().map(zt_nn::LayerUnits::num_dead).sum(),
+            certified_saturated: cert
+                .hidden
+                .iter()
+                .map(zt_nn::LayerUnits::num_saturated)
+                .sum(),
+        }
+    }
+}
+
+/// The full model certificate (the `CertReport` surfaced to consumers):
+/// per-depth head brackets, per-module unit facts, per-encoder input
+/// sensitivities, and the self-calibration reference.
+#[derive(Clone, Debug)]
+pub struct ModelCert {
+    /// The configuration the certificate was derived under.
+    pub cfg: CertifyConfig,
+    /// Head brackets indexed by data-flow depth `0..=cfg.max_depth`.
+    pub heads: Vec<HeadBracket>,
+    /// Per-module certified unit facts.
+    pub modules: Vec<ModuleCert>,
+    /// Per-encoder `(name, per-input-feature sensitivity upper bound)`.
+    pub encoder_sensitivity: Vec<(String, Vec<f64>)>,
+    /// The certified model's target normalization (for denormalized
+    /// ranges and prediction cross-checks).
+    pub norm: TargetNorm,
+    /// Certified magnitude of a freshly-initialized model of the same
+    /// [`crate::model::ModelConfig`] — the ZT601 self-calibration
+    /// reference.
+    pub ref_magnitude_log10: f64,
+}
+
+/// Serializable one-screen summary of a [`ModelCert`] — stored in the
+/// serve registry's `ModelVersion` and echoed by `/healthz`. All floats
+/// are clamped finite (the vendored JSON writer renders non-finite
+/// numbers as `null`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CertSummary {
+    /// No error-severity ZT6xx findings.
+    pub certified: bool,
+    /// Distinct error codes, sorted.
+    pub errors: Vec<String>,
+    /// Distinct warning codes, sorted.
+    pub warnings: Vec<String>,
+    /// Deepest certified data-flow depth.
+    pub max_depth: usize,
+    /// log₁₀ magnitude of the normalized bracket at `max_depth`.
+    pub magnitude_log10: f64,
+    /// Certified denormalized latency range `[lo, hi]` (ms) at `max_depth`.
+    pub latency_ms: [f64; 2],
+    /// Certified denormalized throughput range `[lo, hi]` at `max_depth`.
+    pub throughput: [f64; 2],
+    /// Total certified-dead hidden units across modules.
+    pub dead_units: usize,
+    /// Total certified-saturated hidden units across modules.
+    pub saturated_units: usize,
+    /// Encoder input features with certified-zero sensitivity.
+    pub zero_sensitivity_features: usize,
+}
+
+impl CertSummary {
+    /// Summary for a model the certifier refused to analyze (ZT407
+    /// structural failure).
+    pub fn failed(code: &str) -> Self {
+        CertSummary {
+            certified: false,
+            errors: vec![code.to_string()],
+            warnings: Vec::new(),
+            max_depth: 0,
+            magnitude_log10: 0.0,
+            latency_ms: [0.0, 0.0],
+            throughput: [0.0, 0.0],
+            dead_units: 0,
+            saturated_units: 0,
+            zero_sensitivity_features: 0,
+        }
+    }
+}
+
+fn clamp_json(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v.clamp(-f64::MAX, f64::MAX)
+    }
+}
+
+impl ModelCert {
+    /// The head bracket for plans whose sink sits at `depth` (see
+    /// [`dataflow_depth`]); `None` beyond the certified depth.
+    pub fn head(&self, depth: usize) -> Option<&HeadBracket> {
+        self.heads.get(depth)
+    }
+
+    /// log₁₀ magnitude of the widest (deepest) normalized bracket.
+    pub fn magnitude_log10(&self) -> f64 {
+        self.heads
+            .last()
+            .expect("at least depth 0")
+            .magnitude_log10()
+    }
+
+    fn denorm(&self, z: Interval, k: usize) -> Interval {
+        // exp((z·std + mean)) is monotone in z (std > 0); widen outward
+        // for the f32 rounding of the concrete denormalization.
+        let std = f64::from(self.norm.std[k]);
+        let mean = f64::from(self.norm.mean[k]);
+        let lo = (z.lo * std + mean).exp();
+        let hi = (z.hi * std + mean).exp();
+        Interval::new((lo * (1.0 - 1e-5)).max(0.0), hi * (1.0 + 1e-5))
+    }
+
+    /// Certified denormalized latency range (ms) at `depth`.
+    pub fn latency_ms(&self, depth: usize) -> Option<Interval> {
+        self.head(depth).map(|h| self.denorm(h.latency, 0))
+    }
+
+    /// Certified denormalized throughput range (tuples/s) at `depth`.
+    pub fn throughput(&self, depth: usize) -> Option<Interval> {
+        self.head(depth).map(|h| self.denorm(h.throughput, 1))
+    }
+
+    /// The standalone ZT601–ZT604 findings of this certificate.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let deepest = self.heads.last().expect("at least depth 0");
+
+        // ZT601: non-finite or exploded certified range.
+        if !deepest.is_finite() {
+            out.push(Diagnostic::error(
+                "ZT601",
+                format!(
+                    "certified normalized bracket at depth {} is non-finite (latency [{}, {}], throughput [{}, {}])",
+                    self.cfg.max_depth,
+                    deepest.latency.lo,
+                    deepest.latency.hi,
+                    deepest.throughput.lo,
+                    deepest.throughput.hi
+                ),
+            ));
+        } else if self.ref_magnitude_log10.is_finite() {
+            let mag = self.magnitude_log10();
+            let limit = self.ref_magnitude_log10 * ZT601_REF_FACTOR + ZT601_DECADE_SLACK;
+            if mag > limit {
+                out.push(Diagnostic::error(
+                    "ZT601",
+                    format!(
+                        "certified bracket magnitude 1e{mag:.0} exceeds the fresh-init reference \
+                         1e{:.0} beyond the {ZT601_REF_FACTOR}x + {ZT601_DECADE_SLACK}-decade \
+                         allowance (limit 1e{limit:.0}) — weights look tampered or diverged",
+                        self.ref_magnitude_log10
+                    ),
+                ));
+            }
+        }
+
+        // ZT602: some depth's certified bracket excludes the label band.
+        for (metric, pick) in [("latency", 0usize), ("throughput", 1usize)] {
+            let offending = self.heads.iter().enumerate().find(|(_, h)| {
+                let iv = if pick == 0 { h.latency } else { h.throughput };
+                // disjoint from [-BAND, BAND]; NaN endpoints never fire
+                // (ZT601 covers them)
+                iv.lo > ZT602_LABEL_BAND || iv.hi < -ZT602_LABEL_BAND
+            });
+            if let Some((d, h)) = offending {
+                let iv = if pick == 0 { h.latency } else { h.throughput };
+                out.push(Diagnostic::error(
+                    "ZT602",
+                    format!(
+                        "certified {metric} bracket [{:.3}, {:.3}] at depth {d} excludes the \
+                         training-label band [-{ZT602_LABEL_BAND}, {ZT602_LABEL_BAND}] (z-units) \
+                         — the model provably cannot reproduce any label it was fitted on",
+                        iv.lo, iv.hi
+                    ),
+                ));
+            }
+        }
+
+        // ZT603: certified-dead units per module (warning).
+        for m in &self.modules {
+            if m.certified_dead > 0 {
+                out.push(
+                    Diagnostic::warning(
+                        "ZT603",
+                        format!(
+                            "{} of {} hidden units are certified dead (pre-activation upper \
+                             bound <= 0 over the whole feature domain)",
+                            m.certified_dead, m.hidden_units
+                        ),
+                    )
+                    .at(Anchor::Param(m.name.clone())),
+                );
+            }
+        }
+
+        // ZT604: zero-sensitivity encoder inputs (warning).
+        for (name, sens) in &self.encoder_sensitivity {
+            let zeros: Vec<usize> = sens
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s == 0.0)
+                .map(|(i, _)| i)
+                .collect();
+            if !zeros.is_empty() {
+                out.push(
+                    Diagnostic::warning(
+                        "ZT604",
+                        format!(
+                            "input feature(s) {zeros:?} have certified-zero sensitivity — the \
+                             model provably ignores them everywhere in the feature domain"
+                        ),
+                    )
+                    .at(Anchor::Param(name.clone())),
+                );
+            }
+        }
+
+        out
+    }
+
+    /// ZT605 containment check of a *raw normalized* prediction (the
+    /// `[f32; 2]` out of `forward_infer`) against the bracket for `depth`.
+    /// Exact containment — the certificate's rounding model already
+    /// accounts for every `f32` operation. Empty beyond the certified
+    /// depth, and empty when the premises hold.
+    pub fn check_prediction(&self, depth: usize, raw: [f32; 2]) -> Vec<Diagnostic> {
+        let Some(head) = self.head(depth) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (metric, iv, v) in [
+            ("latency", head.latency, f64::from(raw[0])),
+            ("throughput", head.throughput, f64::from(raw[1])),
+        ] {
+            if !(v >= iv.lo && v <= iv.hi) {
+                out.push(Diagnostic::error(
+                    "ZT605",
+                    format!(
+                        "normalized {metric} prediction {v} escapes the certified depth-{depth} \
+                         bracket [{}, {}] — certificate premises violated or weights changed \
+                         since certification",
+                        iv.lo, iv.hi
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// ZT605 containment check from a *denormalized* [`CostPrediction`]
+    /// (the shape the optimizer holds): renormalizes through the
+    /// certified [`TargetNorm`] and compares with [`ZT605_NORM_SLACK`] to
+    /// absorb the `f32` round trip.
+    pub fn check_prediction_denorm(&self, depth: usize, p: &CostPrediction) -> Vec<Diagnostic> {
+        let Some(head) = self.head(depth) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (metric, iv, value, k) in [
+            ("latency", head.latency, p.latency_ms, 0usize),
+            ("throughput", head.throughput, p.throughput, 1usize),
+        ] {
+            let std = f64::from(self.norm.std[k]).max(1e-12);
+            let z = (value.max(1e-300).ln() - f64::from(self.norm.mean[k])) / std;
+            if !(z >= iv.lo - ZT605_NORM_SLACK && z <= iv.hi + ZT605_NORM_SLACK) {
+                out.push(Diagnostic::error(
+                    "ZT605",
+                    format!(
+                        "{metric} prediction {value:.4} (z = {z:.3}) escapes the certified \
+                         depth-{depth} bracket [{}, {}]",
+                        iv.lo, iv.hi
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Intersect the certificate's denormalized ranges with a plan's
+    /// physics brackets ([`BoundsReport`]): when they are disjoint, the
+    /// model can never predict inside the provable physical envelope for
+    /// this deployment (warning-severity ZT605 — the model is globally
+    /// mis-calibrated for the plan, even if no single prediction has
+    /// escaped yet).
+    pub fn lint_certificate_bounds(&self, depth: usize, report: &BoundsReport) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let pairs = [
+            ("latency", self.latency_ms(depth), report.latency_ms),
+            ("throughput", self.throughput(depth), report.throughput),
+        ];
+        for (metric, cert_iv, plan_iv) in pairs {
+            let Some(c) = cert_iv else { continue };
+            let disjoint = c.lo > plan_iv.hi || c.hi < plan_iv.lo;
+            if disjoint {
+                out.push(Diagnostic::warning(
+                    "ZT605",
+                    format!(
+                        "certified {metric} range [{:.4}, {:.4}] is disjoint from the plan's \
+                         provable bracket [{:.4}, {:.4}] — the model cannot land inside the \
+                         physical envelope of this deployment",
+                        c.lo, c.hi, plan_iv.lo, plan_iv.hi
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// The serializable summary (registry / `/healthz` shape).
+    pub fn summary(&self) -> CertSummary {
+        let report = Report::new(self.diagnostics());
+        let lat = self
+            .latency_ms(self.cfg.max_depth)
+            .unwrap_or(Interval::ZERO);
+        let tpt = self
+            .throughput(self.cfg.max_depth)
+            .unwrap_or(Interval::ZERO);
+        let mut errors: Vec<String> = Vec::new();
+        let mut warnings: Vec<String> = Vec::new();
+        for d in &report.diagnostics {
+            match d.severity {
+                crate::diagnostics::Severity::Error => errors.push(d.code.to_string()),
+                crate::diagnostics::Severity::Warning => warnings.push(d.code.to_string()),
+                crate::diagnostics::Severity::Info => {}
+            }
+        }
+        errors.sort();
+        errors.dedup();
+        warnings.sort();
+        warnings.dedup();
+        CertSummary {
+            certified: errors.is_empty(),
+            errors,
+            warnings,
+            max_depth: self.cfg.max_depth,
+            magnitude_log10: clamp_json(self.magnitude_log10()),
+            latency_ms: [clamp_json(lat.lo), clamp_json(lat.hi)],
+            throughput: [clamp_json(tpt.lo), clamp_json(tpt.hi)],
+            dead_units: self.modules.iter().map(|m| m.certified_dead).sum(),
+            saturated_units: self.modules.iter().map(|m| m.certified_saturated).sum(),
+            zero_sensitivity_features: self
+                .encoder_sensitivity
+                .iter()
+                .map(|(_, s)| s.iter().filter(|&&v| v == 0.0).count())
+                .sum(),
+        }
+    }
+}
+
+/// Longest data-flow path length into the sink of an encoded graph — the
+/// depth index into [`ModelCert::heads`] covering this graph.
+pub fn dataflow_depth(graph: &GraphEncoding) -> usize {
+    let n = graph.nodes.len();
+    let mut depth = vec![0usize; n];
+    for &node in &graph.topo {
+        depth[node] = graph
+            .data_flow
+            .iter()
+            .filter(|&&(_, d)| d == node)
+            .map(|&(u, _)| depth.get(u).copied().unwrap_or(0) + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    depth.get(graph.sink).copied().unwrap_or(0)
+}
+
+struct Propagation {
+    heads: Vec<HeadBracket>,
+    modules: Vec<ModuleCert>,
+    encoder_sensitivity: Vec<(String, Vec<f64>)>,
+}
+
+fn head_bracket(cert: &MlpCert) -> Interval {
+    // read-out heads are 1-wide; NaN-tolerant construction
+    Interval {
+        lo: cert.output.lo[0],
+        hi: cert.output.hi[0],
+    }
+}
+
+fn certify_mlp_at(
+    store: &zt_nn::ParamStore,
+    mlp: &Mlp,
+    input: &IntervalVec,
+    name: &str,
+    modules: &mut Vec<ModuleCert>,
+) -> MlpCert {
+    let cert = certify_mlp(store, mlp, input);
+    modules.push(ModuleCert::from_mlp_cert(name, &cert));
+    cert
+}
+
+/// Push the feature box through the whole GNN. Assumes the model already
+/// passed the ZT407 structural lint.
+fn propagate(model: &ZeroTuneModel, cfg: &CertifyConfig) -> Propagation {
+    let store = &model.store;
+    let mut modules = Vec::new();
+    let mut encoder_sensitivity = Vec::new();
+
+    // Step ②: encode every node kind over the feature box; hidden states
+    // are the post-ReLU encoder outputs.
+    let mut h0: Option<IntervalVec> = None;
+    for &kind in &NodeKind::ALL {
+        let enc = model.encoder(kind);
+        let in_dim = store.value(enc.layers[0].w).rows;
+        let input = IntervalVec::uniform(in_dim, cfg.feature_lo, cfg.feature_hi);
+        let name = format!("enc.{kind:?}");
+        let cert = certify_mlp_at(store, enc, &input, &name, &mut modules);
+        encoder_sensitivity.push((name, cert.sensitivity.clone()));
+        let mut e = cert.output;
+        e.relu(); // forward applies an extra ReLU after every encoder
+        match &mut h0 {
+            None => h0 = Some(e),
+            Some(h) => h.hull_assign(&e),
+        }
+    }
+    let h0 = h0.expect("at least one node kind");
+
+    let (upd_physical, upd_mapping, upd_dataflow) = model.update_mlps();
+    let (readout_latency, readout_throughput) = model.readout_mlps();
+
+    // Phase 1 (physical): messages are means of pre-phase states.
+    let msg1 = mean_of_bounds(&[&h0], cfg.max_fanin);
+    let in1 = h0.concat(&msg1);
+    let c1 = certify_mlp_at(store, upd_physical, &in1, "upd.physical", &mut modules);
+    let mut h1 = h0.clone();
+    h1.hull_assign(&add_bounds(&h0, &c1.output));
+
+    // Phase 2 (mapping): messages are sub-unit weighted sums of resource
+    // states — enclosed by the capped zero-hull.
+    let mut msg2 = h1.scale_hull(cfg.mapping_sum_cap);
+    msg2.widen_rel(2 * cfg.max_fanin + 8);
+    let in2 = h1.concat(&msg2);
+    let c2 = certify_mlp_at(store, upd_mapping, &in2, "upd.mapping", &mut modules);
+    let mut h2 = h1.clone();
+    h2.hull_assign(&add_bounds(&h1, &c2.output));
+
+    // Phase 3 (dataflow) + read-outs per depth. `upd.dataflow` and the
+    // read-out module stats are recorded at their widest (deepest) input,
+    // replacing the narrower earlier entries.
+    let mut heads = Vec::with_capacity(cfg.max_depth + 1);
+    let mut state = h2.clone();
+    let mut tail_modules: Vec<ModuleCert> = Vec::new();
+    for d in 0..=cfg.max_depth {
+        tail_modules.clear();
+        let lat = certify_mlp_at(
+            store,
+            readout_latency,
+            &state,
+            "readout.latency",
+            &mut tail_modules,
+        );
+        // throughput context: mean of source finals (all in `state`'s
+        // enclosure) or a copy of the sink state.
+        let ctx = mean_of_bounds(&[&state], cfg.max_fanin);
+        let tpt_in = state.concat(&ctx);
+        let tpt = certify_mlp_at(
+            store,
+            readout_throughput,
+            &tpt_in,
+            "readout.throughput",
+            &mut tail_modules,
+        );
+        heads.push(HeadBracket {
+            latency: head_bracket(&lat),
+            throughput: head_bracket(&tpt),
+        });
+        if d < cfg.max_depth {
+            let msg = mean_of_bounds(&[&state], cfg.max_fanin);
+            let cat = h2.concat(&msg);
+            let c3 = certify_mlp_at(store, upd_dataflow, &cat, "upd.dataflow", &mut tail_modules);
+            state.hull_assign(&add_bounds(&h2, &c3.output));
+        }
+    }
+    modules.append(&mut tail_modules);
+
+    Propagation {
+        heads,
+        modules,
+        encoder_sensitivity,
+    }
+}
+
+/// Certify a model over the feature domain. Fails (without touching any
+/// weight data) when the model's shape metadata is inconsistent with its
+/// stored matrices — the first ZT407 finding is returned.
+pub fn certify_model(model: &ZeroTuneModel, cfg: &CertifyConfig) -> Result<ModelCert, Diagnostic> {
+    if let Some(d) = crate::diagnostics::lint_model_structure(model)
+        .into_iter()
+        .next()
+    {
+        return Err(d);
+    }
+    let prop = propagate(model, cfg);
+    // Self-calibration reference: a freshly-initialized model of the same
+    // architecture, certified under the same config.
+    let reference = ZeroTuneModel::new(model.config);
+    let ref_prop = propagate(&reference, cfg);
+    let ref_magnitude_log10 = ref_prop
+        .heads
+        .last()
+        .expect("at least depth 0")
+        .magnitude_log10();
+    Ok(ModelCert {
+        cfg: *cfg,
+        heads: prop.heads,
+        modules: prop.modules,
+        encoder_sensitivity: prop.encoder_sensitivity,
+        norm: model.norm,
+        ref_magnitude_log10,
+    })
+}
+
+/// Convenience: certify under the default config and bundle the ZT6xx
+/// findings (or the ZT407 refusal) into a [`Report`].
+pub fn certify_report(model: &ZeroTuneModel) -> (Option<ModelCert>, Report) {
+    match certify_model(model, &CertifyConfig::default()) {
+        Ok(cert) => {
+            let report = Report::new(cert.diagnostics());
+            (Some(cert), report)
+        }
+        Err(d) => (None, Report::new(vec![d])),
+    }
+}
+
+/// Render a certificate as a human-readable table (the `zt-lint
+/// --certify` detail block).
+pub fn explain_certificate(cert: &ModelCert) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "certified over feature box [{}, {}], max depth {}, fan-in <= {}",
+        cert.cfg.feature_lo, cert.cfg.feature_hi, cert.cfg.max_depth, cert.cfg.max_fanin
+    );
+    let _ = writeln!(
+        out,
+        "normalized magnitude: 1e{:.1} (fresh-init reference 1e{:.1})",
+        cert.magnitude_log10(),
+        cert.ref_magnitude_log10
+    );
+    let _ = writeln!(out, "depth | latency bracket (z) | throughput bracket (z)");
+    for d in [0usize, 1, 2, 4, 8, cert.cfg.max_depth] {
+        if d > cert.cfg.max_depth {
+            continue;
+        }
+        if let Some(h) = cert.head(d) {
+            let _ = writeln!(
+                out,
+                "{d:>5} | [{:>10.3e}, {:>10.3e}] | [{:>10.3e}, {:>10.3e}]",
+                h.latency.lo, h.latency.hi, h.throughput.lo, h.throughput.hi
+            );
+        }
+    }
+    if let (Some(lat), Some(tpt)) = (
+        cert.latency_ms(cert.cfg.max_depth),
+        cert.throughput(cert.cfg.max_depth),
+    ) {
+        let _ = writeln!(
+            out,
+            "denormalized @ depth {}: latency [{:.3e}, {:.3e}] ms, throughput [{:.3e}, {:.3e}] /s",
+            cert.cfg.max_depth, lat.lo, lat.hi, tpt.lo, tpt.hi
+        );
+    }
+    for m in &cert.modules {
+        if m.certified_dead > 0 || m.certified_saturated > 0 {
+            let _ = writeln!(
+                out,
+                "{}: {} dead, {} saturated of {} hidden units",
+                m.name, m.certified_dead, m.certified_saturated, m.hidden_units
+            );
+        }
+    }
+    for (name, sens) in &cert.encoder_sensitivity {
+        let zeros = sens.iter().filter(|&&s| s == 0.0).count();
+        let max = sens.iter().fold(0.0f64, |a, &b| a.max(b));
+        let _ = writeln!(
+            out,
+            "{name}: max input sensitivity {max:.3e}, {zeros} zero-sensitivity feature(s)"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+
+    fn mini_model() -> ZeroTuneModel {
+        ZeroTuneModel::new(ModelConfig {
+            hidden: 12,
+            seed: 42,
+        })
+    }
+
+    fn mini_cfg() -> CertifyConfig {
+        CertifyConfig {
+            max_depth: 6,
+            ..CertifyConfig::default()
+        }
+    }
+
+    #[test]
+    fn fresh_model_certifies_without_errors() {
+        let model = mini_model();
+        let cert = certify_model(&model, &mini_cfg()).expect("structure ok");
+        let report = Report::new(cert.diagnostics());
+        assert!(
+            !report.has_errors(),
+            "fresh model must certify clean:\n{report}"
+        );
+        assert_eq!(cert.heads.len(), 7);
+        // brackets are nested: deeper ⊇ shallower
+        for d in 1..cert.heads.len() {
+            assert!(cert.heads[d].latency.lo <= cert.heads[d - 1].latency.lo);
+            assert!(cert.heads[d].latency.hi >= cert.heads[d - 1].latency.hi);
+        }
+        // fresh init: the bracket contains 0 at every depth
+        for h in &cert.heads {
+            assert!(h.latency.contains(0.0));
+            assert!(h.throughput.contains(0.0));
+        }
+    }
+
+    #[test]
+    fn inflated_weights_trigger_zt601() {
+        let mut model = mini_model();
+        let ids: Vec<_> = model.store.ids().collect();
+        for id in ids {
+            for v in &mut model.store.value_mut(id).data {
+                *v *= 1e4;
+            }
+        }
+        let cert = certify_model(&model, &mini_cfg()).expect("structure ok");
+        let report = Report::new(cert.diagnostics());
+        assert!(report.has_code("ZT601"), "expected ZT601:\n{report}");
+        assert!(!cert.summary().certified);
+    }
+
+    #[test]
+    fn hijacked_constant_head_triggers_zt602() {
+        let mut model = mini_model();
+        // Zero every weight of the latency head, then plant a huge bias
+        // on its output: the head provably outputs exactly 1e6.
+        let (lat, _) = {
+            let (l, t) = model.readout_mlps();
+            (l.clone(), t.clone())
+        };
+        for layer in &lat.layers {
+            model.store.value_mut(layer.w).data.fill(0.0);
+            model.store.value_mut(layer.b).data.fill(0.0);
+        }
+        let out_bias = lat.layers.last().unwrap().b;
+        model.store.value_mut(out_bias).data[0] = 1e6;
+        let cert = certify_model(&model, &mini_cfg()).expect("structure ok");
+        let report = Report::new(cert.diagnostics());
+        assert!(report.has_code("ZT602"), "expected ZT602:\n{report}");
+    }
+
+    #[test]
+    fn zeroed_encoder_feature_triggers_zt604() {
+        let mut model = mini_model();
+        // Cut input feature 0 of the Source encoder.
+        let enc = model.encoder(NodeKind::Source).clone();
+        let w_id = enc.layers[0].w;
+        let cols = model.store.value(w_id).cols;
+        for j in 0..cols {
+            model.store.value_mut(w_id).data[j] = 0.0;
+        }
+        let cert = certify_model(&model, &mini_cfg()).expect("structure ok");
+        let report = Report::new(cert.diagnostics());
+        assert!(report.has_code("ZT604"), "expected ZT604:\n{report}");
+        let (_, sens) = cert
+            .encoder_sensitivity
+            .iter()
+            .find(|(n, _)| n == "enc.Source")
+            .unwrap();
+        assert_eq!(sens[0], 0.0);
+        assert!(cert.summary().zero_sensitivity_features >= 1);
+    }
+
+    #[test]
+    fn forced_dead_unit_triggers_zt603() {
+        let mut model = mini_model();
+        let enc = model.encoder(NodeKind::Sink).clone();
+        let w_id = enc.layers[0].w;
+        let b_id = enc.layers[0].b;
+        let (rows, cols) = {
+            let w = model.store.value(w_id);
+            (w.rows, w.cols)
+        };
+        // unit 2: strongly negative column + negative bias → certified dead
+        for r in 0..rows {
+            model.store.value_mut(w_id).data[r * cols + 2] = -10.0;
+        }
+        model.store.value_mut(b_id).data[2] = -1.0;
+        let cert = certify_model(&model, &mini_cfg()).expect("structure ok");
+        let report = Report::new(cert.diagnostics());
+        assert!(report.has_code("ZT603"), "expected ZT603:\n{report}");
+        assert!(cert.summary().dead_units >= 1);
+    }
+
+    #[test]
+    fn check_prediction_flags_escapes_only() {
+        let model = mini_model();
+        let cert = certify_model(&model, &mini_cfg()).expect("structure ok");
+        // 0 is inside every fresh bracket
+        assert!(cert.check_prediction(0, [0.0, 0.0]).is_empty());
+        // something absurdly far outside is flagged
+        let flagged = cert.check_prediction(0, [f32::MAX, 0.0]);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].code, "ZT605");
+        // beyond the certified depth: silent (premise not covered)
+        assert!(cert
+            .check_prediction(cert.cfg.max_depth + 1, [f32::MAX, 0.0])
+            .is_empty());
+    }
+
+    #[test]
+    fn structural_tamper_is_refused_with_zt407() {
+        let mut tampered = mini_model();
+        // grow one stored matrix's row count behind the layer metadata's
+        // back: the certifier must refuse before touching weight data
+        let id = tampered.store.ids().next().unwrap();
+        tampered.store.value_mut(id).rows += 1;
+        let err = certify_model(&tampered, &mini_cfg());
+        match err {
+            Err(d) => assert_eq!(d.code, "ZT407"),
+            Ok(_) => panic!("tampered model must be refused"),
+        }
+    }
+
+    #[test]
+    fn summary_serializes_without_nonfinite_floats() {
+        let model = mini_model();
+        let cert = certify_model(&model, &mini_cfg()).expect("structure ok");
+        let s = cert.summary();
+        assert!(s.certified);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("null"), "clamped floats only: {json}");
+        let back: CertSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.certified, s.certified);
+        assert_eq!(back.max_depth, s.max_depth);
+    }
+
+    #[test]
+    fn explain_renders_depth_table() {
+        let model = mini_model();
+        let cert = certify_model(&model, &mini_cfg()).expect("structure ok");
+        let text = explain_certificate(&cert);
+        assert!(text.contains("depth | latency bracket"));
+        assert!(text.contains("denormalized @ depth 6"));
+    }
+}

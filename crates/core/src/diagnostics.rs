@@ -20,8 +20,9 @@
 //! | ZT1xx | ZT101–ZT107 | [`LogicalPlan`] / [`ParallelQueryPlan`] |
 //! | ZT2xx | ZT201–ZT205 | [`GraphEncoding`] feature vectors |
 //! | ZT3xx | ZT301–ZT305 | [`Dataset`] labels and structure |
-//! | ZT4xx | ZT401–ZT406 | [`ZeroTuneModel`] weights and normalization |
+//! | ZT4xx | ZT401–ZT407 | [`ZeroTuneModel`] weights and normalization |
 //! | ZT5xx | ZT501–ZT504 | [`BoundsReport`](crate::bounds::BoundsReport) interval cross-checks |
+//! | ZT6xx | ZT601–ZT605 | [`ModelCert`](crate::certify::ModelCert) interval certification of trained weights |
 //!
 //! The passes run **without executing anything** — no simulation, no
 //! forward pass (the one exception is
@@ -373,6 +374,11 @@ pub const REGISTRY: &[CodeInfo] = &[
         summary: "model produced a non-finite prediction",
     },
     CodeInfo {
+        code: "ZT407",
+        severity: Severity::Error,
+        summary: "layer shape metadata inconsistent with stored weights",
+    },
+    CodeInfo {
         code: "ZT501",
         severity: Severity::Warning,
         summary: "prediction below the provable latency lower bound",
@@ -391,6 +397,31 @@ pub const REGISTRY: &[CodeInfo] = &[
         code: "ZT504",
         severity: Severity::Error,
         summary: "vacuous or inverted bounds interval",
+    },
+    CodeInfo {
+        code: "ZT601",
+        severity: Severity::Error,
+        summary: "certified output range is non-finite or exploded",
+    },
+    CodeInfo {
+        code: "ZT602",
+        severity: Severity::Error,
+        summary: "certified output range excludes the training-label range",
+    },
+    CodeInfo {
+        code: "ZT603",
+        severity: Severity::Warning,
+        summary: "certified-dead hidden unit (provably zero over the feature domain)",
+    },
+    CodeInfo {
+        code: "ZT604",
+        severity: Severity::Warning,
+        summary: "input feature with certified-zero sensitivity (model provably ignores it)",
+    },
+    CodeInfo {
+        code: "ZT605",
+        severity: Severity::Error,
+        summary: "prediction escapes the model's certified output bracket",
     },
 ];
 
@@ -1027,11 +1058,81 @@ pub fn lint_split(train: &Dataset, test: &Dataset) -> Vec<Diagnostic> {
 /// Absolute-weight threshold for the ZT405 exploding-weight lint.
 pub const ZT405_MAX_ABS_WEIGHT: f32 = 100.0;
 
-/// Lint a model's weights and normalization: non-finite weights (ZT401),
-/// dead ReLU units (ZT402), default normalization (ZT404) and exploding
-/// weights (ZT405).
-pub fn lint_model(model: &ZeroTuneModel) -> Vec<Diagnostic> {
+/// Structural lint (ZT407): every module's layer shape metadata must
+/// agree with the matrices actually stored for it — weight shape
+/// `(in_dim, out_dim)`, bias shape `(1, out_dim)`, and a consistent
+/// layer-to-layer width chain. A deserialized model that violates this
+/// would misalign (or panic) inside the matmul kernel, so the checked
+/// inference paths and the certifier both refuse to touch such a model.
+/// Shape metadata only — no weight data is scanned.
+pub fn lint_model_structure(model: &ZeroTuneModel) -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    for (name, mlp) in model.modules() {
+        if mlp.layers.is_empty() {
+            out.push(
+                Diagnostic::error("ZT407", "module has no layers").at(Anchor::Param(name.clone())),
+            );
+            continue;
+        }
+        let mut width: Option<usize> = None;
+        for (i, layer) in mlp.layers.iter().enumerate() {
+            let w = model.store.value(layer.w);
+            let b = model.store.value(layer.b);
+            if w.shape() != (layer.in_dim, layer.out_dim) {
+                out.push(
+                    Diagnostic::error(
+                        "ZT407",
+                        format!(
+                            "layer {i} declares {}x{} but stores a {}x{} weight matrix",
+                            layer.in_dim, layer.out_dim, w.rows, w.cols
+                        ),
+                    )
+                    .at(Anchor::Param(name.clone())),
+                );
+            }
+            if b.shape() != (1, w.cols) {
+                out.push(
+                    Diagnostic::error(
+                        "ZT407",
+                        format!(
+                            "layer {i} bias is {}x{}, expected 1x{}",
+                            b.rows, b.cols, w.cols
+                        ),
+                    )
+                    .at(Anchor::Param(name.clone())),
+                );
+            }
+            if let Some(prev) = width {
+                if prev != w.rows {
+                    out.push(
+                        Diagnostic::error(
+                            "ZT407",
+                            format!(
+                                "layer {i} expects width {} but layer {} produces {prev}",
+                                w.rows,
+                                i - 1
+                            ),
+                        )
+                        .at(Anchor::Param(name.clone())),
+                    );
+                }
+            }
+            width = Some(w.cols);
+        }
+    }
+    out
+}
+
+/// Lint a model's weights and normalization: shape consistency (ZT407),
+/// non-finite weights (ZT401), dead ReLU units (ZT402), default
+/// normalization (ZT404) and exploding weights (ZT405).
+pub fn lint_model(model: &ZeroTuneModel) -> Vec<Diagnostic> {
+    let mut out = lint_model_structure(model);
+    if !out.is_empty() {
+        // The per-layer weight lints below index matrices through the
+        // very metadata ZT407 just proved wrong; stop here.
+        return out;
+    }
 
     for id in model.store.ids() {
         let m = model.store.value(id);

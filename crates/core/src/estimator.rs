@@ -61,6 +61,15 @@ pub trait CostEstimator: Send + Sync {
     fn predict_batch(&self, graphs: &[GraphEncoding]) -> Vec<CostPrediction> {
         graphs.iter().map(|g| self.predict(g)).collect()
     }
+
+    /// The estimator's domain-wide interval certificate
+    /// ([`crate::certify::certify_model`]), when one can be derived.
+    /// `None` (the default) for estimators without a certifiable network;
+    /// the optimizer's strict mode uses this to cross-check the winning
+    /// prediction against its certified bracket (ZT605).
+    fn certificate(&self) -> Option<crate::certify::ModelCert> {
+        None
+    }
 }
 
 /// Q-error statistics of any estimator over a sample set:

@@ -35,6 +35,10 @@
 //! * [`diagnostics`] — static lints over plans, feature encodings,
 //!   datasets and model weights (stable `ZTxxx` codes, rustc-style
 //!   reports, strict-mode pre-flight hooks in `train`/`tune`/datagen).
+//! * [`certify`] — interval bound propagation over *trained weights*:
+//!   certified output brackets per data-flow depth, certified-dead and
+//!   saturated ReLU units, per-feature sensitivity bounds, ZT6xx
+//!   diagnostics and the serve-side deploy gate's `CertSummary`.
 //! * [`bounds`] — interval abstract interpretation over deployed plans:
 //!   sound lower/upper brackets on rates, utilization, latency and
 //!   throughput derived without running the simulator; powers the
@@ -47,6 +51,7 @@
 #![deny(unsafe_code)]
 
 pub mod bounds;
+pub mod certify;
 pub mod datagen;
 pub mod dataset;
 pub mod diagnostics;
@@ -71,12 +76,16 @@ pub mod telemetry {
 pub use bounds::{
     analyze, analyze_with, prune_mask, BoundsConfig, BoundsReport, Interval, OpBounds,
 };
+pub use certify::{
+    certify_model, certify_report, dataflow_depth, explain_certificate, CertSummary, CertifyConfig,
+    HeadBracket, ModelCert, ModuleCert,
+};
 pub use datagen::{generate_dataset_report, generate_dataset_with, shard_seed, GenPlan, GenReport};
 pub use dataset::{generate_dataset, Dataset, GenConfig, Sample, SampleMeta};
 pub use diagnostics::{
     lint_bounds_report, lint_dataset, lint_graph, lint_graph_batch, lint_model, lint_model_against,
-    lint_plan, lint_pqp, lint_prediction_bounds, lint_split, lint_wire_plan, strict_from_env,
-    Anchor, Diagnostic, Report, Severity,
+    lint_model_structure, lint_plan, lint_pqp, lint_prediction_bounds, lint_split, lint_wire_plan,
+    strict_from_env, Anchor, Diagnostic, Report, Severity,
 };
 pub use estimator::{evaluate_estimator, CostEstimator, CostPrediction};
 pub use features::FeatureMask;

@@ -126,14 +126,14 @@ pub struct ZeroTuneModel {
     pub norm: TargetNorm,
 }
 
-fn kind_index(kind: NodeKind) -> usize {
+pub(crate) fn kind_index(kind: NodeKind) -> usize {
     NodeKind::ALL
         .iter()
         .position(|&k| k == kind)
         .expect("kind in ALL")
 }
 
-fn kind_feature_dim(kind: NodeKind) -> usize {
+pub(crate) fn kind_feature_dim(kind: NodeKind) -> usize {
     match kind {
         NodeKind::Source => OP_COMMON_DIM + SOURCE_EXTRA_DIM,
         NodeKind::Filter => OP_COMMON_DIM + FILTER_EXTRA_DIM,
@@ -216,6 +216,23 @@ impl ZeroTuneModel {
         out.push(("readout.latency".to_string(), &self.readout_latency));
         out.push(("readout.throughput".to_string(), &self.readout_throughput));
         out
+    }
+
+    /// The encoder MLP for a node kind (certification needs per-module
+    /// access with the kind still attached, which [`ZeroTuneModel::modules`]
+    /// erases into a display name).
+    pub(crate) fn encoder(&self, kind: NodeKind) -> &Mlp {
+        &self.encoders[kind_index(kind)]
+    }
+
+    /// The three message-combine MLPs `(physical, mapping, dataflow)`.
+    pub(crate) fn update_mlps(&self) -> (&Mlp, &Mlp, &Mlp) {
+        (&self.upd_physical, &self.upd_mapping, &self.upd_dataflow)
+    }
+
+    /// The two read-out heads `(latency, throughput)`.
+    pub(crate) fn readout_mlps(&self) -> (&Mlp, &Mlp) {
+        (&self.readout_latency, &self.readout_throughput)
     }
 
     /// Build the forward graph on `tape`; returns the 1×2 normalized
@@ -452,11 +469,48 @@ impl ZeroTuneModel {
         self.norm.denormalize(raw).into()
     }
 
-    /// Like [`ZeroTuneModel::predict_with`], but surfaces a non-finite
-    /// prediction as a ZT406 [`Diagnostic`] instead of silently
-    /// propagating NaN costs into the optimizer's Eq. 1 objective.
+    /// Width-guarded [`ZeroTuneModel::forward_infer`]: validates the
+    /// stored weight shapes (a deserialized model whose layer metadata
+    /// lies about its matrices would otherwise misalign or panic inside
+    /// the matmul kernel — ZT407) and every node's feature width against
+    /// its encoder (ZT205) *before* running the forward pass. Both checks
+    /// compare shape metadata only, so the guard costs nanoseconds per
+    /// call.
+    pub fn forward_infer_checked(
+        &self,
+        graph: &GraphEncoding,
+        scratch: &mut Scratch,
+    ) -> Result<[f32; 2], Diagnostic> {
+        if let Some(d) = crate::diagnostics::lint_model_structure(self)
+            .into_iter()
+            .next()
+        {
+            return Err(d);
+        }
+        for (i, node) in graph.nodes.iter().enumerate() {
+            let enc = &self.encoders[kind_index(node.kind)];
+            let expected = self.store.value(enc.layers[0].w).rows;
+            if node.features.len() != expected {
+                return Err(Diagnostic::error(
+                    "ZT205",
+                    format!(
+                        "{:?} node {i} has {} features, its encoder expects {expected}",
+                        node.kind,
+                        node.features.len()
+                    ),
+                ));
+            }
+        }
+        Ok(self.forward_infer(graph, scratch))
+    }
+
+    /// Like [`ZeroTuneModel::predict_with`], but routed through
+    /// [`ZeroTuneModel::forward_infer_checked`] (ZT205/ZT407 width guards)
+    /// and surfacing a non-finite prediction as a ZT406 [`Diagnostic`]
+    /// instead of silently propagating NaN costs into the optimizer's
+    /// Eq. 1 objective.
     pub fn predict_checked(&self, graph: &GraphEncoding) -> Result<CostPrediction, Diagnostic> {
-        let raw = SCRATCH.with(|s| self.forward_infer(graph, &mut s.borrow_mut()));
+        let raw = SCRATCH.with(|s| self.forward_infer_checked(graph, &mut s.borrow_mut()))?;
         if raw.iter().all(|v| v.is_finite()) {
             Ok(self.norm.denormalize(raw).into())
         } else {
@@ -543,6 +597,12 @@ impl CostEstimator for ZeroTuneModel {
             );
         }
         out
+    }
+
+    /// Derive the interval certificate on demand (milliseconds for the
+    /// paper-scale network; the strict tuner calls this once per query).
+    fn certificate(&self) -> Option<crate::certify::ModelCert> {
+        crate::certify::certify_model(self, &crate::certify::CertifyConfig::default()).ok()
     }
 }
 

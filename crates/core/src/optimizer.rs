@@ -338,6 +338,15 @@ pub fn tune<E: CostEstimator + ?Sized>(
             &report,
             &predictions[best],
         ));
+        // Model-certificate cross-check (ZT605): the winning prediction
+        // must sit inside the estimator's certified bracket for the
+        // chosen plan's data-flow depth, and that certified range must
+        // intersect the plan's provable physics bracket.
+        if let Some(cert) = est.certificate() {
+            let depth = crate::certify::dataflow_depth(&graphs[best]);
+            diags.extend(cert.check_prediction_denorm(depth, &predictions[best]));
+            diags.extend(cert.lint_certificate_bounds(depth, &report));
+        }
         crate::diagnostics::Report::new(diags).enforce("tune bounds cross-check");
     }
 

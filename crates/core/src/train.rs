@@ -187,6 +187,16 @@ pub fn train(model: &mut ZeroTuneModel, data: &Dataset, cfg: &TrainConfig) -> Tr
 
     model.store.copy_weights_from(&best_weights);
     report.wall_secs = start.elapsed().as_secs_f64();
+
+    // Strict mode: post-training certification. Training must not have
+    // pushed the weights anywhere the interval certificate flags —
+    // exploded brackets (ZT601) or a head that provably cannot reproduce
+    // any training label (ZT602) abort here instead of at deploy time.
+    if cfg.strict {
+        let _s = zt_telemetry::span("train.certify");
+        let (_, cert_report) = crate::certify::certify_report(model);
+        cert_report.enforce("post-training certification");
+    }
     report
 }
 

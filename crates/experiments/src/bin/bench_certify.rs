@@ -1,0 +1,169 @@
+//! Certification-cost runner: how expensive is interval bound
+//! propagation, and what does it certify?
+//!
+//! Sweeps `zt_core::certify_model` over fresh GNNs at several hidden
+//! widths and unroll depths, then trains a mini model on
+//! simulator-labeled data and certifies it post-training. Each row
+//! records wall time (the latency a `/swap` pays at the certification
+//! gate) alongside the certificate itself: bracket magnitude,
+//! certified-dead/saturated units and zero-sensitivity features.
+//!
+//! Artifacts:
+//! * `results/BENCH_certify.json` — the committed timing/certificate
+//!   baseline;
+//! * `results/model_mini_trained.json` — the trained model (gitignored;
+//!   regenerated per run), which CI feeds back through
+//!   `zt-lint --certify --model` to prove a benchmark-trained model
+//!   certifies clean.
+//!
+//! Usage: `cargo run --release --bin bench_certify [-- reps]`
+
+use serde::Serialize;
+use zt_core::certify::{certify_model, CertifyConfig, ModelCert};
+use zt_core::dataset::{generate_dataset, GenConfig};
+use zt_core::diagnostics::Severity;
+use zt_core::model::{ModelConfig, ZeroTuneModel};
+use zt_core::train::{train, TrainConfig};
+
+#[derive(Serialize)]
+struct CertifyRow {
+    model: String,
+    hidden: usize,
+    max_depth: usize,
+    elapsed_ms: f64,
+    magnitude_log10: f64,
+    certified_dead_units: usize,
+    certified_saturated_units: usize,
+    error_diagnostics: usize,
+    warning_diagnostics: usize,
+}
+
+#[derive(Serialize)]
+struct CertifyReport {
+    reps: usize,
+    rows: Vec<CertifyRow>,
+}
+
+fn measure(name: &str, model: &ZeroTuneModel, cfg: &CertifyConfig, reps: usize) -> CertifyRow {
+    // warm-up, then timed reps
+    let cert = certify_model(model, cfg).expect("model certifies structurally");
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        let _ = certify_model(model, cfg).expect("model certifies structurally");
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3 / reps.max(1) as f64;
+    row(name, model.config.hidden, cfg, elapsed_ms, &cert)
+}
+
+fn row(
+    name: &str,
+    hidden: usize,
+    cfg: &CertifyConfig,
+    elapsed_ms: f64,
+    cert: &ModelCert,
+) -> CertifyRow {
+    let diags = cert.diagnostics();
+    CertifyRow {
+        model: name.to_string(),
+        hidden,
+        max_depth: cfg.max_depth,
+        elapsed_ms,
+        magnitude_log10: cert.magnitude_log10(),
+        certified_dead_units: cert.modules.iter().map(|m| m.certified_dead).sum(),
+        certified_saturated_units: cert.modules.iter().map(|m| m.certified_saturated).sum(),
+        error_diagnostics: diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count(),
+        warning_diagnostics: diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count(),
+    }
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+
+    let mut rows = Vec::new();
+    for hidden in [8usize, 16, 32, 48] {
+        let model = ZeroTuneModel::new(ModelConfig { hidden, seed: 7 });
+        rows.push(measure(
+            &format!("fresh_h{hidden}"),
+            &model,
+            &CertifyConfig::default(),
+            reps,
+        ));
+    }
+    for max_depth in [4usize, 8, 16] {
+        let model = ZeroTuneModel::new(ModelConfig {
+            hidden: 48,
+            seed: 7,
+        });
+        let cfg = CertifyConfig {
+            max_depth,
+            ..CertifyConfig::default()
+        };
+        rows.push(measure(
+            &format!("fresh_h48_d{max_depth}"),
+            &model,
+            &cfg,
+            reps,
+        ));
+    }
+
+    // Train a mini model on simulator-labeled plans and certify it
+    // post-training; the serialized weights feed the CI
+    // `zt-lint --certify --model` gate.
+    let data = generate_dataset(&GenConfig::seen(), 48, 11);
+    let mut model = ZeroTuneModel::new(ModelConfig {
+        hidden: 16,
+        seed: 3,
+    });
+    let train_report = train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 8,
+            strict: false,
+            ..TrainConfig::default()
+        },
+    );
+    eprintln!(
+        "mini model trained: {} epochs, val loss {:.4}",
+        train_report.epochs_run, train_report.best_val_loss
+    );
+    rows.push(measure(
+        "trained_mini_h16",
+        &model,
+        &CertifyConfig::default(),
+        reps,
+    ));
+    match zt_experiments::report::save_json("model_mini_trained", &model) {
+        Ok(path) => eprintln!("saved trained model to {}", path.display()),
+        Err(e) => eprintln!("failed to save trained model: {e}"),
+    }
+
+    let report = CertifyReport { reps, rows };
+    for r in &report.rows {
+        println!(
+            "{:<16} hidden={:<2} depth={:<2} {:>8.2} ms  mag=1e{:<6.1} dead={:<3} sat={:<3} err={} warn={}",
+            r.model,
+            r.hidden,
+            r.max_depth,
+            r.elapsed_ms,
+            r.magnitude_log10,
+            r.certified_dead_units,
+            r.certified_saturated_units,
+            r.error_diagnostics,
+            r.warning_diagnostics
+        );
+    }
+    match zt_experiments::report::save_json("BENCH_certify", &report) {
+        Ok(path) => eprintln!("saved {}", path.display()),
+        Err(e) => eprintln!("failed to save report: {e}"),
+    }
+}

@@ -21,6 +21,11 @@
 //!   every linted deployment: benchmark queries and `--plan`/`--results`
 //!   files that deserialize as a `ParallelQueryPlan` get a provable
 //!   lower/upper-bound report rendered next to their diagnostics.
+//! * `--certify` — additionally certify every linted model by interval
+//!   bound propagation over its trained weights (ZT6xx): certified
+//!   per-depth output brackets, dead/saturated units and per-feature
+//!   sensitivity bounds are rendered next to the model's diagnostics;
+//!   applies to the fresh-model target, `--model` and `--results` models.
 //! * `--results[=DIR]` — sniff every `*.json` under DIR (default
 //!   `results`) and lint whatever it deserializes as (plan, dataset or
 //!   model); unrecognized artifacts are skipped with a note.
@@ -84,6 +89,17 @@ fn bounds_section(name: &str, pqp: &ParallelQueryPlan, cluster: &Cluster) -> Sec
     }
 }
 
+/// Certify one model by interval bound propagation: the ZT6xx findings
+/// plus the rendered per-depth bracket table.
+fn certify_section(name: &str, model: &ZeroTuneModel) -> Section {
+    let (cert, report) = zt_core::certify_report(model);
+    Section {
+        heading: format!("certify `{name}` (interval bound propagation)"),
+        report,
+        detail: cert.as_ref().map(zt_core::explain_certificate),
+    }
+}
+
 fn lint_benchmarks(bounds: bool, sections: &mut Vec<Section>) {
     let cluster = reference_cluster();
     let queries: [(&str, LogicalPlan); 3] = [
@@ -110,7 +126,7 @@ fn lint_generated(n: usize, sections: &mut Vec<Section>) {
     ));
 }
 
-fn lint_fresh_model(sections: &mut Vec<Section>) {
+fn lint_fresh_model(certify: bool, sections: &mut Vec<Section>) {
     let model = ZeroTuneModel::new(zt_core::ModelConfig {
         hidden: 32,
         seed: 42,
@@ -120,6 +136,9 @@ fn lint_fresh_model(sections: &mut Vec<Section>) {
         "freshly initialized model (hidden 32, seed 42)",
         report,
     ));
+    if certify {
+        sections.push(certify_section("fresh model", &model));
+    }
 }
 
 fn read_json(path: &str) -> Result<String, String> {
@@ -153,7 +172,7 @@ fn lint_plan_file(path: &str, bounds: bool, sections: &mut Vec<Section>) -> Resu
 /// deserializes as. Experiment result files (and anything else
 /// unrecognized) are skipped with a note; a missing directory is a note,
 /// not an error, so CI can run this before any experiment has executed.
-fn lint_results_dir(dir: &str, bounds: bool, sections: &mut Vec<Section>) {
+fn lint_results_dir(dir: &str, bounds: bool, certify: bool, sections: &mut Vec<Section>) {
     let entries = match std::fs::read_dir(dir) {
         Ok(entries) => entries,
         Err(e) => {
@@ -206,6 +225,9 @@ fn lint_results_dir(dir: &str, bounds: bool, sections: &mut Vec<Section>) {
                 format!("model `{path}`"),
                 Report::new(lint_model(&model)),
             ));
+            if certify {
+                sections.push(certify_section(&path, &model));
+            }
         } else {
             let mut s = section(format!("result `{path}`"), Report::default());
             s.detail = Some("skipped: not a lintable artifact (plan/dataset/model)\n".to_string());
@@ -335,7 +357,7 @@ fn print_codes() {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: zt-lint [--benchmarks] [--gen-dataset N] [--plan FILE] [--dataset FILE] [--model FILE] [--bounds] [--results[=DIR]] [--fuzz N] [--codes]"
+        "usage: zt-lint [--benchmarks] [--gen-dataset N] [--plan FILE] [--dataset FILE] [--model FILE] [--bounds] [--certify] [--results[=DIR]] [--fuzz N] [--codes]"
     );
     ExitCode::from(2)
 }
@@ -346,26 +368,29 @@ fn main() -> ExitCode {
     let mut model_file: Option<String> = None;
     let mut dataset_for_drift: Option<(String, Dataset)> = None;
     let fuzz_failures = std::cell::Cell::new(0usize);
-    // Pre-scanned: `--bounds` modifies every plan target regardless of
-    // argument order.
+    // Pre-scanned: `--bounds` modifies every plan target and `--certify`
+    // every model target, regardless of argument order.
     let bounds = args.iter().any(|a| a == "--bounds");
+    let certify = args.iter().any(|a| a == "--certify");
 
     let run = |sections: &mut Vec<Section>,
                model_file: &mut Option<String>,
                dataset_for_drift: &mut Option<(String, Dataset)>|
      -> Result<(), String> {
-        if args.is_empty() {
+        // No targets (only the pre-scanned modifier flags, or nothing at
+        // all): run the default target set.
+        if args.iter().all(|a| a == "--bounds" || a == "--certify") {
             lint_benchmarks(bounds, sections);
             lint_generated(24, sections);
-            lint_fresh_model(sections);
+            lint_fresh_model(certify, sections);
             return Ok(());
         }
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--benchmarks" => lint_benchmarks(bounds, sections),
-                "--bounds" => {} // pre-scanned above
-                "--results" => lint_results_dir("results", bounds, sections),
+                "--bounds" | "--certify" => {} // pre-scanned above
+                "--results" => lint_results_dir("results", bounds, certify, sections),
                 "--gen-dataset" => {
                     i += 1;
                     let n: usize = args
@@ -408,7 +433,7 @@ fn main() -> ExitCode {
                 }
                 other => {
                     if let Some(dir) = other.strip_prefix("--results=") {
-                        lint_results_dir(dir, bounds, sections);
+                        lint_results_dir(dir, bounds, certify, sections);
                     } else {
                         return Err(format!("unknown argument `{other}`"));
                     }
@@ -437,6 +462,9 @@ fn main() -> ExitCode {
                     None => lint_model(&model),
                 };
                 sections.push(section(format!("model `{path}`"), Report::new(diags)));
+                if certify {
+                    sections.push(certify_section(&path, &model));
+                }
             }
             Err(e) => {
                 eprintln!("zt-lint: {e}");

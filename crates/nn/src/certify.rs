@@ -1,0 +1,526 @@
+//! Interval bound propagation (IBP) over trained networks.
+//!
+//! The tapeless inference path in [`crate::infer`] evaluates a network at
+//! one point; this module evaluates it over a *box* — an axis-aligned
+//! interval per input coordinate — and returns sound enclosures of
+//! everything the `f32` forward pass could produce anywhere in that box.
+//! No data, no execution of the network itself: the analysis walks the
+//! same layers with interval arithmetic.
+//!
+//! Soundness is with respect to the concrete `f32` semantics of
+//! [`crate::layers::Mlp::infer`] / [`crate::matrix::Matrix::matmul_into`],
+//! not idealized real arithmetic: all interval endpoints are computed in
+//! `f64` and every step widens outward by an explicit bound on the `f32`
+//! rounding error of the corresponding concrete kernel (a standard
+//! `γ_n = n·u` style accumulation bound evaluated against the sum of
+//! absolute values flowing through the dot product, which dominates any
+//! cancellation in the rounded result). The containment proptests in
+//! `tests/certify_soundness.rs` assert *exact* containment — no test-side
+//! tolerance — for sampled inputs across the box.
+//!
+//! Three artifacts come out of [`certify_mlp`]:
+//!
+//! * a certified output bracket per output coordinate;
+//! * per hidden layer, the **certified-dead** units (pre-activation upper
+//!   bound ≤ 0: the ReLU provably never fires anywhere in the box) and
+//!   **certified-saturated** units (lower bound ≥ 0: the ReLU is provably
+//!   the identity), a strictly stronger statement than any sampled
+//!   dead-unit check;
+//! * a per-input **interval sensitivity bound**: entry `i` bounds
+//!   `|∂y_j/∂x_i|` over the box for every output `j`, from the product of
+//!   absolute weight matrices restricted to certified-active units
+//!   (certified-dead units contribute a hard zero).
+
+use crate::layers::Mlp;
+use crate::matrix::Matrix;
+use crate::ParamStore;
+
+/// `f32` machine epsilon as `f64` — the per-operation relative rounding
+/// grain of the concrete inference kernels. One full ulp (2⁻²³) per
+/// counted operation over-approximates the true half-ulp rounding unit,
+/// which absorbs the (second-order) `γ_n` denominator and the `f64`
+/// rounding of the certificate computation itself.
+const EPS32: f64 = f32::EPSILON as f64;
+
+/// Absolute floor added to every outward widening so zero-magnitude
+/// intervals still dominate `f32` subnormal rounding.
+const PAD_ABS: f64 = 1e-30;
+
+/// A box: one `[lo, hi]` interval per coordinate, endpoints in `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IntervalVec {
+    pub lo: Vec<f64>,
+    pub hi: Vec<f64>,
+}
+
+impl IntervalVec {
+    /// The degenerate box `[lo, hi]^n`.
+    pub fn uniform(n: usize, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        IntervalVec {
+            lo: vec![lo; n],
+            hi: vec![hi; n],
+        }
+    }
+
+    /// A point box around a concrete `f32` row.
+    pub fn point(values: &[f32]) -> Self {
+        IntervalVec {
+            lo: values.iter().map(|&v| f64::from(v)).collect(),
+            hi: values.iter().map(|&v| f64::from(v)).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+
+    /// Does the box contain this concrete `f32` row?
+    pub fn contains(&self, values: &[f32]) -> bool {
+        values.len() == self.len()
+            && values
+                .iter()
+                .zip(self.lo.iter().zip(self.hi.iter()))
+                .all(|(&v, (&lo, &hi))| f64::from(v) >= lo && f64::from(v) <= hi)
+    }
+
+    /// Componentwise interval hull (smallest box containing both).
+    pub fn hull_assign(&mut self, other: &IntervalVec) {
+        assert_eq!(self.len(), other.len(), "hull width mismatch");
+        for (a, &b) in self.lo.iter_mut().zip(other.lo.iter()) {
+            *a = a.min(b);
+        }
+        for (a, &b) in self.hi.iter_mut().zip(other.hi.iter()) {
+            *a = a.max(b);
+        }
+    }
+
+    /// Componentwise max of `max(|lo|, |hi|)` — the magnitude scale the
+    /// rounding model is quoted against.
+    pub fn magnitude(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .map(|(&lo, &hi)| lo.abs().max(hi.abs()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Widen every component outward by `ops` counted `f32` rounding steps
+    /// at that component's own magnitude (plus the absolute floor). Used
+    /// for aggregation steps whose error is proportional to the magnitude
+    /// of the aggregated values themselves (mean, residual add).
+    pub fn widen_rel(&mut self, ops: usize) {
+        let rel = ops as f64 * EPS32;
+        for (lo, hi) in self.lo.iter_mut().zip(self.hi.iter_mut()) {
+            let pad = rel * lo.abs().max(hi.abs()) + PAD_ABS;
+            *lo -= pad;
+            *hi += pad;
+        }
+    }
+
+    /// Interval ReLU: `max(·, 0)` on both endpoints. Exact — `f32::max`
+    /// with zero introduces no rounding.
+    pub fn relu(&mut self) {
+        for v in &mut self.lo {
+            *v = v.max(0.0);
+        }
+        for v in &mut self.hi {
+            *v = v.max(0.0);
+        }
+    }
+
+    /// Interval counterpart of [`crate::infer::concat_pair`]: exact.
+    pub fn concat(&self, other: &IntervalVec) -> IntervalVec {
+        let mut lo = self.lo.clone();
+        lo.extend_from_slice(&other.lo);
+        let mut hi = self.hi.clone();
+        hi.extend_from_slice(&other.hi);
+        IntervalVec { lo, hi }
+    }
+
+    /// Enclosure of `s · v` for any `s ∈ [0, cap]` and `v` in the box:
+    /// each component becomes `[cap·min(lo, 0), cap·max(hi, 0)]`. This is
+    /// the hull of all sub-unit down-scalings, used for mapping messages
+    /// whose instance-share weights sum to (at most) `cap`.
+    pub fn scale_hull(&self, cap: f64) -> IntervalVec {
+        assert!(cap >= 0.0);
+        IntervalVec {
+            lo: self.lo.iter().map(|&v| cap * v.min(0.0)).collect(),
+            hi: self.hi.iter().map(|&v| cap * v.max(0.0)).collect(),
+        }
+    }
+
+    /// All endpoints finite?
+    pub fn is_finite(&self) -> bool {
+        self.lo.iter().chain(self.hi.iter()).all(|v| v.is_finite())
+    }
+}
+
+/// Interval counterpart of the residual update `a + b`, widened for the
+/// single `f32` add per component.
+pub fn add_bounds(a: &IntervalVec, b: &IntervalVec) -> IntervalVec {
+    assert_eq!(a.len(), b.len(), "add width mismatch");
+    let mut out = IntervalVec {
+        lo: a.lo.iter().zip(b.lo.iter()).map(|(&x, &y)| x + y).collect(),
+        hi: a.hi.iter().zip(b.hi.iter()).map(|(&x, &y)| x + y).collect(),
+    };
+    out.widen_rel(4);
+    out
+}
+
+/// Interval counterpart of [`crate::infer::mean_of`] over any selection of
+/// up to `max_fanin` states drawn from the per-state boxes: mean of the
+/// `lo`s / mean of the `hi`s, hulled over all states, widened for the
+/// accumulate-and-scale rounding of the concrete kernel. Since the mean of
+/// values lying in a common box stays in that box, callers that aggregate
+/// states sharing one enclosure can pass that single enclosure.
+pub fn mean_of_bounds(states: &[&IntervalVec], max_fanin: usize) -> IntervalVec {
+    assert!(!states.is_empty());
+    let mut out = states[0].clone();
+    for s in &states[1..] {
+        out.hull_assign(s);
+    }
+    out.widen_rel(max_fanin + 4);
+    out
+}
+
+/// Interval counterpart of [`crate::infer::weighted_sum_of`] with concrete
+/// non-negative weights: sign-free because instance shares are in `[0, 1]`,
+/// so each term contributes `w·[lo, hi]` directly.
+pub fn weighted_sum_of_bounds(states: &[(&IntervalVec, f64)]) -> IntervalVec {
+    assert!(!states.is_empty());
+    let n = states[0].0.len();
+    let mut out = IntervalVec {
+        lo: vec![0.0; n],
+        hi: vec![0.0; n],
+    };
+    for (s, w) in states {
+        assert!(*w >= 0.0, "instance shares are non-negative");
+        for c in 0..n {
+            out.lo[c] += w * s.lo[c];
+            out.hi[c] += w * s.hi[c];
+        }
+    }
+    out.widen_rel(2 * states.len() + 4);
+    out
+}
+
+/// Certified facts about one hidden (ReLU) layer.
+#[derive(Clone, Debug)]
+pub struct LayerUnits {
+    /// Pre-activation upper bound ≤ 0: the unit provably never fires.
+    pub dead: Vec<bool>,
+    /// Pre-activation lower bound ≥ 0: the ReLU is provably the identity.
+    pub saturated: Vec<bool>,
+}
+
+impl LayerUnits {
+    pub fn num_dead(&self) -> usize {
+        self.dead.iter().filter(|&&d| d).count()
+    }
+
+    pub fn num_saturated(&self) -> usize {
+        self.saturated.iter().filter(|&&s| s).count()
+    }
+}
+
+/// The certificate [`certify_mlp`] produces for one MLP over one input box.
+#[derive(Clone, Debug)]
+pub struct MlpCert {
+    /// Certified bracket per output coordinate (post final linear layer).
+    pub output: IntervalVec,
+    /// Per hidden layer (one entry per ReLU), certified unit facts.
+    pub hidden: Vec<LayerUnits>,
+    /// `sensitivity[i]` bounds `|∂y_j/∂x_i|` over the box for every
+    /// output `j` (max over outputs of the restricted `|W|` product).
+    pub sensitivity: Vec<f64>,
+}
+
+/// Interval affine layer: propagate `input` through `x·W + b` with the
+/// positive/negative weight split, widening each output by the rounding
+/// model of the concrete `f32` dot product (`(in+4)` rounding steps at the
+/// magnitude of the *absolute-value* sum, which dominates cancellation).
+pub fn linear_bounds(w: &Matrix, b: &Matrix, input: &IntervalVec) -> IntervalVec {
+    assert_eq!(
+        input.len(),
+        w.rows,
+        "linear_bounds width mismatch: input {} vs weight rows {}",
+        input.len(),
+        w.rows
+    );
+    assert_eq!(b.cols, w.cols, "bias width mismatch");
+    let rel = (w.rows + 4) as f64 * EPS32;
+    let mut out = IntervalVec {
+        lo: Vec::with_capacity(w.cols),
+        hi: Vec::with_capacity(w.cols),
+    };
+    for j in 0..w.cols {
+        let bias = f64::from(b.data[j]);
+        let mut lo = bias;
+        let mut hi = bias;
+        let mut absmag = bias.abs();
+        for k in 0..w.rows {
+            let wv = f64::from(w.data[k * w.cols + j]);
+            if wv >= 0.0 {
+                lo += input.lo[k] * wv;
+                hi += input.hi[k] * wv;
+            } else {
+                lo += input.hi[k] * wv;
+                hi += input.lo[k] * wv;
+            }
+            absmag += input.lo[k].abs().max(input.hi[k].abs()) * wv.abs();
+        }
+        let pad = rel * absmag + PAD_ABS;
+        out.lo.push(lo - pad);
+        out.hi.push(hi + pad);
+    }
+    out
+}
+
+/// Propagate an input box through a whole MLP (ReLU between layers, linear
+/// output — the exact shape of [`Mlp::infer`]), collecting certified
+/// output brackets, per-layer dead/saturated units and the per-input
+/// sensitivity bound.
+pub fn certify_mlp(store: &ParamStore, mlp: &Mlp, input: &IntervalVec) -> MlpCert {
+    let last = mlp.layers.len() - 1;
+    let mut cur = input.clone();
+    let mut hidden = Vec::with_capacity(last);
+    // sens[i][j] bounds |∂(current layer output j)/∂x_i|; starts as the
+    // identity map folded into the first |W|.
+    let mut sens: Vec<Vec<f64>> = Vec::new();
+    for (li, layer) in mlp.layers.iter().enumerate() {
+        let w = store.value(layer.w);
+        let b = store.value(layer.b);
+        let mut next = linear_bounds(w, b, &cur);
+        // Fold |W| into the sensitivity product before masking by this
+        // layer's activation facts.
+        sens = match sens.is_empty() {
+            true => (0..w.rows)
+                .map(|i| {
+                    (0..w.cols)
+                        .map(|j| f64::from(w.data[i * w.cols + j]).abs())
+                        .collect()
+                })
+                .collect(),
+            false => sens
+                .iter()
+                .map(|row| {
+                    (0..w.cols)
+                        .map(|j| {
+                            row.iter()
+                                .enumerate()
+                                .map(|(k, &s)| s * f64::from(w.data[k * w.cols + j]).abs())
+                                .sum()
+                        })
+                        .collect()
+                })
+                .collect(),
+        };
+        if li < last {
+            let units = LayerUnits {
+                dead: next.hi.iter().map(|&h| h <= 0.0).collect(),
+                saturated: next.lo.iter().map(|&l| l >= 0.0).collect(),
+            };
+            // Certified-dead units pass no gradient anywhere in the box.
+            for row in &mut sens {
+                for (j, s) in row.iter_mut().enumerate() {
+                    if units.dead[j] {
+                        *s = 0.0;
+                    }
+                }
+            }
+            hidden.push(units);
+            next.relu();
+        }
+        cur = next;
+    }
+    let sensitivity = sens
+        .iter()
+        .map(|row| row.iter().fold(0.0, |a: f64, &b| a.max(b)))
+        .collect();
+    MlpCert {
+        output: cur,
+        hidden,
+        sensitivity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::Scratch;
+    use crate::layers::{Linear, Mlp, ParamStore};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_in_box(lo: f32, hi: f32, n: usize, salt: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let t = (((i as u64 + 1) * (salt * 2 + 1)) % 1000) as f32 / 999.0;
+                lo + (hi - lo) * t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mlp_outputs_stay_inside_certified_bracket() {
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut store = ParamStore::new();
+            let mlp = Mlp::new(&mut store, "m", &[7, 13, 9, 2], &mut rng);
+            let input = IntervalVec::uniform(7, -1e-3, 2.5);
+            let cert = certify_mlp(&store, &mlp, &input);
+            let mut scratch = Scratch::new();
+            for salt in 0..50u64 {
+                let x = sample_in_box(-1e-3, 2.5, 7, seed * 100 + salt);
+                let out = mlp.infer(&store, &Matrix::row(&x), &mut scratch);
+                assert!(
+                    cert.output.contains(&out.data),
+                    "seed {seed} salt {salt}: {:?} escapes {:?}..{:?}",
+                    out.data,
+                    cert.output.lo,
+                    cert.output.hi
+                );
+                scratch.recycle(out);
+            }
+        }
+    }
+
+    #[test]
+    fn certified_dead_units_never_fire() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[4, 10, 1], &mut rng);
+        // Force unit 3 of the hidden layer dead over a non-negative box:
+        // strongly negative weights and bias.
+        {
+            let w = store.value_mut(mlp.layers[0].w);
+            for i in 0..4 {
+                w.data[i * 10 + 3] = -5.0;
+            }
+            store.value_mut(mlp.layers[0].b).data[3] = -1.0;
+        }
+        let input = IntervalVec::uniform(4, 0.0, 2.5);
+        let cert = certify_mlp(&store, &mlp, &input);
+        assert!(cert.hidden[0].dead[3], "unit forced dead must certify dead");
+        let lin: &Linear = &mlp.layers[0];
+        let mut scratch = Scratch::new();
+        for salt in 0..40u64 {
+            let x = sample_in_box(0.0, 2.5, 4, salt);
+            let pre = lin.infer(&store, &Matrix::row(&x), &mut scratch);
+            for (j, &dead) in cert.hidden[0].dead.iter().enumerate() {
+                if dead {
+                    assert!(pre.data[j] <= 0.0, "dead unit {j} fired: {}", pre.data[j]);
+                }
+            }
+            scratch.recycle(pre);
+        }
+    }
+
+    #[test]
+    fn saturated_units_have_nonnegative_preactivation_bound() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[3, 6, 1], &mut rng);
+        // Huge positive bias saturates unit 0 on any modest box.
+        store.value_mut(mlp.layers[0].b).data[0] = 100.0;
+        let input = IntervalVec::uniform(3, -1.0, 1.0);
+        let cert = certify_mlp(&store, &mlp, &input);
+        assert!(cert.hidden[0].saturated[0]);
+        assert!(!cert.hidden[0].dead[0]);
+    }
+
+    #[test]
+    fn zeroed_input_row_has_zero_sensitivity() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[5, 8, 8, 2], &mut rng);
+        // Cut every outgoing weight of input feature 2.
+        {
+            let w = store.value_mut(mlp.layers[0].w);
+            for j in 0..8 {
+                w.data[2 * 8 + j] = 0.0;
+            }
+        }
+        let input = IntervalVec::uniform(5, -1e-3, 2.5);
+        let cert = certify_mlp(&store, &mlp, &input);
+        assert_eq!(cert.sensitivity.len(), 5);
+        assert_eq!(cert.sensitivity[2], 0.0);
+        assert!(cert.sensitivity[0] > 0.0);
+    }
+
+    #[test]
+    fn sensitivity_bounds_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[4, 9, 3], &mut rng);
+        let input = IntervalVec::uniform(4, 0.0, 1.0);
+        let cert = certify_mlp(&store, &mlp, &input);
+        let mut scratch = Scratch::new();
+        let base = vec![0.4, 0.6, 0.2, 0.8];
+        let y0 = mlp.infer(&store, &Matrix::row(&base), &mut scratch);
+        for i in 0..4 {
+            let mut x = base.clone();
+            x[i] += 0.1;
+            let y1 = mlp.infer(&store, &Matrix::row(&x), &mut scratch);
+            for (a, b) in y0.data.iter().zip(y1.data.iter()) {
+                let slope = f64::from((a - b).abs()) / 0.1;
+                assert!(
+                    slope <= cert.sensitivity[i] * (1.0 + 1e-4) + 1e-6,
+                    "feature {i}: slope {slope} exceeds bound {}",
+                    cert.sensitivity[i]
+                );
+            }
+            scratch.recycle(y1);
+        }
+        scratch.recycle(y0);
+    }
+
+    #[test]
+    fn combinator_bounds_contain_concrete_combinators() {
+        let mut scratch = Scratch::new();
+        let a = Matrix::row(&[1.0, -2.0, 0.5]);
+        let b = Matrix::row(&[0.25, 4.0, -1.0]);
+        let box_a = IntervalVec::point(&a.data);
+        let box_b = IntervalVec::point(&b.data);
+
+        let states = [a.clone(), b.clone()];
+        let m = crate::infer::mean_of(&states, &[0, 1], &mut scratch);
+        let mb = mean_of_bounds(&[&box_a, &box_b], 2);
+        assert!(mb.contains(&m.data));
+
+        let ws = crate::infer::weighted_sum_of(&states, &[(0, 0.3), (1, 0.6)], &mut scratch);
+        let wb = weighted_sum_of_bounds(&[(&box_a, 0.3), (&box_b, 0.6)]);
+        assert!(wb.contains(&ws.data));
+
+        let c = crate::infer::concat_pair(&a, &b, &mut scratch);
+        let cb = box_a.concat(&box_b);
+        assert!(cb.contains(&c.data));
+
+        let sum = a.add(&b);
+        let ab = add_bounds(&box_a, &box_b);
+        assert!(ab.contains(&sum.data));
+    }
+
+    #[test]
+    fn scale_hull_covers_all_subunit_scalings() {
+        let b = IntervalVec {
+            lo: vec![-2.0, 1.0],
+            hi: vec![3.0, 4.0],
+        };
+        let s = b.scale_hull(1.0);
+        // any w in [0,1], any v in box: w*v must be inside
+        for &w in &[0.0f64, 0.25, 1.0] {
+            for &(v0, v1) in &[(-2.0f64, 1.0f64), (3.0, 4.0), (0.0, 2.5)] {
+                assert!(s.lo[0] <= w * v0 && w * v0 <= s.hi[0]);
+                assert!(s.lo[1] <= w * v1 && w * v1 <= s.hi[1]);
+            }
+        }
+        // scaling by 0 is always reachable, so 0 is inside
+        assert!(s.lo[1] <= 0.0, "zero-scaling must stay representable");
+    }
+}

@@ -153,6 +153,33 @@ impl ParamStore {
     }
 }
 
+/// Structured width error for the checked inference entry points: the
+/// input (or a stored weight matrix) does not have the width the layer
+/// expects. Returned by [`Linear::infer_checked`] / [`Mlp::infer_checked`]
+/// so release-mode serving paths reject mis-shaped inputs instead of
+/// panicking inside the matmul kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimMismatch {
+    /// Index of the offending layer inside its module.
+    pub layer: usize,
+    /// Width the layer expects (its weight matrix's row count).
+    pub expected: usize,
+    /// Width actually supplied.
+    pub got: usize,
+}
+
+impl std::fmt::Display for DimMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dimension mismatch at layer {}: expected input width {}, got {}",
+            self.layer, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for DimMismatch {}
+
 /// A fully connected layer `y = x·W + b`.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct Linear {
@@ -215,6 +242,27 @@ impl Linear {
             }
         }
         out
+    }
+
+    /// Width-checked [`Linear::infer`]: verifies the input width against
+    /// the *stored weight matrix* (not just the `in_dim` metadata, which a
+    /// tampered serialized model could mis-declare) before touching the
+    /// matmul kernel.
+    pub fn infer_checked(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        scratch: &mut Scratch,
+    ) -> Result<Matrix, DimMismatch> {
+        let w = store.value(self.w);
+        if x.cols != w.rows {
+            return Err(DimMismatch {
+                layer: 0,
+                expected: w.rows,
+                got: x.cols,
+            });
+        }
+        Ok(self.infer(store, x, scratch))
     }
 }
 
@@ -283,6 +331,32 @@ impl Mlp {
             cur = Some(next);
         }
         cur.expect("non-empty MLP")
+    }
+
+    /// Width-checked [`Mlp::infer`]: validates the input width and the
+    /// layer-to-layer width chain against the stored weight matrices
+    /// before running the forward pass, so a mis-shaped input (or a
+    /// deserialized model whose metadata lies about its shapes) surfaces
+    /// as a structured [`DimMismatch`] instead of a release-mode panic.
+    pub fn infer_checked(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        scratch: &mut Scratch,
+    ) -> Result<Matrix, DimMismatch> {
+        let mut width = x.cols;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let w = store.value(layer.w);
+            if width != w.rows {
+                return Err(DimMismatch {
+                    layer: i,
+                    expected: w.rows,
+                    got: width,
+                });
+            }
+            width = w.cols;
+        }
+        Ok(self.infer(store, x, scratch))
     }
 
     /// Parameter ids of this module (for per-module learning-rate masks).
@@ -430,6 +504,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn infer_checked_rejects_wrong_width_matrix() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[6, 16, 3], &mut rng);
+        let mut scratch = Scratch::new();
+        // wrong-width input: 4 columns into a 6-wide first layer
+        let bad = Matrix::row(&[1.0, 2.0, 3.0, 4.0]);
+        let err = mlp
+            .infer_checked(&store, &bad, &mut scratch)
+            .expect_err("wrong width must be rejected");
+        assert_eq!(
+            err,
+            DimMismatch {
+                layer: 0,
+                expected: 6,
+                got: 4
+            }
+        );
+        assert!(err.to_string().contains("expected input width 6"));
+        let lin_err = mlp.layers[0]
+            .infer_checked(&store, &bad, &mut scratch)
+            .expect_err("linear layer rejects too");
+        assert_eq!(lin_err.expected, 6);
+
+        // correct width passes and matches the unchecked path bit for bit
+        let good = Matrix::row(&[0.1, -0.2, 0.3, 0.4, 0.5, -0.6]);
+        let checked = mlp.infer_checked(&store, &good, &mut scratch).unwrap();
+        let unchecked = mlp.infer(&store, &good, &mut scratch);
+        assert_eq!(checked.data, unchecked.data);
+    }
+
+    #[test]
+    fn infer_checked_catches_lying_shape_metadata() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut store = ParamStore::new();
+        let mut mlp = Mlp::new(&mut store, "m", &[3, 5, 2], &mut rng);
+        // Tamper the metadata the way a hand-edited artifact could: the
+        // declared in_dim no longer matches the stored weight matrix.
+        mlp.layers[0].in_dim = 4;
+        let mut scratch = Scratch::new();
+        let x = Matrix::row(&[1.0, 2.0, 3.0, 4.0]);
+        let err = mlp
+            .infer_checked(&store, &x, &mut scratch)
+            .expect_err("stored weights are still 3-wide");
+        assert_eq!(err.expected, 3);
+        assert_eq!(err.got, 4);
     }
 
     #[test]

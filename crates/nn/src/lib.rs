@@ -16,6 +16,10 @@
 //! * [`infer`] — the tapeless inference support: a reusable [`infer::Scratch`]
 //!   buffer arena plus aggregation helpers that mirror the tape ops'
 //!   accumulation order exactly.
+//! * [`certify`] — interval bound propagation over trained weights:
+//!   certified output brackets, certified-dead/saturated ReLU units and
+//!   per-input sensitivity bounds over an input box, sound against the
+//!   `f32` inference kernels.
 //! * [`optim`] — SGD (with momentum) and Adam, with global-norm gradient
 //!   clipping.
 //! * [`linalg`] — `f64` Cholesky solver used by the ridge-regression
@@ -23,6 +27,7 @@
 
 #![deny(unsafe_code)]
 
+pub mod certify;
 pub mod gradcheck;
 pub mod infer;
 pub mod layers;
@@ -31,8 +36,9 @@ pub mod matrix;
 pub mod optim;
 pub mod tape;
 
+pub use certify::{certify_mlp, IntervalVec, LayerUnits, MlpCert};
 pub use infer::Scratch;
-pub use layers::{Linear, Mlp, ParamId, ParamStore};
+pub use layers::{DimMismatch, Linear, Mlp, ParamId, ParamStore};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use tape::{Tape, Var};

@@ -108,6 +108,8 @@ pub struct HealthResponse {
     pub cache_entries: usize,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Interval-certification summary of the serving model version.
+    pub certificate: zt_core::CertSummary,
 }
 
 /// `POST /swap` 200 body.

@@ -16,8 +16,8 @@
 //! | `POST /tune`    | Full parallelism tuning via `zt_core::tune` (bounds pre-pass included) |
 //! | `POST /explain` | Prediction + static bounds brackets + occlusion attribution |
 //! | `POST /lint`    | `zt_core::diagnostics` over the shipped deployment |
-//! | `POST /swap`    | Lint-guarded model hot-swap |
-//! | `GET /healthz`  | Liveness + serving counters |
+//! | `POST /swap`    | Lint- and certification-guarded model hot-swap (422 + ZT6xx code on an uncertifiable candidate) |
+//! | `GET /healthz`  | Liveness + serving counters + the active version's certificate summary |
 //!
 //! Plans travel as the sealed wire envelope of [`zt_query::PlanIr::to_json`]:
 //! untrusted input is fully revalidated on receipt and the structural
@@ -50,5 +50,5 @@ pub use api::{
 };
 pub use cache::CacheStats;
 pub use http::{http_request, HttpResponse};
-pub use registry::{ModelRegistry, ModelVersion};
+pub use registry::{ModelRegistry, ModelVersion, SwapRejection};
 pub use server::{default_cluster, BoundServer, ServeConfig, Server, ServerHandle};

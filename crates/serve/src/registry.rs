@@ -6,21 +6,61 @@
 //! drops, blocks, or mixes an in-flight request: every response is
 //! computed — and labeled — with exactly one `(version, weights)` pair.
 //!
-//! Swaps are guarded by the ZT4xx model lints: a candidate with any
-//! `Error`-severity finding (non-finite weights, exploded norms,
-//! unfitted target normalization, …) is rejected wholesale and the old
-//! version keeps serving.
+//! Swaps are guarded by two gates, both cheap and both static:
+//!
+//! 1. the ZT4xx model lints — a candidate with any `Error`-severity
+//!    finding (non-finite weights, exploded norms, unfitted target
+//!    normalization, …) is rejected wholesale;
+//! 2. interval certification ([`zt_core::certify_report`]) — the
+//!    candidate's weights are pushed through the domain-wide bound
+//!    propagation, and any error-severity ZT6xx finding (exploded
+//!    certified range, head disjoint from the label band, …) rejects the
+//!    swap with that diagnostic's stable code.
+//!
+//! Either way the old version keeps serving, and every installed
+//! [`ModelVersion`] carries its [`CertSummary`] for `/healthz`.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use zt_core::{lint_model, Report, ZeroTuneModel};
+use zt_core::{certify_report, lint_model, CertSummary, Report, ZeroTuneModel};
 
 /// One immutable installed model generation.
 pub struct ModelVersion {
     /// Monotonic generation counter, starting at 1 for the boot model.
     pub version: u64,
     pub model: ZeroTuneModel,
+    /// The version's interval-certification summary (computed at install
+    /// time; echoed by `/healthz`).
+    pub certificate: CertSummary,
+}
+
+/// A rejected swap: the stable machine code (`model_rejected` for ZT4xx
+/// lint failures, the leading `ZT6xx`/`ZT407` code for certification
+/// failures) plus the rendered diagnostic report.
+#[derive(Debug)]
+pub struct SwapRejection {
+    pub code: String,
+    pub report: String,
+}
+
+impl fmt::Display for SwapRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.report)
+    }
+}
+
+/// Certify `model` and fold the result into the registry shape: the
+/// summary (always produced, even for structurally refused models) plus
+/// the rendered ZT6xx report.
+fn certification(model: &ZeroTuneModel) -> (CertSummary, Report) {
+    let (cert, report) = certify_report(model);
+    let summary = cert.map_or_else(
+        || CertSummary::failed(report.diagnostics.first().map_or("ZT407", |d| d.code)),
+        |c| c.summary(),
+    );
+    (summary, report)
 }
 
 /// Atomically swappable, lint-guarded model slot.
@@ -31,13 +71,20 @@ pub struct ModelRegistry {
 }
 
 impl ModelRegistry {
-    /// Install `model` as version 1 without the swap lint gate: the boot
+    /// Install `model` as version 1 without the swap gates: the boot
     /// model comes from the operator (CLI flag or fresh init), not from
     /// the network, and a daemon that refuses to boot is strictly worse
-    /// than one that serves a warned-about model.
+    /// than one that serves a warned-about model. The certificate is
+    /// still computed and exposed via `/healthz`, so an operator who
+    /// boots an uncertifiable artifact can see it immediately.
     pub fn new(model: ZeroTuneModel) -> Self {
+        let (certificate, _) = certification(&model);
         ModelRegistry {
-            current: RwLock::new(Arc::new(ModelVersion { version: 1, model })),
+            current: RwLock::new(Arc::new(ModelVersion {
+                version: 1,
+                model,
+                certificate,
+            })),
             next_version: AtomicU64::new(2),
             swaps: AtomicU64::new(0),
         }
@@ -59,26 +106,47 @@ impl ModelRegistry {
         self.swaps.load(Ordering::Relaxed)
     }
 
-    /// Validate `model` with the ZT4xx lints and, if clean of errors,
-    /// install it as the next version. Returns the new version number,
-    /// or the rendered lint report when the candidate is rejected (the
-    /// previous version keeps serving untouched).
-    pub fn swap(&self, model: ZeroTuneModel) -> Result<u64, String> {
-        let report = Report::new(lint_model(&model));
-        if report.has_errors() {
-            return Err(format!("{report}"));
+    /// Validate `model` with the ZT4xx lints, then certify it by interval
+    /// bound propagation; if clean of errors on both gates, install it as
+    /// the next version (with its certificate summary). On rejection the
+    /// previous version keeps serving untouched.
+    pub fn swap(&self, model: ZeroTuneModel) -> Result<u64, SwapRejection> {
+        let lint = Report::new(lint_model(&model));
+        if lint.has_errors() {
+            return Err(SwapRejection {
+                code: "model_rejected".to_string(),
+                report: format!("{lint}"),
+            });
+        }
+        let (certificate, cert_report) = certification(&model);
+        if !certificate.certified {
+            zt_telemetry::counter_add("serve.swap_uncertified", 1);
+            return Err(SwapRejection {
+                code: certificate
+                    .errors
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "ZT601".to_string()),
+                report: format!("{cert_report}"),
+            });
         }
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
-        *self.current.write().expect("model slot lock") = Arc::new(ModelVersion { version, model });
+        *self.current.write().expect("model slot lock") = Arc::new(ModelVersion {
+            version,
+            model,
+            certificate,
+        });
         self.swaps.fetch_add(1, Ordering::Relaxed);
         zt_telemetry::counter_add("serve.swap", 1);
         Ok(version)
     }
 
     /// [`ModelRegistry::swap`] from `ZeroTuneModel::to_json` text.
-    pub fn swap_json(&self, json: &str) -> Result<u64, String> {
-        let model =
-            ZeroTuneModel::from_json(json).map_err(|e| format!("model does not parse: {e}"))?;
+    pub fn swap_json(&self, json: &str) -> Result<u64, SwapRejection> {
+        let model = ZeroTuneModel::from_json(json).map_err(|e| SwapRejection {
+            code: "model_rejected".to_string(),
+            report: format!("model does not parse: {e}"),
+        })?;
         self.swap(model)
     }
 }
@@ -112,5 +180,36 @@ mod tests {
         assert!(reg.swap_json("not a model").is_err());
         assert_eq!(reg.version(), 1);
         assert_eq!(reg.swap_count(), 0);
+    }
+
+    #[test]
+    fn boot_version_carries_a_clean_certificate() {
+        let reg = ModelRegistry::new(ZeroTuneModel::new(ModelConfig::default()));
+        let v = reg.current();
+        assert!(v.certificate.certified);
+        assert!(v.certificate.errors.is_empty());
+        assert!(v.certificate.magnitude_log10.is_finite());
+    }
+
+    #[test]
+    fn swap_rejects_uncertifiable_model_with_zt6xx_code() {
+        let reg = ModelRegistry::new(ZeroTuneModel::new(ModelConfig::default()));
+        let mut tampered = ZeroTuneModel::new(ModelConfig {
+            seed: 9,
+            ..ModelConfig::default()
+        });
+        let ids: Vec<_> = tampered.store.ids().collect();
+        for id in ids {
+            for v in &mut tampered.store.value_mut(id).data {
+                *v *= 1e4;
+            }
+        }
+        let rej = reg.swap(tampered).expect_err("inflated weights rejected");
+        assert_eq!(rej.code, "ZT601", "report: {}", rej.report);
+        assert!(rej.report.contains("ZT601"));
+        // old version untouched, its certificate still clean
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.swap_count(), 0);
+        assert!(reg.current().certificate.certified);
     }
 }

@@ -55,7 +55,7 @@ use crate::api::{
 use crate::batch::MicroBatcher;
 use crate::cache::{CacheStats, ResponseCache};
 use crate::http::{self, HttpError, Request};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, SwapRejection};
 
 /// Serving knobs. `addr` takes `"host:0"` for an ephemeral test port.
 #[derive(Clone, Debug)]
@@ -284,18 +284,19 @@ impl ServerHandle {
         self.shared.requests.load(Ordering::Relaxed)
     }
 
-    /// Lint-guarded hot-swap; on success the prediction cache is
-    /// invalidated so no response rendered by older weights outlives the
-    /// swap in the cache. In-flight requests finish on whichever version
-    /// they snapshotted — internally consistent either way.
-    pub fn swap_model(&self, model: ZeroTuneModel) -> Result<u64, String> {
+    /// Lint- and certification-guarded hot-swap; on success the
+    /// prediction cache is invalidated so no response rendered by older
+    /// weights outlives the swap in the cache. In-flight requests finish
+    /// on whichever version they snapshotted — internally consistent
+    /// either way.
+    pub fn swap_model(&self, model: ZeroTuneModel) -> Result<u64, SwapRejection> {
         let v = self.shared.registry.swap(model)?;
         self.shared.cache.clear();
         Ok(v)
     }
 
     /// [`ServerHandle::swap_model`] from `ZeroTuneModel::to_json` text.
-    pub fn swap_model_json(&self, json: &str) -> Result<u64, String> {
+    pub fn swap_model_json(&self, json: &str) -> Result<u64, SwapRejection> {
         let v = self.shared.registry.swap_json(json)?;
         self.shared.cache.clear();
         Ok(v)
@@ -449,14 +450,16 @@ fn render<T: serde::Serialize>(value: &T) -> Result<String, ApiError> {
 
 fn handle_healthz(shared: &Shared) -> Handled {
     let cache = shared.cache.stats();
+    let current = shared.registry.current();
     ok(render(&HealthResponse {
         status: "ok".into(),
-        model_version: shared.registry.version(),
+        model_version: current.version,
         requests: shared.requests.load(Ordering::Relaxed),
         swaps: shared.registry.swap_count(),
         cache_entries: cache.entries,
         cache_hits: cache.hits,
         cache_misses: cache.misses,
+        certificate: current.certificate.clone(),
     })?)
 }
 
@@ -640,6 +643,8 @@ fn handle_swap(req: &Request, shared: &Shared) -> Handled {
                 model_version: version,
             })?)
         }
-        Err(report) => Err(ApiError::new(422, "model_rejected", report)),
+        // the rejection's stable code (lint `model_rejected` or the
+        // leading ZT6xx certification code) becomes the error code
+        Err(rej) => Err(ApiError::new(422, &rej.code, rej.report)),
     }
 }

@@ -1,0 +1,209 @@
+//! Soundness of the model-certification pass (`zt_nn::certify` +
+//! `zt_core::certify`).
+//!
+//! The contract under test: the interval bound propagation over trained
+//! weights **encloses** the concrete `f32` inference kernels —
+//!
+//! * for seeded random MLPs, every `Mlp::infer` output on inputs sampled
+//!   across the feature box lies inside the certified output bracket,
+//!   with **exact** containment (no tolerance — the certificate's
+//!   rounding model must absorb every `f32` operation itself);
+//! * certified-dead ReLU units never fire empirically (the set of
+//!   empirically-dead units is a superset of the certified-dead set);
+//! * for the full GNN — both freshly initialized and trained on
+//!   simulator-labeled data — every `forward_infer` output over encoded
+//!   plans lies inside the certified bracket for that plan's data-flow
+//!   depth, again with exact containment;
+//! * a trained benchmark-scale model certifies clean (no error-severity
+//!   ZT6xx findings).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zerotune::core::certify::{certify_model, dataflow_depth, CertifyConfig};
+use zerotune::core::dataset::{generate_dataset, GenConfig};
+use zerotune::core::diagnostics::Severity;
+use zerotune::core::features::{FEATURE_MAX, FEATURE_MIN};
+use zerotune::core::model::{ModelConfig, ZeroTuneModel};
+use zerotune::core::train::{train, TrainConfig};
+use zerotune::nn::certify::{certify_mlp, IntervalVec};
+use zerotune::nn::{Matrix, Mlp, ParamStore, Scratch};
+
+fn sample_box_input(dim: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..dim)
+        .map(|_| rng.gen_range(FEATURE_MIN..=FEATURE_MAX))
+        .collect()
+}
+
+/// Every node feature inside the certified box — the certificate's
+/// premise. Encoded plans from the repo's generators always satisfy it
+/// (ZT202 lints violations); the check keeps the test honest anyway.
+fn in_box(graph: &zerotune::core::GraphEncoding) -> bool {
+    graph.nodes.iter().all(|n| {
+        n.features
+            .iter()
+            .all(|f| (FEATURE_MIN..=FEATURE_MAX).contains(f))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random MLPs: sampled outputs never escape the certified bracket,
+    /// and certified-dead hidden units never produce a positive
+    /// pre-activation.
+    #[test]
+    fn mlp_outputs_stay_inside_certified_bracket(
+        seed in 0u64..1_000_000,
+        hidden in 2usize..24,
+        hidden_layers in 1usize..4,
+        in_dim in 2usize..16,
+    ) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dims = vec![in_dim];
+        dims.extend(std::iter::repeat_n(hidden, hidden_layers));
+        dims.push(2);
+        let mlp = Mlp::new(&mut store, "m", &dims, &mut rng);
+
+        let input = IntervalVec::uniform(
+            in_dim,
+            f64::from(FEATURE_MIN),
+            f64::from(FEATURE_MAX),
+        );
+        let cert = certify_mlp(&store, &mlp, &input);
+
+        let mut scratch = Scratch::new();
+        let mut fired: Vec<Vec<bool>> = cert
+            .hidden
+            .iter()
+            .map(|l| vec![false; l.dead.len()])
+            .collect();
+        for _ in 0..64 {
+            let x = sample_box_input(in_dim, &mut rng);
+            let out = mlp.infer(&store, &Matrix::row(&x), &mut scratch);
+            prop_assert!(
+                cert.output.contains(&out.data),
+                "output {:?} escapes certified bracket [{:?}, {:?}] for input {x:?}",
+                out.data, cert.output.lo, cert.output.hi
+            );
+            scratch.recycle(out);
+
+            // replay the hidden pre-activations layer by layer
+            let mut cur = Matrix::row(&x);
+            for (l, layer) in mlp.layers[..mlp.layers.len() - 1].iter().enumerate() {
+                let mut pre = layer.infer(&store, &cur, &mut scratch);
+                for (j, &v) in pre.data.iter().enumerate() {
+                    if v > 0.0 {
+                        fired[l][j] = true;
+                    }
+                }
+                for v in &mut pre.data {
+                    *v = v.max(0.0);
+                }
+                cur = pre;
+            }
+        }
+        for (l, units) in cert.hidden.iter().enumerate() {
+            for (j, &dead) in units.dead.iter().enumerate() {
+                if dead {
+                    prop_assert!(
+                        !fired[l][j],
+                        "certified-dead unit (layer {l}, unit {j}) fired empirically"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Freshly initialized GNNs across sizes and seeds: every prediction over
+/// encoded plans sits inside the certified bracket for the plan's
+/// data-flow depth. Exact containment — no tolerance.
+#[test]
+fn fresh_gnn_predictions_stay_inside_certified_brackets() {
+    let cfg = CertifyConfig::default();
+    for (hidden, model_seed, data_seed) in [(8, 1, 21), (16, 2, 22), (48, 0x5EED, 23)] {
+        let model = ZeroTuneModel::new(ModelConfig {
+            hidden,
+            seed: model_seed,
+        });
+        let cert = certify_model(&model, &cfg).expect("fresh model certifies structurally");
+        let data = generate_dataset(&GenConfig::seen(), 12, data_seed);
+        let mut scratch = Scratch::new();
+        let mut checked = 0usize;
+        for s in &data.samples {
+            if !in_box(&s.graph) {
+                continue;
+            }
+            let depth = dataflow_depth(&s.graph);
+            assert!(
+                depth <= cfg.max_depth,
+                "generated plan deeper ({depth}) than the certificate covers"
+            );
+            let raw = model.forward_infer(&s.graph, &mut scratch);
+            let escapes = cert.check_prediction(depth, raw);
+            assert!(
+                escapes.is_empty(),
+                "hidden {hidden} seed {model_seed}: prediction {raw:?} at depth {depth} \
+                 escaped: {escapes:?}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "no in-box samples to check");
+    }
+}
+
+/// A mini GNN trained on simulator-labeled data: still certifies clean
+/// (no error-severity ZT6xx findings) and every post-training prediction
+/// stays inside its certified bracket.
+#[test]
+fn trained_gnn_certifies_clean_and_predictions_stay_inside_brackets() {
+    let data = generate_dataset(&GenConfig::seen(), 48, 11);
+    let mut model = ZeroTuneModel::new(ModelConfig {
+        hidden: 16,
+        seed: 3,
+    });
+    let report = train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 6,
+            strict: false,
+            ..TrainConfig::default()
+        },
+    );
+    assert!(report.epochs_run > 0);
+
+    let cfg = CertifyConfig::default();
+    let cert = certify_model(&model, &cfg).expect("trained model certifies structurally");
+    let errors: Vec<_> = cert
+        .diagnostics()
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "trained model must certify clean, got: {errors:?}"
+    );
+
+    let mut scratch = Scratch::new();
+    let mut checked = 0usize;
+    for s in &data.samples {
+        if !in_box(&s.graph) {
+            continue;
+        }
+        let depth = dataflow_depth(&s.graph);
+        let raw = model.forward_infer(&s.graph, &mut scratch);
+        let escapes = cert.check_prediction(depth, raw);
+        assert!(
+            escapes.is_empty(),
+            "trained prediction {raw:?} at depth {depth} escaped: {escapes:?}"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= data.samples.len() / 2,
+        "most generated samples should satisfy the certificate premises ({checked} did)"
+    );
+}

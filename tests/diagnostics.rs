@@ -762,3 +762,163 @@ fn wire_garbage_maps_to_zt101_not_zt109() {
         "a parse failure is not an integrity failure: {report}"
     );
 }
+
+// --- ZT407 + ZT6xx: structural guard and model certification -------------
+
+use zerotune::core::certify::{certify_model, certify_report, CertifyConfig};
+use zerotune::core::diagnostics::REGISTRY;
+
+fn small_cert_cfg() -> CertifyConfig {
+    CertifyConfig {
+        max_depth: 6,
+        ..CertifyConfig::default()
+    }
+}
+
+#[test]
+fn zt407_and_zt6xx_are_registered_with_stable_severities() {
+    let sev = |code: &str| {
+        REGISTRY
+            .iter()
+            .find(|info| info.code == code)
+            .unwrap_or_else(|| panic!("{code} not in REGISTRY"))
+            .severity
+    };
+    assert_eq!(sev("ZT407"), Severity::Error);
+    assert_eq!(sev("ZT601"), Severity::Error);
+    assert_eq!(sev("ZT602"), Severity::Error);
+    assert_eq!(sev("ZT603"), Severity::Warning);
+    assert_eq!(sev("ZT604"), Severity::Warning);
+    assert_eq!(sev("ZT605"), Severity::Error);
+}
+
+#[test]
+fn zt407_triggers_on_shape_metadata_mismatch() {
+    let mut model = mini_model();
+    let id = model.store.ids().next().expect("model has parameters");
+    model.store.value_mut(id).rows += 1;
+    // lint_model front-runs the structural check (ZT402's indexing would
+    // otherwise trust the lying metadata)
+    let diags = lint_model(&model);
+    assert!(has(&diags, "ZT407"), "{diags:?}");
+    assert!(errors_of(&diags) >= 1);
+    // the certifier refuses the same model without touching weight data
+    match certify_model(&model, &small_cert_cfg()) {
+        Err(d) => assert_eq!(d.code, "ZT407"),
+        Ok(_) => panic!("shape-tampered model must be refused"),
+    }
+}
+
+#[test]
+fn zt601_triggers_on_inflated_weights() {
+    let mut model = mini_model();
+    let ids: Vec<_> = model.store.ids().collect();
+    for id in ids {
+        for v in &mut model.store.value_mut(id).data {
+            *v *= 1e4;
+        }
+    }
+    let (cert, report) = certify_report(&model);
+    assert!(
+        cert.is_some(),
+        "structure is intact, only magnitudes changed"
+    );
+    assert!(report.has_code("ZT601"), "{report}");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn zt602_triggers_on_hijacked_constant_latency_head() {
+    let mut model = mini_model();
+    // zero the whole latency head, then plant a huge output bias: the
+    // head provably outputs 1e6 for every input — no training label (a
+    // z-score within a few sigma of 0) is reachable
+    poison(&mut model, "readout.latency.0.w", 0.0);
+    poison(&mut model, "readout.latency.0.b", 0.0);
+    poison(&mut model, "readout.latency.1.w", 0.0);
+    poison(&mut model, "readout.latency.1.b", 1e6);
+    let cert = certify_model(&model, &small_cert_cfg()).expect("structure ok");
+    let report = Report::new(cert.diagnostics());
+    assert!(report.has_code("ZT602"), "{report}");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn zt603_triggers_on_certified_dead_encoder_layer() {
+    let mut model = mini_model();
+    // strongly negative weights + negative bias: every unit of the
+    // Source encoder's first layer is provably dead over the feature box
+    poison(&mut model, "enc.Source.0.w", -10.0);
+    poison(&mut model, "enc.Source.0.b", -1.0);
+    let cert = certify_model(&model, &small_cert_cfg()).expect("structure ok");
+    let report = Report::new(cert.diagnostics());
+    assert!(report.has_code("ZT603"), "{report}");
+    assert!(cert.summary().dead_units > 0);
+}
+
+#[test]
+fn zt604_triggers_on_zero_sensitivity_features() {
+    let mut model = mini_model();
+    // zeroing the Filter encoder's first weight matrix severs every
+    // input feature from the network — certified-zero sensitivity
+    poison(&mut model, "enc.Filter.0.w", 0.0);
+    let cert = certify_model(&model, &small_cert_cfg()).expect("structure ok");
+    let report = Report::new(cert.diagnostics());
+    assert!(report.has_code("ZT604"), "{report}");
+    assert!(cert.summary().zero_sensitivity_features > 0);
+}
+
+#[test]
+fn zt605_triggers_on_escaped_prediction() {
+    let model = mini_model();
+    let cert = certify_model(&model, &small_cert_cfg()).expect("structure ok");
+    let flagged = cert.check_prediction(0, [f32::MAX, 0.0]);
+    assert!(has(&flagged, "ZT605"), "{flagged:?}");
+
+    // The denormalized variant needs a *tight* certified bracket to be
+    // escapable (log-space compression keeps any finite prediction inside
+    // a fresh model's astronomically wide bracket): a hijacked
+    // constant-1e6 latency head certifies to a narrow bracket around
+    // z = 1e6, which an ordinary prediction provably escapes.
+    let mut hijacked = mini_model();
+    poison(&mut hijacked, "readout.latency.0.w", 0.0);
+    poison(&mut hijacked, "readout.latency.0.b", 0.0);
+    poison(&mut hijacked, "readout.latency.1.w", 0.0);
+    poison(&mut hijacked, "readout.latency.1.b", 1e6);
+    let tight = certify_model(&hijacked, &small_cert_cfg()).expect("structure ok");
+    let ordinary = zerotune::core::CostPrediction {
+        latency_ms: 1.0,
+        throughput: 1.0,
+    };
+    let flagged = tight.check_prediction_denorm(0, &ordinary);
+    assert!(has(&flagged, "ZT605"), "{flagged:?}");
+}
+
+#[test]
+fn certification_family_clean_on_fresh_model() {
+    let (cert, report) = certify_report(&mini_model());
+    let cert = cert.expect("fresh model certifies");
+    assert!(!report.has_errors(), "{report}");
+    let summary = cert.summary();
+    assert!(summary.certified);
+    assert!(summary.errors.is_empty());
+}
+
+#[test]
+fn strict_train_runs_post_training_certification() {
+    // a clean run must survive the new post-training certify pass
+    let data = gen_data(24, 5);
+    let mut model = mini_model();
+    let report = train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 2,
+            strict: true,
+            ..TrainConfig::default()
+        },
+    );
+    assert!(report.epochs_run > 0);
+    let (_, cert_report) = certify_report(&model);
+    assert!(!cert_report.has_errors(), "{cert_report}");
+}

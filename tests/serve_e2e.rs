@@ -462,12 +462,26 @@ fn hot_swap_mid_traffic_never_serves_a_mixed_version_response() {
 
     let addr = handle.addr();
     let expect_ref = &expect;
+    // Swap-guarded lint + certification make `swap_model` take tens of
+    // milliseconds, so a fixed request count can drain before the swap
+    // lands. Workers instead keep issuing traffic until they have sent at
+    // least two requests *after* observing the swap-completed flag (so
+    // every worker provably exercises the v2 generation), with a floor of
+    // 40 requests to overlap the swap window and a generous cap so a
+    // wedged swap cannot hang the test.
+    let swapped = std::sync::atomic::AtomicBool::new(false);
+    let swapped_ref = &swapped;
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..4)
             .map(|w| {
                 scope.spawn(move || {
                     let mut seen = Vec::new();
-                    for i in 0..40 {
+                    let mut i = 0usize;
+                    let mut post_swap = 0usize;
+                    while (i < 40 || post_swap < 2) && i < 20_000 {
+                        if swapped_ref.load(std::sync::atomic::Ordering::Acquire) {
+                            post_swap += 1;
+                        }
                         let (body, b1, b2) = &expect_ref[(w + i) % expect_ref.len()];
                         let resp = http_request(addr, "POST", "/predict", Some(body))
                             .expect("no dropped connections during swap");
@@ -483,6 +497,7 @@ fn hot_swap_mid_traffic_never_serves_a_mixed_version_response() {
                             other => panic!("impossible model version {other}"),
                         }
                         seen.push(version);
+                        i += 1;
                     }
                     seen
                 })
@@ -491,6 +506,7 @@ fn hot_swap_mid_traffic_never_serves_a_mixed_version_response() {
 
         std::thread::sleep(Duration::from_millis(15));
         handle.swap_model(v2_model()).expect("fresh model swaps in");
+        swapped.store(true, std::sync::atomic::Ordering::Release);
 
         let seen: Vec<u64> = workers
             .into_iter()
@@ -656,6 +672,92 @@ fn healthz_reports_versioned_state() {
     match v.get("status") {
         Some(Value::Str(s)) => assert_eq!(s, "ok"),
         other => panic!("no status: {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// An otherwise well-formed model whose weights were inflated 1e4x: it
+/// passes the ZT4xx lint gate (finite weights; ZT405 is warning-only)
+/// but its interval certificate explodes past the fresh-init reference —
+/// the certification gate must reject it with ZT601.
+fn uncertifiable_model() -> ZeroTuneModel {
+    let mut model = v2_model();
+    let ids: Vec<_> = model.store.ids().collect();
+    for id in ids {
+        for v in &mut model.store.value_mut(id).data {
+            *v *= 1e4;
+        }
+    }
+    model
+}
+
+#[test]
+fn swap_rejects_uncertifiable_model_and_old_version_serves_byte_identical() {
+    let _g = lock();
+    let handle = boot(ephemeral());
+    let plan = spike_detection(900.0);
+    let body = deployment_body(&plan, Some(2));
+
+    let before = http_request(handle.addr(), "POST", "/predict", Some(&body)).expect("rt");
+    assert_eq!(before.status, 200, "{}", before.body);
+    assert_eq!(num(&parse(&before.body), "model_version") as u64, 1);
+
+    // The deploy gate: 422 with the certification diagnostic's stable
+    // code in the structured error body.
+    let resp = http_request(
+        handle.addr(),
+        "POST",
+        "/swap",
+        Some(&uncertifiable_model().to_json()),
+    )
+    .expect("swap round-trip");
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert_eq!(error_code(&resp.body), "ZT601", "{}", resp.body);
+    assert_eq!(handle.model_version(), 1, "old version keeps serving");
+
+    // The old version's responses are byte-identical to before the
+    // rejected swap (and still served from the untouched cache).
+    let after = http_request(handle.addr(), "POST", "/predict", Some(&body)).expect("rt");
+    assert_eq!(after.status, 200);
+    assert_eq!(after.header("x-zt-cache"), Some("hit"));
+    assert_eq!(
+        before.body, after.body,
+        "rejected swap must not perturb serving"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_reports_certificate_summary_of_the_active_version() {
+    let _g = lock();
+    let handle = boot(ephemeral());
+
+    let resp = http_request(handle.addr(), "GET", "/healthz", None).expect("healthz");
+    assert_eq!(resp.status, 200);
+    let v = parse(&resp.body);
+    let cert = v
+        .get("certificate")
+        .unwrap_or_else(|| panic!("healthz carries a certificate summary: {}", resp.body));
+    match cert.get("certified") {
+        Some(Value::Bool(true)) => {}
+        other => panic!("boot model must be certified, got {other:?}: {}", resp.body),
+    }
+    match cert.get("errors") {
+        Some(Value::Seq(errs)) => assert!(errs.is_empty(), "{}", resp.body),
+        other => panic!("no errors list: {other:?}"),
+    }
+    assert!(num(cert, "magnitude_log10").is_finite());
+    assert!(num(cert, "max_depth") >= 1.0);
+
+    // After a successful swap, /healthz reflects the new version's
+    // certificate (still certified — v2 is a healthy fresh model).
+    handle.swap_model(v2_model()).expect("clean model swaps");
+    let resp = http_request(handle.addr(), "GET", "/healthz", None).expect("healthz");
+    let v = parse(&resp.body);
+    assert_eq!(num(&v, "model_version") as u64, 2);
+    match v.get("certificate").and_then(|c| c.get("certified")) {
+        Some(Value::Bool(true)) => {}
+        other => panic!("swapped model must be certified, got {other:?}"),
     }
     handle.shutdown();
 }
