@@ -1,0 +1,153 @@
+//! Dense-kernel microbenches: the 8-wide lane kernels against their
+//! scalar oracles.
+//!
+//! * `matmul_{lanes,scalar}_256x48x48` — the GNN's hot shape class
+//!   (a node batch against an L1-resident hidden×hidden weight panel).
+//! * `matmul_{lanes,scalar}_16x48x48` — the small per-plan shape seen
+//!   during tuning (candidate batch × hidden).
+//! * `relu_{lanes,scalar}_16k`, `adam_{lanes,scalar}_16k` — element-wise
+//!   passes at a training-sized parameter count.
+//!
+//! Both flavors are always compiled (the `scalar-kernels` feature only
+//! flips which one the library's dispatch sites call), so one binary can
+//! time the pair and print the speedup — the equivalence tests in
+//! `tests/kernel_equivalence.rs` pin them to identical results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use zt_nn::kernels::{
+    adam_update_lanes, adam_update_scalar, matmul_into_lanes, matmul_into_scalar, relu_lanes,
+    relu_scalar, AdamStep,
+};
+
+/// Deterministic pseudo-random fill (no RNG dependency needed here); a
+/// fixed stride keeps some exact zeros in the stream so the kernels' zero
+/// skip stays on its realistic (mostly-dense) path.
+fn fill(n: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2_654_435_761).wrapping_add(1);
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            if i % 37 == 0 {
+                0.0
+            } else {
+                ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5
+            }
+        })
+        .collect()
+}
+
+fn bench_matmul(c: &mut Criterion, rows: usize, inner: usize, cols: usize) {
+    let a = fill(rows * inner, 1);
+    let b = fill(inner * cols, 2);
+    let mut out = vec![0.0f32; rows * cols];
+    let shape = format!("{rows}x{inner}x{cols}");
+    c.bench_function(&format!("matmul_lanes_{shape}"), |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            matmul_into_lanes(&a, rows, inner, &b, cols, &mut out);
+            std::hint::black_box(out[0])
+        });
+    });
+    c.bench_function(&format!("matmul_scalar_{shape}"), |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            matmul_into_scalar(&a, rows, inner, &b, cols, &mut out);
+            std::hint::black_box(out[0])
+        });
+    });
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    const N: usize = 16_384;
+    let src = fill(N, 3);
+    let mut buf = src.clone();
+    c.bench_function("relu_lanes_16k", |bench| {
+        bench.iter(|| {
+            buf.copy_from_slice(&src);
+            relu_lanes(&mut buf);
+            std::hint::black_box(buf[0])
+        });
+    });
+    c.bench_function("relu_scalar_16k", |bench| {
+        bench.iter(|| {
+            buf.copy_from_slice(&src);
+            relu_scalar(&mut buf);
+            std::hint::black_box(buf[0])
+        });
+    });
+
+    let grad = fill(N, 4);
+    let step = AdamStep {
+        lr: 1e-3,
+        beta1: 0.9,
+        beta2: 0.999,
+        eps: 1e-8,
+        b1t: 0.1,
+        b2t: 0.001,
+    };
+    let (mut value, mut m, mut v) = (fill(N, 5), vec![0.0f32; N], vec![0.0f32; N]);
+    c.bench_function("adam_lanes_16k", |bench| {
+        bench.iter(|| {
+            adam_update_lanes(&mut value, &mut m, &mut v, &grad, &step);
+            std::hint::black_box(value[0])
+        });
+    });
+    c.bench_function("adam_scalar_16k", |bench| {
+        bench.iter(|| {
+            adam_update_scalar(&mut value, &mut m, &mut v, &grad, &step);
+            std::hint::black_box(value[0])
+        });
+    });
+}
+
+/// After the criterion timings, print a direct lanes-vs-scalar speedup
+/// summary over a small shape sweep (wall-clock over a fixed rep count —
+/// the number the acceptance gate reads).
+fn speedup_summary() {
+    eprintln!("\nmatmul lanes vs scalar speedup (fixed-rep wall clock):");
+    for &(rows, inner, cols, reps) in &[
+        (16usize, 48usize, 48usize, 4000usize),
+        (64, 64, 64, 2000),
+        (256, 48, 48, 500),
+        (128, 128, 128, 300),
+    ] {
+        let a = fill(rows * inner, 11);
+        let b = fill(inner * cols, 12);
+        let mut out = vec![0.0f32; rows * cols];
+        let time = |lanes: bool, out: &mut Vec<f32>| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                out.fill(0.0);
+                if lanes {
+                    matmul_into_lanes(&a, rows, inner, &b, cols, out);
+                } else {
+                    matmul_into_scalar(&a, rows, inner, &b, cols, out);
+                }
+                std::hint::black_box(&out[0]);
+            }
+            start.elapsed().as_secs_f64()
+        };
+        // interleave a warm-up of each before timing
+        time(true, &mut out);
+        time(false, &mut out);
+        let t_lanes = time(true, &mut out);
+        let t_scalar = time(false, &mut out);
+        eprintln!(
+            "  {rows:>3}x{inner:>3}x{cols:>3}: lanes {:>8.2} µs/op, scalar {:>8.2} µs/op, speedup {:.2}x",
+            t_lanes / reps as f64 * 1e6,
+            t_scalar / reps as f64 * 1e6,
+            t_scalar / t_lanes
+        );
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    bench_matmul(c, 16, 48, 48);
+    bench_matmul(c, 256, 48, 48);
+    bench_elementwise(c);
+    speedup_summary();
+}
+
+criterion_group!(kernels, benches);
+criterion_main!(kernels);

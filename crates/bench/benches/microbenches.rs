@@ -103,7 +103,7 @@ fn bench_tune(c: &mut Criterion) {
     let (pqp, cluster) = fixture();
     let cfg = OptimizerConfig::default();
     c.bench_function("optimizer_tune", |b| {
-        b.iter(|| tune(&model, std::hint::black_box(&pqp.plan), &cluster, &cfg));
+        b.iter(|| tune(&model, std::hint::black_box(&pqp.plan), &cluster, &cfg).expect("valid"));
     });
 }
 

@@ -7,6 +7,11 @@
 //!   scoring the full candidate set.
 //! * `bounds_analyze_spike` — one interval analysis in isolation: the
 //!   per-candidate price of the pre-pass.
+//! * `tune_lattice_bnb_spike_2M` / `tune_lattice_exhaustive_spike_2M` —
+//!   the product-lattice search space explored by bounds-guided
+//!   branch-and-bound versus scored exhaustively (`prune: false`); both
+//!   return the identical winner by construction, the question is only
+//!   how much of the lattice the walk can refuse to analyze.
 //!
 //! After the criterion timings, a summary reports the pruned fraction at
 //! a sweep of offered rates — the pre-pass only pays off when candidates
@@ -16,7 +21,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use zt_core::bounds::{analyze, BoundsConfig};
 use zt_core::model::{ModelConfig, ZeroTuneModel};
-use zt_core::optimizer::{tune, OptimizerConfig};
+use zt_core::optimizer::{tune, OptimizerConfig, SearchSpace};
 use zt_dspsim::cluster::{Cluster, ClusterType};
 use zt_query::benchmarks::spike_detection;
 use zt_query::ParallelQueryPlan;
@@ -46,7 +51,7 @@ fn bench_pruned(c: &mut Criterion) {
     let (m, cl, plan) = (model(), cluster(), spike_detection(RATE));
     c.bench_function("tune_pruned_spike_2M", |b| {
         b.iter(|| {
-            let out = tune(&m, &plan, &cl, &cfg(true));
+            let out = tune(&m, &plan, &cl, &cfg(true)).expect("valid plan");
             std::hint::black_box(out.candidates_evaluated)
         });
     });
@@ -57,7 +62,34 @@ fn bench_exhaustive(c: &mut Criterion) {
     c.bench_function("tune_exhaustive_spike_2M", |b| {
         b.iter(|| {
             let out = tune(&m, &plan, &cl, &cfg(false));
-            std::hint::black_box(out.candidates_evaluated)
+            std::hint::black_box(out.expect("valid plan").candidates_evaluated)
+        });
+    });
+}
+
+fn lattice_cfg(prune: bool) -> OptimizerConfig {
+    OptimizerConfig {
+        search: SearchSpace::lattice(),
+        ..cfg(prune)
+    }
+}
+
+fn bench_lattice_bnb(c: &mut Criterion) {
+    let (m, cl, plan) = (model(), cluster(), spike_detection(RATE));
+    c.bench_function("tune_lattice_bnb_spike_2M", |b| {
+        b.iter(|| {
+            let out = tune(&m, &plan, &cl, &lattice_cfg(true)).expect("valid plan");
+            std::hint::black_box(out.search_visited)
+        });
+    });
+}
+
+fn bench_lattice_exhaustive(c: &mut Criterion) {
+    let (m, cl, plan) = (model(), cluster(), spike_detection(RATE));
+    c.bench_function("tune_lattice_exhaustive_spike_2M", |b| {
+        b.iter(|| {
+            let out = tune(&m, &plan, &cl, &lattice_cfg(false)).expect("valid plan");
+            std::hint::black_box(out.search_visited)
         });
     });
 }
@@ -78,7 +110,7 @@ fn summary() {
     let (m, cl) = (model(), cluster());
     eprintln!("\npruned fraction vs offered rate (spike detection, 4x m510):");
     for rate in [10e3, 100e3, 500e3, 1e6, 2e6, 5e6] {
-        let out = tune(&m, &spike_detection(rate), &cl, &cfg(true));
+        let out = tune(&m, &spike_detection(rate), &cl, &cfg(true)).expect("valid plan");
         let total = out.candidates_evaluated + out.candidates_pruned;
         eprintln!(
             "  {:>9.0} ev/s: {:>3} of {:>3} candidates pruned ({:.0}%)",
@@ -94,6 +126,8 @@ fn benches(c: &mut Criterion) {
     bench_pruned(c);
     bench_exhaustive(c);
     bench_analyze(c);
+    bench_lattice_bnb(c);
+    bench_lattice_exhaustive(c);
     summary();
 }
 

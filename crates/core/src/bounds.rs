@@ -745,6 +745,97 @@ pub fn analyze_with(
     }
 }
 
+/// Parallelism-independent per-operator work floors, the certificates the
+/// branch-and-bound tuner ([`crate::lattice`]) prunes subtrees with.
+///
+/// For every operator the floor is `input_rate × srv_floor` — the
+/// unthrottled input rate (rate propagation depends only on the plan and
+/// the throttle, never on parallelism) times a service-demand lower bound
+/// (`service_us` with an empty opposite window; service demand is monotone
+/// in the opposite-window population and independent of the instance
+/// rate). Serde/exchange work is dropped entirely (≥ 0). Both floors are
+/// therefore sound against [`analyze_with`]'s *skew-free lower* endpoint
+/// for **any** parallelism assignment and **any** placement/chaining the
+/// deployment pass may choose:
+///
+/// * [`WorkFloors::op_util_floor`] — assigning degree `d` to op `i` puts
+///   the hottest instance at ≥ `floor_i / (d · ghz_max · 1e6)`, so the
+///   candidate's `utilization.lo` (a max over all ops and nodes) is at
+///   least that, whatever the other ops get.
+/// * [`WorkFloors::plan_util_floor`] — the max node utilization is at
+///   least the capacity-weighted average `Σ floor_i / Σ (cores · ghz)`,
+///   which no parallelism vector can change (total work is conserved).
+#[derive(Clone, Debug)]
+pub struct WorkFloors {
+    /// Per-op `input_rate × srv_floor`, µs of 1 GHz work per second.
+    pub per_op: Vec<f64>,
+    /// Fastest clock in the cluster, GHz.
+    pub max_ghz: f64,
+    /// `Σ cores × ghz` over all nodes — aggregate compute capacity.
+    pub capacity_ghz_cores: f64,
+}
+
+/// Derive the [`WorkFloors`] certificate state for one sealed plan.
+/// Parallelism-independent: compute once per `tune` call, reuse across
+/// every lattice subtree.
+pub fn work_floors(
+    pqp: &ParallelQueryPlan,
+    ir: &PlanIr,
+    cluster: &Cluster,
+    cfg: &BoundsConfig,
+) -> WorkFloors {
+    let plan = &pqp.plan;
+    let in_schemas = ir.input_schemas();
+    let out_schemas = ir.output_schemas();
+    let rates_hi = propagate_with(pqp, ir, 1.0);
+    let per_op = plan
+        .ops()
+        .iter()
+        .map(|op| {
+            let i = op.id.idx();
+            // srv_floor: empty opposite window (joins), rate argument is
+            // unused by the cost model — see `CostModel::service_us`.
+            let srv_floor =
+                cfg.cost
+                    .service_us(&op.kind, &in_schemas[i], &out_schemas[i], 0.0, 0.0);
+            rates_hi.input[i] * srv_floor
+        })
+        .collect();
+    let max_ghz = cluster
+        .nodes
+        .iter()
+        .map(|n| n.cpu_ghz)
+        .fold(0.1f64, f64::max);
+    let capacity_ghz_cores = cluster
+        .nodes
+        .iter()
+        .map(|n| n.cores.max(1) as f64 * n.cpu_ghz)
+        .sum::<f64>()
+        .max(1e-9);
+    WorkFloors {
+        per_op,
+        max_ghz,
+        capacity_ghz_cores,
+    }
+}
+
+impl WorkFloors {
+    /// Lower bound on `utilization.lo` of **every** deployment that runs
+    /// operator `i` with `degree` instances. `≥ 1.0` certifies the whole
+    /// subtree infeasible ([`BoundsReport::infeasible`]).
+    pub fn op_util_floor(&self, i: usize, degree: u32) -> f64 {
+        self.per_op[i] / (f64::from(degree.max(1)) * self.max_ghz * 1e6)
+    }
+
+    /// Lower bound on `utilization.lo` of every deployment of the plan,
+    /// for **any** parallelism vector. `≥ 1.0` certifies the entire
+    /// lattice infeasible — pruning is then pointless, because
+    /// [`prune_mask`] keeps all candidates when all are infeasible.
+    pub fn plan_util_floor(&self) -> f64 {
+        self.per_op.iter().sum::<f64>() / (self.capacity_ghz_cores * 1e6)
+    }
+}
+
 /// Which candidates survive the bounds pruning pre-pass (`true` = keep).
 ///
 /// Two sound rules:
@@ -951,6 +1042,56 @@ mod tests {
         assert_eq!(a.backpressure_scale, b.backpressure_scale);
         assert_eq!(a.latency_ms, b.latency_ms);
         assert_eq!(a.pipeline_ms, b.pipeline_ms);
+    }
+
+    #[test]
+    fn work_floors_are_sound_against_analyze() {
+        // For every (rate, parallelism vector) combination, the
+        // parallelism-independent floors must sit at or below the skew-free
+        // utilization lower endpoint the full interval analysis computes.
+        let cfg = BoundsConfig::default();
+        let cluster = cluster();
+        for rate in [100.0, 50_000.0, 2_000_000.0, 50_000_000.0] {
+            let plan = linear_plan(rate);
+            let ir = plan.validate().unwrap();
+            let probe = ParallelQueryPlan::new(plan.clone());
+            let floors = work_floors(&probe, &ir, &cluster, &cfg);
+            for parallelism in [vec![1, 1, 1, 1], vec![1, 4, 2, 1], vec![16, 16, 16, 16]] {
+                let q = ParallelQueryPlan::with_parallelism(plan.clone(), parallelism.clone());
+                let report = analyze_with(&q, &ir, &cluster, &cfg);
+                for (i, &d) in parallelism.iter().enumerate() {
+                    let floor = floors.op_util_floor(i, d);
+                    assert!(
+                        floor <= report.utilization.lo * (1.0 + 1e-9) + 1e-12,
+                        "op {i} degree {d} rate {rate}: floor {floor} > util.lo {}",
+                        report.utilization.lo
+                    );
+                }
+                assert!(
+                    floors.plan_util_floor() <= report.utilization.lo * (1.0 + 1e-9) + 1e-12,
+                    "plan floor {} > util.lo {}",
+                    floors.plan_util_floor(),
+                    report.utilization.lo
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_floor_certifies_infeasible_low_parallelism() {
+        // At an absurd offered rate the floor alone must already prove a
+        // degree-1 bottleneck infeasible (that is the signal the
+        // branch-and-bound tuner prunes with).
+        let cfg = BoundsConfig::default();
+        let plan = linear_plan(50_000_000.0);
+        let ir = plan.validate().unwrap();
+        let probe = ParallelQueryPlan::new(plan.clone());
+        let floors = work_floors(&probe, &ir, &cluster(), &cfg);
+        // source op (index 0) at degree 1 is hopeless at 50M events/s
+        assert!(floors.op_util_floor(0, 1) >= 1.0);
+        // and the certificate agrees with the full analysis
+        let q = ParallelQueryPlan::with_parallelism(plan.clone(), vec![1, 1, 1, 1]);
+        assert!(analyze_with(&q, &ir, &cluster(), &cfg).infeasible());
     }
 
     #[test]

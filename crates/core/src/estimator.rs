@@ -58,6 +58,14 @@ pub trait CostEstimator: Send + Sync {
     /// `graphs.iter().map(|g| self.predict(g))` — same values, same order —
     /// but implementations may amortize per-call setup or evaluate
     /// candidates in parallel.
+    ///
+    /// The exact-values/exact-order contract is load-bearing for the
+    /// optimizer: the lattice search (`SearchSpace::Lattice`) proves its
+    /// branch-and-bound outcome-equivalent to exhaustive scoring by
+    /// feeding both the identical survivor batch, which only pins the
+    /// same argmin if batching itself can never reorder or perturb a
+    /// prediction (`tests/optimizer_search.rs` checks the winners
+    /// bitwise).
     fn predict_batch(&self, graphs: &[GraphEncoding]) -> Vec<CostPrediction> {
         graphs.iter().map(|g| self.predict(g)).collect()
     }

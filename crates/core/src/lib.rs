@@ -60,6 +60,7 @@ pub mod explain;
 pub mod features;
 pub mod fewshot;
 pub mod graph;
+pub mod lattice;
 pub mod model;
 pub mod optimizer;
 pub mod optisample;
@@ -74,7 +75,8 @@ pub mod telemetry {
 }
 
 pub use bounds::{
-    analyze, analyze_with, prune_mask, BoundsConfig, BoundsReport, Interval, OpBounds,
+    analyze, analyze_with, prune_mask, work_floors, BoundsConfig, BoundsReport, Interval, OpBounds,
+    WorkFloors,
 };
 pub use certify::{
     certify_model, certify_report, dataflow_depth, explain_certificate, CertSummary, CertifyConfig,
@@ -90,8 +92,9 @@ pub use diagnostics::{
 pub use estimator::{evaluate_estimator, CostEstimator, CostPrediction};
 pub use features::FeatureMask;
 pub use graph::{encode, EncodeContext, GraphEncoding, GraphNode, NodeKind};
+pub use lattice::{branch_and_bound, ParallelismLattice, SearchOutcome, SearchStats};
 pub use model::{ModelConfig, TargetNorm, ZeroTuneModel};
-pub use optimizer::{prune_from_env, tune, OptimizerConfig, TuningOutcome};
+pub use optimizer::{prune_from_env, tune, OptimizerConfig, SearchSpace, TuneError, TuningOutcome};
 pub use optisample::{EnumerationStrategy, OptiSampleConfig, RandomConfig};
 pub use qerror::{q_error, QErrorStats};
 pub use train::{evaluate, train, TrainConfig, TrainReport};

@@ -23,10 +23,104 @@ use zt_dspsim::cluster::Cluster;
 use zt_dspsim::ChainingMode;
 use zt_query::{LogicalPlan, ParallelQueryPlan};
 
+use zt_query::{PlanError, PlanIr};
+
 use crate::estimator::CostEstimator;
 use crate::features::FeatureMask;
 use crate::graph::EncodeContext;
+use crate::lattice::ParallelismLattice;
 use crate::optisample::estimate_input_rates;
+
+/// How `tune` explores the configuration space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SearchSpace {
+    /// The historical flat list from [`enumerate_candidates`] — scoring
+    /// cost is linear in the list length. The default.
+    #[default]
+    Flat,
+    /// The product lattice of per-operator degree sets (derived from the
+    /// flat candidates), explored by bounds-guided branch-and-bound
+    /// ([`crate::lattice::branch_and_bound`]) when pruning is on, or
+    /// scored exhaustively under `--no-prune`/small spaces. Outcome-
+    /// equivalent to exhaustive scoring of the same lattice by
+    /// construction.
+    Lattice {
+        /// Cap on the per-operator degree-set size (log-thinned, keeping
+        /// the extremes). The lattice has up to `cap^num_ops` points.
+        max_degrees_per_op: usize,
+        /// Cap on fully-analyzed leaves before the search aborts with
+        /// [`TuneError::SearchBudgetExceeded`].
+        visit_budget: usize,
+    },
+}
+
+impl SearchSpace {
+    /// Lattice search with the default knobs (4 degrees per op, 100k-leaf
+    /// analysis budget).
+    pub fn lattice() -> Self {
+        SearchSpace::Lattice {
+            max_degrees_per_op: 4,
+            visit_budget: 100_000,
+        }
+    }
+}
+
+/// Lattices at or below this size are scored exhaustively even with
+/// pruning on: the search bookkeeping costs more than it saves.
+const SMALL_LATTICE_CUTOFF: u64 = 32;
+
+/// Structured failures of [`tune`] (degenerate inputs are results, not
+/// panics — a serving daemon must be able to surface them).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TuneError {
+    /// The logical plan failed validation — tuning needs a sealed IR.
+    InvalidPlan(PlanError),
+    /// Candidate enumeration produced nothing to score.
+    NoCandidates {
+        /// Operators in the plan the enumerator saw.
+        ops: usize,
+    },
+    /// The lattice search hit its analysis budget before covering the
+    /// space; the partial result would not be outcome-equivalent, so it
+    /// is refused. Shrink `max_degrees_per_op` or raise `visit_budget`.
+    SearchBudgetExceeded {
+        /// Leaves analyzed before the abort.
+        analyzed: u64,
+        /// Total lattice size.
+        space: u64,
+        /// The configured budget.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::InvalidPlan(e) => write!(f, "tune requires a valid plan: {e}"),
+            TuneError::NoCandidates { ops } => {
+                write!(f, "no parallelism candidates for a {ops}-operator plan")
+            }
+            TuneError::SearchBudgetExceeded {
+                analyzed,
+                space,
+                budget,
+            } => write!(
+                f,
+                "lattice search budget exhausted: {analyzed} leaves analyzed of {space} \
+                 (budget {budget}); shrink max_degrees_per_op or raise visit_budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TuneError::InvalidPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Optimizer configuration.
 #[derive(Clone, Debug)]
@@ -57,6 +151,9 @@ pub struct OptimizerConfig {
     /// (`ZT_NO_PRUNE=1`, the `--no-prune` flag on the experiment
     /// binaries).
     pub prune: bool,
+    /// Shape of the explored configuration space (flat candidate list or
+    /// branch-and-bound over the parallelism lattice).
+    pub search: SearchSpace,
 }
 
 /// Whether the bounds pruning pre-pass is enabled: on unless `ZT_NO_PRUNE`
@@ -81,6 +178,7 @@ impl Default for OptimizerConfig {
             seed: 0x0471,
             strict: crate::diagnostics::strict_from_env(),
             prune: prune_from_env(),
+            search: SearchSpace::Flat,
         }
     }
 }
@@ -100,6 +198,20 @@ pub struct TuningOutcome {
     /// Candidates discarded by the bounds pruning pre-pass before any
     /// model inference ran (0 when pruning is off).
     pub candidates_pruned: usize,
+    /// Total size of the explored configuration space: the flat candidate
+    /// list length, or the full parallelism-lattice size for
+    /// [`SearchSpace::Lattice`].
+    #[serde(default)]
+    pub search_space: u64,
+    /// Configurations whose interval analysis actually ran (lattice
+    /// leaves visited by the branch-and-bound walk, or flat candidates
+    /// covered by the bounds pre-pass).
+    #[serde(default)]
+    pub search_visited: u64,
+    /// Lattice subtrees cut by the branch-and-bound certificates before
+    /// their leaves were ever analyzed (0 for the flat search).
+    #[serde(default)]
+    pub search_subtrees_pruned: u64,
 }
 
 /// Enumerate candidate parallelism vectors for `plan` on `cluster`.
@@ -184,6 +296,15 @@ fn weighted_cost(wt: f64, lat: f64, tpt: f64, lat_range: (f64, f64), tpt_range: 
     wt * c_l + (1.0 - wt) * c_t
 }
 
+/// Search-space accounting threaded into the final [`TuningOutcome`].
+#[derive(Clone, Copy, Debug, Default)]
+struct SearchCounters {
+    candidates_pruned: usize,
+    search_space: u64,
+    search_visited: u64,
+    search_subtrees_pruned: u64,
+}
+
 /// Tune the parallelism of `plan` on `cluster` using the estimator's
 /// what-if predictions.
 ///
@@ -193,12 +314,20 @@ fn weighted_cost(wt: f64, lat: f64, tpt: f64, lat_range: (f64, f64), tpt_range: 
 /// [`EncodeContext`]; per candidate only the parallelism-dependent
 /// features and edges are re-derived, and the whole candidate set is
 /// scored through one [`CostEstimator::predict_batch`] call.
+///
+/// With [`SearchSpace::Lattice`] the candidate set is the product lattice
+/// of per-operator degree choices, explored by bounds-guided
+/// branch-and-bound; the chosen configuration is provably the same one
+/// exhaustive scoring of that lattice would pick (see [`crate::lattice`]).
+///
+/// Degenerate inputs (invalid plan, empty candidate set, exhausted search
+/// budget) return a structured [`TuneError`] instead of panicking.
 pub fn tune<E: CostEstimator + ?Sized>(
     est: &E,
     plan: &LogicalPlan,
     cluster: &Cluster,
     cfg: &OptimizerConfig,
-) -> TuningOutcome {
+) -> Result<TuningOutcome, TuneError> {
     if cfg.strict {
         crate::diagnostics::preflight_tune(plan, cluster).enforce("tune");
     }
@@ -206,15 +335,148 @@ pub fn tune<E: CostEstimator + ?Sized>(
     // Seal the logical plan once; every candidate below shares its
     // topology, so the bounds pre-pass, encoding and cross-check all run
     // on the same IR without re-validating per candidate.
-    let ir = plan.validate().expect("tune() requires a valid plan");
+    let ir = plan.validate().map_err(TuneError::InvalidPlan)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut candidates = {
+    let candidates = {
         let _s = zt_telemetry::span("tune.enumerate");
         enumerate_candidates(plan, cluster, cfg, &mut rng)
     };
-    assert!(!candidates.is_empty());
+    if candidates.is_empty() {
+        return Err(TuneError::NoCandidates {
+            ops: plan.num_ops(),
+        });
+    }
     zt_telemetry::counter_add("tune.candidates", candidates.len() as u64);
 
+    match cfg.search {
+        SearchSpace::Flat => {
+            let space = candidates.len() as u64;
+            Ok(tune_over(
+                est, plan, &ir, cluster, cfg, candidates, space, 0,
+            ))
+        }
+        SearchSpace::Lattice {
+            max_degrees_per_op,
+            visit_budget,
+        } => tune_lattice(
+            est,
+            plan,
+            &ir,
+            cluster,
+            cfg,
+            &candidates,
+            max_degrees_per_op,
+            visit_budget,
+        ),
+    }
+}
+
+/// [`SearchSpace::Lattice`] driver: derive the lattice from the flat
+/// candidates, then either score it exhaustively (pruning off, tiny
+/// spaces, or a plan-level infeasibility certificate that forces the
+/// all-infeasible keep-everything rule) or run the branch-and-bound walk.
+#[allow(clippy::too_many_arguments)]
+fn tune_lattice<E: CostEstimator + ?Sized>(
+    est: &E,
+    plan: &LogicalPlan,
+    ir: &PlanIr,
+    cluster: &Cluster,
+    cfg: &OptimizerConfig,
+    flat_candidates: &[Vec<u32>],
+    max_degrees_per_op: usize,
+    visit_budget: usize,
+) -> Result<TuningOutcome, TuneError> {
+    let lattice = ParallelismLattice::from_candidates(flat_candidates, max_degrees_per_op);
+    let space = lattice.size();
+    let bcfg = crate::bounds::BoundsConfig {
+        chaining: cfg.chaining,
+        ..crate::bounds::BoundsConfig::default()
+    };
+    let exhaust = |err_analyzed: u64| -> Result<Vec<Vec<u32>>, TuneError> {
+        if space > visit_budget as u64 {
+            return Err(TuneError::SearchBudgetExceeded {
+                analyzed: err_analyzed,
+                space,
+                budget: visit_budget,
+            });
+        }
+        Ok(lattice.enumerate())
+    };
+
+    // Whole-lattice infeasibility certificate: when even the
+    // parallelism-independent work floor exceeds the cluster's aggregate
+    // capacity, every lattice point is infeasible, prune_mask keeps all of
+    // them, and a search could not skip anything — score exhaustively.
+    let probe = ParallelQueryPlan::new(plan.clone());
+    let all_infeasible =
+        crate::bounds::work_floors(&probe, ir, cluster, &bcfg).plan_util_floor() >= 1.0;
+
+    if !cfg.prune || space <= SMALL_LATTICE_CUTOFF || all_infeasible {
+        let cands = exhaust(0)?;
+        return Ok(tune_over(est, plan, ir, cluster, cfg, cands, space, 0));
+    }
+
+    let search = crate::lattice::branch_and_bound(plan, ir, cluster, &bcfg, &lattice, visit_budget);
+    if search.budget_exhausted {
+        return Err(TuneError::SearchBudgetExceeded {
+            analyzed: search.stats.leaves_analyzed,
+            space,
+            budget: visit_budget,
+        });
+    }
+    if !search.feasible_found {
+        // Certificate-pruned leaves are infeasible too, so the whole
+        // lattice is: replicate prune_mask's keep-everything rule.
+        let cands = exhaust(search.stats.leaves_analyzed)?;
+        return Ok(tune_over(est, plan, ir, cluster, cfg, cands, space, 0));
+    }
+
+    // Final exact keep decision over the analyzed set — provably the same
+    // survivors exhaustive scoring would keep (see `crate::lattice`).
+    let (cands, reports): (Vec<Vec<u32>>, Vec<crate::bounds::BoundsReport>) =
+        search.analyzed.into_iter().unzip();
+    let keep = crate::bounds::prune_mask(&reports);
+    let survivors: Vec<Vec<u32>> = cands
+        .into_iter()
+        .zip(&keep)
+        .filter_map(|(c, &k)| k.then_some(c))
+        .collect();
+    let candidates_pruned =
+        usize::try_from(space.saturating_sub(survivors.len() as u64)).unwrap_or(usize::MAX);
+    zt_telemetry::counter_add("tune.pruned", candidates_pruned as u64);
+    let n_survivors = survivors.len();
+    let counters = SearchCounters {
+        candidates_pruned,
+        search_space: space,
+        search_visited: search.stats.leaves_analyzed,
+        search_subtrees_pruned: search.stats.subtrees_pruned + search.stats.incumbent_cuts,
+    };
+    Ok(score_and_pick(
+        est,
+        plan,
+        ir,
+        cluster,
+        cfg,
+        survivors,
+        vec![true; n_survivors],
+        counters,
+    ))
+}
+
+/// Run the bounds pre-pass over an explicit candidate list, then score it.
+/// This is the historical flat-search body; the lattice paths reuse it for
+/// exhaustive scoring.
+#[allow(clippy::too_many_arguments)]
+fn tune_over<E: CostEstimator + ?Sized>(
+    est: &E,
+    plan: &LogicalPlan,
+    ir: &PlanIr,
+    cluster: &Cluster,
+    cfg: &OptimizerConfig,
+    mut candidates: Vec<Vec<u32>>,
+    search_space: u64,
+    search_subtrees_pruned: u64,
+) -> TuningOutcome {
     // Bounds pre-pass: the interval analysis marks candidates that are
     // provably infeasible or dominated. Marked candidates never win the
     // argmin and never contribute to Eq. 1's normalization envelope —
@@ -224,6 +486,7 @@ pub fn tune<E: CostEstimator + ?Sized>(
     // (the default, saving the model evaluations) or still scored
     // (useful when inspecting predictions for the full candidate set).
     let mut candidates_pruned = 0usize;
+    let mut search_visited = 0u64;
     let keep: Vec<bool> = if candidates.len() > 1 {
         let _s = zt_telemetry::span("tune.bounds");
         let bound_start = std::time::Instant::now();
@@ -237,9 +500,10 @@ pub fn tune<E: CostEstimator + ?Sized>(
             .map(|cand| {
                 probe.parallelism.clone_from(cand);
                 probe.reset_partitioning();
-                crate::bounds::analyze_with(&probe, &ir, cluster, &bcfg)
+                crate::bounds::analyze_with(&probe, ir, cluster, &bcfg)
             })
             .collect();
+        search_visited = reports.len() as u64;
         let keep = crate::bounds::prune_mask(&reports);
         if cfg.prune {
             let mut it = keep.iter();
@@ -259,11 +523,32 @@ pub fn tune<E: CostEstimator + ?Sized>(
     } else {
         vec![true; candidates.len()]
     };
+    let counters = SearchCounters {
+        candidates_pruned,
+        search_space,
+        search_visited,
+        search_subtrees_pruned,
+    };
+    score_and_pick(est, plan, ir, cluster, cfg, candidates, keep, counters)
+}
 
+/// Encode, batch-predict and argmin over a candidate set whose keep mask
+/// is already decided; runs the strict cross-check on the winner.
+#[allow(clippy::too_many_arguments)]
+fn score_and_pick<E: CostEstimator + ?Sized>(
+    est: &E,
+    plan: &LogicalPlan,
+    ir: &PlanIr,
+    cluster: &Cluster,
+    cfg: &OptimizerConfig,
+    candidates: Vec<Vec<u32>>,
+    keep: Vec<bool>,
+    counters: SearchCounters,
+) -> TuningOutcome {
     // Encode every candidate against the shared context, reusing one
     // mutable PQP (partitioning depends on the parallelism vector, so it
     // must be re-derived after each mutation).
-    let ctx = EncodeContext::with_ir(plan, &ir, cluster, &cfg.mask);
+    let ctx = EncodeContext::with_ir(plan, ir, cluster, &cfg.mask);
     let mut pqp = ParallelQueryPlan::new(plan.clone());
     let graphs: Vec<_> = {
         let _s = zt_telemetry::span("tune.encode");
@@ -272,7 +557,7 @@ pub fn tune<E: CostEstimator + ?Sized>(
             .map(|cand| {
                 pqp.parallelism.clone_from(cand);
                 pqp.reset_partitioning();
-                ctx.encode_sealed(&pqp, &ir, cluster, cfg.chaining)
+                ctx.encode_sealed(&pqp, ir, cluster, cfg.chaining)
             })
             .collect()
     };
@@ -327,7 +612,7 @@ pub fn tune<E: CostEstimator + ?Sized>(
             ..crate::bounds::BoundsConfig::default()
         };
         let chosen = ParallelQueryPlan::with_parallelism(plan.clone(), candidates[best].clone());
-        let report = crate::bounds::analyze_with(&chosen, &ir, cluster, &bcfg);
+        let report = crate::bounds::analyze_with(&chosen, ir, cluster, &bcfg);
         let mut diags = crate::diagnostics::lint_bounds_report(&report);
         for d in &mut diags {
             if d.code == "ZT503" {
@@ -356,7 +641,10 @@ pub fn tune<E: CostEstimator + ?Sized>(
         predicted_throughput: predictions[best].throughput,
         weighted_cost: best_cost,
         candidates_evaluated: candidates.len(),
-        candidates_pruned,
+        candidates_pruned: counters.candidates_pruned,
+        search_space: counters.search_space,
+        search_visited: counters.search_visited,
+        search_subtrees_pruned: counters.search_subtrees_pruned,
     }
 }
 
@@ -445,7 +733,8 @@ mod tests {
                 prune: true,
                 ..OptimizerConfig::default()
             },
-        );
+        )
+        .expect("valid plan");
         let pruned_off = tune(
             &model,
             &plan,
@@ -454,7 +743,8 @@ mod tests {
                 prune: false,
                 ..OptimizerConfig::default()
             },
-        );
+        )
+        .expect("valid plan");
         assert!(pruned_on.candidates_pruned > 0, "nothing was pruned");
         assert_eq!(pruned_off.candidates_pruned, 0);
         assert_eq!(
@@ -515,7 +805,8 @@ mod tests {
         let plan = plan.expect("found a high-rate query");
         let cluster = cluster();
 
-        let outcome = tune(&model, &plan, &cluster, &OptimizerConfig::default());
+        let outcome =
+            tune(&model, &plan, &cluster, &OptimizerConfig::default()).expect("valid plan");
         assert!(outcome.candidates_evaluated > 10);
 
         let sim_cfg = zt_dspsim::analytical::SimConfig::noiseless();
@@ -538,5 +829,110 @@ mod tests {
             tuned.throughput,
             trivial.throughput
         );
+    }
+
+    #[test]
+    fn invalid_plan_returns_structured_error() {
+        // A sink-less plan used to trip `tune()`'s internal expect; it must
+        // now come back as a typed error the caller can match on.
+        let mut plan = LogicalPlan::new("no-sink");
+        let src = plan.add(zt_query::OperatorKind::Source(zt_query::SourceOp {
+            event_rate: 1_000.0,
+            schema: zt_query::TupleSchema::uniform(zt_query::DataType::Int, 3),
+        }));
+        let f = plan.add(zt_query::OperatorKind::Filter(zt_query::FilterOp {
+            function: zt_query::FilterFunction::Gt,
+            literal_class: zt_query::DataType::Int,
+            selectivity: 0.5,
+        }));
+        plan.connect(src, f);
+        let model = ZeroTuneModel::new(ModelConfig { hidden: 8, seed: 1 });
+        let err = tune(&model, &plan, &cluster(), &OptimizerConfig::default())
+            .expect_err("sink-less plan must be rejected");
+        assert!(matches!(err, TuneError::InvalidPlan(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("valid plan"), "unexpected message: {msg}");
+        assert!(msg.contains("no sink"), "unexpected message: {msg}");
+        // The error chain must expose the underlying PlanError.
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn lattice_search_matches_exhaustive_lattice_scoring() {
+        // The branch-and-bound walk must pick exactly the configuration
+        // exhaustive scoring of the same lattice picks — same argmin, same
+        // predicted numbers — on a workload hot enough that pruning fires.
+        let model = ZeroTuneModel::new(ModelConfig { hidden: 8, seed: 3 });
+        let plan = zt_query::benchmarks::spike_detection(2_000_000.0);
+        let cluster = cluster();
+        let lattice = |prune: bool| OptimizerConfig {
+            prune,
+            search: SearchSpace::lattice(),
+            ..OptimizerConfig::default()
+        };
+        let bnb = tune(&model, &plan, &cluster, &lattice(true)).expect("valid plan");
+        let exhaustive = tune(&model, &plan, &cluster, &lattice(false)).expect("valid plan");
+        assert_eq!(bnb.parallelism, exhaustive.parallelism);
+        assert_eq!(bnb.predicted_latency_ms, exhaustive.predicted_latency_ms);
+        assert_eq!(bnb.predicted_throughput, exhaustive.predicted_throughput);
+        assert_eq!(bnb.search_space, exhaustive.search_space);
+        assert!(
+            bnb.search_visited < exhaustive.search_space,
+            "branch-and-bound analyzed the whole lattice ({} of {})",
+            bnb.search_visited,
+            bnb.search_space
+        );
+        assert!(bnb.search_subtrees_pruned > 0, "no subtree was ever cut");
+    }
+
+    #[test]
+    fn lattice_budget_exhaustion_is_a_typed_error() {
+        let model = ZeroTuneModel::new(ModelConfig { hidden: 8, seed: 3 });
+        let plan = zt_query::benchmarks::spike_detection(2_000_000.0);
+        let err = tune(
+            &model,
+            &plan,
+            &cluster(),
+            &OptimizerConfig {
+                search: SearchSpace::Lattice {
+                    max_degrees_per_op: 4,
+                    visit_budget: 2,
+                },
+                ..OptimizerConfig::default()
+            },
+        )
+        .expect_err("a 2-leaf budget cannot cover the lattice");
+        match err {
+            TuneError::SearchBudgetExceeded { space, budget, .. } => {
+                assert_eq!(budget, 2);
+                assert!(space > 2);
+            }
+            other => panic!("expected SearchBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_infeasible_lattice_falls_back_to_exhaustive_scoring() {
+        // At a rate no deployment can sustain, prune_mask keeps everything,
+        // so the lattice path must score the full lattice and still return
+        // a (best-effort) winner rather than erroring out.
+        let model = ZeroTuneModel::new(ModelConfig { hidden: 8, seed: 5 });
+        let plan = zt_query::benchmarks::spike_detection(80_000_000.0);
+        let out = tune(
+            &model,
+            &plan,
+            &cluster(),
+            &OptimizerConfig {
+                search: SearchSpace::lattice(),
+                ..OptimizerConfig::default()
+            },
+        )
+        .expect("valid plan");
+        assert!(!out.parallelism.is_empty());
+        assert_eq!(
+            out.search_subtrees_pruned, 0,
+            "nothing can be cut when every leaf is kept"
+        );
+        assert_eq!(out.search_visited, out.search_space);
     }
 }

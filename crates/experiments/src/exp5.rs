@@ -117,7 +117,8 @@ pub fn run_with(pipeline: &TrainedPipeline) -> Exp5Result {
             );
 
             // --- the three tuners ------------------------------------
-            let zt = tune(&pipeline.model, &plan, &cluster, &opt_cfg);
+            let zt = tune(&pipeline.model, &plan, &cluster, &opt_cfg)
+                .expect("generated benchmark plans are always valid");
             candidates_scored += zt.candidates_evaluated;
             candidates_pruned += zt.candidates_pruned;
             let greedy = greedy_tune(&plan, &cluster, &GreedyConfig::default());

@@ -85,11 +85,12 @@ impl Scratch {
     }
 }
 
-/// In-place ReLU; same values as the tape's `relu` op.
+/// In-place ReLU; same values as the tape's `relu` op. Dispatches to the
+/// active [`crate::kernels`] flavor (lane kernel by default, scalar oracle
+/// under `scalar-kernels`) — ReLU is element-wise, so both are bitwise
+/// identical.
 pub fn relu_inplace(m: &mut Matrix) {
-    for v in &mut m.data {
-        *v = v.max(0.0);
-    }
+    crate::kernels::relu(&mut m.data);
 }
 
 /// Element-wise mean of `states[idx[0]], states[idx[1]], …`, mirroring

@@ -16,6 +16,11 @@
 //! * [`infer`] — the tapeless inference support: a reusable [`infer::Scratch`]
 //!   buffer arena plus aggregation helpers that mirror the tape ops'
 //!   accumulation order exactly.
+//! * [`kernels`] — the dense `f32` hot-path kernels (matmul, ReLU, add,
+//!   Adam update), each as an 8-wide lane kernel *and* a scalar oracle.
+//!   The lane flavor is the default; building with the `scalar-kernels`
+//!   feature switches every dispatch site back to the oracle, and the two
+//!   are pinned bitwise-equal by `tests/kernel_equivalence.rs`.
 //! * [`certify`] — interval bound propagation over trained weights:
 //!   certified output brackets, certified-dead/saturated ReLU units and
 //!   per-input sensitivity bounds over an input box, sound against the
@@ -30,6 +35,7 @@
 pub mod certify;
 pub mod gradcheck;
 pub mod infer;
+pub mod kernels;
 pub mod layers;
 pub mod linalg;
 pub mod matrix;

@@ -62,9 +62,13 @@ impl Matrix {
 
     /// `self × other`, accumulated into a pre-zeroed `out`.
     ///
-    /// This is the single matmul kernel of the crate: the tape op and the
-    /// tapeless inference path both call it, so they produce bitwise
-    /// identical results (same i-k-j accumulation order).
+    /// This is the single matmul entry point of the crate: the tape op and
+    /// the tapeless inference path both call it, so they produce bitwise
+    /// identical results. The arithmetic lives in [`crate::kernels`] — an
+    /// 8-wide lane kernel by default, the scalar i-k-j oracle under the
+    /// `scalar-kernels` feature; both keep the same per-element
+    /// ascending-`k` accumulation chain, so the flavors are themselves
+    /// bitwise-equal here (pre-zeroed `out`, finite inputs).
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
@@ -72,20 +76,14 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         assert_eq!(out.shape(), (self.rows, other.cols), "matmul out shape");
-        // i-k-j loop order: stream through `other` rows for cache locality.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
     }
 
     /// Transpose.
@@ -102,9 +100,7 @@ impl Matrix {
     /// Element-wise in-place addition.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert!(self.same_shape(other), "add shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        crate::kernels::add_assign(&mut self.data, &other.data);
     }
 
     /// Element-wise sum.
@@ -187,6 +183,79 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul out shape")]
+    fn matmul_into_wrong_out_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3); // should be 2×4
+        a.matmul_into(&b, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul out data/shape mismatch")]
+    fn matmul_into_corrupted_out_buffer_panics() {
+        // `data` is public: a buffer whose storage disagrees with its
+        // logical shape must be rejected, not silently written past.
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 4);
+        out.data.truncate(5);
+        a.matmul_into(&b, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul lhs data/shape mismatch")]
+    fn matmul_into_corrupted_lhs_buffer_panics() {
+        let mut a = Matrix::zeros(2, 3);
+        a.data.push(1.0);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 4);
+        a.matmul_into(&b, &mut out);
+    }
+
+    #[test]
+    fn matmul_empty_dimensions() {
+        // 0×3 × 3×2 → 0×2
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::from_vec(3, 2, vec![1.0; 6]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (0, 2));
+        assert!(c.data.is_empty());
+        // 2×0 × 0×3 → 2×3 of zeros (empty inner dimension)
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.data, vec![0.0; 6]);
+        // 2×3 × 3×0 → 2×0
+        let a = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let b = Matrix::zeros(3, 0);
+        assert_eq!(a.matmul(&b).shape(), (2, 0));
+    }
+
+    #[test]
+    fn matmul_into_accumulates_into_nonzero_out() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let mut out = Matrix::from_vec(1, 2, vec![10.0, 20.0]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn matmul_into_with_aliased_operands() {
+        // `self × self` is the one aliasing the borrow checker permits
+        // (two shared borrows of the same matrix); the kernels must read
+        // both operands correctly even when they are one buffer.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut out = Matrix::zeros(2, 2);
+        a.matmul_into(&a, &mut out);
+        assert_eq!(out.data, vec![7.0, 10.0, 15.0, 22.0]);
+        // and the convenience wrapper agrees
+        assert_eq!(a.matmul(&a).data, out.data);
     }
 
     #[test]

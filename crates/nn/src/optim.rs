@@ -93,22 +93,27 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore) {
         self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t);
-        let b2t = 1.0 - self.beta2.powi(self.t);
+        let step = crate::kernels::AdamStep {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            b1t: 1.0 - self.beta1.powi(self.t),
+            b2t: 1.0 - self.beta2.powi(self.t),
+        };
         for id in masked_ids(store, &self.mask) {
             let (value, m, v, grad) = store.optim_state(id);
             let Some(grad) = grad else { continue };
             let grad = grad.clone();
             let m = m.get_or_insert_with(|| Matrix::zeros(value.rows, value.cols));
             let v = v.get_or_insert_with(|| Matrix::zeros(value.rows, value.cols));
-            for i in 0..value.data.len() {
-                let g = grad.data[i];
-                m.data[i] = self.beta1 * m.data[i] + (1.0 - self.beta1) * g;
-                v.data[i] = self.beta2 * v.data[i] + (1.0 - self.beta2) * g * g;
-                let m_hat = m.data[i] / b1t;
-                let v_hat = v.data[i] / b2t;
-                value.data[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+            crate::kernels::adam_update(
+                &mut value.data,
+                &mut m.data,
+                &mut v.data,
+                &grad.data,
+                &step,
+            );
         }
     }
 

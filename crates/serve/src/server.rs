@@ -557,7 +557,11 @@ fn handle_tune(req: &Request, shared: &Shared) -> Handled {
     let cluster = api::cluster_of(&v, &shared.default_cluster)?;
     let cfg = tune_config(&v)?;
     let snapshot = shared.registry.current();
-    let outcome = tune(&snapshot.model, &plan, &cluster, &cfg);
+    // A structured tuner error (degenerate candidate set, exhausted search
+    // budget, plan invalidated post-envelope) is the client's problem, not
+    // a daemon crash: surface it as a 422 with the tuner's own message.
+    let outcome = tune(&snapshot.model, &plan, &cluster, &cfg)
+        .map_err(|e| ApiError::new(422, "tune_failed", e.to_string()))?;
     ok(render(&TuneResponse {
         model_version: snapshot.version,
         outcome,

@@ -46,7 +46,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
 
     // --- the three tuners --------------------------------------------
-    let zt = tune(&model, &plan, &cluster, &OptimizerConfig::default());
+    let zt = tune(&model, &plan, &cluster, &OptimizerConfig::default()).expect("valid plan");
     let greedy = greedy_tune(&plan, &cluster, &GreedyConfig::default());
     let dhalion = dhalion_tune(&plan, &cluster, &DhalionConfig::default(), &sim, &mut rng);
 

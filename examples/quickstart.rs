@@ -51,7 +51,7 @@ fn main() {
     println!("\nunseen query:\n{plan}");
 
     // 5. Let the optimizer pick parallelism degrees from what-if costs.
-    let outcome = tune(&model, &plan, &cluster, &OptimizerConfig::default());
+    let outcome = tune(&model, &plan, &cluster, &OptimizerConfig::default()).expect("valid plan");
     println!(
         "optimizer chose parallelism {:?} ({} candidates)",
         outcome.parallelism, outcome.candidates_evaluated

@@ -326,7 +326,8 @@ fn tune_both(
             prune: true,
             ..OptimizerConfig::default()
         },
-    );
+    )
+    .expect("valid plan");
     let off = tune(
         model,
         plan,
@@ -335,7 +336,8 @@ fn tune_both(
             prune: false,
             ..OptimizerConfig::default()
         },
-    );
+    )
+    .expect("valid plan");
     (on, off)
 }
 

@@ -520,7 +520,7 @@ fn strict_tune_rejects_slide_beyond_length() {
         strict: true,
         ..OptimizerConfig::default()
     };
-    let _ = tune(&model, &p, &cluster(), &cfg);
+    let _ = tune(&model, &p, &cluster(), &cfg).expect("valid plan");
 }
 
 #[test]
@@ -545,7 +545,7 @@ fn strict_tune_passes_on_clean_plan() {
         strict: true,
         ..OptimizerConfig::default()
     };
-    let outcome = tune(&model, &spike_detection(10_000.0), &cluster(), &cfg);
+    let outcome = tune(&model, &spike_detection(10_000.0), &cluster(), &cfg).expect("valid plan");
     assert!(!outcome.parallelism.is_empty());
 }
 
@@ -696,7 +696,8 @@ fn strict_tune_survives_provably_infeasible_query() {
         strict: true,
         ..OptimizerConfig::default()
     };
-    let outcome = tune(&model, &spike_detection(80_000_000.0), &cluster(), &cfg);
+    let outcome =
+        tune(&model, &spike_detection(80_000_000.0), &cluster(), &cfg).expect("valid plan");
     assert!(!outcome.parallelism.is_empty());
 }
 

@@ -63,7 +63,8 @@ fn optimizer_configuration_is_feasible_and_sensible() {
     let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
     for structure in [QueryStructure::Linear, QueryStructure::TwoWayJoin] {
         let plan = QueryGenerator::seen().generate(structure, &mut rng);
-        let outcome = tune(&model, &plan, &cluster, &OptimizerConfig::default());
+        let outcome =
+            tune(&model, &plan, &cluster, &OptimizerConfig::default()).expect("valid plan");
         // Eq. 1 constraints: P ≥ 1 and max P ≤ n_core.
         assert_eq!(outcome.parallelism.len(), plan.num_ops());
         assert!(outcome.parallelism.iter().all(|&p| p >= 1));

@@ -206,7 +206,7 @@ fn multi_sink_plan_runs_end_to_end() {
     assert!(pred.throughput.is_finite() && pred.throughput > 0.0);
 
     // 5. Tune: a feasible parallelism assignment for the multi-sink plan.
-    let outcome = tune(&model, &plan, &cluster, &OptimizerConfig::default());
+    let outcome = tune(&model, &plan, &cluster, &OptimizerConfig::default()).expect("valid plan");
     assert_eq!(outcome.parallelism.len(), n);
     assert!(outcome
         .parallelism

@@ -220,7 +220,7 @@ fn tune_matches_offline_tuner() {
             wt: 0.75,
             ..OptimizerConfig::default()
         };
-        let outcome = tune(&model, &plan, &default_cluster(), &cfg);
+        let outcome = tune(&model, &plan, &default_cluster(), &cfg).expect("valid plan");
         let expected = serde_json::to_string(&TuneResponse {
             model_version: 1,
             outcome,

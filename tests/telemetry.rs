@@ -60,7 +60,7 @@ fn run_pipeline(datagen_workers: usize) -> (String, telemetry::Snapshot) {
     let mut rng = StdRng::seed_from_u64(3);
     let query = QueryGenerator::seen().generate(QueryStructure::Linear, &mut rng);
     let cluster = Cluster::homogeneous(ClusterType::M510, 2, 10.0);
-    let _ = tune(&model, &query, &cluster, &OptimizerConfig::default());
+    let _ = tune(&model, &query, &cluster, &OptimizerConfig::default()).expect("valid plan");
 
     let snap = telemetry::snapshot();
     (snap.canonical(), snap)
