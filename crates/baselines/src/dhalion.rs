@@ -137,6 +137,7 @@ mod tests {
         let s = plan.add(OperatorKind::Source(SourceOp {
             event_rate: rate,
             schema: TupleSchema::uniform(DataType::Double, 3),
+            key_cardinality: None,
         }));
         let f = plan.add(OperatorKind::Filter(FilterOp {
             function: FilterFunction::Gt,
@@ -149,6 +150,7 @@ mod tests {
             agg_class: DataType::Double,
             key_class: Some(DataType::Int),
             selectivity: 0.2,
+            key_cardinality: None,
         }));
         let k = plan.add(OperatorKind::Sink(SinkOp));
         plan.connect(s, f);

@@ -1,0 +1,109 @@
+//! Criterion microbenches for the monotone dataflow analyses.
+//!
+//! `lint_plan` / `lint_pqp` now run the rate, key and class fixpoints on
+//! every sealed plan, and `tune` consults `parallelism_cap()` when
+//! shaping the lattice — so the analysis cost is on the pre-flight path
+//! of every tuning call. These benches record the single-pass solve cost
+//! (ns/op) on a deep keyed chain and on a benchmark query, and print the
+//! lattice-size reduction the key-cardinality cap buys on the 12-op
+//! chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zt_core::dataflow::{analyze_plan, analyze_pqp};
+use zt_core::ParallelismLattice;
+use zt_dspsim::cluster::{Cluster, ClusterType};
+use zt_query::operators::SinkOp;
+use zt_query::{
+    AggFunction, AggregateOp, DataType, FilterFunction, FilterOp, LogicalPlan, OperatorKind,
+    ParallelQueryPlan, SourceOp, TupleSchema, WindowPolicy, WindowSpec,
+};
+
+/// A 12-operator chain with keyed aggregates that declare a key
+/// cardinality: source → (filter → keyed-agg)×5 → sink. Every keyed agg
+/// hash-partitions its input and caps its useful parallelism at
+/// `ceil(K)`.
+fn keyed_chain(key_cardinality: f64) -> LogicalPlan {
+    let mut p = LogicalPlan::new("keyed_chain12");
+    let mut prev = p.add(OperatorKind::Source(SourceOp {
+        event_rate: 50_000.0,
+        schema: TupleSchema::uniform(DataType::Int, 3),
+        key_cardinality: Some(1_000.0),
+    }));
+    for _ in 0..5 {
+        let f = p.add(OperatorKind::Filter(FilterOp {
+            function: FilterFunction::Gt,
+            literal_class: DataType::Int,
+            selectivity: 0.9,
+        }));
+        p.connect(prev, f);
+        let a = p.add(OperatorKind::Aggregate(AggregateOp {
+            function: AggFunction::Avg,
+            key_class: Some(DataType::Int),
+            agg_class: DataType::Int,
+            window: WindowSpec::tumbling(WindowPolicy::Time, 1_000.0),
+            selectivity: 1.0,
+            key_cardinality: Some(key_cardinality),
+        }));
+        p.connect(f, a);
+        prev = a;
+    }
+    let k = p.add(OperatorKind::Sink(SinkOp));
+    p.connect(prev, k);
+    p
+}
+
+fn bench_dataflow(c: &mut Criterion) {
+    let chain = keyed_chain(3.0);
+    let chain_ir = chain.validate().expect("chain seals");
+    let chain_pqp = {
+        let n = chain.num_ops();
+        ParallelQueryPlan::with_parallelism(chain.clone(), vec![4; n])
+    };
+    let spike = zt_query::benchmarks::spike_detection(10_000.0);
+    let spike_ir = spike.validate().expect("benchmark seals");
+    let spike_pqp = ParallelQueryPlan::new(spike.clone());
+
+    // Lattice-size reduction from the key-cardinality cap on the 12-op
+    // chain (the ZT704 condition `tune` applies): degrees at or beyond an
+    // operator's cap collapse onto one canonical representative.
+    let cluster = Cluster::homogeneous(ClusterType::M510, 4, 10.0);
+    let cfg = zt_core::OptimizerConfig::default();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed);
+    let candidates = zt_core::optimizer::enumerate_candidates(&chain, &cluster, &cfg, &mut rng);
+    let uncapped = ParallelismLattice::from_candidates(&candidates, 4);
+    let mut capped = ParallelismLattice::from_candidates(&candidates, 4);
+    for (i, op) in chain.ops().iter().enumerate() {
+        if let Some(cap) = op.kind.parallelism_cap() {
+            let degrees = &mut capped.degrees[i];
+            if let Some(&rep) = degrees.iter().find(|&&d| d >= cap) {
+                degrees.retain(|&d| d < cap || d == rep);
+            }
+        }
+    }
+    println!(
+        "dataflow cap on keyed_chain12: lattice {} -> {} points ({:.1}x reduction)",
+        uncapped.size(),
+        capped.size(),
+        uncapped.size() as f64 / capped.size().max(1) as f64
+    );
+    assert!(
+        capped.size() < uncapped.size(),
+        "cap must shrink the lattice"
+    );
+
+    c.bench_function("dataflow/analyze_plan_chain12", |b| {
+        b.iter(|| analyze_plan(std::hint::black_box(&chain), &chain_ir));
+    });
+    c.bench_function("dataflow/analyze_pqp_chain12", |b| {
+        b.iter(|| analyze_pqp(std::hint::black_box(&chain_pqp), &chain_ir));
+    });
+    c.bench_function("dataflow/analyze_plan_spike", |b| {
+        b.iter(|| analyze_plan(std::hint::black_box(&spike), &spike_ir));
+    });
+    c.bench_function("dataflow/lint_pqp_spike", |b| {
+        b.iter(|| zt_core::lint_pqp(std::hint::black_box(&spike_pqp), None));
+    });
+}
+
+criterion_group!(benches, bench_dataflow);
+criterion_main!(benches);

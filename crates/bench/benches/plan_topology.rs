@@ -21,6 +21,7 @@ fn deep_plan(depth: usize) -> LogicalPlan {
     let mut prev = p.add(OperatorKind::Source(SourceOp {
         event_rate: 10_000.0,
         schema: TupleSchema::uniform(DataType::Double, 3),
+        key_cardinality: None,
     }));
     for _ in 0..depth.saturating_sub(2) {
         let f = p.add(OperatorKind::Filter(FilterOp {
@@ -43,6 +44,7 @@ fn wide_plan(width: usize) -> LogicalPlan {
     let s = p.add(OperatorKind::Source(SourceOp {
         event_rate: 10_000.0,
         schema: TupleSchema::uniform(DataType::Double, 3),
+        key_cardinality: None,
     }));
     for _ in 0..width {
         let f = p.add(OperatorKind::Filter(FilterOp {

@@ -310,7 +310,7 @@ fn interval_profile(
     for op in plan.ops() {
         let id = op.id;
         let i = id.idx();
-        let p = pqp.parallelism_of(id).max(1) as f64;
+        let p = pqp.effective_parallelism_of(id).max(1) as f64;
         let nodes = dep.instance_nodes(id);
         let skew = if pqp.input_partitioning(id) == Partitioning::Hash {
             cm.hash_skew
@@ -565,7 +565,7 @@ pub fn analyze_with(
     let mut per_op = Vec::with_capacity(n);
     for op in plan.ops() {
         let i = op.id.idx();
-        let p = pqp.parallelism_of(op.id).max(1) as f64;
+        let p = pqp.effective_parallelism_of(op.id).max(1) as f64;
         let util = profile.hottest[i];
         let rho = Interval::new(util.lo.min(RHO_CAP), util.hi.min(RHO_CAP));
         let stretch = dep
@@ -637,8 +637,8 @@ pub fn analyze_with(
                 let remote = 1.0 - local_fraction;
                 let link = cluster.nodes[0].network_gbps;
                 let per_hop = cm.net_hop_ms + cm.wire_ms(schema, link);
-                let pu = pqp.parallelism_of(u).max(1) as f64;
-                let pd = pqp.parallelism_of(d).max(1) as f64;
+                let pu = pqp.effective_parallelism_of(u).max(1) as f64;
+                let pd = pqp.effective_parallelism_of(d).max(1) as f64;
                 let channels = match pqp.partitioning[e] {
                     Partitioning::Forward => pu,
                     Partitioning::Rebalance | Partitioning::Hash => pu * pd,
@@ -894,6 +894,7 @@ mod tests {
         let s = plan.add(OperatorKind::Source(SourceOp {
             event_rate: rate,
             schema: TupleSchema::uniform(DataType::Double, 3),
+            key_cardinality: None,
         }));
         let f = plan.add(OperatorKind::Filter(FilterOp {
             function: FilterFunction::Gt,
@@ -906,6 +907,7 @@ mod tests {
             agg_class: DataType::Double,
             key_class: Some(DataType::Int),
             selectivity: 0.2,
+            key_cardinality: None,
         }));
         let k = plan.add(OperatorKind::Sink(SinkOp));
         plan.connect(s, f);

@@ -17,12 +17,13 @@
 //!
 //! | Family | Codes | Subject |
 //! |---|---|---|
-//! | ZT1xx | ZT101–ZT107 | [`LogicalPlan`] / [`ParallelQueryPlan`] |
+//! | ZT1xx | ZT101–ZT109 | [`LogicalPlan`] / [`ParallelQueryPlan`] |
 //! | ZT2xx | ZT201–ZT205 | [`GraphEncoding`] feature vectors |
 //! | ZT3xx | ZT301–ZT305 | [`Dataset`] labels and structure |
 //! | ZT4xx | ZT401–ZT407 | [`ZeroTuneModel`] weights and normalization |
 //! | ZT5xx | ZT501–ZT504 | [`BoundsReport`](crate::bounds::BoundsReport) interval cross-checks |
 //! | ZT6xx | ZT601–ZT605 | [`ModelCert`](crate::certify::ModelCert) interval certification of trained weights |
+//! | ZT7xx | ZT701–ZT705 | [`DataflowReport`](crate::dataflow::DataflowReport) monotone dataflow facts |
 //!
 //! The passes run **without executing anything** — no simulation, no
 //! forward pass (the one exception is
@@ -423,6 +424,31 @@ pub const REGISTRY: &[CodeInfo] = &[
         severity: Severity::Error,
         summary: "prediction escapes the model's certified output bracket",
     },
+    CodeInfo {
+        code: "ZT701",
+        severity: Severity::Warning,
+        summary: "statically dead edge (propagated rate bracket is exactly zero)",
+    },
+    CodeInfo {
+        code: "ZT702",
+        severity: Severity::Warning,
+        summary: "edge's minimum traffic exceeds the cluster's usable network bandwidth",
+    },
+    CodeInfo {
+        code: "ZT703",
+        severity: Severity::Warning,
+        summary: "redundant hash re-partition of an already-correctly-partitioned stream",
+    },
+    CodeInfo {
+        code: "ZT704",
+        severity: Severity::Warning,
+        summary: "parallelism exceeds upstream key cardinality (provably idle instances)",
+    },
+    CodeInfo {
+        code: "ZT705",
+        severity: Severity::Warning,
+        summary: "keyed operator's input stream cannot carry its key class",
+    },
 ];
 
 /// Look up a registry entry by code.
@@ -479,7 +505,8 @@ fn lint_window(id: OpId, w: &WindowSpec, out: &mut Vec<Diagnostic>) {
 }
 
 /// Lint a logical plan: structural validity (ZT101), reachability
-/// (ZT102), window geometry (ZT103) and selectivity domains (ZT104).
+/// (ZT102/ZT108), window geometry (ZT103), selectivity domains (ZT104)
+/// and — when the plan seals — dataflow facts (ZT701, ZT705).
 ///
 /// Unlike [`LogicalPlan::validate`] this does not stop at the first
 /// problem, works on arbitrary (even invalid) plans, and is stricter
@@ -512,9 +539,11 @@ pub fn lint_plan(plan: &LogicalPlan) -> Vec<Diagnostic> {
     }
 
     // Structural validation, mapped onto ZT101 unless a dedicated code
-    // above already covers the same operator parameter.
+    // above already covers the same operator parameter. Keep the sealed IR
+    // around: the dataflow lints below need its cached topo order.
+    let mut sealed = None;
     match plan.validate() {
-        Ok(_) => {}
+        Ok(ir) => sealed = Some(ir),
         Err(PlanError::InvalidParameter(id, what)) => {
             let covered = out.iter().any(|d| {
                 d.anchor == Some(Anchor::Op(id)) && (d.code == "ZT103" || d.code == "ZT104")
@@ -571,36 +600,43 @@ pub fn lint_plan(plan: &LogicalPlan) -> Vec<Diagnostic> {
         let num_sinks = plan.ops().iter().filter(|o| o.kind.is_sink()).count();
         for op in plan.ops() {
             let i = op.id.idx();
-            if !(from_source[i] && to_sink[i]) {
-                // In a multi-sink plan an operator fed by a source but
-                // draining into no sink is a distinct (and easier to hit)
-                // mistake: a branch was forked but never terminated. Give
-                // it its own code so fixes don't chase the generic ZT102.
-                if num_sinks >= 2 && from_source[i] && !to_sink[i] {
-                    out.push(
-                        Diagnostic::warning(
-                            "ZT108",
-                            format!(
-                                "{} operator is fed by a source but reaches none of the plan's {num_sinks} sinks (dangling branch)",
-                                op.kind.label()
-                            ),
+            // Exactly one structural-reachability diagnostic per operator:
+            // ZT108 when a branch was forked but never terminated in a
+            // multi-sink plan (a distinct, easier-to-hit mistake than the
+            // generic off-path case), ZT102 for everything else.
+            let diag = match (from_source[i], to_sink[i]) {
+                (true, true) => None,
+                (true, false) if num_sinks >= 2 => {
+                    let msg = if op.kind.is_source() {
+                        format!(
+                            "source feeds a branch that reaches none of the plan's {num_sinks} sinks (dangling branch)"
                         )
-                        .at_op(op.id),
-                    );
-                } else {
-                    out.push(
-                        Diagnostic::warning(
-                            "ZT102",
-                            format!(
-                                "{} operator is not on any source → sink path (unreachable work)",
-                                op.kind.label()
-                            ),
+                    } else {
+                        format!(
+                            "{} operator is fed by a source but reaches none of the plan's {num_sinks} sinks (dangling branch)",
+                            op.kind.label()
                         )
-                        .at_op(op.id),
-                    );
+                    };
+                    Some(Diagnostic::warning("ZT108", msg))
                 }
+                _ => Some(Diagnostic::warning(
+                    "ZT102",
+                    format!(
+                        "{} operator is not on any source → sink path (unreachable work)",
+                        op.kind.label()
+                    ),
+                )),
+            };
+            if let Some(d) = diag {
+                out.push(d.at_op(op.id));
             }
         }
+    }
+
+    // Dataflow facts only exist on sealed plans: rate propagation walks the
+    // IR's cached topological order.
+    if let Some(ir) = &sealed {
+        out.extend(crate::dataflow::lint_dataflow_plan(plan, ir));
     }
 
     out
@@ -638,8 +674,9 @@ pub fn lint_wire_plan(json: &str) -> (Option<(LogicalPlan, zt_query::PlanIr)>, R
 
 /// Lint a parallel query plan (includes [`lint_plan`] on the underlying
 /// logical plan): parallel-configuration validity (ZT101), wasted hash
-/// shuffles (ZT106), and — when a cluster is given — slot-capacity checks
-/// (ZT105 error per operator, ZT107 oversubscription warning).
+/// shuffles (ZT106), slot-capacity checks when a cluster is given (ZT105
+/// error per operator, ZT107 oversubscription warning), and
+/// deployment-level dataflow facts (ZT702 with a cluster, ZT703, ZT704).
 pub fn lint_pqp(pqp: &ParallelQueryPlan, cluster: Option<&Cluster>) -> Vec<Diagnostic> {
     let mut out = lint_plan(&pqp.plan);
     let n = pqp.plan.num_ops();
@@ -717,6 +754,15 @@ pub fn lint_pqp(pqp: &ParallelQueryPlan, cluster: Option<&Cluster>) -> Vec<Diagn
                     ),
                 ));
             }
+        }
+    }
+
+    // Deployment-level dataflow lints need a sealed IR and a coherent
+    // parallel configuration; their codes are disjoint from the plan-level
+    // ZT701/ZT705 already emitted by `lint_plan` above.
+    if pqp.parallelism.iter().all(|&p| p >= 1) {
+        if let Ok(ir) = pqp.plan.validate() {
+            out.extend(crate::dataflow::lint_dataflow_pqp(pqp, &ir, cluster));
         }
     }
 

@@ -206,6 +206,69 @@ pub fn explain_bounds(
     out
 }
 
+// --- Dataflow rendering --------------------------------------------------
+
+/// Render a [`DataflowReport`](crate::dataflow::DataflowReport) for a
+/// deployment as a per-edge table: the partitioning strategy, the
+/// propagated rate/width brackets (and the implied bytes/s), the
+/// key-cardinality bound and distribution property, and the key classes
+/// the stream carries. Rates are *unthrottled offered* load — compare
+/// against [`explain_bounds`]'s throttled arrival rates to see where
+/// backpressure bites.
+pub fn explain_dataflow(
+    pqp: &zt_query::ParallelQueryPlan,
+    ir: &zt_query::PlanIr,
+    report: &crate::dataflow::DataflowReport,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dataflow: {} ops · {} edges · single fixpoint pass over the sealed topo order",
+        ir.num_ops(),
+        ir.num_edges()
+    );
+    let _ = writeln!(
+        out,
+        "{:<4} {:<26} {:<9} {:<22} {:>7} {:<22} {:<8} {:<16} {:<14}",
+        "edge", "route", "part", "rate/s", "width B", "bytes/s", "keys", "distribution", "classes"
+    );
+    for (e, &(u, d)) in pqp.plan.edges().iter().enumerate() {
+        let rf = report.rates.edge(e);
+        let kf = report.keys.edge(e);
+        let bytes = Interval {
+            lo: rf.rate.lo * rf.width.lo,
+            hi: rf.rate.hi * rf.width.hi,
+        };
+        let keys = kf
+            .cardinality
+            .map_or_else(|| "unbounded".to_string(), |k| format!("≤{k:.0}"));
+        let part = match pqp.partitioning[e] {
+            zt_query::Partitioning::Forward => "forward",
+            zt_query::Partitioning::Rebalance => "rebalance",
+            zt_query::Partitioning::Hash => "hash",
+        };
+        let _ = writeln!(
+            out,
+            "{:<4} {:<26} {:<9} {:<22} {:>7} {:<22} {:<8} {:<16} {:<14}",
+            e,
+            format!(
+                "{u} {} → {d} {}",
+                pqp.plan.op(u).kind.label(),
+                pqp.plan.op(d).kind.label()
+            ),
+            part,
+            fmt_interval(rf.rate),
+            format!("{:.0}", rf.width.hi),
+            fmt_interval(bytes),
+            keys,
+            report.keys.edge(e).dist.to_string(),
+            report.classes.edge(e).to_string(),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

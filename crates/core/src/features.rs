@@ -146,7 +146,12 @@ pub fn operator_features(
 
     // -- parallelism-related (Table I, "operator-parallelism") ---------
     if mask.parallelism {
-        f.push(log_norm(pqp.parallelism_of(op.id) as f64, LOG_P_NORM));
+        // Effective degree: instances beyond the operator's key
+        // cardinality never receive tuples, so they carry no cost signal.
+        f.push(log_norm(
+            pqp.effective_parallelism_of(op.id) as f64,
+            LOG_P_NORM,
+        ));
         one_hot(&mut f, pqp.input_partitioning(op.id).one_hot_index(), 3);
         f.push(dep.grouping_number(op.id) as f32 / GROUPING_NORM);
     } else {

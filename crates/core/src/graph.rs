@@ -258,9 +258,11 @@ impl EncodeContext {
         }
 
         // Mapping edges: resource -> operator, weighted by instance share.
+        // The deployment schedules effective instances, so the share is
+        // normalized by the same effective degree.
         let mut mapping = Vec::new();
         for op in plan.ops() {
-            let p = pqp.parallelism_of(op.id).max(1) as f32;
+            let p = pqp.effective_parallelism_of(op.id).max(1) as f32;
             for (node, count) in dep.instance_counts(op.id) {
                 mapping.push((resource_node_of[node], op.id.idx(), count as f32 / p));
             }

@@ -271,8 +271,11 @@ impl Dfs<'_> {
 
             // Certificate 1: this degree choice alone proves every
             // completion infeasible — exactly the condition `prune_mask`
-            // masks leaves by, so skipping is outcome-neutral.
-            if self.floors.op_util_floor(op_idx, d) >= 1.0 {
+            // masks leaves by, so skipping is outcome-neutral. The floor
+            // divides by the *effective* degree (instances beyond the
+            // key-cardinality cap are idle), matching `analyze_with`.
+            let eff = self.probe.plan.ops()[op_idx].kind.effective_parallelism(d);
+            if self.floors.op_util_floor(op_idx, eff) >= 1.0 {
                 self.stats.subtrees_pruned += 1;
                 self.stats.leaves_skipped = self
                     .stats

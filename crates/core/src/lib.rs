@@ -43,6 +43,11 @@
 //!   sound lower/upper brackets on rates, utilization, latency and
 //!   throughput derived without running the simulator; powers the
 //!   optimizer's pruning pre-pass and the ZT5xx prediction cross-checks.
+//! * [`dataflow`] — monotone dataflow analysis over the sealed plan IR
+//!   (rate/width brackets, key-cardinality and partitioning-property
+//!   flow, schema key-class flow): one fixpoint pass over the cached
+//!   topological order, feeding the ZT7xx lints and the optimizer's
+//!   key-cardinality lattice capping.
 //! * [`telemetry`] — runtime observability (RAII spans, counters,
 //!   histograms; `ZT_TELEMETRY=off|summary|trace`; Chrome-trace and
 //!   summary-report exporters), instrumented through datagen, training,
@@ -52,6 +57,7 @@
 
 pub mod bounds;
 pub mod certify;
+pub mod dataflow;
 pub mod datagen;
 pub mod dataset;
 pub mod diagnostics;
@@ -82,6 +88,11 @@ pub use certify::{
     certify_model, certify_report, dataflow_depth, explain_certificate, CertSummary, CertifyConfig,
     HeadBracket, ModelCert, ModuleCert,
 };
+pub use dataflow::{
+    analyze_plan as dataflow_plan, analyze_pqp as dataflow_pqp, is_fixpoint, lint_dataflow_plan,
+    lint_dataflow_pqp, solve as dataflow_solve, ClassSet, DataflowReport, KeyDist, KeyFact,
+    RateFact,
+};
 pub use datagen::{generate_dataset_report, generate_dataset_with, shard_seed, GenPlan, GenReport};
 pub use dataset::{generate_dataset, Dataset, GenConfig, Sample, SampleMeta};
 pub use diagnostics::{
@@ -94,7 +105,10 @@ pub use features::FeatureMask;
 pub use graph::{encode, EncodeContext, GraphEncoding, GraphNode, NodeKind};
 pub use lattice::{branch_and_bound, ParallelismLattice, SearchOutcome, SearchStats};
 pub use model::{ModelConfig, TargetNorm, ZeroTuneModel};
-pub use optimizer::{prune_from_env, tune, OptimizerConfig, SearchSpace, TuneError, TuningOutcome};
+pub use optimizer::{
+    dataflow_cap_from_env, prune_from_env, tune, OptimizerConfig, SearchSpace, TuneError,
+    TuningOutcome,
+};
 pub use optisample::{EnumerationStrategy, OptiSampleConfig, RandomConfig};
 pub use qerror::{q_error, QErrorStats};
 pub use train::{evaluate, train, TrainConfig, TrainReport};

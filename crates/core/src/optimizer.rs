@@ -151,6 +151,16 @@ pub struct OptimizerConfig {
     /// (`ZT_NO_PRUNE=1`, the `--no-prune` flag on the experiment
     /// binaries).
     pub prune: bool,
+    /// Cap each operator's lattice degree axis at its key-cardinality
+    /// bound (the ZT704 condition): degrees beyond the cap deploy
+    /// physically identical plans — the surplus instances are provably
+    /// idle — so only the smallest such degree is kept as the canonical
+    /// representative. Outcome-neutral (removed points are
+    /// prediction-identical duplicates of their representative) but
+    /// shrinks the searched lattice. On unless `ZT_NO_DATAFLOW_CAP` is
+    /// set (`--no-dataflow-cap` on the experiment binaries). Only affects
+    /// [`SearchSpace::Lattice`].
+    pub dataflow_cap: bool,
     /// Shape of the explored configuration space (flat candidate list or
     /// branch-and-bound over the parallelism lattice).
     pub search: SearchSpace,
@@ -162,6 +172,16 @@ pub struct OptimizerConfig {
 pub fn prune_from_env() -> bool {
     !matches!(
         std::env::var("ZT_NO_PRUNE").as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    )
+}
+
+/// Whether the key-cardinality lattice cap is enabled: on unless
+/// `ZT_NO_DATAFLOW_CAP` is set to `1`, `true` or `yes`. The experiment
+/// binaries map `--no-dataflow-cap` onto this variable.
+pub fn dataflow_cap_from_env() -> bool {
+    !matches!(
+        std::env::var("ZT_NO_DATAFLOW_CAP").as_deref(),
         Ok("1") | Ok("true") | Ok("yes")
     )
 }
@@ -178,6 +198,7 @@ impl Default for OptimizerConfig {
             seed: 0x0471,
             strict: crate::diagnostics::strict_from_env(),
             prune: prune_from_env(),
+            dataflow_cap: dataflow_cap_from_env(),
             search: SearchSpace::Flat,
         }
     }
@@ -212,6 +233,15 @@ pub struct TuningOutcome {
     /// their leaves were ever analyzed (0 for the flat search).
     #[serde(default)]
     pub search_subtrees_pruned: u64,
+    /// Operators whose lattice degree axis was capped at their
+    /// key-cardinality bound (0 when the cap is off, the search is flat,
+    /// or no operator declares a cardinality).
+    #[serde(skip)]
+    pub dataflow_capped_ops: usize,
+    /// Lattice points removed by the key-cardinality cap before the
+    /// search ran.
+    #[serde(skip)]
+    pub dataflow_points_removed: u64,
 }
 
 /// Enumerate candidate parallelism vectors for `plan` on `cluster`.
@@ -386,7 +416,39 @@ fn tune_lattice<E: CostEstimator + ?Sized>(
     max_degrees_per_op: usize,
     visit_budget: usize,
 ) -> Result<TuningOutcome, TuneError> {
-    let lattice = ParallelismLattice::from_candidates(flat_candidates, max_degrees_per_op);
+    let mut lattice = ParallelismLattice::from_candidates(flat_candidates, max_degrees_per_op);
+    // Key-cardinality capping (the ZT704 condition): along an operator's
+    // degree axis, every degree at or beyond `parallelism_cap()` deploys
+    // the *same* physical plan — partitioning, chaining, placement and
+    // bounds all act on effective parallelism — so the candidates differ
+    // only in provably idle instances. Keep the smallest such degree as
+    // the canonical representative and drop the rest; the argmin is
+    // unchanged because the removed points are prediction-identical to
+    // their representative and the scorer's strict `<` picks the first
+    // (lexicographically smallest) of any tied set either way.
+    let mut dataflow_capped_ops = 0usize;
+    let mut dataflow_points_removed = 0u64;
+    if cfg.dataflow_cap {
+        let before = lattice.size();
+        for (i, op) in plan.ops().iter().enumerate() {
+            let Some(cap) = op.kind.parallelism_cap() else {
+                continue;
+            };
+            let degrees = &mut lattice.degrees[i];
+            let Some(&rep) = degrees.iter().find(|&&d| d >= cap) else {
+                continue;
+            };
+            if degrees.iter().any(|&d| d > rep) {
+                degrees.retain(|&d| d < cap || d == rep);
+                dataflow_capped_ops += 1;
+            }
+        }
+        dataflow_points_removed = before.saturating_sub(lattice.size());
+        if dataflow_capped_ops > 0 {
+            zt_telemetry::counter_add("tune.dataflow.capped_ops", dataflow_capped_ops as u64);
+            zt_telemetry::counter_add("tune.dataflow.points_removed", dataflow_points_removed);
+        }
+    }
     let space = lattice.size();
     let bcfg = crate::bounds::BoundsConfig {
         chaining: cfg.chaining,
@@ -411,9 +473,17 @@ fn tune_lattice<E: CostEstimator + ?Sized>(
     let all_infeasible =
         crate::bounds::work_floors(&probe, ir, cluster, &bcfg).plan_util_floor() >= 1.0;
 
+    let stamp = |mut out: TuningOutcome| {
+        out.dataflow_capped_ops = dataflow_capped_ops;
+        out.dataflow_points_removed = dataflow_points_removed;
+        out
+    };
+
     if !cfg.prune || space <= SMALL_LATTICE_CUTOFF || all_infeasible {
         let cands = exhaust(0)?;
-        return Ok(tune_over(est, plan, ir, cluster, cfg, cands, space, 0));
+        return Ok(stamp(tune_over(
+            est, plan, ir, cluster, cfg, cands, space, 0,
+        )));
     }
 
     let search = crate::lattice::branch_and_bound(plan, ir, cluster, &bcfg, &lattice, visit_budget);
@@ -428,7 +498,9 @@ fn tune_lattice<E: CostEstimator + ?Sized>(
         // Certificate-pruned leaves are infeasible too, so the whole
         // lattice is: replicate prune_mask's keep-everything rule.
         let cands = exhaust(search.stats.leaves_analyzed)?;
-        return Ok(tune_over(est, plan, ir, cluster, cfg, cands, space, 0));
+        return Ok(stamp(tune_over(
+            est, plan, ir, cluster, cfg, cands, space, 0,
+        )));
     }
 
     // Final exact keep decision over the analyzed set — provably the same
@@ -451,7 +523,7 @@ fn tune_lattice<E: CostEstimator + ?Sized>(
         search_visited: search.stats.leaves_analyzed,
         search_subtrees_pruned: search.stats.subtrees_pruned + search.stats.incumbent_cuts,
     };
-    Ok(score_and_pick(
+    Ok(stamp(score_and_pick(
         est,
         plan,
         ir,
@@ -460,7 +532,7 @@ fn tune_lattice<E: CostEstimator + ?Sized>(
         survivors,
         vec![true; n_survivors],
         counters,
-    ))
+    )))
 }
 
 /// Run the bounds pre-pass over an explicit candidate list, then score it.
@@ -645,6 +717,8 @@ fn score_and_pick<E: CostEstimator + ?Sized>(
         search_space: counters.search_space,
         search_visited: counters.search_visited,
         search_subtrees_pruned: counters.search_subtrees_pruned,
+        dataflow_capped_ops: 0,
+        dataflow_points_removed: 0,
     }
 }
 
@@ -839,6 +913,7 @@ mod tests {
         let src = plan.add(zt_query::OperatorKind::Source(zt_query::SourceOp {
             event_rate: 1_000.0,
             schema: zt_query::TupleSchema::uniform(zt_query::DataType::Int, 3),
+            key_cardinality: None,
         }));
         let f = plan.add(zt_query::OperatorKind::Filter(zt_query::FilterOp {
             function: zt_query::FilterFunction::Gt,

@@ -246,6 +246,7 @@ mod tests {
             let s = plan.add(OperatorKind::Source(SourceOp {
                 event_rate: rate,
                 schema: TupleSchema::uniform(DataType::Int, 2),
+                key_cardinality: None,
             }));
             let f = plan.add(OperatorKind::Filter(FilterOp {
                 function: FilterFunction::Gt,
@@ -274,6 +275,7 @@ mod tests {
         let s = plan.add(OperatorKind::Source(SourceOp {
             event_rate: 800_000.0,
             schema: TupleSchema::uniform(DataType::Int, 2),
+            key_cardinality: None,
         }));
         let f = plan.add(OperatorKind::Filter(FilterOp {
             function: FilterFunction::Eq,

@@ -169,7 +169,7 @@ pub fn propagate_with(pqp: &ParallelQueryPlan, ir: &PlanIr, scale: f64) -> Rates
     let mut output = vec![0f64; n];
     for &id in ir.topo_order() {
         let i = id.idx();
-        let p = pqp.parallelism_of(id).max(1) as f64;
+        let p = pqp.effective_parallelism_of(id).max(1) as f64;
         let up = ir.upstream(id);
         let in_rate: f64 = up.iter().map(|u| output[u.idx()]).sum();
         match &plan.op(id).kind {
@@ -217,7 +217,7 @@ pub fn propagate_with(pqp: &ParallelQueryPlan, ir: &PlanIr, scale: f64) -> Rates
 fn join_other_window(pqp: &ParallelQueryPlan, ir: &PlanIr, rates: &Rates, id: OpId) -> f64 {
     let plan = &pqp.plan;
     if let OperatorKind::Join(j) = &plan.op(id).kind {
-        let p = pqp.parallelism_of(id).max(1) as f64;
+        let p = pqp.effective_parallelism_of(id).max(1) as f64;
         let up = ir.upstream(id);
         let in_l = up.first().map_or(0.0, |u| rates.output[u.idx()]);
         let in_r = up.get(1).map_or(0.0, |u| rates.output[u.idx()]);
@@ -305,7 +305,7 @@ pub fn work_profile_with(
     for op in plan.ops() {
         let id = op.id;
         let i = id.idx();
-        let p = pqp.parallelism_of(id).max(1) as f64;
+        let p = pqp.effective_parallelism_of(id).max(1) as f64;
         let nodes = dep.instance_nodes(id);
         let other_w = join_other_window(pqp, ir, rates, id);
         // Skew: hash-partitioned input concentrates load on the hottest
@@ -498,7 +498,7 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
     let mut per_op = Vec::with_capacity(n);
     for op in plan.ops() {
         let i = op.id.idx();
-        let p = pqp.parallelism_of(op.id).max(1) as f64;
+        let p = pqp.effective_parallelism_of(op.id).max(1) as f64;
         let rho = profile.hottest_util[i].min(RHO_CAP);
         // Oversubscribed nodes stretch service times (processor sharing).
         let stretch = dep
@@ -550,8 +550,8 @@ pub fn simulate_core(pqp: &ParallelQueryPlan, cluster: &Cluster, cfg: &SimConfig
                 // the flush timeout expires. The edge rate is spread over
                 // p_u × p_d channels (hash/rebalance) or p channels
                 // (forward).
-                let pu = pqp.parallelism_of(u).max(1) as f64;
-                let pd = pqp.parallelism_of(d).max(1) as f64;
+                let pu = pqp.effective_parallelism_of(u).max(1) as f64;
+                let pd = pqp.effective_parallelism_of(d).max(1) as f64;
                 let channels = match pqp.partitioning[e] {
                     Partitioning::Forward => pu,
                     Partitioning::Rebalance | Partitioning::Hash => pu * pd,
@@ -630,6 +630,7 @@ mod tests {
         let s = plan.add(OperatorKind::Source(SourceOp {
             event_rate: rate,
             schema: TupleSchema::uniform(DataType::Double, 3),
+            key_cardinality: None,
         }));
         let f = plan.add(OperatorKind::Filter(FilterOp {
             function: FilterFunction::Gt,
@@ -642,6 +643,7 @@ mod tests {
             agg_class: DataType::Double,
             key_class: Some(DataType::Int),
             selectivity: 0.2,
+            key_cardinality: None,
         }));
         let k = plan.add(OperatorKind::Sink(SinkOp));
         plan.connect(s, f);
@@ -773,15 +775,18 @@ mod tests {
         let s1 = plan.add(OperatorKind::Source(SourceOp {
             event_rate: 10_000.0,
             schema: TupleSchema::uniform(DataType::Int, 3),
+            key_cardinality: None,
         }));
         let s2 = plan.add(OperatorKind::Source(SourceOp {
             event_rate: 8_000.0,
             schema: TupleSchema::uniform(DataType::Int, 3),
+            key_cardinality: None,
         }));
         let j = plan.add(OperatorKind::Join(JoinOp {
             window: WindowSpec::tumbling(WindowPolicy::Time, 1_000.0),
             key_class: DataType::Int,
             selectivity: 0.001,
+            key_cardinality: None,
         }));
         let k = plan.add(OperatorKind::Sink(SinkOp));
         plan.connect(s1, j);

@@ -186,6 +186,7 @@ mod tests {
         let src = OperatorKind::Source(SourceOp {
             event_rate: 100.0,
             schema: wide.clone(),
+            key_cardinality: None,
         });
         assert!(
             cm.service_us(&src, &narrow, &wide, 100.0, 0.0)
@@ -225,6 +226,7 @@ mod tests {
                 agg_class: DataType::Double,
                 key_class: Some(DataType::Int),
                 selectivity: 0.1,
+                key_cardinality: None,
             })
         };
         let tumbling = cm.service_us(&mk(None), &s, &s, 1000.0, 0.0);
@@ -247,6 +249,7 @@ mod tests {
                 agg_class: DataType::Double,
                 key_class: None,
                 selectivity: 0.01,
+                key_cardinality: None,
             })
         };
         // overlap 100 vs 1000 — both above the cap, equal cost
@@ -263,6 +266,7 @@ mod tests {
             window: WindowSpec::tumbling(WindowPolicy::Count, 50.0),
             key_class: DataType::Int,
             selectivity: 0.05,
+            key_cardinality: None,
         });
         let small = cm.service_us(&j, &s, &schema(6), 100.0, 10.0);
         let big = cm.service_us(&j, &s, &schema(6), 100.0, 10_000.0);
@@ -278,6 +282,7 @@ mod tests {
             &OperatorKind::Source(SourceOp {
                 event_rate: 1.0,
                 schema: s.clone(),
+                key_cardinality: None,
             }),
             &s,
             &s,

@@ -216,10 +216,15 @@ pub fn run<R: Rng + ?Sized>(
     let out_schemas = ir.output_schemas();
     let n_ops = plan.num_ops();
 
-    // Per-op instance states.
-    let mut states: Vec<Vec<InstanceState>> = (0..n_ops)
-        .map(|i| {
-            (0..pqp.parallelism[i] as usize)
+    // Per-op instance states. Only *effective* instances are scheduled:
+    // under hash partitioning an operator with key cardinality K never
+    // routes tuples to more than ceil(K) instances, so the surplus ones
+    // would sit idle for the whole run.
+    let mut states: Vec<Vec<InstanceState>> = plan
+        .ops()
+        .iter()
+        .map(|op| {
+            (0..pqp.effective_parallelism_of(op.id) as usize)
                 .map(|_| InstanceState::new())
                 .collect()
         })
@@ -261,7 +266,7 @@ pub fn run<R: Rng + ?Sized>(
             if w.policy == zt_query::WindowPolicy::Time && !matches!(op.kind, OperatorKind::Join(_))
             {
                 let period = w.emission_period() / 1e3;
-                for j in 0..pqp.parallelism_of(op.id) as usize {
+                for j in 0..pqp.effective_parallelism_of(op.id) as usize {
                     push(
                         &mut heap,
                         &mut seq,
@@ -310,7 +315,7 @@ pub fn run<R: Rng + ?Sized>(
     ) {
         for (&d, &e) in ir.downstream(from).iter().zip(ir.downstream_edges(from)) {
             let e = e as usize;
-            let pd = pqp.parallelism_of(d) as usize;
+            let pd = pqp.effective_parallelism_of(d) as usize;
             let target = match pqp.partitioning[e] {
                 Partitioning::Forward => from_instance % pd,
                 Partitioning::Rebalance => {
@@ -539,7 +544,7 @@ pub fn run<R: Rng + ?Sized>(
                                 (&mut st.join.right, &mut st.join.left)
                             };
                             own.push((now, batch.count));
-                            let p = pqp.parallelism_of(op).max(1) as f64;
+                            let p = pqp.effective_parallelism_of(op).max(1) as f64;
                             match j.window.policy {
                                 zt_query::WindowPolicy::Count => {
                                     JoinState::prune_count(own, j.window.length / p.sqrt());
@@ -725,6 +730,7 @@ mod tests {
         let s = plan.add(OperatorKind::Source(SourceOp {
             event_rate: rate,
             schema: TupleSchema::uniform(DataType::Double, 3),
+            key_cardinality: None,
         }));
         let f = plan.add(OperatorKind::Filter(FilterOp {
             function: FilterFunction::Gt,
@@ -737,6 +743,7 @@ mod tests {
             agg_class: DataType::Double,
             key_class: Some(DataType::Int),
             selectivity: 0.2,
+            key_cardinality: None,
         }));
         let k = plan.add(OperatorKind::Sink(SinkOp));
         plan.connect(s, f);
@@ -824,6 +831,7 @@ mod tests {
         let s = plan.add(OperatorKind::Source(SourceOp {
             event_rate: 1_000.0,
             schema: TupleSchema::uniform(DataType::Double, 2),
+            key_cardinality: None,
         }));
         let a = plan.add(OperatorKind::Aggregate(AggregateOp {
             window: WindowSpec::tumbling(WindowPolicy::Time, 500.0),
@@ -831,6 +839,7 @@ mod tests {
             agg_class: DataType::Double,
             key_class: None,
             selectivity: 0.01,
+            key_cardinality: None,
         }));
         let k = plan.add(OperatorKind::Sink(SinkOp));
         plan.connect(s, a);
@@ -850,15 +859,18 @@ mod tests {
         let s1 = plan.add(OperatorKind::Source(SourceOp {
             event_rate: 2_000.0,
             schema: TupleSchema::uniform(DataType::Int, 2),
+            key_cardinality: None,
         }));
         let s2 = plan.add(OperatorKind::Source(SourceOp {
             event_rate: 2_000.0,
             schema: TupleSchema::uniform(DataType::Int, 2),
+            key_cardinality: None,
         }));
         let j = plan.add(OperatorKind::Join(JoinOp {
             window: WindowSpec::tumbling(WindowPolicy::Count, 100.0),
             key_class: DataType::Int,
             selectivity: 0.01,
+            key_cardinality: None,
         }));
         let k = plan.add(OperatorKind::Sink(SinkOp));
         plan.connect(s1, j);

@@ -148,16 +148,23 @@ pub fn place_with(
     let total_slots: usize = cluster.total_cores() as usize;
 
     // 1. Structural chain candidates: forward edge + equal parallelism +
-    //    the downstream op has exactly this one input.
+    //    the downstream op has exactly this one input. Parallelism here is
+    //    the *effective* (physically active) degree — the same notion
+    //    `reset_partitioning` uses to assign Forward.
     let candidate = |i: usize| -> bool {
         let (u, d) = plan.edges()[i];
         pqp.partitioning[i] == Partitioning::Forward
-            && pqp.parallelism_of(u) == pqp.parallelism_of(d)
+            && pqp.effective_parallelism_of(u) == pqp.effective_parallelism_of(d)
             && ir.upstream(d).len() == 1
     };
 
-    // 2. Policy: chain or not.
-    let unchained_instances: u64 = pqp.total_instances();
+    // 2. Policy: chain or not. Slot pressure counts the instances that
+    //    will actually be scheduled (effective degrees).
+    let unchained_instances: u64 = plan
+        .ops()
+        .iter()
+        .map(|op| pqp.effective_parallelism_of(op.id) as u64)
+        .sum();
     let chain = match mode {
         ChainingMode::Always => true,
         ChainingMode::Never => false,
@@ -204,7 +211,9 @@ pub fn place_with(
         let g = *group_of_root.entry(root).or_insert_with(|| {
             groups.push(ChainGroup {
                 ops: Vec::new(),
-                parallelism: pqp.parallelism_of(id),
+                // Chained edges require equal *effective* parallelism, so
+                // every member of the group schedules this many instances.
+                parallelism: pqp.effective_parallelism_of(id),
                 instance_nodes: Vec::new(),
             });
             groups.len() - 1
@@ -310,6 +319,7 @@ mod tests {
         let s = plan.add(OperatorKind::Source(SourceOp {
             event_rate: 10_000.0,
             schema: TupleSchema::uniform(DataType::Double, 3),
+            key_cardinality: None,
         }));
         let f = plan.add(OperatorKind::Filter(FilterOp {
             function: FilterFunction::Gt,
@@ -322,6 +332,7 @@ mod tests {
             agg_class: DataType::Double,
             key_class: Some(DataType::Int),
             selectivity: 0.2,
+            key_cardinality: None,
         }));
         let k = plan.add(OperatorKind::Sink(SinkOp));
         plan.connect(s, f);

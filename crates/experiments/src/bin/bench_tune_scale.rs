@@ -144,6 +144,7 @@ fn filter_chain(rate: f64, ops: usize) -> LogicalPlan {
     let mut prev = p.add(OperatorKind::Source(SourceOp {
         event_rate: rate,
         schema: TupleSchema::uniform(DataType::Double, 3),
+        key_cardinality: None,
     }));
     for _ in 0..ops - 2 {
         let f = p.add(OperatorKind::Filter(FilterOp {
@@ -167,6 +168,7 @@ fn fan_out(rate: f64, branches: usize) -> LogicalPlan {
     let s = p.add(OperatorKind::Source(SourceOp {
         event_rate: rate,
         schema: TupleSchema::uniform(DataType::Double, 3),
+        key_cardinality: None,
     }));
     for _ in 0..branches {
         let f = p.add(OperatorKind::Filter(FilterOp {

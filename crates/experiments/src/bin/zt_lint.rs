@@ -21,6 +21,11 @@
 //!   every linted deployment: benchmark queries and `--plan`/`--results`
 //!   files that deserialize as a `ParallelQueryPlan` get a provable
 //!   lower/upper-bound report rendered next to their diagnostics.
+//! * `--dataflow` — additionally run the monotone dataflow analyses over
+//!   every linted deployment and render the per-edge fact table
+//!   (rate/width brackets, key cardinality, distribution property, key
+//!   classes). The ZT7xx findings themselves are part of the ordinary
+//!   plan lint; this flag adds the underlying facts.
 //! * `--certify` — additionally certify every linted model by interval
 //!   bound propagation over its trained weights (ZT6xx): certified
 //!   per-depth output brackets, dead/saturated units and per-feature
@@ -35,7 +40,9 @@
 //!   through the `PlanIr::to_json` wire envelope (fingerprint must
 //!   survive re-sealing — the zt-serve ZT109 check), lint it, derive its
 //!   interval bounds and run the analytical simulator, checking the
-//!   simulated point estimates land inside the provable brackets. Any
+//!   simulated point estimates land inside the provable brackets, that
+//!   the dataflow rate facts are a fixpoint, and that the bounds
+//!   module's unthrottled rates nest inside the dataflow brackets. Any
 //!   error-severity finding or out-of-bracket estimate fails the run,
 //!   except ZT503 (provably infeasible deployment), which is an expected
 //!   verdict for random workloads pinned at parallelism 1.
@@ -100,7 +107,19 @@ fn certify_section(name: &str, model: &ZeroTuneModel) -> Section {
     }
 }
 
-fn lint_benchmarks(bounds: bool, sections: &mut Vec<Section>) {
+/// Render the per-edge dataflow fact table for one deployment. The ZT7xx
+/// findings already appear in the deployment's ordinary lint section, so
+/// this section carries only the underlying facts.
+fn dataflow_section(name: &str, pqp: &ParallelQueryPlan, ir: &PlanIr) -> Section {
+    let report = zt_core::dataflow::analyze_pqp(pqp, ir);
+    Section {
+        heading: format!("dataflow `{name}` (per-edge fixpoint facts)"),
+        report: Report::default(),
+        detail: Some(zt_core::explain::explain_dataflow(pqp, ir, &report)),
+    }
+}
+
+fn lint_benchmarks(bounds: bool, dataflow: bool, sections: &mut Vec<Section>) {
     let cluster = reference_cluster();
     let queries: [(&str, LogicalPlan); 3] = [
         ("spike_detection", benchmarks::spike_detection(10_000.0)),
@@ -113,6 +132,11 @@ fn lint_benchmarks(bounds: bool, sections: &mut Vec<Section>) {
         sections.push(section(format!("benchmark query `{name}`"), report));
         if bounds {
             sections.push(bounds_section(name, &pqp, &cluster));
+        }
+        if dataflow {
+            if let Ok(ir) = pqp.plan.validate() {
+                sections.push(dataflow_section(name, &pqp, &ir));
+            }
         }
     }
 }
@@ -145,7 +169,12 @@ fn read_json(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
 
-fn lint_plan_file(path: &str, bounds: bool, sections: &mut Vec<Section>) -> Result<(), String> {
+fn lint_plan_file(
+    path: &str,
+    bounds: bool,
+    dataflow: bool,
+    sections: &mut Vec<Section>,
+) -> Result<(), String> {
     let json = read_json(path)?;
     // A PQP file carries the parallel configuration; fall back to a bare
     // logical plan so both serializations are accepted.
@@ -156,6 +185,11 @@ fn lint_plan_file(path: &str, bounds: bool, sections: &mut Vec<Section>) -> Resu
         ));
         if bounds && pqp.validate().is_ok() {
             sections.push(bounds_section(path, &pqp, &reference_cluster()));
+        }
+        if dataflow && pqp.validate().is_ok() {
+            if let Ok(ir) = pqp.plan.validate() {
+                sections.push(dataflow_section(path, &pqp, &ir));
+            }
         }
         return Ok(());
     }
@@ -172,7 +206,13 @@ fn lint_plan_file(path: &str, bounds: bool, sections: &mut Vec<Section>) -> Resu
 /// deserializes as. Experiment result files (and anything else
 /// unrecognized) are skipped with a note; a missing directory is a note,
 /// not an error, so CI can run this before any experiment has executed.
-fn lint_results_dir(dir: &str, bounds: bool, certify: bool, sections: &mut Vec<Section>) {
+fn lint_results_dir(
+    dir: &str,
+    bounds: bool,
+    certify: bool,
+    dataflow: bool,
+    sections: &mut Vec<Section>,
+) {
     let entries = match std::fs::read_dir(dir) {
         Ok(entries) => entries,
         Err(e) => {
@@ -209,6 +249,11 @@ fn lint_results_dir(dir: &str, bounds: bool, certify: bool, sections: &mut Vec<S
             ));
             if bounds && pqp.validate().is_ok() {
                 sections.push(bounds_section(&path, &pqp, &reference_cluster()));
+            }
+            if dataflow && pqp.validate().is_ok() {
+                if let Ok(ir) = pqp.plan.validate() {
+                    sections.push(dataflow_section(&path, &pqp, &ir));
+                }
             }
         } else if let Ok(plan) = serde_json::from_str::<LogicalPlan>(&json) {
             sections.push(section(
@@ -302,6 +347,26 @@ fn fuzz_smoke(n: usize, sections: &mut Vec<Section>) -> usize {
         let diags = lint_pqp(&pqp, Some(&cluster));
         let report = zt_core::bounds::analyze(&pqp, &cluster, &BoundsConfig::default());
         let bounds_diags = lint_bounds_report(&report);
+        // Dataflow cross-check: the deployed rate facts must be a
+        // fixpoint, sit inside the plan-level (parallelism-hulled)
+        // brackets, and contain the bounds module's unthrottled rates.
+        let df_ok = {
+            use zt_core::dataflow::{is_fixpoint, solve, Domain, RateAnalysis};
+            let hull = solve(&RateAnalysis { pqp: None }, &pqp.plan, &ir);
+            let deployed_analysis = RateAnalysis { pqp: Some(&pqp) };
+            let deployed = solve(&deployed_analysis, &pqp.plan, &ir);
+            is_fixpoint(&deployed_analysis, &pqp.plan, &ir, &deployed)
+                && deployed
+                    .per_op
+                    .iter()
+                    .zip(&hull.per_op)
+                    .all(|(p, h)| p.leq(h))
+                && report
+                    .per_op
+                    .iter()
+                    .zip(&hull.per_op)
+                    .all(|(b, h)| h.rate.contains(b.output_rate.hi))
+        };
         let mut sim_rng = StdRng::seed_from_u64(0xD1CE_0000 + i as u64);
         let m = simulate(&pqp, &cluster, &SimConfig::noiseless(), &mut sim_rng);
         let sim_ok = m.latency_ms.is_finite()
@@ -318,10 +383,10 @@ fn fuzz_smoke(n: usize, sections: &mut Vec<Section>) -> usize {
             .chain(bounds_diags)
             .filter(|d| d.severity == Severity::Error && d.code != "ZT503")
             .collect();
-        if !errors.is_empty() || !sim_ok {
+        if !errors.is_empty() || !sim_ok || !df_ok {
             failed += 1;
             lines.push_str(&format!(
-                "plan {i} ({structure:?}): {} error(s), sim_ok={sim_ok} (latency {} ms in {:?}?)\n",
+                "plan {i} ({structure:?}): {} error(s), sim_ok={sim_ok}, df_ok={df_ok} (latency {} ms in {:?}?)\n",
                 errors.len(),
                 m.latency_ms,
                 report.latency_ms
@@ -331,7 +396,8 @@ fn fuzz_smoke(n: usize, sections: &mut Vec<Section>) -> usize {
     }
     if failed == 0 {
         lines.push_str(&format!(
-            "all {n} generated plans sealed, linted clean, and simulated inside their bounds\n"
+            "all {n} generated plans sealed, linted clean, simulated inside their bounds, and \
+             nested their dataflow brackets\n"
         ));
     }
     let mut s = section(
@@ -357,7 +423,7 @@ fn print_codes() {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: zt-lint [--benchmarks] [--gen-dataset N] [--plan FILE] [--dataset FILE] [--model FILE] [--bounds] [--certify] [--results[=DIR]] [--fuzz N] [--codes]"
+        "usage: zt-lint [--benchmarks] [--gen-dataset N] [--plan FILE] [--dataset FILE] [--model FILE] [--bounds] [--certify] [--dataflow] [--results[=DIR]] [--fuzz N] [--codes]"
     );
     ExitCode::from(2)
 }
@@ -372,6 +438,7 @@ fn main() -> ExitCode {
     // every model target, regardless of argument order.
     let bounds = args.iter().any(|a| a == "--bounds");
     let certify = args.iter().any(|a| a == "--certify");
+    let dataflow = args.iter().any(|a| a == "--dataflow");
 
     let run = |sections: &mut Vec<Section>,
                model_file: &mut Option<String>,
@@ -379,8 +446,11 @@ fn main() -> ExitCode {
      -> Result<(), String> {
         // No targets (only the pre-scanned modifier flags, or nothing at
         // all): run the default target set.
-        if args.iter().all(|a| a == "--bounds" || a == "--certify") {
-            lint_benchmarks(bounds, sections);
+        if args
+            .iter()
+            .all(|a| a == "--bounds" || a == "--certify" || a == "--dataflow")
+        {
+            lint_benchmarks(bounds, dataflow, sections);
             lint_generated(24, sections);
             lint_fresh_model(certify, sections);
             return Ok(());
@@ -388,9 +458,9 @@ fn main() -> ExitCode {
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
-                "--benchmarks" => lint_benchmarks(bounds, sections),
-                "--bounds" | "--certify" => {} // pre-scanned above
-                "--results" => lint_results_dir("results", bounds, certify, sections),
+                "--benchmarks" => lint_benchmarks(bounds, dataflow, sections),
+                "--bounds" | "--certify" | "--dataflow" => {} // pre-scanned above
+                "--results" => lint_results_dir("results", bounds, certify, dataflow, sections),
                 "--gen-dataset" => {
                     i += 1;
                     let n: usize = args
@@ -410,7 +480,7 @@ fn main() -> ExitCode {
                 "--plan" => {
                     i += 1;
                     let path = args.get(i).ok_or("--plan needs a file")?;
-                    lint_plan_file(path, bounds, sections)?;
+                    lint_plan_file(path, bounds, dataflow, sections)?;
                 }
                 "--dataset" => {
                     i += 1;
@@ -433,7 +503,7 @@ fn main() -> ExitCode {
                 }
                 other => {
                     if let Some(dir) = other.strip_prefix("--results=") {
-                        lint_results_dir(dir, bounds, certify, sections);
+                        lint_results_dir(dir, bounds, certify, dataflow, sections);
                     } else {
                         return Err(format!("unknown argument `{other}`"));
                     }

@@ -135,11 +135,14 @@ pub struct DatagenArgs {
     /// `--no-prune`: disable the optimizer's interval-bounds pruning
     /// pre-pass (exhaustive candidate scoring).
     pub no_prune: bool,
+    /// `--no-dataflow-cap`: disable the optimizer's key-cardinality
+    /// lattice capping (search the full degree axes).
+    pub no_dataflow_cap: bool,
 }
 
 impl DatagenArgs {
     /// Parse `--workers` / `--resume` / `--strict` / `--telemetry` /
-    /// `--no-prune` from an argument list.
+    /// `--no-prune` / `--no-dataflow-cap` from an argument list.
     pub fn parse(args: &[String]) -> Self {
         let mut out = DatagenArgs::default();
         for (i, a) in args.iter().enumerate() {
@@ -159,6 +162,8 @@ impl DatagenArgs {
                 out.telemetry = Some(Some(v.to_string()));
             } else if a == "--no-prune" {
                 out.no_prune = true;
+            } else if a == "--no-dataflow-cap" {
+                out.no_dataflow_cap = true;
             }
         }
         out
@@ -166,9 +171,10 @@ impl DatagenArgs {
 }
 
 /// Map the shared `--workers N` / `--resume[=DIR]` / `--strict` /
-/// `--telemetry[=PATH]` / `--no-prune` CLI flags onto the
-/// `ZT_DATAGEN_WORKERS` / `ZT_DATAGEN_RESUME` / `ZT_STRICT` /
-/// `ZT_TELEMETRY`(`_PATH`) / `ZT_NO_PRUNE` environment variables read by
+/// `--telemetry[=PATH]` / `--no-prune` / `--no-dataflow-cap` CLI flags
+/// onto the `ZT_DATAGEN_WORKERS` / `ZT_DATAGEN_RESUME` / `ZT_STRICT` /
+/// `ZT_TELEMETRY`(`_PATH`) / `ZT_NO_PRUNE` / `ZT_NO_DATAFLOW_CAP`
+/// environment variables read by
 /// [`zt_core::datagen::GenPlan::from_env`],
 /// [`zt_core::diagnostics::strict_from_env`],
 /// [`zt_core::telemetry::init_from_env`] and
@@ -202,6 +208,10 @@ pub fn apply_datagen_cli() {
     if parsed.no_prune {
         std::env::set_var("ZT_NO_PRUNE", "1");
         eprintln!("optimizer: bounds pruning pre-pass disabled (exhaustive scoring)");
+    }
+    if parsed.no_dataflow_cap {
+        std::env::set_var("ZT_NO_DATAFLOW_CAP", "1");
+        eprintln!("optimizer: key-cardinality lattice capping disabled (full degree axes)");
     }
     // Telemetry may already have self-initialized from a pre-existing
     // ZT_TELEMETRY value; re-read so the flags above take effect.

@@ -32,6 +32,7 @@ pub fn spike_detection(event_rate: f64) -> LogicalPlan {
             DataType::Double,
             DataType::Double,
         ]),
+        key_cardinality: None,
     }));
     // 2 s moving average per device, refreshed every 500 ms.
     let avg = p.add(OperatorKind::Aggregate(AggregateOp {
@@ -41,6 +42,7 @@ pub fn spike_detection(event_rate: f64) -> LogicalPlan {
         key_class: Some(DataType::Int),
         // ~54 intel-lab devices over thousands of readings per window.
         selectivity: 0.03,
+        key_cardinality: None,
     }));
     // Spikes: reading exceeds 1.15 × moving average (rare).
     let spike = p.add(OperatorKind::Filter(FilterOp {
@@ -71,6 +73,7 @@ pub fn smart_grid_local(event_rate: f64) -> LogicalPlan {
             DataType::Int,
             DataType::Int,
         ]),
+        key_cardinality: None,
     }));
     let avg = p.add(OperatorKind::Aggregate(AggregateOp {
         window: WindowSpec::sliding(WindowPolicy::Time, 10_000.0, 3_000.0),
@@ -79,6 +82,7 @@ pub fn smart_grid_local(event_rate: f64) -> LogicalPlan {
         key_class: Some(DataType::Int),
         // many distinct plugs
         selectivity: 0.12,
+        key_cardinality: None,
     }));
     let load = p.add(OperatorKind::Filter(FilterOp {
         function: FilterFunction::Ge,
@@ -107,6 +111,7 @@ pub fn smart_grid_global(event_rate: f64) -> LogicalPlan {
             DataType::Int,
             DataType::Int,
         ]),
+        key_cardinality: None,
     }));
     let avg = p.add(OperatorKind::Aggregate(AggregateOp {
         window: WindowSpec::sliding(WindowPolicy::Time, 10_000.0, 3_000.0),
@@ -114,6 +119,7 @@ pub fn smart_grid_global(event_rate: f64) -> LogicalPlan {
         agg_class: DataType::Double,
         key_class: None,
         selectivity: 0.002,
+        key_cardinality: None,
     }));
     let k = p.add(OperatorKind::Sink(SinkOp));
     p.connect(s, avg);
@@ -142,6 +148,7 @@ pub fn smart_grid_combined(event_rate: f64) -> LogicalPlan {
             DataType::Int,
             DataType::Int,
         ]),
+        key_cardinality: None,
     }));
     // shared plausibility filter: drop out-of-range load readings
     let valid = p.add(OperatorKind::Filter(FilterOp {
@@ -156,6 +163,7 @@ pub fn smart_grid_combined(event_rate: f64) -> LogicalPlan {
         agg_class: DataType::Double,
         key_class: Some(DataType::Int),
         selectivity: 0.12,
+        key_cardinality: None,
     }));
     let local_sink = p.add(OperatorKind::Sink(SinkOp));
     // global branch: one un-keyed average, as in `smart_grid_global`
@@ -165,6 +173,7 @@ pub fn smart_grid_combined(event_rate: f64) -> LogicalPlan {
         agg_class: DataType::Double,
         key_class: None,
         selectivity: 0.002,
+        key_cardinality: None,
     }));
     let global_sink = p.add(OperatorKind::Sink(SinkOp));
     p.connect(s, valid);

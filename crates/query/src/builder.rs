@@ -44,7 +44,11 @@ impl StreamBuilder {
     /// Start a new plan from a source with an explicit schema.
     pub fn source_with_schema(event_rate: f64, schema: TupleSchema) -> Self {
         let mut plan = LogicalPlan::new("built");
-        let head = plan.add(OperatorKind::Source(SourceOp { event_rate, schema }));
+        let head = plan.add(OperatorKind::Source(SourceOp {
+            event_rate,
+            schema,
+            key_cardinality: None,
+        }));
         StreamBuilder { plan, head }
     }
 
@@ -84,6 +88,7 @@ impl StreamBuilder {
             agg_class,
             key_class,
             selectivity,
+            key_cardinality: None,
         }));
         self.plan.connect(self.head, a);
         self.head = a;
@@ -113,6 +118,7 @@ impl StreamBuilder {
             window,
             key_class,
             selectivity,
+            key_cardinality: None,
         }));
         self.plan.connect(self.head, j);
         self.plan.connect(other_head, j);

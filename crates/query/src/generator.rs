@@ -110,11 +110,19 @@ impl std::fmt::Display for QueryStructure {
 /// Randomized generator of logical plans over a parameter grid.
 pub struct QueryGenerator {
     pub ranges: ParamRanges,
+    /// When `true`, derive `key_cardinality` metadata from the parameters
+    /// the generator already samples (no extra RNG draws, so the plan
+    /// stream is unchanged apart from the metadata). Defaults to `false`
+    /// so seeded datasets and their labels stay byte-identical.
+    pub key_cardinality: bool,
 }
 
 impl QueryGenerator {
     pub fn new(ranges: ParamRanges) -> Self {
-        QueryGenerator { ranges }
+        QueryGenerator {
+            ranges,
+            key_cardinality: false,
+        }
     }
 
     /// Generator over the training ranges.
@@ -125,6 +133,15 @@ impl QueryGenerator {
     /// Generator over the unseen testing ranges.
     pub fn unseen() -> Self {
         QueryGenerator::new(ParamRanges::unseen())
+    }
+
+    /// Enable (or disable) derived `key_cardinality` metadata on generated
+    /// operators. Derivation uses only already-sampled parameters, so two
+    /// generators differing only in this flag emit structurally identical
+    /// plans from the same seed.
+    pub fn with_key_cardinality(mut self, on: bool) -> Self {
+        self.key_cardinality = on;
+        self
     }
 
     /// Generate a validated logical plan of the requested structure.
@@ -161,6 +178,7 @@ impl QueryGenerator {
         OperatorKind::Source(SourceOp {
             event_rate: self.ranges.sample_event_rate(rng),
             schema: self.sample_schema(rng),
+            key_cardinality: None,
         })
     }
 
@@ -203,21 +221,34 @@ impl QueryGenerator {
 
     fn sample_aggregate<R: Rng + ?Sized>(&self, rng: &mut R) -> OperatorKind {
         let keyed = rng.gen_bool(0.8);
+        let window = self.sample_window(rng);
+        let function = AggFunction::ALL[rng.gen_range(0..AggFunction::ALL.len())];
+        let agg_class = if rng.gen_bool(0.5) {
+            DataType::Double
+        } else {
+            DataType::Int
+        };
+        let key_class = keyed.then(|| self.ranges.sample_data_type(rng));
+        let selectivity = if keyed {
+            rng.gen_range(0.02..0.5)
+        } else {
+            // a global aggregate emits one tuple per window
+            rng.gen_range(0.001..0.05)
+        };
+        // Selectivity is the fraction of distinct group-by keys per window
+        // (Definition 6), so for count windows `selectivity × length`
+        // bounds the key-domain size. Time windows hold a rate-dependent
+        // tuple count, so no static bound exists for them.
+        let key_cardinality =
+            (self.key_cardinality && keyed && window.policy == WindowPolicy::Count)
+                .then(|| (selectivity * window.length).max(1.0));
         OperatorKind::Aggregate(AggregateOp {
-            window: self.sample_window(rng),
-            function: AggFunction::ALL[rng.gen_range(0..AggFunction::ALL.len())],
-            agg_class: if rng.gen_bool(0.5) {
-                DataType::Double
-            } else {
-                DataType::Int
-            },
-            key_class: keyed.then(|| self.ranges.sample_data_type(rng)),
-            selectivity: if keyed {
-                rng.gen_range(0.02..0.5)
-            } else {
-                // a global aggregate emits one tuple per window
-                rng.gen_range(0.001..0.05)
-            },
+            window,
+            function,
+            agg_class,
+            key_class,
+            selectivity,
+            key_cardinality,
         })
     }
 
@@ -230,6 +261,8 @@ impl QueryGenerator {
             window: self.sample_window(rng),
             key_class: self.ranges.sample_data_type(rng),
             selectivity: 10f64.powf(-exponent),
+            // The sampled key-domain size, when cardinality derivation is on.
+            key_cardinality: self.key_cardinality.then(|| 10f64.powf(exponent)),
         })
     }
 

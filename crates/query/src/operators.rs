@@ -216,6 +216,11 @@ pub struct SourceOp {
     /// "Event rate" feature (ev/sec).
     pub event_rate: f64,
     pub schema: TupleSchema,
+    /// Upper bound on the number of distinct entities the stream describes
+    /// (e.g. 54 sensors in the Intel-lab trace); `None` when unknown.
+    /// Excluded from the wire format so existing fixtures stay byte-stable.
+    #[serde(skip)]
+    pub key_cardinality: Option<f64>,
 }
 
 /// Comparison filter.
@@ -240,6 +245,11 @@ pub struct AggregateOp {
     pub key_class: Option<DataType>,
     /// Fraction of distinct group-by keys per window (Definition 6).
     pub selectivity: f64,
+    /// Upper bound on the number of distinct group-by key values over the
+    /// stream's lifetime; `None` when unknown. Excluded from the wire
+    /// format so existing fixtures stay byte-stable.
+    #[serde(skip)]
+    pub key_cardinality: Option<f64>,
 }
 
 /// Windowed two-input equi-join.
@@ -251,6 +261,12 @@ pub struct JoinOp {
     /// Match fraction on the cartesian product of the two windows
     /// (Definition 5).
     pub selectivity: f64,
+    /// Upper bound on the join-key domain size (an equi-join over `K`
+    /// distinct keys matches ≈ `1/K` of the cartesian product); `None`
+    /// when unknown. Excluded from the wire format so existing fixtures
+    /// stay byte-stable.
+    #[serde(skip)]
+    pub key_cardinality: Option<f64>,
 }
 
 /// Data sink: delivers results to an external system.
@@ -339,6 +355,53 @@ impl OperatorKind {
             _ => None,
         }
     }
+
+    /// Declared upper bound on the operator's distinct-key cardinality
+    /// (entity domain for sources, group-by key domain for aggregates,
+    /// join-key domain for joins); `None` when unknown.
+    pub fn key_cardinality(&self) -> Option<f64> {
+        match self {
+            OperatorKind::Source(s) => s.key_cardinality,
+            OperatorKind::Aggregate(a) => a.key_cardinality,
+            OperatorKind::Join(j) => j.key_cardinality,
+            _ => None,
+        }
+    }
+
+    /// Hash key class a hash-partitioned input must be routed on: the
+    /// join key for joins, the group-by key for keyed aggregates.
+    pub fn hash_key_class(&self) -> Option<DataType> {
+        match self {
+            OperatorKind::Join(j) => Some(j.key_class),
+            OperatorKind::Aggregate(a) => a.key_class,
+            _ => None,
+        }
+    }
+
+    /// Largest parallelism degree that can do useful work: with at most
+    /// `K` distinct key values, a hash partitioner routes tuples to at
+    /// most `ceil(K)` instances. `None` when the operator does not
+    /// hash-partition its input or its cardinality is unknown.
+    pub fn parallelism_cap(&self) -> Option<u32> {
+        if !self.requires_hash_input() {
+            return None;
+        }
+        match self.key_cardinality() {
+            Some(k) if k.is_finite() && k >= 1.0 => Some(k.ceil() as u32),
+            Some(k) if k.is_finite() && k > 0.0 => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Effective parallelism under hash partitioning: `p` clamped to
+    /// [`Self::parallelism_cap`] — instances beyond the cap are provably
+    /// idle. Operators without a cap use all `p` instances.
+    pub fn effective_parallelism(&self, p: u32) -> u32 {
+        match self.parallelism_cap() {
+            Some(cap) => p.min(cap),
+            None => p,
+        }
+    }
 }
 
 impl std::fmt::Display for OperatorKind {
@@ -404,6 +467,7 @@ mod tests {
         let src = OperatorKind::Source(SourceOp {
             event_rate: 100.0,
             schema: TupleSchema::uniform(DataType::Int, 3),
+            key_cardinality: None,
         });
         assert!(src.is_source());
         assert_eq!(src.expected_inputs(), 0);
@@ -413,6 +477,7 @@ mod tests {
             window: WindowSpec::tumbling(WindowPolicy::Count, 10.0),
             key_class: DataType::Int,
             selectivity: 0.01,
+            key_cardinality: None,
         });
         assert!(join.requires_hash_input());
         assert_eq!(join.expected_inputs(), 2);
@@ -424,6 +489,7 @@ mod tests {
             agg_class: DataType::Double,
             key_class: None,
             selectivity: 0.001,
+            key_cardinality: None,
         });
         assert!(!global_agg.requires_hash_input());
 
@@ -433,6 +499,7 @@ mod tests {
             agg_class: DataType::Double,
             key_class: Some(DataType::Int),
             selectivity: 0.1,
+            key_cardinality: None,
         });
         assert!(keyed_agg.requires_hash_input());
     }

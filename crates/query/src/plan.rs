@@ -930,6 +930,7 @@ mod tests {
         OperatorKind::Source(SourceOp {
             event_rate: rate,
             schema: TupleSchema::uniform(DataType::Double, 3),
+            key_cardinality: None,
         })
     }
 
@@ -948,6 +949,7 @@ mod tests {
             agg_class: DataType::Double,
             key_class: Some(DataType::Int),
             selectivity: 0.2,
+            key_cardinality: None,
         })
     }
 
@@ -1012,6 +1014,7 @@ mod tests {
             window: WindowSpec::tumbling(WindowPolicy::Count, 5.0),
             key_class: DataType::Int,
             selectivity: 0.1,
+            key_cardinality: None,
         }));
         let k = p.add(OperatorKind::Sink(SinkOp));
         p.connect(s, j);
@@ -1097,6 +1100,7 @@ mod tests {
             agg_class: DataType::Double,
             key_class: None,
             selectivity: 0.1,
+            key_cardinality: None,
         }));
         let k = p.add(OperatorKind::Sink(SinkOp));
         p.connect(s, a);
@@ -1126,11 +1130,13 @@ mod tests {
         let s2 = p.add(OperatorKind::Source(SourceOp {
             event_rate: 100.0,
             schema: TupleSchema::uniform(DataType::Text, 2),
+            key_cardinality: None,
         }));
         let j = p.add(OperatorKind::Join(JoinOp {
             window: WindowSpec::tumbling(WindowPolicy::Count, 5.0),
             key_class: DataType::Int,
             selectivity: 0.1,
+            key_cardinality: None,
         }));
         let k = p.add(OperatorKind::Sink(SinkOp));
         p.connect(s1, j); // left
@@ -1148,6 +1154,7 @@ mod tests {
             window: WindowSpec::tumbling(WindowPolicy::Count, 5.0),
             key_class: DataType::Int,
             selectivity: 0.1,
+            key_cardinality: None,
         }));
         let k = p.add(OperatorKind::Sink(SinkOp));
         p.connect(s1, j);

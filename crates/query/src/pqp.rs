@@ -131,6 +131,20 @@ impl ParallelQueryPlan {
         self.parallelism[id.idx()]
     }
 
+    /// Effective (non-idle) parallelism of `id`: the deployed degree capped
+    /// at the operator's declared key cardinality when its input is hash
+    /// partitioned (see [`OperatorKind::effective_parallelism`]). Equals
+    /// the deployed degree whenever no cardinality metadata is declared.
+    ///
+    /// [`OperatorKind::effective_parallelism`]: crate::operators::OperatorKind::effective_parallelism
+    #[inline]
+    pub fn effective_parallelism_of(&self, id: OpId) -> u32 {
+        self.plan
+            .op(id)
+            .kind
+            .effective_parallelism(self.parallelism[id.idx()])
+    }
+
     /// Set one operator's parallelism and recompute default partitioning
     /// (forward edges may turn into rebalance and vice versa).
     pub fn set_parallelism(&mut self, id: OpId, p: u32) {
@@ -141,6 +155,12 @@ impl ParallelQueryPlan {
     /// Recompute the default (Flink-like) partitioning for every edge:
     /// hash into keyed operators, forward between equal-parallelism
     /// operators, rebalance otherwise.
+    ///
+    /// Equality is checked on *effective* parallelism (the physically
+    /// active instance counts): forwarding is one-to-one between active
+    /// instances, so a cardinality-capped operator forwards from its
+    /// active instances only. Identical to raw-degree equality whenever no
+    /// cardinality metadata is declared.
     pub fn reset_partitioning(&mut self) {
         self.partitioning = self
             .plan
@@ -149,7 +169,7 @@ impl ParallelQueryPlan {
             .map(|&(u, d)| {
                 if self.plan.op(d).kind.requires_hash_input() {
                     Partitioning::Hash
-                } else if self.parallelism[u.idx()] == self.parallelism[d.idx()] {
+                } else if self.effective_parallelism_of(u) == self.effective_parallelism_of(d) {
                     Partitioning::Forward
                 } else {
                     Partitioning::Rebalance
@@ -213,7 +233,10 @@ impl ParallelQueryPlan {
         for (i, &(u, d)) in self.plan.edges().iter().enumerate() {
             match self.partitioning[i] {
                 Partitioning::Forward => {
-                    if self.parallelism[u.idx()] != self.parallelism[d.idx()] {
+                    // One-to-one forwarding pairs *active* instances, so the
+                    // constraint (like `reset_partitioning`) is on effective
+                    // parallelism.
+                    if self.effective_parallelism_of(u) != self.effective_parallelism_of(d) {
                         return Err(PqpError::ForwardMismatch(u, d));
                     }
                 }
@@ -259,6 +282,7 @@ mod tests {
         let s = p.add(OperatorKind::Source(SourceOp {
             event_rate: 1000.0,
             schema: TupleSchema::uniform(DataType::Double, 3),
+            key_cardinality: None,
         }));
         let f = p.add(OperatorKind::Filter(FilterOp {
             function: FilterFunction::Gt,
@@ -271,6 +295,7 @@ mod tests {
             agg_class: DataType::Double,
             key_class: Some(DataType::Int),
             selectivity: 0.2,
+            key_cardinality: None,
         }));
         let k = p.add(OperatorKind::Sink(SinkOp));
         p.connect(s, f);

@@ -524,13 +524,15 @@ fn handle_predict(req: &Request, shared: &Shared) -> Handled {
 
 /// The server-side tuning configuration: offline defaults with the
 /// env-dependent knobs pinned (strict off — a daemon must answer, not
-/// panic; pruning on) plus the request's explicit overrides. Part of the
+/// panic; pruning and key-cardinality capping on) plus the request's
+/// explicit overrides. Part of the
 /// serving determinism contract: same request + same model version ⇒
 /// byte-identical response.
 fn tune_config(v: &serde::Value) -> Result<OptimizerConfig, ApiError> {
     let mut cfg = OptimizerConfig {
         strict: false,
         prune: true,
+        dataflow_cap: true,
         ..OptimizerConfig::default()
     };
     if let Some(wt) = api::num_field(v, "wt")? {
@@ -574,7 +576,11 @@ fn handle_explain(req: &Request, shared: &Shared) -> Handled {
     let snapshot = shared.registry.current();
     let pred = snapshot.model.predict(&graph);
     let attr = attribute(&snapshot.model, &graph);
-    let report = explain_bounds(&pqp, &bounds, Some(&pred));
+    let mut report = explain_bounds(&pqp, &bounds, Some(&pred));
+    // Append the per-edge dataflow facts: same response shape, richer
+    // rendered report.
+    let dataflow = zt_core::dataflow::analyze_pqp(&pqp, &ir);
+    report.push_str(&zt_core::explain::explain_dataflow(&pqp, &ir, &dataflow));
     ok(render(&ExplainResponse {
         model_version: snapshot.version,
         latency_ms: pred.latency_ms,

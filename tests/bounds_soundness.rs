@@ -37,6 +37,7 @@ fn source(rate: f64, width: usize) -> OperatorKind {
     OperatorKind::Source(SourceOp {
         event_rate: rate,
         schema: TupleSchema::uniform(DataType::Double, width),
+        key_cardinality: None,
     })
 }
 
@@ -55,6 +56,7 @@ fn agg(policy: WindowPolicy, length: f64, sel: f64) -> OperatorKind {
         agg_class: DataType::Double,
         key_class: Some(DataType::Int),
         selectivity: sel,
+        key_cardinality: None,
     })
 }
 
@@ -94,6 +96,7 @@ fn windowed_join(rate_l: f64, rate_r: f64, policy: WindowPolicy, window: f64) ->
         window: WindowSpec::tumbling(policy, window),
         key_class: DataType::Int,
         selectivity: 0.01,
+        key_cardinality: None,
     }));
     let k = plan.add(OperatorKind::Sink(SinkOp));
     plan.connect(s1, j);

@@ -41,7 +41,7 @@ fn mini_plan() -> LogicalPlan {
             WindowSpec::tumbling(WindowPolicy::Count, 100.0),
             AggFunction::Avg,
             DataType::Double,
-            Some(DataType::Int),
+            Some(DataType::Double),
             0.2,
         )
         .sink("mini")
@@ -89,6 +89,7 @@ fn zt101_triggers_on_plan_without_sink() {
     p.add(OperatorKind::Source(SourceOp {
         event_rate: 100.0,
         schema: TupleSchema::uniform(DataType::Int, 2),
+        key_cardinality: None,
     }));
     let diags = lint_plan(&p);
     assert!(has(&diags, "ZT101"), "{diags:?}");
@@ -111,6 +112,7 @@ fn zt102_triggers_on_operator_off_the_sink_path() {
     let s = p.add(OperatorKind::Source(SourceOp {
         event_rate: 100.0,
         schema: TupleSchema::uniform(DataType::Int, 2),
+        key_cardinality: None,
     }));
     let dangling = p.add(OperatorKind::Filter(FilterOp {
         function: FilterFunction::Gt,
@@ -132,6 +134,7 @@ fn zt108_triggers_on_dangling_branch_in_multi_sink_plan() {
     let s = p.add(OperatorKind::Source(SourceOp {
         event_rate: 100.0,
         schema: TupleSchema::uniform(DataType::Int, 2),
+        key_cardinality: None,
     }));
     let dangling = p.add(OperatorKind::Filter(FilterOp {
         function: FilterFunction::Gt,
@@ -158,11 +161,82 @@ fn zt108_clean_on_valid_multi_sink_plan() {
 }
 
 #[test]
+fn reachability_diagnostics_are_exactly_one_per_op() {
+    use zerotune::core::Anchor;
+
+    let reachability_diags_at = |diags: &[zerotune::core::Diagnostic], id| {
+        diags
+            .iter()
+            .filter(|d| {
+                (d.code == "ZT102" || d.code == "ZT108") && d.anchor == Some(Anchor::Op(id))
+            })
+            .count()
+    };
+
+    // Single-sink plan, off-path operator: exactly one ZT102, never a
+    // ZT108 on top of it.
+    let mut single = LogicalPlan::new("single-sink-dead-branch");
+    let s = single.add(OperatorKind::Source(SourceOp {
+        event_rate: 100.0,
+        schema: TupleSchema::uniform(DataType::Int, 2),
+        key_cardinality: None,
+    }));
+    let dangling = single.add(OperatorKind::Filter(FilterOp {
+        function: FilterFunction::Gt,
+        literal_class: DataType::Int,
+        selectivity: 0.5,
+    }));
+    let k = single.add(OperatorKind::Sink(zerotune::query::operators::SinkOp));
+    single.connect(s, dangling);
+    single.connect(s, k);
+    let diags = lint_plan(&single);
+    assert_eq!(reachability_diags_at(&diags, dangling), 1, "{diags:?}");
+    assert!(has(&diags, "ZT102"), "{diags:?}");
+    assert!(!has(&diags, "ZT108"), "{diags:?}");
+
+    // Multi-sink plan, dangling branch: exactly one ZT108 for the forked
+    // operator and no ZT102 shadowing it.
+    let mut multi = LogicalPlan::new("multi-sink-dangling-branch");
+    let s = multi.add(OperatorKind::Source(SourceOp {
+        event_rate: 100.0,
+        schema: TupleSchema::uniform(DataType::Int, 2),
+        key_cardinality: None,
+    }));
+    let dangling = multi.add(OperatorKind::Filter(FilterOp {
+        function: FilterFunction::Gt,
+        literal_class: DataType::Int,
+        selectivity: 0.5,
+    }));
+    let k1 = multi.add(OperatorKind::Sink(zerotune::query::operators::SinkOp));
+    let k2 = multi.add(OperatorKind::Sink(zerotune::query::operators::SinkOp));
+    multi.connect(s, dangling);
+    multi.connect(s, k1);
+    multi.connect(s, k2);
+    let diags = lint_plan(&multi);
+    assert_eq!(reachability_diags_at(&diags, dangling), 1, "{diags:?}");
+    assert!(has(&diags, "ZT108"), "{diags:?}");
+    assert!(!has(&diags, "ZT102"), "{diags:?}");
+
+    // Every operator of both plans carries at most one structural
+    // reachability diagnostic.
+    for (plan, diags) in [(&single, lint_plan(&single)), (&multi, lint_plan(&multi))] {
+        for op in plan.ops() {
+            assert!(
+                reachability_diags_at(&diags, op.id) <= 1,
+                "op {} has overlapping ZT102/ZT108 diagnostics: {diags:?}",
+                op.id
+            );
+        }
+    }
+}
+
+#[test]
 fn zt103_triggers_on_slide_exceeding_length() {
     let mut p = LogicalPlan::new("bad-window");
     let s = p.add(OperatorKind::Source(SourceOp {
         event_rate: 100.0,
         schema: TupleSchema::uniform(DataType::Double, 2),
+        key_cardinality: None,
     }));
     let a = p.add(OperatorKind::Aggregate(AggregateOp {
         // Struct literal: `WindowSpec::sliding` debug-asserts validity.
@@ -175,6 +249,7 @@ fn zt103_triggers_on_slide_exceeding_length() {
         agg_class: DataType::Double,
         key_class: None,
         selectivity: 0.1,
+        key_cardinality: None,
     }));
     let k = p.add(OperatorKind::Sink(zerotune::query::operators::SinkOp));
     p.connect(s, a);
@@ -205,6 +280,7 @@ fn zt104_triggers_on_zero_selectivity_that_validate_accepts() {
     let s = p.add(OperatorKind::Source(SourceOp {
         event_rate: 100.0,
         schema: TupleSchema::uniform(DataType::Int, 2),
+        key_cardinality: None,
     }));
     let f = p.add(OperatorKind::Filter(FilterOp {
         function: FilterFunction::Eq,
@@ -500,6 +576,7 @@ fn strict_tune_rejects_slide_beyond_length() {
     let s = p.add(OperatorKind::Source(SourceOp {
         event_rate: 1_000.0,
         schema: TupleSchema::uniform(DataType::Double, 2),
+        key_cardinality: None,
     }));
     let a = p.add(OperatorKind::Aggregate(AggregateOp {
         window: WindowSpec {
@@ -511,6 +588,7 @@ fn strict_tune_rejects_slide_beyond_length() {
         agg_class: DataType::Double,
         key_class: None,
         selectivity: 0.1,
+        key_cardinality: None,
     }));
     let k = p.add(OperatorKind::Sink(zerotune::query::operators::SinkOp));
     p.connect(s, a);

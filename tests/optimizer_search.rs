@@ -150,6 +150,7 @@ fn tune_on_sinkless_plan_is_a_structured_error() {
     let s = plan.add(OperatorKind::Source(SourceOp {
         event_rate: 1_000.0,
         schema: TupleSchema::uniform(DataType::Int, 3),
+        key_cardinality: None,
     }));
     let f = plan.add(OperatorKind::Filter(FilterOp {
         function: FilterFunction::Gt,

@@ -16,6 +16,7 @@ fn linear(rate: f64, sel: f64, window: f64) -> LogicalPlan {
     let s = plan.add(OperatorKind::Source(SourceOp {
         event_rate: rate,
         schema: TupleSchema::uniform(DataType::Double, 3),
+        key_cardinality: None,
     }));
     let f = plan.add(OperatorKind::Filter(FilterOp {
         function: FilterFunction::Gt,
@@ -28,6 +29,7 @@ fn linear(rate: f64, sel: f64, window: f64) -> LogicalPlan {
         agg_class: DataType::Double,
         key_class: Some(DataType::Int),
         selectivity: 0.2,
+        key_cardinality: None,
     }));
     let k = plan.add(OperatorKind::Sink(SinkOp));
     plan.connect(s, f);
@@ -42,15 +44,18 @@ fn windowed_join(rate: f64, window: f64, sel: f64) -> LogicalPlan {
     let s1 = plan.add(OperatorKind::Source(SourceOp {
         event_rate: rate,
         schema: TupleSchema::uniform(DataType::Double, 3),
+        key_cardinality: None,
     }));
     let s2 = plan.add(OperatorKind::Source(SourceOp {
         event_rate: rate,
         schema: TupleSchema::uniform(DataType::Double, 3),
+        key_cardinality: None,
     }));
     let j = plan.add(OperatorKind::Join(JoinOp {
         window: WindowSpec::tumbling(WindowPolicy::Count, window),
         key_class: DataType::Int,
         selectivity: sel,
+        key_cardinality: None,
     }));
     let k = plan.add(OperatorKind::Sink(SinkOp));
     plan.connect(s1, j);

@@ -21,6 +21,7 @@ fn source(rate: f64) -> OperatorKind {
     OperatorKind::Source(SourceOp {
         event_rate: rate,
         schema: TupleSchema::uniform(DataType::Double, 3),
+        key_cardinality: None,
     })
 }
 
@@ -39,6 +40,7 @@ fn time_agg(window_ms: f64) -> OperatorKind {
         agg_class: DataType::Double,
         key_class: Some(DataType::Int),
         selectivity: 0.3,
+        key_cardinality: None,
     })
 }
 
@@ -241,6 +243,7 @@ fn count_window_residence_grows_with_parallelism() {
         agg_class: DataType::Double,
         key_class: Some(DataType::Int),
         selectivity: 0.2,
+        key_cardinality: None,
     }));
     let k = plan.add(OperatorKind::Sink(SinkOp));
     plan.connect(s, a);
